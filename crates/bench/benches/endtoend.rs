@@ -1,0 +1,37 @@
+//! Criterion end-to-end benchmarks: simulated instructions per second of
+//! wall-clock for each processor model, on one memory-bound and one
+//! compute-bound workload. Throughput here bounds how large an
+//! experiment matrix (`fig7`, `fig12`, ...) is affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlpwin_ooo::Core;
+use mlpwin_sim::SimModel;
+use mlpwin_workloads::profiles;
+
+const INSTS: u64 = 5_000;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.throughput(Throughput::Elements(INSTS));
+    group.sample_size(10);
+    for profile in ["sphinx3", "gcc"] {
+        for model in [SimModel::Base, SimModel::Dynamic, SimModel::Runahead] {
+            group.bench_with_input(
+                BenchmarkId::new(profile, model.label()),
+                &(profile, model),
+                |b, (profile, model)| {
+                    b.iter(|| {
+                        let (config, policy) = model.build();
+                        let w = profiles::by_name(profile, 1).expect("profile");
+                        let mut core = Core::new(config, w, policy);
+                        core.run(INSTS)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(endtoend, bench_models);
+criterion_main!(endtoend);

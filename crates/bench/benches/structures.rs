@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the simulator's hot structures: the
+//! cache probe path, the memory hierarchy, the branch predictor, the
+//! stride prefetcher and the workload generator. These are the per-cycle
+//! inner loops; their cost is what makes the 28×7 experiment matrix
+//! tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpwin_branch::{BranchPredictor, PredictorConfig};
+use mlpwin_isa::{ArchReg, Instruction, Xoshiro256StarStar};
+use mlpwin_memsys::{
+    AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig, PathKind, StrideConfig,
+    StridePrefetcher,
+};
+use mlpwin_workloads::{profiles, Workload};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig::l2_default());
+    let mut rng = Xoshiro256StarStar::seed_from(1);
+    c.bench_function("cache_probe_l2", |b| {
+        b.iter(|| {
+            let addr = rng.range(1 << 24) * 8;
+            black_box(cache.access(black_box(addr), false, true))
+        })
+    });
+}
+
+fn bench_memsys(c: &mut Criterion) {
+    let mut mem = MemSystem::new(MemSystemConfig {
+        record_miss_cycles: false,
+        ..MemSystemConfig::default()
+    });
+    let mut rng = Xoshiro256StarStar::seed_from(2);
+    let mut now = 0u64;
+    c.bench_function("memsys_load_access", |b| {
+        b.iter(|| {
+            now += 3;
+            let addr = rng.range(1 << 26) * 8;
+            black_box(mem.access(AccessKind::Load, 0x400, addr, now, PathKind::Correct))
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut bp = BranchPredictor::new(PredictorConfig::default());
+    let mut rng = Xoshiro256StarStar::seed_from(3);
+    c.bench_function("gshare_predict_resolve", |b| {
+        b.iter(|| {
+            let pc = 0x400 + rng.range(256) * 4;
+            let br = Instruction::cond_branch(pc, ArchReg::int(1), rng.chance(0.7), 0x9000);
+            let o = bp.predict(&br);
+            bp.resolve(&br, &o);
+            black_box(o.mispredicted)
+        })
+    });
+}
+
+fn bench_prefetcher(c: &mut Criterion) {
+    let mut pf = StridePrefetcher::new(StrideConfig::default());
+    let mut addr = 0u64;
+    c.bench_function("stride_prefetcher_train", |b| {
+        b.iter(|| {
+            addr += 64;
+            black_box(pf.train(0x500, addr, true))
+        })
+    });
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut w = profiles::by_name("mcf", 1).expect("profile");
+    c.bench_function("workload_next_inst", |b| {
+        b.iter(|| black_box(w.next_inst()))
+    });
+}
+
+criterion_group!(
+    name = structures;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cache, bench_memsys, bench_predictor, bench_prefetcher, bench_workload_gen
+);
+criterion_main!(structures);

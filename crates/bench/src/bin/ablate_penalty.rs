@@ -1,0 +1,69 @@
+//! **Ablation: level-transition penalty** (paper §4/§5.1 claim).
+//!
+//! The paper asserts the 10-cycle transition penalty barely matters:
+//! raising it to 30 cycles costs only ~1.3% performance. This sweep
+//! measures GM-all IPC of the dynamic model at penalties 0–50.
+//!
+//! ```text
+//! cargo run --release -p mlpwin-bench --bin ablate_penalty
+//! ```
+
+use mlpwin_bench::ExpArgs;
+use mlpwin_core::WindowModel;
+use mlpwin_ooo::{Core, CoreConfig};
+use mlpwin_sim::report::{geomean, pct, TextTable};
+use mlpwin_workloads::profiles;
+
+fn gm_ipc(penalty: u32, warmup: u64, insts: u64, seed: u64, threads: usize) -> f64 {
+    let names = profiles::names();
+    let mut ratios = vec![0.0f64; names.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<f64>> =
+        (0..names.len()).map(|_| std::sync::Mutex::new(0.0)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(names.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= names.len() {
+                    break;
+                }
+                let mut base_cfg = CoreConfig::default();
+                base_cfg.transition_penalty = penalty;
+                let (config, policy) = WindowModel::Dynamic.build(base_cfg);
+                let w = profiles::by_name(names[i], seed).expect("profile");
+                let mut core = Core::new(config, w, policy);
+                core.run_warmup(warmup);
+                let s = core.run(insts);
+                *slots[i].lock().expect("slot") = s.ipc();
+            });
+        }
+    });
+    for (i, s) in slots.into_iter().enumerate() {
+        ratios[i] = s.into_inner().expect("slot");
+    }
+    geomean(&ratios)
+}
+
+fn main() {
+    let args = ExpArgs::parse(150_000, 40_000);
+    println!("Ablation: dynamic-resizing GM-all IPC vs level-transition penalty\n");
+    let penalties = [0u32, 10, 20, 30, 50];
+    let mut gms = Vec::new();
+    for &p in &penalties {
+        gms.push(gm_ipc(p, args.warmup, args.insts, args.seed, args.threads));
+    }
+    let reference = gms[1]; // 10 cycles = the paper's configuration
+    let mut t = TextTable::new(vec!["penalty (cycles)", "GM-all IPC", "vs 10-cycle config"]);
+    for (&p, &g) in penalties.iter().zip(&gms) {
+        t.row(vec![
+            format!("{p}"),
+            format!("{g:.4}"),
+            pct(g / reference - 1.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper claim: even a 30-cycle penalty costs only ~1.3% (measured here: {})",
+        pct(1.0 - gms[3] / reference)
+    );
+}

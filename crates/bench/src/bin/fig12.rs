@@ -1,0 +1,95 @@
+//! **Figure 12** — dynamic window resizing vs runahead execution, IPC
+//! normalized to the base processor.
+//!
+//! The paper: runahead helps memory-intensive programs but trails
+//! resizing by ~8% on their geometric mean (and ~1% on compute), because
+//! runahead abandons computation while it prefetches; on milc (sparse,
+//! unclustered misses) runahead drops *below* base — useless-runahead
+//! episodes — while resizing merely gains little.
+//!
+//! ```text
+//! cargo run --release -p mlpwin-bench --bin fig12
+//! ```
+
+use mlpwin_bench::ExpArgs;
+use mlpwin_sim::report::{geomean, pct, TextTable};
+use mlpwin_sim::runner::{run_matrix, RunSpec};
+use mlpwin_sim::SimModel;
+use mlpwin_workloads::{profiles, Category};
+
+fn main() {
+    let args = ExpArgs::parse(250_000, 60_000);
+    let names = profiles::names();
+    let mut specs = Vec::new();
+    for p in &names {
+        for m in [SimModel::Base, SimModel::Runahead, SimModel::Dynamic] {
+            specs.push(RunSpec::new(p, m).with_budget(args.warmup, args.insts));
+        }
+    }
+    let results = run_matrix(&specs, args.threads);
+    let get = |p: &str, m: SimModel| {
+        results
+            .iter()
+            .find(|r| r.spec.profile == p && r.spec.model == m)
+            .expect("ran")
+    };
+
+    println!("Figure 12: runahead execution vs dynamic resizing (IPC vs base)\n");
+    let selected: Vec<&str> = profiles::SELECTED_MEM
+        .iter()
+        .chain(profiles::SELECTED_COMP.iter())
+        .copied()
+        .collect();
+    let mut t = TextTable::new(vec![
+        "program", "cat", "Runahead", "Res", "RA episodes", "RA cycles %",
+    ]);
+    for p in &selected {
+        let base = get(p, SimModel::Base).ipc();
+        let ra = get(p, SimModel::Runahead);
+        let res = get(p, SimModel::Dynamic);
+        t.row(vec![
+            p.to_string(),
+            ra.category.label().to_string(),
+            format!("{:.3}", ra.ipc() / base),
+            format!("{:.3}", res.ipc() / base),
+            format!("{}", ra.stats.runahead_episodes),
+            format!(
+                "{:.1}%",
+                ra.stats.runahead_cycles as f64 / ra.stats.cycles as f64 * 100.0
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+
+    for (label, cat) in [
+        ("GM mem", Some(Category::MemoryIntensive)),
+        ("GM comp", Some(Category::ComputeIntensive)),
+        ("GM all", None),
+    ] {
+        let sel: Vec<_> = names
+            .iter()
+            .filter(|n| {
+                cat.is_none_or(|c| profiles::params_by_name(n).expect("known").category == c)
+            })
+            .collect();
+        let gm = |m: SimModel| {
+            geomean(
+                &sel.iter()
+                    .map(|p| get(p, m).ipc() / get(p, SimModel::Base).ipc())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let ra = gm(SimModel::Runahead);
+        let res = gm(SimModel::Dynamic);
+        println!(
+            "{label}: Runahead {:.3} ({}) vs Res {:.3} ({}) — Res ahead by {}",
+            ra,
+            pct(ra - 1.0),
+            res,
+            pct(res - 1.0),
+            pct(res / ra - 1.0)
+        );
+    }
+    println!("\npaper: Res beats runahead by ~8% on GM mem and ~1% on GM comp;");
+    println!("       milc: runahead < base (useless runahead), Res >= base");
+}

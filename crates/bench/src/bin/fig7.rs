@@ -1,0 +1,114 @@
+//! **Figure 7** — IPC normalized to the base processor: fixed-size
+//! windows at levels 1–3, dynamic resizing ("Res"), and the un-pipelined
+//! ideal models, for the selected programs and the geometric means over
+//! all memory-intensive, all compute-intensive and all programs.
+//!
+//! The headline numbers to compare with the paper: GM mem ≈ +48%,
+//! GM comp ≈ +4%, GM all ≈ +21% for the dynamic model, with Res matching
+//! the best fixed level per program and trailing Ideal by only a few
+//! percent.
+//!
+//! ```text
+//! cargo run --release -p mlpwin-bench --bin fig7
+//! ```
+
+use mlpwin_bench::ExpArgs;
+use mlpwin_sim::report::{geomean, pct, TextTable};
+use mlpwin_sim::runner::{run_matrix, RunResult, RunSpec};
+use mlpwin_sim::SimModel;
+use mlpwin_workloads::{profiles, Category};
+use std::collections::HashMap;
+
+/// The Fig. 7 model set, in presentation order.
+fn models() -> Vec<SimModel> {
+    vec![
+        SimModel::Fixed(1),
+        SimModel::Fixed(2),
+        SimModel::Fixed(3),
+        SimModel::Dynamic,
+        SimModel::Ideal(1),
+        SimModel::Ideal(2),
+        SimModel::Ideal(3),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::parse(250_000, 60_000);
+    let names = profiles::names();
+    let mut specs = Vec::new();
+    for p in &names {
+        for m in models() {
+            specs.push(RunSpec::new(p, m).with_budget(args.warmup, args.insts));
+        }
+    }
+    let results = run_matrix(&specs, args.threads);
+    let by_key: HashMap<(String, SimModel), &RunResult> = results
+        .iter()
+        .map(|r| ((r.spec.profile.clone(), r.spec.model), r))
+        .collect();
+
+    let ipc = |p: &str, m: SimModel| by_key[&(p.to_string(), m)].ipc();
+
+    // Per-program normalized series (base = Fix L1).
+    println!("Figure 7: IPC normalized to the base (Fix L1) processor\n");
+    let mut t = TextTable::new(vec![
+        "program", "cat", "Fix L1", "Fix L2", "Fix L3", "Res", "Ideal L1", "Ideal L2",
+        "Ideal L3", "Res vs best-Fix",
+    ]);
+    let selected: Vec<&str> = profiles::SELECTED_MEM
+        .iter()
+        .chain(profiles::SELECTED_COMP.iter())
+        .copied()
+        .collect();
+    for p in &names {
+        if !selected.contains(&p.as_ref()) {
+            continue;
+        }
+        let base = ipc(p, SimModel::Fixed(1));
+        let series: Vec<f64> = models().iter().map(|m| ipc(p, *m) / base).collect();
+        let best_fix = series[0].max(series[1]).max(series[2]);
+        let cat = profiles::params_by_name(p).expect("known").category;
+        let mut cells = vec![p.to_string(), cat.label().to_string()];
+        cells.extend(series.iter().map(|v| format!("{v:.2}")));
+        cells.push(format!("{:.2}", series[3] / best_fix));
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    // Geometric means over the full program set.
+    let mut gm = TextTable::new(vec![
+        "group", "Fix L2", "Fix L3", "Res", "Ideal L3", "Res speedup vs base",
+    ]);
+    for (label, filter) in [
+        ("GM mem", Some(Category::MemoryIntensive)),
+        ("GM comp", Some(Category::ComputeIntensive)),
+        ("GM all", None),
+    ] {
+        let sel: Vec<&&str> = names
+            .iter()
+            .filter(|n| {
+                filter.is_none_or(|c| {
+                    profiles::params_by_name(n).expect("known").category == c
+                })
+            })
+            .collect();
+        let rel = |m: SimModel| -> f64 {
+            geomean(
+                &sel.iter()
+                    .map(|p| ipc(p, m) / ipc(p, SimModel::Fixed(1)))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let res = rel(SimModel::Dynamic);
+        gm.row(vec![
+            label.to_string(),
+            format!("{:.3}", rel(SimModel::Fixed(2))),
+            format!("{:.3}", rel(SimModel::Fixed(3))),
+            format!("{res:.3}"),
+            format!("{:.3}", rel(SimModel::Ideal(3))),
+            pct(res - 1.0),
+        ]);
+    }
+    println!("{}", gm.render());
+    println!("paper: GM mem +48%, GM comp +4%, GM all +21%");
+}

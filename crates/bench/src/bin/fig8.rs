@@ -1,0 +1,46 @@
+//! **Figure 8** — percentage of cycles the dynamic-resizing window spent
+//! at each resource level, per program.
+//!
+//! The paper's shape: compute-intensive programs live at level 1;
+//! memory-intensive programs live mostly at level 3; omnetpp and other
+//! phase-mixed programs split their time.
+//!
+//! ```text
+//! cargo run --release -p mlpwin-bench --bin fig8
+//! ```
+
+use mlpwin_bench::ExpArgs;
+use mlpwin_sim::report::TextTable;
+use mlpwin_sim::runner::{run_matrix, RunSpec};
+use mlpwin_sim::SimModel;
+use mlpwin_workloads::profiles;
+
+fn main() {
+    let args = ExpArgs::parse(250_000, 60_000);
+    let selected: Vec<&str> = profiles::SELECTED_MEM
+        .iter()
+        .chain(profiles::SELECTED_COMP.iter())
+        .copied()
+        .collect();
+    let specs: Vec<RunSpec> = selected
+        .iter()
+        .map(|p| RunSpec::new(p, SimModel::Dynamic).with_budget(args.warmup, args.insts))
+        .collect();
+    let results = run_matrix(&specs, args.threads);
+
+    println!("Figure 8: % of cycles at each window level (dynamic resizing)\n");
+    let mut t = TextTable::new(vec!["program", "cat", "level 1", "level 2", "level 3", "transitions"]);
+    for r in &results {
+        t.row(vec![
+            r.spec.profile.clone(),
+            r.category.label().to_string(),
+            format!("{:.1}%", r.stats.level_residency(0) * 100.0),
+            format!("{:.1}%", r.stats.level_residency(1) * 100.0),
+            format!("{:.1}%", r.stats.level_residency(2) * 100.0),
+            format!("{}", r.stats.transitions_up + r.stats.transitions_down),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper shape: compute programs sit at level 1, memory programs at level 3,");
+    println!("phase-mixed programs (omnetpp) split their residency");
+}

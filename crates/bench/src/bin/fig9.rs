@@ -1,0 +1,82 @@
+//! **Figure 9** — energy efficiency (performance per energy, i.e.
+//! normalized 1/EDP) of dynamic resizing relative to the base processor.
+//!
+//! The paper: large gains on memory-intensive programs (time saved
+//! dwarfs the window's extra power; libquantum is the extreme), roughly
+//! break-even to slightly negative on compute-intensive programs (the
+//! provisioned-but-gated window leaks a little with no speedup);
+//! averages +36% (mem), −8% (comp), +8% (all).
+//!
+//! ```text
+//! cargo run --release -p mlpwin-bench --bin fig9
+//! ```
+
+use mlpwin_bench::ExpArgs;
+use mlpwin_energy::EnergyModel;
+use mlpwin_sim::report::{geomean, pct, TextTable};
+use mlpwin_sim::runner::{run_matrix, RunSpec};
+use mlpwin_sim::SimModel;
+use mlpwin_workloads::{profiles, Category};
+
+fn main() {
+    let args = ExpArgs::parse(250_000, 60_000);
+    let names = profiles::names();
+    let mut specs = Vec::new();
+    for p in &names {
+        specs.push(RunSpec::new(p, SimModel::Base).with_budget(args.warmup, args.insts));
+        specs.push(RunSpec::new(p, SimModel::Dynamic).with_budget(args.warmup, args.insts));
+    }
+    let results = run_matrix(&specs, args.threads);
+    let energy = EnergyModel::default();
+
+    println!("Figure 9: energy efficiency (1/EDP) of dynamic resizing vs base\n");
+    let mut t = TextTable::new(vec!["program", "cat", "IPC ratio", "energy ratio", "1/EDP rel"]);
+    let mut per_cat: Vec<(Category, f64)> = Vec::new();
+    let selected: Vec<&str> = profiles::SELECTED_MEM
+        .iter()
+        .chain(profiles::SELECTED_COMP.iter())
+        .copied()
+        .collect();
+    for p in &names {
+        let base = results
+            .iter()
+            .find(|r| r.spec.profile == *p && r.spec.model == SimModel::Base)
+            .expect("ran");
+        let dynr = results
+            .iter()
+            .find(|r| r.spec.profile == *p && r.spec.model == SimModel::Dynamic)
+            .expect("ran");
+        let bc = base.run_counters();
+        let dc = dynr.run_counters();
+        let rel = energy.relative_inverse_edp(&bc, &dc);
+        per_cat.push((base.category, rel));
+        if selected.contains(&p.as_ref()) {
+            t.row(vec![
+                p.to_string(),
+                base.category.label().to_string(),
+                format!("{:.2}", dynr.ipc() / base.ipc()),
+                format!(
+                    "{:.2}",
+                    energy.energy(&dc).total_pj() / energy.energy(&bc).total_pj()
+                ),
+                format!("{rel:.2}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    for (label, cat) in [
+        ("GM mem", Some(Category::MemoryIntensive)),
+        ("GM comp", Some(Category::ComputeIntensive)),
+        ("GM all", None),
+    ] {
+        let vals: Vec<f64> = per_cat
+            .iter()
+            .filter(|(c, _)| cat.is_none_or(|x| *c == x))
+            .map(|(_, v)| *v)
+            .collect();
+        let gm = geomean(&vals);
+        println!("{label}: {:.3} ({})", gm, pct(gm - 1.0));
+    }
+    println!("\npaper: GM mem +36%, GM comp -8%, GM all +8% (libquantum extreme ~+423%)");
+}

@@ -1,0 +1,88 @@
+//! **Table 1** — configuration of the base processor, dumped from the
+//! live `CoreConfig` so the printout can never drift from the simulator.
+//!
+//! ```text
+//! cargo run --release -p mlpwin-bench --bin table1
+//! ```
+
+use mlpwin_ooo::CoreConfig;
+use mlpwin_sim::report::TextTable;
+
+fn main() {
+    let c = CoreConfig::default();
+    let m = &c.memory;
+    println!("Table 1: configuration of the base processor\n");
+    let mut t = TextTable::new(vec!["parameter", "value"]);
+    t.row(vec![
+        "pipeline width".to_string(),
+        format!(
+            "{}-wide fetch/decode/issue/commit",
+            c.fetch_width
+        ),
+    ]);
+    t.row(vec!["ROB".into(), format!("{} entries", c.levels[0].rob)]);
+    t.row(vec!["issue queue".into(), format!("{} entries", c.levels[0].iq)]);
+    t.row(vec!["LSQ".into(), format!("{} entries", c.levels[0].lsq)]);
+    t.row(vec![
+        "branch prediction".into(),
+        format!(
+            "{}-bit history {}K-entry PHT gshare, {}-set {}-way BTB, {}-cycle penalty",
+            c.predictor.gshare.history_bits,
+            c.predictor.gshare.pht_entries / 1024,
+            c.predictor.btb.sets,
+            c.predictor.btb.ways,
+            c.mispredict_penalty
+        ),
+    ]);
+    t.row(vec![
+        "function units".into(),
+        format!(
+            "{} iALU, {} iMULT/DIV, {} Ld/St, {} fpALU, {} fpMULT/DIV/SQRT",
+            c.fu_counts[0], c.fu_counts[1], c.fu_counts[2], c.fu_counts[3], c.fu_counts[4]
+        ),
+    ]);
+    t.row(vec![
+        "L1 I-cache".into(),
+        format!(
+            "{}KB, {}-way, {}B line",
+            m.l1i.size_bytes / 1024,
+            m.l1i.assoc,
+            m.l1i.line_bytes
+        ),
+    ]);
+    t.row(vec![
+        "L1 D-cache".into(),
+        format!(
+            "{}KB, {}-way, {}B line, 2 ports, {}-cycle hit, non-blocking",
+            m.l1d.size_bytes / 1024,
+            m.l1d.assoc,
+            m.l1d.line_bytes,
+            m.l1d.hit_latency
+        ),
+    ]);
+    t.row(vec![
+        "L2 cache".into(),
+        format!(
+            "{}MB, {}-way, {}B line, {}-cycle hit",
+            m.l2.size_bytes / 1024 / 1024,
+            m.l2.assoc,
+            m.l2.line_bytes,
+            m.l2.hit_latency
+        ),
+    ]);
+    t.row(vec![
+        "main memory".into(),
+        format!(
+            "{}-cycle min latency, {}B/cycle bandwidth",
+            m.dram.min_latency, m.dram.bytes_per_cycle
+        ),
+    ]);
+    t.row(vec![
+        "data prefetcher".into(),
+        format!(
+            "stride-based, {}-entry {}-way table, {}-line prefetch to L2 on miss",
+            m.prefetch.entries, m.prefetch.ways, m.prefetch.degree
+        ),
+    ]);
+    println!("{}", t.render());
+}

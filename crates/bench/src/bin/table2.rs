@@ -1,0 +1,42 @@
+//! **Table 2** — entries and pipeline depths of the window resources at
+//! each level, plus the level-transition penalty, dumped from the live
+//! `LevelSpec` ladder.
+//!
+//! ```text
+//! cargo run --release -p mlpwin-bench --bin table2
+//! ```
+
+use mlpwin_ooo::{CoreConfig, LevelSpec};
+use mlpwin_sim::report::TextTable;
+
+fn main() {
+    let ladder = LevelSpec::table2();
+    println!("Table 2: window resources per level\n");
+    let mut t = TextTable::new(vec!["resource", "parameter", "level 1", "level 2", "level 3"]);
+    let cell = |f: &dyn Fn(&LevelSpec) -> String| -> Vec<String> {
+        ladder.iter().map(|l| f(l)).collect()
+    };
+    let mut row = |name: &str, param: &str, f: &dyn Fn(&LevelSpec) -> String| {
+        let vals = cell(f);
+        t.row(vec![
+            name.to_string(),
+            param.to_string(),
+            vals[0].clone(),
+            vals[1].clone(),
+            vals[2].clone(),
+        ]);
+    };
+    row("IQ", "entries", &|l| l.iq.to_string());
+    row("IQ", "pipeline depth", &|l| l.iq_depth.to_string());
+    row("ROB", "entries", &|l| l.rob.to_string());
+    row("LSQ", "entries", &|l| l.lsq.to_string());
+    row("LSQ", "pipeline depth", &|l| l.iq_depth.to_string());
+    row("", "extra mispredict penalty", &|l| {
+        format!("+{}", l.extra_mispredict_penalty)
+    });
+    println!("{}", t.render());
+    println!(
+        "level transition penalty: {} cycles",
+        CoreConfig::default().transition_penalty
+    );
+}

@@ -1,0 +1,126 @@
+//! # mlpwin-bench
+//!
+//! The benchmark harness: one binary per table and figure of the paper
+//! (run with `cargo run --release -p mlpwin-bench --bin fig7`), plus
+//! Criterion micro-benchmarks of the hot simulator structures
+//! (`cargo bench -p mlpwin-bench`).
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --insts N     measured instructions per run   (default per binary)
+//! --warmup N    warm-up instructions per run    (default per binary)
+//! --threads N   parallel runs                   (default: available cores)
+//! --seed N      workload seed                   (default 1)
+//! ```
+//!
+//! Budgets are scaled-down stand-ins for the paper's 16G-skip +
+//! 100M-measure sampling; raising `--insts` tightens every number at
+//! linear cost.
+
+use std::env;
+
+/// Command-line arguments shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Measured instructions per run.
+    pub insts: u64,
+    /// Warm-up instructions per run.
+    pub warmup: u64,
+    /// Worker threads for run matrices.
+    pub threads: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, with the given per-binary defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed flags.
+    pub fn parse(default_warmup: u64, default_insts: u64) -> ExpArgs {
+        Self::parse_from(env::args().skip(1), default_warmup, default_insts)
+    }
+
+    /// Testable parser core.
+    pub fn parse_from<I: IntoIterator<Item = String>>(
+        args: I,
+        default_warmup: u64,
+        default_insts: u64,
+    ) -> ExpArgs {
+        let mut out = ExpArgs {
+            insts: default_insts,
+            warmup: default_warmup,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 1,
+        };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> u64 {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .parse()
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+            };
+            match flag.as_str() {
+                "--insts" => out.insts = take("--insts"),
+                "--warmup" => out.warmup = take("--warmup"),
+                "--threads" => out.threads = take("--threads") as usize,
+                "--seed" => out.seed = take("--seed"),
+                other => panic!(
+                    "unknown flag {other}; expected --insts/--warmup/--threads/--seed"
+                ),
+            }
+        }
+        assert!(out.insts > 0, "--insts must be positive");
+        assert!(out.threads > 0, "--threads must be positive");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = ExpArgs::parse_from(argv(""), 10, 20);
+        assert_eq!(a.warmup, 10);
+        assert_eq!(a.insts, 20);
+        assert_eq!(a.seed, 1);
+        assert!(a.threads >= 1);
+    }
+
+    #[test]
+    fn flags_override() {
+        let a = ExpArgs::parse_from(argv("--insts 5 --warmup 7 --threads 2 --seed 9"), 1, 1);
+        assert_eq!(
+            a,
+            ExpArgs {
+                insts: 5,
+                warmup: 7,
+                threads: 2,
+                seed: 9
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        let _ = ExpArgs::parse_from(argv("--bogus 1"), 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn rejects_missing_value() {
+        let _ = ExpArgs::parse_from(argv("--insts"), 1, 1);
+    }
+}

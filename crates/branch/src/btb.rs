@@ -1,0 +1,170 @@
+//! Branch target buffer: set-associative PC → target cache.
+//!
+//! Table 1 of the paper specifies 2K sets × 4 ways. Replacement is true
+//! LRU within a set.
+
+use mlpwin_isa::Addr;
+
+/// BTB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl Default for BtbConfig {
+    fn default() -> BtbConfig {
+        BtbConfig {
+            sets: 2048,
+            ways: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    tag: Addr,
+    target: Addr,
+    lru: u64,
+    valid: bool,
+}
+
+/// The branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<BtbEntry>,
+    ways: usize,
+    set_mask: usize,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(config: BtbConfig) -> Btb {
+        assert!(config.sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(config.ways > 0, "BTB needs at least one way");
+        Btb {
+            entries: vec![
+                BtbEntry {
+                    tag: 0,
+                    target: 0,
+                    lru: 0,
+                    valid: false
+                };
+                config.sets * config.ways
+            ],
+            ways: config.ways,
+            set_mask: config.sets - 1,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, pc: Addr) -> std::ops::Range<usize> {
+        let set = ((pc >> 2) as usize) & self.set_mask;
+        let base = set * self.ways;
+        base..base + self.ways
+    }
+
+    /// Looks up the predicted target for the branch at `pc`, refreshing
+    /// its LRU position on a hit.
+    pub fn lookup(&mut self, pc: Addr) -> Option<Addr> {
+        self.tick += 1;
+        let range = self.set_range(pc);
+        for e in &mut self.entries[range] {
+            if e.valid && e.tag == pc {
+                e.lru = self.tick;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Installs or updates the target for the branch at `pc`, evicting the
+    /// LRU way on a conflict.
+    pub fn insert(&mut self, pc: Addr, target: Addr) {
+        self.tick += 1;
+        let range = self.set_range(pc);
+        let tick = self.tick;
+        // Update in place on a tag match.
+        let entries = &mut self.entries[range.clone()];
+        if let Some(e) = entries.iter_mut().find(|e| e.valid && e.tag == pc) {
+            e.target = target;
+            e.lru = tick;
+            return;
+        }
+        // Otherwise fill an invalid way or evict LRU.
+        let victim = entries
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("set has at least one way");
+        *victim = BtbEntry {
+            tag: pc,
+            target,
+            lru: tick,
+            valid: true,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Btb {
+        Btb::new(BtbConfig { sets: 2, ways: 2 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = tiny();
+        assert_eq!(btb.lookup(0x100), None);
+        btb.insert(0x100, 0x800);
+        assert_eq!(btb.lookup(0x100), Some(0x800));
+    }
+
+    #[test]
+    fn update_replaces_target() {
+        let mut btb = tiny();
+        btb.insert(0x100, 0x800);
+        btb.insert(0x100, 0x900);
+        assert_eq!(btb.lookup(0x100), Some(0x900));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut btb = tiny();
+        // All these PCs map to set 0 of a 2-set BTB (pc>>2 even).
+        btb.insert(0x0, 0xa);
+        btb.insert(0x10, 0xb);
+        // Touch 0x0 so 0x10 becomes LRU.
+        assert_eq!(btb.lookup(0x0), Some(0xa));
+        btb.insert(0x20, 0xc); // evicts 0x10
+        assert_eq!(btb.lookup(0x0), Some(0xa));
+        assert_eq!(btb.lookup(0x10), None);
+        assert_eq!(btb.lookup(0x20), Some(0xc));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut btb = tiny();
+        btb.insert(0x0, 0x1); // set 0
+        btb.insert(0x4, 0x2); // set 1
+        btb.insert(0x8, 0x3); // set 0
+        btb.insert(0xc, 0x4); // set 1
+        assert_eq!(btb.lookup(0x0), Some(0x1));
+        assert_eq!(btb.lookup(0x4), Some(0x2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_geometry() {
+        let _ = Btb::new(BtbConfig { sets: 3, ways: 2 });
+    }
+}

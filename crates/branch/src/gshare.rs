@@ -1,0 +1,166 @@
+//! gshare direction predictor (McFarling).
+//!
+//! The pattern history table (PHT) of 2-bit saturating counters is indexed
+//! by `pc/4 XOR global_history`. Table 1 of the paper: 16-bit history,
+//! 64K-entry PHT.
+
+use mlpwin_isa::Addr;
+
+/// Configuration of the gshare predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GshareConfig {
+    /// Number of global-history bits (also log2 of the PHT size here).
+    pub history_bits: u32,
+    /// Number of PHT entries; must be a power of two.
+    pub pht_entries: usize,
+}
+
+impl Default for GshareConfig {
+    fn default() -> GshareConfig {
+        GshareConfig {
+            history_bits: 16,
+            pht_entries: 64 * 1024,
+        }
+    }
+}
+
+/// Snapshot of the global history register taken when a branch was
+/// predicted; used to index the PHT at training time and to repair the
+/// speculative history after a misprediction squash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistoryCheckpoint(pub u32);
+
+/// The gshare predictor state.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    pht: Vec<u8>,
+    history: u32,
+    history_mask: u32,
+    index_mask: usize,
+}
+
+impl Gshare {
+    /// Creates a predictor with all counters weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pht_entries` is not a power of two or `history_bits`
+    /// exceeds 32.
+    pub fn new(config: GshareConfig) -> Gshare {
+        assert!(
+            config.pht_entries.is_power_of_two(),
+            "PHT size must be a power of two"
+        );
+        assert!(config.history_bits <= 32, "history limited to 32 bits");
+        Gshare {
+            pht: vec![1; config.pht_entries], // weakly not-taken
+            history: 0,
+            history_mask: if config.history_bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << config.history_bits) - 1
+            },
+            index_mask: config.pht_entries - 1,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr, history: u32) -> usize {
+        (((pc >> 2) as u32 ^ history) as usize) & self.index_mask
+    }
+
+    /// Current history snapshot (for non-conditional branches that do not
+    /// shift history but still need a checkpoint value).
+    pub fn checkpoint(&self) -> HistoryCheckpoint {
+        HistoryCheckpoint(self.history)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` and
+    /// speculatively shifts the prediction into the history register.
+    ///
+    /// Returns the prediction and the pre-shift history checkpoint.
+    pub fn predict_and_push(&mut self, pc: Addr) -> (bool, HistoryCheckpoint) {
+        let cp = HistoryCheckpoint(self.history);
+        let taken = self.pht[self.index(pc, self.history)] >= 2;
+        self.history = ((self.history << 1) | taken as u32) & self.history_mask;
+        (taken, cp)
+    }
+
+    /// Trains the 2-bit counter for the branch, using the history the
+    /// branch was predicted under (from its checkpoint).
+    pub fn train(&mut self, pc: Addr, checkpoint: HistoryCheckpoint, taken: bool) {
+        let idx = self.index(pc, checkpoint.0);
+        let c = &mut self.pht[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Repairs the speculative history after a misprediction: restores the
+    /// checkpoint and shifts in the *actual* outcome.
+    pub fn repair(&mut self, checkpoint: HistoryCheckpoint, actual_taken: bool) {
+        self.history = ((checkpoint.0 << 1) | actual_taken as u32) & self.history_mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate() {
+        let mut g = Gshare::new(GshareConfig {
+            history_bits: 4,
+            pht_entries: 16,
+        });
+        let cp = g.checkpoint();
+        for _ in 0..10 {
+            g.train(0x100, cp, true);
+        }
+        let (pred, _) = g.predict_and_push(0x100);
+        assert!(pred);
+        // Driving it down flips it after enough not-taken training.
+        for _ in 0..10 {
+            g.train(0x100, cp, false);
+        }
+        let mut g2 = g.clone();
+        g2.history = cp.0;
+        let (pred2, _) = g2.predict_and_push(0x100);
+        assert!(!pred2);
+    }
+
+    #[test]
+    fn history_shifts_and_masks() {
+        let mut g = Gshare::new(GshareConfig {
+            history_bits: 4,
+            pht_entries: 16,
+        });
+        // Force predictions by training index-0 patterns is fiddly; instead
+        // check the mask keeps history within 4 bits.
+        for _ in 0..100 {
+            let _ = g.predict_and_push(0x0);
+        }
+        assert!(g.history <= 0xF);
+    }
+
+    #[test]
+    fn repair_restores_and_appends_actual() {
+        let mut g = Gshare::new(GshareConfig::default());
+        let (_pred, cp) = g.predict_and_push(0x40);
+        g.repair(cp, true);
+        assert_eq!(g.history, ((cp.0 << 1) | 1) & g.history_mask);
+        g.repair(cp, false);
+        assert_eq!(g.history, (cp.0 << 1) & g.history_mask);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_pht() {
+        let _ = Gshare::new(GshareConfig {
+            history_bits: 4,
+            pht_entries: 100,
+        });
+    }
+}

@@ -1,0 +1,207 @@
+//! The paper's evaluated window configurations as ready-to-run models.
+//!
+//! Section 5.3 compares three families on top of the same base pipeline:
+//!
+//! - **fixed size**: the window is pinned to one Table 2 level, pipelined
+//!   as the circuit study requires (levels ≥ 2 cannot issue dependent
+//!   operations back-to-back and pay extra misprediction latency);
+//! - **ideal**: same sizes but magically un-pipelined with no clock or
+//!   penalty cost — the upper bound of enlargement;
+//! - **dynamic resizing**: the proposal; the hardware provisions level 3
+//!   and the Fig. 5 controller moves between levels.
+//!
+//! `Base` is `Fixed(1)` — the conventional processor all figures
+//! normalize to.
+
+use crate::policy::DynamicResizingPolicy;
+use mlpwin_ooo::{CoreConfig, FixedLevelPolicy, LevelSpec, WindowPolicy};
+
+/// One of the paper's window configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowModel {
+    /// The conventional processor (Table 1; level 1 only).
+    Base,
+    /// Fixed-size pipelined window at the given Table 2 level (1–3).
+    Fixed(usize),
+    /// Fixed-size *un-pipelined* window at the given level (1–3) with no
+    /// penalties — the ideal model.
+    Ideal(usize),
+    /// MLP-aware dynamic resizing over levels 1–3 (the proposal).
+    Dynamic,
+}
+
+impl WindowModel {
+    /// All models evaluated in Fig. 7, in presentation order.
+    pub fn fig7_models() -> Vec<WindowModel> {
+        vec![
+            WindowModel::Fixed(1),
+            WindowModel::Fixed(2),
+            WindowModel::Fixed(3),
+            WindowModel::Dynamic,
+            WindowModel::Ideal(1),
+            WindowModel::Ideal(2),
+            WindowModel::Ideal(3),
+        ]
+    }
+
+    /// Short label used in report tables ("Fix L2", "Res", ...).
+    pub fn label(&self) -> String {
+        match self {
+            WindowModel::Base => "Base".into(),
+            WindowModel::Fixed(l) => format!("Fix L{l}"),
+            WindowModel::Ideal(l) => format!("Ideal L{l}"),
+            WindowModel::Dynamic => "Res".into(),
+        }
+    }
+
+    /// Builds the core configuration and window policy for this model,
+    /// starting from `base` (which supplies pipeline widths, predictor
+    /// and memory configuration; its `levels` field is replaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed/ideal level is outside 1..=3.
+    pub fn build(&self, base: CoreConfig) -> (CoreConfig, Box<dyn WindowPolicy>) {
+        let table = LevelSpec::table2();
+        let pick = |l: usize| -> LevelSpec {
+            assert!(
+                (1..=table.len()).contains(&l),
+                "level {l} outside the Table 2 ladder"
+            );
+            table[l - 1]
+        };
+        match self {
+            WindowModel::Base => {
+                let config = CoreConfig {
+                    levels: vec![LevelSpec::level1()],
+                    ..base
+                };
+                (config, Box::new(FixedLevelPolicy::new(0)))
+            }
+            WindowModel::Fixed(l) => {
+                let config = CoreConfig {
+                    levels: vec![pick(*l)],
+                    ..base
+                };
+                (config, Box::new(FixedLevelPolicy::new(0)))
+            }
+            WindowModel::Ideal(l) => {
+                let config = CoreConfig {
+                    levels: vec![pick(*l).idealized()],
+                    ..base
+                };
+                (config, Box::new(FixedLevelPolicy::new(0)))
+            }
+            WindowModel::Dynamic => {
+                let latency = base.memory.dram.min_latency;
+                let config = CoreConfig {
+                    levels: LevelSpec::table2(),
+                    ..base
+                };
+                (config, Box::new(DynamicResizingPolicy::new(latency)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpwin_ooo::Core;
+    use mlpwin_workloads::profiles;
+
+    fn run(model: WindowModel, profile: &str, insts: u64) -> mlpwin_ooo::CoreStats {
+        let (config, policy) = model.build(CoreConfig::default());
+        let w = profiles::by_name(profile, 7).expect("profile");
+        let mut core = Core::new(config, w, policy);
+        // Long enough for compulsory (cold) misses to stop driving the
+        // controller — including the wrong-path region's first touches.
+        core.run_warmup(120_000);
+        core.run(insts)
+    }
+
+    #[test]
+    fn labels_match_the_figures() {
+        assert_eq!(WindowModel::Base.label(), "Base");
+        assert_eq!(WindowModel::Fixed(3).label(), "Fix L3");
+        assert_eq!(WindowModel::Ideal(2).label(), "Ideal L2");
+        assert_eq!(WindowModel::Dynamic.label(), "Res");
+    }
+
+    #[test]
+    fn base_equals_fixed_level1() {
+        let (a, _) = WindowModel::Base.build(CoreConfig::default());
+        let (b, _) = WindowModel::Fixed(1).build(CoreConfig::default());
+        assert_eq!(a.levels, b.levels);
+    }
+
+    #[test]
+    fn ideal_levels_are_unpipelined() {
+        let (c, _) = WindowModel::Ideal(3).build(CoreConfig::default());
+        assert_eq!(c.levels[0].iq_depth, 1);
+        assert_eq!(c.levels[0].extra_mispredict_penalty, 0);
+        assert_eq!(c.levels[0].rob, 512);
+    }
+
+    #[test]
+    fn dynamic_uses_the_full_ladder() {
+        let (c, _) = WindowModel::Dynamic.build(CoreConfig::default());
+        assert_eq!(c.levels.len(), 3);
+        assert_eq!(c.levels[2].rob, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the Table 2 ladder")]
+    fn rejects_bogus_levels() {
+        let _ = WindowModel::Fixed(4).build(CoreConfig::default());
+    }
+
+    #[test]
+    fn dynamic_visits_multiple_levels_on_memory_workload() {
+        let (config, policy) = WindowModel::Dynamic.build(CoreConfig::default());
+        let w = profiles::by_name("libquantum", 7).expect("profile");
+        let mut core = Core::new(config, w, policy);
+        core.run_warmup(60_000);
+        let s = core.run(10_000);
+        // The window enlarged during warm-up and the miss stream keeps it
+        // there; transitions_up can legitimately be zero if it is pinned
+        // at the maximum, so assert on residency instead.
+        let upper: u64 = s.level_cycles[1] + s.level_cycles[2];
+        assert!(
+            upper > s.cycles / 4,
+            "memory-bound run should spend real time enlarged: {:?}",
+            s.level_cycles
+        );
+    }
+
+    #[test]
+    fn dynamic_stays_small_on_compute_workload() {
+        let s = run(WindowModel::Dynamic, "sjeng", 10_000);
+        assert!(
+            s.level_cycles[0] > s.cycles * 9 / 10,
+            "cache-resident run should stay at level 1: {:?}",
+            s.level_cycles
+        );
+    }
+
+    #[test]
+    fn dynamic_tracks_best_fixed_on_both_extremes() {
+        // The paper's headline property, in miniature.
+        let mem_fix3 = run(WindowModel::Fixed(3), "libquantum", 8_000);
+        let mem_dyn = run(WindowModel::Dynamic, "libquantum", 8_000);
+        assert!(
+            mem_dyn.ipc() > mem_fix3.ipc() * 0.85,
+            "dynamic ({:.3}) should approach Fix L3 ({:.3}) on libquantum",
+            mem_dyn.ipc(),
+            mem_fix3.ipc()
+        );
+        let comp_fix1 = run(WindowModel::Fixed(1), "sjeng", 8_000);
+        let comp_dyn = run(WindowModel::Dynamic, "sjeng", 8_000);
+        assert!(
+            comp_dyn.ipc() > comp_fix1.ipc() * 0.9,
+            "dynamic ({:.3}) should approach Fix L1 ({:.3}) on sjeng",
+            comp_dyn.ipc(),
+            comp_fix1.ipc()
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Micro-operation classes and the function-unit kinds that execute them.
+//!
+//! Latencies follow the SimpleScalar 3.0 defaults that the paper's
+//! simulator inherits (integer multiply 3, divide 20, FP add 2, FP
+//! multiply 4, FP divide 12, FP square root 24). Loads have no static
+//! latency here — their latency is produced by the memory hierarchy.
+
+use std::fmt;
+
+/// The class of a micro-operation.
+///
+/// Only timing-relevant structure is modelled: which function unit the
+/// operation needs, how long it executes, and whether it touches memory or
+/// redirects control flow.
+///
+/// # Example
+///
+/// ```
+/// use mlpwin_isa::OpClass;
+/// assert_eq!(OpClass::IntAlu.exec_latency(), 1);
+/// assert!(OpClass::Load.is_mem());
+/// assert!(OpClass::CondBranch.is_branch());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (also used by address generation).
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide.
+    IntDiv,
+    /// Floating-point add/sub/compare/convert.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+    /// Floating-point square root.
+    FpSqrt,
+    /// Memory read. Latency comes from the cache hierarchy.
+    Load,
+    /// Memory write. Retires from the store queue after commit.
+    Store,
+    /// Conditional direct branch.
+    CondBranch,
+    /// Unconditional jump/call/return (always taken).
+    Jump,
+    /// No-operation (consumes front-end bandwidth and a ROB slot only).
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes, in a stable order (useful for histograms).
+    pub const ALL: [OpClass; 12] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::CondBranch,
+        OpClass::Jump,
+        OpClass::Nop,
+    ];
+
+    /// Execution latency in cycles once the operation starts on its
+    /// function unit. For [`OpClass::Load`] this is the *address
+    /// generation* latency; the memory access itself is timed by the
+    /// memory system.
+    #[inline]
+    pub fn exec_latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::CondBranch | OpClass::Jump | OpClass::Nop => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 20,
+            OpClass::FpAlu => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::FpSqrt => 24,
+            OpClass::Load | OpClass::Store => 1,
+        }
+    }
+
+    /// Whether the operation occupies its function unit for the full
+    /// latency (unpipelined) rather than accepting a new operation every
+    /// cycle.
+    #[inline]
+    pub fn is_unpipelined(self) -> bool {
+        matches!(self, OpClass::IntDiv | OpClass::FpDiv | OpClass::FpSqrt)
+    }
+
+    /// The function-unit kind this operation issues to.
+    #[inline]
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::IntAlu | OpClass::CondBranch | OpClass::Jump | OpClass::Nop => FuKind::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuKind::IntMulDiv,
+            OpClass::FpAlu => FuKind::FpAlu,
+            OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => FuKind::FpMulDiv,
+            OpClass::Load | OpClass::Store => FuKind::MemPort,
+        }
+    }
+
+    /// True for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// True for control-transfer operations.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::CondBranch | OpClass::Jump)
+    }
+
+    /// True for operations executed by the floating-point cluster.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt
+        )
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "ialu",
+            OpClass::IntMul => "imul",
+            OpClass::IntDiv => "idiv",
+            OpClass::FpAlu => "fpalu",
+            OpClass::FpMul => "fpmul",
+            OpClass::FpDiv => "fpdiv",
+            OpClass::FpSqrt => "fpsqrt",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::CondBranch => "br",
+            OpClass::Jump => "jmp",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Function-unit pools of the simulated core (Table 1 of the paper:
+/// 4 iALU, 2 iMULT/DIV, 2 Ld/St ports, 4 fpALU, 2 fpMULT/DIV/SQRT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Integer ALUs; also execute branches.
+    IntAlu,
+    /// Integer multiply/divide units.
+    IntMulDiv,
+    /// Load/store ports (shared address-generation + cache port).
+    MemPort,
+    /// Floating-point adders.
+    FpAlu,
+    /// Floating-point multiply/divide/sqrt units.
+    FpMulDiv,
+}
+
+impl FuKind {
+    /// All function-unit kinds in a stable order.
+    pub const ALL: [FuKind; 5] = [
+        FuKind::IntAlu,
+        FuKind::IntMulDiv,
+        FuKind::MemPort,
+        FuKind::FpAlu,
+        FuKind::FpMulDiv,
+    ];
+
+    /// Default pool size for this unit kind (paper Table 1).
+    #[inline]
+    pub fn default_count(self) -> usize {
+        match self {
+            FuKind::IntAlu => 4,
+            FuKind::IntMulDiv => 2,
+            FuKind::MemPort => 2,
+            FuKind::FpAlu => 4,
+            FuKind::FpMulDiv => 2,
+        }
+    }
+
+    /// Dense index for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::IntAlu => 0,
+            FuKind::IntMulDiv => 1,
+            FuKind::MemPort => 2,
+            FuKind::FpAlu => 3,
+            FuKind::FpMulDiv => 4,
+        }
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::IntAlu => "ialu",
+            FuKind::IntMulDiv => "imuldiv",
+            FuKind::MemPort => "memport",
+            FuKind::FpAlu => "fpalu",
+            FuKind::FpMulDiv => "fpmuldiv",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_simplescalar_defaults() {
+        assert_eq!(OpClass::IntAlu.exec_latency(), 1);
+        assert_eq!(OpClass::IntMul.exec_latency(), 3);
+        assert_eq!(OpClass::IntDiv.exec_latency(), 20);
+        assert_eq!(OpClass::FpAlu.exec_latency(), 2);
+        assert_eq!(OpClass::FpMul.exec_latency(), 4);
+        assert_eq!(OpClass::FpDiv.exec_latency(), 12);
+        assert_eq!(OpClass::FpSqrt.exec_latency(), 24);
+    }
+
+    #[test]
+    fn fu_mapping_is_consistent() {
+        for op in OpClass::ALL {
+            let fu = op.fu_kind();
+            // Every op maps to a pool with at least one unit.
+            assert!(fu.default_count() >= 1, "{op} -> {fu}");
+        }
+        assert_eq!(OpClass::CondBranch.fu_kind(), FuKind::IntAlu);
+        assert_eq!(OpClass::Load.fu_kind(), FuKind::MemPort);
+        assert_eq!(OpClass::FpSqrt.fu_kind(), FuKind::FpMulDiv);
+    }
+
+    #[test]
+    fn unpipelined_ops_are_the_dividers() {
+        let unpiped: Vec<_> = OpClass::ALL.iter().filter(|o| o.is_unpipelined()).collect();
+        assert_eq!(
+            unpiped,
+            vec![&OpClass::IntDiv, &OpClass::FpDiv, &OpClass::FpSqrt]
+        );
+    }
+
+    #[test]
+    fn fu_indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for fu in FuKind::ALL {
+            assert!(!seen[fu.index()]);
+            seen[fu.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::CondBranch.is_branch());
+        assert!(OpClass::Jump.is_branch());
+        assert!(!OpClass::Load.is_branch());
+        assert!(OpClass::FpSqrt.is_fp());
+        assert!(!OpClass::IntMul.is_fp());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_unique() {
+        let mut names: Vec<String> = OpClass::ALL.iter().map(|o| o.to_string()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+}

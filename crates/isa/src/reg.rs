@@ -1,0 +1,155 @@
+//! Architectural (logical) registers.
+//!
+//! The simulated ISA has 32 integer and 32 floating-point registers.
+//! Integer register 0 is a normal register (unlike MIPS `$zero`) so that
+//! workload generators can use the full namespace; generators that want a
+//! constant source simply avoid writing a chosen register.
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: u8 = 32;
+/// Total architectural register count.
+pub const NUM_ARCH_REGS: u8 = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An architectural register identifier.
+///
+/// Indices `0..32` are integer registers, `32..64` floating-point. The
+/// distinction only matters for workload realism (FP ops read/write FP
+/// registers); the rename machinery treats the namespace uniformly.
+///
+/// # Example
+///
+/// ```
+/// use mlpwin_isa::ArchReg;
+/// let r = ArchReg::int(5);
+/// let f = ArchReg::fp(5);
+/// assert_ne!(r, f);
+/// assert!(r.is_int() && f.is_fp());
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(f.index(), 37);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn int(n: u8) -> ArchReg {
+        assert!(n < NUM_INT_REGS, "integer register {n} out of range");
+        ArchReg(n)
+    }
+
+    /// Creates a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn fp(n: u8) -> ArchReg {
+        assert!(n < NUM_FP_REGS, "fp register {n} out of range");
+        ArchReg(NUM_INT_REGS + n)
+    }
+
+    /// Creates a register from a flat index in `0..64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 64`.
+    #[inline]
+    pub fn from_index(n: u8) -> ArchReg {
+        assert!(n < NUM_ARCH_REGS, "register index {n} out of range");
+        ArchReg(n)
+    }
+
+    /// Flat index in `0..64`, suitable for indexing a rename map table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is one of the 32 integer registers.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        self.0 < NUM_INT_REGS
+    }
+
+    /// True if this is one of the 32 floating-point registers.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= NUM_INT_REGS
+    }
+
+    /// Register number within its class (0..32).
+    #[inline]
+    pub fn class_index(self) -> u8 {
+        if self.is_int() {
+            self.0
+        } else {
+            self.0 - NUM_INT_REGS
+        }
+    }
+
+    /// Iterator over every architectural register.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS).map(ArchReg)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.class_index())
+        } else {
+            write!(f, "f{}", self.class_index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_namespaces_are_disjoint() {
+        for n in 0..32 {
+            assert!(ArchReg::int(n).is_int());
+            assert!(ArchReg::fp(n).is_fp());
+            assert_ne!(ArchReg::int(n), ArchReg::fp(n));
+            assert_eq!(ArchReg::int(n).class_index(), n);
+            assert_eq!(ArchReg::fp(n).class_index(), n);
+        }
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        for r in ArchReg::all() {
+            assert_eq!(ArchReg::from_index(r.index() as u8), r);
+        }
+        assert_eq!(ArchReg::all().count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_bounds_checked() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_register_bounds_checked() {
+        let _ = ArchReg::fp(32);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::fp(17).to_string(), "f17");
+    }
+}

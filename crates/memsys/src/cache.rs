@@ -1,0 +1,407 @@
+//! Set-associative cache with true-LRU replacement and per-line metadata.
+//!
+//! The cache is a timing structure only: it tracks which lines are
+//! present, not their data. Per-line metadata carries the provenance
+//! information used by the Fig. 11 pollution analysis.
+
+use crate::provenance::Provenance;
+use mlpwin_isa::Addr;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes; must be a power of two.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// L1 instruction cache per Table 1 (64 KB, 2-way, 32 B, 1-cycle).
+    pub fn l1i_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 1,
+        }
+    }
+
+    /// L1 data cache per Table 1 (64 KB, 2-way, 32 B, 2-cycle).
+    pub fn l1d_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 2,
+        }
+    }
+
+    /// L2 cache per Table 1 (2 MB, 4-way, 64 B, 12-cycle).
+    pub fn l2_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency: 12,
+        }
+    }
+
+    /// The enlarged L2 used by the Fig. 10 comparison (2.5 MB, 5-way).
+    pub fn l2_enlarged() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024 + 512 * 1024,
+            assoc: 5,
+            line_bytes: 64,
+            hit_latency: 12,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Line present.
+    Hit,
+    /// Line absent; caller must fetch it from the next level.
+    Miss,
+}
+
+/// Per-line bookkeeping carried through fills and evictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Who brought the line in.
+    pub provenance: Provenance,
+    /// Whether a correct-path demand access has touched the line since the
+    /// fill that installed it.
+    pub touched_by_correct_path: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: Addr,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+    meta: LineMeta,
+}
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that hit.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Lines filled.
+    pub fills: u64,
+    /// Valid lines evicted to make room.
+    pub evictions: u64,
+    /// Dirty lines evicted (writebacks).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all probes; 0.0 when no probe has been made.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A single cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    set_mask: Addr,
+    line_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size or set count is not a power of two, or if
+    /// the geometry does not divide evenly.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.assoc > 0, "associativity must be positive");
+        assert_eq!(
+            config.size_bytes % (config.assoc * config.line_bytes),
+            0,
+            "capacity must divide evenly into sets"
+        );
+        let sets = config.num_sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            config,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0,
+                    meta: LineMeta {
+                        provenance: Provenance::DemandCorrect,
+                        touched_by_correct_path: false,
+                    },
+                };
+                sets * config.assoc
+            ],
+            set_mask: (sets - 1) as Addr,
+            line_shift: config.line_bytes.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    #[inline]
+    fn set_range(&self, addr: Addr) -> std::ops::Range<usize> {
+        let set = ((addr >> self.line_shift) & self.set_mask) as usize;
+        let base = set * self.config.assoc;
+        base..base + self.config.assoc
+    }
+
+    /// Probes the cache. On a hit the line's LRU position refreshes, the
+    /// dirty bit is set for writes, and `mark_correct_touch` (if set)
+    /// records that a correct-path access used the line.
+    pub fn access(&mut self, addr: Addr, is_write: bool, mark_correct_touch: bool) -> AccessOutcome {
+        self.tick += 1;
+        let tag = self.line_addr(addr);
+        let tick = self.tick;
+        let range = self.set_range(addr);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                line.dirty |= is_write;
+                line.meta.touched_by_correct_path |= mark_correct_touch;
+                self.stats.hits += 1;
+                return AccessOutcome::Hit;
+            }
+        }
+        self.stats.misses += 1;
+        AccessOutcome::Miss
+    }
+
+    /// Marks the line containing `addr` (if resident) as touched by a
+    /// correct-path access. Used to propagate usefulness information from
+    /// L1 hits down to the L2 copy for the Fig. 11 accounting.
+    pub fn mark_touched(&mut self, addr: Addr) {
+        let tag = self.line_addr(addr);
+        let range = self.set_range(addr);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.meta.touched_by_correct_path = true;
+                return;
+            }
+        }
+    }
+
+    /// Probes without updating any state (used by prefetch filters).
+    pub fn contains(&self, addr: Addr) -> bool {
+        let tag = self.line_addr(addr);
+        let range = self.set_range(addr);
+        self.lines[range].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way if the
+    /// set is full. Returns the evicted line's metadata if a valid line
+    /// was displaced.
+    pub fn fill(&mut self, addr: Addr, meta: LineMeta) -> Option<LineMeta> {
+        self.tick += 1;
+        let tag = self.line_addr(addr);
+        let tick = self.tick;
+        let range = self.set_range(addr);
+        let set = &mut self.lines[range];
+        // Refill of an already-present line (e.g. racing prefetch): keep
+        // the existing metadata, just refresh recency.
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            return None;
+        }
+        self.stats.fills += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("set has at least one way");
+        let evicted = if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(victim.meta)
+        } else {
+            None
+        };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            lru: tick,
+            meta,
+        };
+        evicted
+    }
+
+    /// Iterates over the metadata of every valid line (used to account for
+    /// still-resident lines at the end of a simulation).
+    pub fn resident_lines(&self) -> impl Iterator<Item = &LineMeta> {
+        self.lines.iter().filter(|l| l.valid).map(|l| &l.meta)
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16B lines = 128 B.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            assoc: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        })
+    }
+
+    fn meta(p: Provenance) -> LineMeta {
+        LineMeta {
+            provenance: p,
+            touched_by_correct_path: false,
+        }
+    }
+
+    #[test]
+    fn default_geometries_match_table1() {
+        assert_eq!(CacheConfig::l1d_default().num_sets(), 1024);
+        assert_eq!(CacheConfig::l1i_default().num_sets(), 1024);
+        assert_eq!(CacheConfig::l2_default().num_sets(), 8192);
+        // Enlarged L2: 2.5MB / (5 * 64B) = 8192 sets, same as base.
+        assert_eq!(CacheConfig::l2_enlarged().num_sets(), 8192);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x100, false, true), AccessOutcome::Miss);
+        c.fill(0x100, meta(Provenance::DemandCorrect));
+        assert_eq!(c.access(0x104, false, true), AccessOutcome::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets*line = 64B).
+        c.fill(0x000, meta(Provenance::DemandCorrect));
+        c.fill(0x040, meta(Provenance::DemandCorrect));
+        // Touch 0x000 so 0x040 is LRU.
+        assert_eq!(c.access(0x000, false, false), AccessOutcome::Hit);
+        c.fill(0x080, meta(Provenance::DemandCorrect));
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x040));
+        assert!(c.contains(0x080));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.fill(0x000, meta(Provenance::DemandCorrect));
+        assert_eq!(c.access(0x000, true, true), AccessOutcome::Hit);
+        c.fill(0x040, meta(Provenance::DemandCorrect));
+        c.fill(0x080, meta(Provenance::DemandCorrect)); // evicts 0x000 (dirty)
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn refill_of_present_line_keeps_metadata() {
+        let mut c = tiny();
+        c.fill(0x000, meta(Provenance::Prefetch));
+        assert_eq!(c.access(0x000, false, true), AccessOutcome::Hit);
+        // A racing duplicate fill must not reset touched_by_correct_path.
+        c.fill(0x000, meta(Provenance::Prefetch));
+        let m = c.resident_lines().next().unwrap();
+        assert!(m.touched_by_correct_path);
+        assert_eq!(c.stats().fills, 1, "duplicate fill not counted");
+    }
+
+    #[test]
+    fn touch_marking_only_for_correct_path() {
+        let mut c = tiny();
+        c.fill(0x000, meta(Provenance::Prefetch));
+        assert_eq!(c.access(0x000, false, false), AccessOutcome::Hit);
+        assert!(!c.resident_lines().next().unwrap().touched_by_correct_path);
+        assert_eq!(c.access(0x000, false, true), AccessOutcome::Hit);
+        assert!(c.resident_lines().next().unwrap().touched_by_correct_path);
+    }
+
+    #[test]
+    fn line_addr_masks_offset_bits() {
+        let c = tiny();
+        assert_eq!(c.line_addr(0x123), 0x120);
+        assert_eq!(c.line_addr(0x120), 0x120);
+    }
+
+    #[test]
+    fn resident_count_tracks_fills() {
+        let mut c = tiny();
+        assert_eq!(c.resident_count(), 0);
+        c.fill(0x000, meta(Provenance::DemandCorrect));
+        c.fill(0x010, meta(Provenance::DemandCorrect));
+        assert_eq!(c.resident_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 96,
+            assoc: 2,
+            line_bytes: 24,
+            hit_latency: 1,
+        });
+    }
+}

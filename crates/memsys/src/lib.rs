@@ -1,0 +1,49 @@
+//! # mlpwin-memsys
+//!
+//! The simulated memory hierarchy, per Table 1 of the paper:
+//!
+//! - L1 I-cache: 64 KB, 2-way, 32 B lines;
+//! - L1 D-cache: 64 KB, 2-way, 32 B lines, 2 ports, 2-cycle hit latency,
+//!   non-blocking (MSHR file);
+//! - L2 (the last-level cache): 2 MB, 4-way, 64 B lines, 12-cycle hit
+//!   latency;
+//! - main memory: 300-cycle minimum latency, 8 B/cycle bandwidth;
+//! - stride data prefetcher: 4K-entry 4-way table, prefetching 16 lines
+//!   into the L2 on a miss.
+//!
+//! The hierarchy is modelled as a *latency oracle with state*: an access
+//! updates the cache/MSHR/bus state immediately (in access order) and
+//! returns the cycle at which its data will be available. MSHRs merge
+//! accesses to an in-flight line; the DRAM channel serializes line
+//! transfers at 8 B/cycle on top of the 300-cycle latency floor, so bursts
+//! of misses see queuing delay — exactly the effect that makes MLP pay off.
+//!
+//! Every line brought into the L2 is tagged with its *provenance*
+//! (correct-path demand, wrong-path demand, or prefetch) and tracked for
+//! whether a correct-path access ever touches it, reproducing the cache
+//! pollution breakdown of Fig. 11.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlpwin_memsys::{MemSystem, MemSystemConfig, AccessKind, PathKind};
+//!
+//! let mut mem = MemSystem::new(MemSystemConfig::default());
+//! let r = mem.access(AccessKind::Load, 0x1000, 0x8000_0000, 0, PathKind::Correct);
+//! assert!(r.l2_demand_miss, "cold access misses the whole hierarchy");
+//! assert!(r.ready_at >= 300, "must pay the memory latency");
+//! ```
+
+pub mod cache;
+pub mod dram;
+pub mod mshr;
+pub mod prefetch;
+pub mod provenance;
+pub mod system;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig};
+pub use dram::{Dram, DramConfig};
+pub use mshr::MshrFile;
+pub use prefetch::{StrideConfig, StridePrefetcher};
+pub use provenance::{LineClass, PathKind, Provenance, ProvenanceStats};
+pub use system::{AccessKind, AccessResult, MemStats, MemSystem, MemSystemConfig};

@@ -1,0 +1,187 @@
+//! Miss-status holding registers (MSHRs) — the structure that makes the
+//! caches non-blocking.
+//!
+//! Each entry tracks one in-flight line fill. A second access to the same
+//! line *merges* into the existing entry (returning the same completion
+//! time) instead of issuing a duplicate request. When the file is full,
+//! new misses are rejected and the requester must retry — bounding the
+//! number of outstanding misses the cache level supports.
+
+use mlpwin_isa::{Addr, Cycle};
+
+/// Outcome of asking the MSHR file to track a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must issue the fill request.
+    Allocated,
+    /// The line is already in flight; data arrives at the given cycle.
+    Merged(Cycle),
+    /// No free entry; the access must retry later.
+    Full,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MshrEntry {
+    line_addr: Addr,
+    complete_at: Cycle,
+}
+
+/// A file of MSHRs for one cache level.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    /// Peak simultaneous occupancy, for reporting.
+    peak: usize,
+    merges: u64,
+    allocations: u64,
+    rejections: u64,
+}
+
+impl MshrFile {
+    /// Creates an empty file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            peak: 0,
+            merges: 0,
+            allocations: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Drops entries whose fills have completed as of `now`.
+    pub fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.complete_at > now);
+    }
+
+    /// Looks up an in-flight fill for `line_addr` (without expiring).
+    pub fn pending(&self, line_addr: Addr) -> Option<Cycle> {
+        self.entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| e.complete_at)
+    }
+
+    /// Tries to track a miss on `line_addr` at cycle `now`. Expired
+    /// entries are reclaimed first. On [`MshrOutcome::Allocated`] the
+    /// caller must follow up with [`MshrFile::set_completion`] once it
+    /// knows the fill's completion time.
+    pub fn begin_miss(&mut self, line_addr: Addr, now: Cycle) -> MshrOutcome {
+        self.expire(now);
+        if let Some(t) = self.pending(line_addr) {
+            self.merges += 1;
+            return MshrOutcome::Merged(t);
+        }
+        if self.entries.len() >= self.capacity {
+            self.rejections += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.push(MshrEntry {
+            line_addr,
+            complete_at: Cycle::MAX, // patched by set_completion
+        });
+        self.allocations += 1;
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Records the completion time of the most recently allocated entry
+    /// for `line_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry exists for `line_addr` (misuse of the API).
+    pub fn set_completion(&mut self, line_addr: Addr, complete_at: Cycle) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line_addr == line_addr)
+            .expect("set_completion without begin_miss");
+        e.complete_at = complete_at;
+    }
+
+    /// Earliest completion time among tracked fills, if any — the retry
+    /// horizon when the file is full.
+    pub fn earliest_completion(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.complete_at).min()
+    }
+
+    /// Number of currently tracked in-flight fills (including expired ones
+    /// not yet reclaimed).
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Peak simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// (allocations, merges, rejections) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.allocations, self.merges, self.rejections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.begin_miss(0x100, 0), MshrOutcome::Allocated);
+        m.set_completion(0x100, 300);
+        assert_eq!(m.begin_miss(0x100, 10), MshrOutcome::Merged(300));
+        assert_eq!(m.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn full_file_rejects() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.begin_miss(0x100, 0), MshrOutcome::Allocated);
+        m.set_completion(0x100, 300);
+        assert_eq!(m.begin_miss(0x200, 0), MshrOutcome::Allocated);
+        m.set_completion(0x200, 300);
+        assert_eq!(m.begin_miss(0x300, 0), MshrOutcome::Full);
+        assert_eq!(m.counters().2, 1);
+    }
+
+    #[test]
+    fn expiry_frees_entries() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.begin_miss(0x100, 0), MshrOutcome::Allocated);
+        m.set_completion(0x100, 300);
+        // Still in flight at 299.
+        assert_eq!(m.begin_miss(0x200, 299), MshrOutcome::Full);
+        // Free at 300 (completion cycle means data available).
+        assert_eq!(m.begin_miss(0x200, 300), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut m = MshrFile::new(4);
+        for (i, a) in [0x0u64, 0x40, 0x80].iter().enumerate() {
+            assert_eq!(m.begin_miss(*a, 0), MshrOutcome::Allocated);
+            m.set_completion(*a, 500);
+            assert_eq!(m.peak_occupancy(), i + 1);
+        }
+        m.expire(1000);
+        assert_eq!(m.occupancy(), 0);
+        assert_eq!(m.peak_occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_completion without begin_miss")]
+    fn set_completion_requires_entry() {
+        let mut m = MshrFile::new(1);
+        m.set_completion(0xdead, 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Core configuration: pipeline widths, the resource-level table, and
+//! optional runahead execution.
+
+use mlpwin_branch::PredictorConfig;
+use mlpwin_memsys::MemSystemConfig;
+
+/// Size and pipelining of the window resources at one resource level
+/// (one row of the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSpec {
+    /// Issue-queue entries.
+    pub iq: usize,
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Load/store-queue entries.
+    pub lsq: usize,
+    /// Issue-queue pipeline depth: dependent ops separated by
+    /// `max(latency, depth)` cycles. Depth 1 = back-to-back capable.
+    pub iq_depth: u32,
+    /// Extra branch-misprediction penalty cycles at this level (deeper IQ
+    /// plus pipelined ROB register read).
+    pub extra_mispredict_penalty: u32,
+}
+
+impl Default for LevelSpec {
+    /// Level 1 — the conventional processor's window.
+    fn default() -> LevelSpec {
+        LevelSpec::level1()
+    }
+}
+
+impl LevelSpec {
+    /// Level 1 of Table 2 — the conventional (base) processor.
+    pub fn level1() -> LevelSpec {
+        LevelSpec {
+            iq: 64,
+            rob: 128,
+            lsq: 64,
+            iq_depth: 1,
+            extra_mispredict_penalty: 0,
+        }
+    }
+
+    /// Level 2 of Table 2.
+    pub fn level2() -> LevelSpec {
+        LevelSpec {
+            iq: 160,
+            rob: 320,
+            lsq: 160,
+            iq_depth: 2,
+            extra_mispredict_penalty: 2,
+        }
+    }
+
+    /// Level 3 of Table 2.
+    pub fn level3() -> LevelSpec {
+        LevelSpec {
+            iq: 256,
+            rob: 512,
+            lsq: 256,
+            iq_depth: 2,
+            extra_mispredict_penalty: 2,
+        }
+    }
+
+    /// The full Table 2 ladder.
+    pub fn table2() -> Vec<LevelSpec> {
+        vec![LevelSpec::level1(), LevelSpec::level2(), LevelSpec::level3()]
+    }
+
+    /// The *ideal-model* variant of a level: same sizes, but un-pipelined
+    /// and without extra penalties (the paper's upper-bound comparison).
+    pub fn idealized(mut self) -> LevelSpec {
+        self.iq_depth = 1;
+        self.extra_mispredict_penalty = 0;
+        self
+    }
+}
+
+/// Runahead-execution options (paper §5.7 comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunaheadOpts {
+    /// Runahead cache size in bytes (512 B in the paper's configuration).
+    pub cache_bytes: usize,
+    /// Runahead cache associativity (4-way in the paper).
+    pub cache_ways: usize,
+    /// Line size of the runahead cache.
+    pub cache_line: usize,
+    /// Enables the runahead cause status table, which suppresses entry
+    /// into runahead episodes predicted useless.
+    pub use_cause_status_table: bool,
+    /// Cause-status-table entries.
+    pub cst_entries: usize,
+    /// Minimum L2 misses observed during an episode for the CST to deem
+    /// the triggering load useful.
+    pub cst_useful_threshold: u32,
+    /// Do not enter runahead unless at least this many cycles of the
+    /// triggering miss remain — short episodes cannot overlap anything
+    /// (one of the ISCA 2005 efficiency techniques).
+    pub min_entry_remaining: u32,
+}
+
+impl Default for RunaheadOpts {
+    fn default() -> RunaheadOpts {
+        RunaheadOpts {
+            cache_bytes: 512,
+            cache_ways: 4,
+            cache_line: 8,
+            use_cause_status_table: true,
+            cst_entries: 256,
+            cst_useful_threshold: 1,
+            min_entry_remaining: 150,
+        }
+    }
+}
+
+/// Full configuration of the simulated processor.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Fetch/decode/rename width per cycle.
+    pub fetch_width: usize,
+    /// Issue width per cycle.
+    pub issue_width: usize,
+    /// Commit width per cycle.
+    pub commit_width: usize,
+    /// Front-end depth: cycles from fetch to rename/dispatch.
+    pub front_depth: u32,
+    /// Fetch-queue capacity.
+    pub fetch_queue: usize,
+    /// Base branch-misprediction penalty (Table 1: 10 cycles).
+    pub mispredict_penalty: u32,
+    /// The resource-level ladder; index 0 is level 1. Must not be empty.
+    pub levels: Vec<LevelSpec>,
+    /// Allocation-stall cycles charged at each level transition.
+    pub transition_penalty: u32,
+    /// Function-unit counts indexed by [`mlpwin_isa::FuKind::index`].
+    pub fu_counts: [usize; 5],
+    /// Branch predictor configuration.
+    pub predictor: PredictorConfig,
+    /// Memory hierarchy configuration.
+    pub memory: MemSystemConfig,
+    /// Runahead execution; `None` disables it (the default).
+    pub runahead: Option<RunaheadOpts>,
+    /// Seed for the wrong-path synthesizer.
+    pub wrongpath_seed: u64,
+}
+
+impl Default for CoreConfig {
+    /// The paper's base processor (Table 1): a level-1-only window.
+    fn default() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            front_depth: 4,
+            fetch_queue: 16,
+            mispredict_penalty: 10,
+            levels: vec![LevelSpec::level1()],
+            transition_penalty: 10,
+            fu_counts: [4, 2, 2, 4, 2],
+            predictor: PredictorConfig::default(),
+            memory: MemSystemConfig::default(),
+            runahead: None,
+            wrongpath_seed: 0xBAD_C0DE,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The paper's dynamic-resizing processor: the full Table 2 ladder.
+    pub fn with_table2_levels() -> CoreConfig {
+        CoreConfig {
+            levels: LevelSpec::table2(),
+            ..CoreConfig::default()
+        }
+    }
+
+    /// Validates widths, levels and unit counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be positive".into());
+        }
+        if self.levels.is_empty() {
+            return Err("at least one resource level is required".into());
+        }
+        for (i, l) in self.levels.iter().enumerate() {
+            if l.iq == 0 || l.rob == 0 || l.lsq == 0 {
+                return Err(format!("level {} has an empty resource", i + 1));
+            }
+            if l.iq_depth == 0 {
+                return Err(format!("level {} iq_depth must be >= 1", i + 1));
+            }
+            if i > 0 {
+                let p = &self.levels[i - 1];
+                if l.iq < p.iq || l.rob < p.rob || l.lsq < p.lsq {
+                    return Err(format!("level {} smaller than level {}", i + 1, i));
+                }
+            }
+        }
+        if self.fu_counts.iter().any(|&c| c == 0) {
+            return Err("every function-unit pool needs at least one unit".into());
+        }
+        if self.fetch_queue == 0 {
+            return Err("fetch queue must have capacity".into());
+        }
+        Ok(())
+    }
+
+    /// The largest (physical) level sizes — what the hardware provisions.
+    pub fn max_level_spec(&self) -> LevelSpec {
+        *self.levels.last().expect("levels validated non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CoreConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.mispredict_penalty, 10);
+        assert_eq!(c.levels[0], LevelSpec::level1());
+        assert_eq!(c.fu_counts, [4, 2, 2, 4, 2]);
+    }
+
+    #[test]
+    fn table2_ladder_matches_the_paper() {
+        let l = LevelSpec::table2();
+        assert_eq!(l.len(), 3);
+        assert_eq!((l[0].iq, l[0].rob, l[0].lsq, l[0].iq_depth), (64, 128, 64, 1));
+        assert_eq!((l[1].iq, l[1].rob, l[1].lsq, l[1].iq_depth), (160, 320, 160, 2));
+        assert_eq!((l[2].iq, l[2].rob, l[2].lsq, l[2].iq_depth), (256, 512, 256, 2));
+    }
+
+    #[test]
+    fn idealized_level_is_unpipelined() {
+        let i = LevelSpec::level3().idealized();
+        assert_eq!(i.iq_depth, 1);
+        assert_eq!(i.extra_mispredict_penalty, 0);
+        assert_eq!(i.rob, 512);
+    }
+
+    #[test]
+    fn validation_catches_bad_ladders() {
+        let mut c = CoreConfig::with_table2_levels();
+        c.levels[1].rob = 64; // smaller than level 1
+        assert!(c.validate().is_err());
+
+        let mut c2 = CoreConfig::default();
+        c2.levels.clear();
+        assert!(c2.validate().is_err());
+
+        let mut c3 = CoreConfig::default();
+        c3.levels[0].iq_depth = 0;
+        assert!(c3.validate().is_err());
+
+        let mut c4 = CoreConfig::default();
+        c4.fu_counts[2] = 0;
+        assert!(c4.validate().is_err());
+    }
+
+    #[test]
+    fn max_level_spec_is_the_last() {
+        let c = CoreConfig::with_table2_levels();
+        assert_eq!(c.max_level_spec(), LevelSpec::level3());
+    }
+}

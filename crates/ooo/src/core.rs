@@ -1,0 +1,1125 @@
+//! The out-of-order pipeline.
+//!
+//! One [`Core::step`] simulates one clock cycle; stages run back-to-front
+//! (writeback → commit → resize → issue → dispatch → fetch) so that
+//! same-cycle hand-offs resolve like hardware's.
+//!
+//! The reorder buffer is the spine: a `VecDeque<DynInst>` in allocation
+//! order whose entries fuse ROB, issue-queue and LSQ state. Dynamic
+//! sequence numbers are assigned at dispatch, so they are contiguous
+//! within the ROB and `dyn_seq - head.dyn_seq` indexes it directly.
+
+use crate::config::CoreConfig;
+use crate::frontend::{FetchedInst, FrontEnd};
+use crate::fu::FuPool;
+use crate::lsq::{LoadCheck, Lsq};
+use crate::policy::WindowPolicy;
+use crate::rename::RenameMap;
+use crate::runahead::{CauseStatusTable, RaLookup, RunaheadCache};
+use crate::stats::CoreStats;
+use crate::types::{DynInst, DynSeq, MemState};
+use mlpwin_branch::BranchPredictor;
+use mlpwin_isa::{Addr, Cycle, OpClass, SeqNum};
+use mlpwin_memsys::{AccessKind, MemSystem, PathKind};
+use mlpwin_workloads::Workload;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// Cycles with no commit after which the simulator assumes a modelling
+/// bug and panics with a state dump (memory latency is 300; any real
+/// stall clears in a few thousand cycles).
+const WATCHDOG_CYCLES: u64 = 500_000;
+
+#[derive(Debug, Clone, Copy)]
+struct Episode {
+    resume_seq: SeqNum,
+    end_at: Cycle,
+    trigger_pc: Addr,
+    l2_misses: u32,
+}
+
+/// The simulated processor: front end, window resources, execution
+/// engine, memory hierarchy, and the window-resizing policy.
+pub struct Core<W> {
+    cfg: CoreConfig,
+    mem: MemSystem,
+    bp: BranchPredictor,
+    front: FrontEnd<W>,
+    policy: Box<dyn WindowPolicy>,
+
+    now: Cycle,
+    level: usize,
+    next_dyn: DynSeq,
+    rob: VecDeque<DynInst>,
+    iq_occ: usize,
+    lsq: Lsq,
+    rename: RenameMap,
+    fu: FuPool,
+
+    /// (ready_time, seq) of instructions whose operands will be ready.
+    pending_ready: BinaryHeap<Reverse<(Cycle, DynSeq)>>,
+    /// Instructions ready to issue now, oldest first.
+    ready: BTreeSet<DynSeq>,
+    /// Loads waiting behind an un-issued overlapping store.
+    blocked_loads: Vec<DynSeq>,
+    /// (complete_at, seq) execution-completion events.
+    completions: BinaryHeap<Reverse<(Cycle, DynSeq)>>,
+
+    alloc_stall_until: Cycle,
+    shrink_wait: bool,
+    l2_miss_events: u32,
+
+    // Runahead.
+    ra_cache: Option<RunaheadCache>,
+    cst: Option<CauseStatusTable>,
+    episode: Option<Episode>,
+    arch_inv: [bool; 64],
+    last_suppressed: Option<DynSeq>,
+
+    stats: CoreStats,
+    last_commit_cycle: Cycle,
+}
+
+impl<W: Workload> Core<W> {
+    /// Builds a core over `workload` with the given window policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(config: CoreConfig, workload: W, policy: Box<dyn WindowPolicy>) -> Core<W> {
+        config.validate().expect("invalid core configuration");
+        let mem = MemSystem::new(config.memory.clone());
+        let bp = BranchPredictor::new(config.predictor.clone());
+        let front = FrontEnd::new(
+            workload,
+            config.wrongpath_seed,
+            config.fetch_width,
+            config.front_depth,
+            config.fetch_queue,
+        );
+        let (ra_cache, cst) = match &config.runahead {
+            Some(opts) => (
+                Some(RunaheadCache::new(
+                    opts.cache_bytes,
+                    opts.cache_ways,
+                    opts.cache_line,
+                )),
+                opts.use_cause_status_table
+                    .then(|| CauseStatusTable::new(opts.cst_entries)),
+            ),
+            None => (None, None),
+        };
+        let mut stats = CoreStats::default();
+        stats.level_cycles = vec![0; config.levels.len()];
+        Core {
+            fu: FuPool::new(config.fu_counts),
+            cfg: config,
+            mem,
+            bp,
+            front,
+            policy,
+            now: 0,
+            level: 0,
+            next_dyn: 1,
+            rob: VecDeque::new(),
+            iq_occ: 0,
+            lsq: Lsq::new(),
+            rename: RenameMap::new(),
+            pending_ready: BinaryHeap::new(),
+            ready: BTreeSet::new(),
+            blocked_loads: Vec::new(),
+            completions: BinaryHeap::new(),
+            alloc_stall_until: 0,
+            shrink_wait: false,
+            l2_miss_events: 0,
+            ra_cache,
+            cst,
+            episode: None,
+            arch_inv: [false; 64],
+            last_suppressed: None,
+            stats,
+            last_commit_cycle: 0,
+        }
+    }
+
+    /// Runs until `n_insts` committed-path instructions retire, then
+    /// finalizes memory-side accounting and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline makes no forward progress for an
+    /// implausible number of cycles (a modelling bug).
+    pub fn run(&mut self, n_insts: u64) -> CoreStats {
+        while self.stats.committed_insts < n_insts {
+            self.step();
+            assert!(
+                self.now - self.last_commit_cycle < WATCHDOG_CYCLES,
+                "no commit for {WATCHDOG_CYCLES} cycles at cycle {}: \
+                 rob={} iq={} lsq={} level={} head={:?}",
+                self.now,
+                self.rob.len(),
+                self.iq_occ,
+                self.lsq.occupancy(),
+                self.level + 1,
+                self.rob.front().map(|d| (&d.inst, d.issued, d.completed)),
+            );
+        }
+        self.mem.finalize();
+        self.stats.clone()
+    }
+
+    /// Runs `n_insts` committed instructions as warm-up, then clears all
+    /// counters (pipeline, memory, predictor) while keeping every
+    /// microarchitectural table warm — the equivalent of the paper's
+    /// fast-forward before measurement.
+    pub fn run_warmup(&mut self, n_insts: u64) {
+        let target = self.stats.committed_insts + n_insts;
+        while self.stats.committed_insts < target {
+            self.step();
+        }
+        self.reset_counters();
+    }
+
+    /// Clears statistics without touching microarchitectural state.
+    pub fn reset_counters(&mut self) {
+        self.stats = CoreStats {
+            level_cycles: vec![0; self.cfg.levels.len()],
+            ..CoreStats::default()
+        };
+        self.mem.reset_stats();
+        self.bp.reset_stats();
+        self.last_commit_cycle = self.now;
+    }
+
+    /// Simulates one clock cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        self.fu.begin_cycle(now);
+        if self.episode.is_some_and(|e| now >= e.end_at) {
+            self.exit_runahead(now);
+        }
+        self.writeback(now);
+        self.commit(now);
+        self.resize(now);
+        self.issue(now);
+        self.dispatch(now);
+        self.front.fetch_cycle(now, &mut self.bp, &mut self.mem);
+
+        self.stats.cycles += 1;
+        self.stats.level_cycles[self.level] += 1;
+        if self.episode.is_some() {
+            self.stats.runahead_cycles += 1;
+        }
+    }
+
+    // ---------------------------------------------------------- accessors
+
+    /// Accumulated statistics (live view).
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The memory hierarchy (for miss histograms, provenance, ...).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Mutable memory hierarchy access (e.g. to finalize provenance).
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// The branch-prediction unit.
+    pub fn predictor(&self) -> &BranchPredictor {
+        &self.bp
+    }
+
+    /// The current resource level (0-based).
+    pub fn current_level(&self) -> usize {
+        self.level
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.now
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Whether the core is currently in a runahead episode.
+    pub fn in_runahead(&self) -> bool {
+        self.episode.is_some()
+    }
+
+    /// Current (ROB, IQ, LSQ) occupancy — for invariant checks and
+    /// occupancy-triggered analyses.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        (self.rob.len(), self.iq_occ, self.lsq.occupancy())
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    fn rob_idx(&self, seq: DynSeq) -> Option<usize> {
+        let front = self.rob.front()?.dyn_seq;
+        if seq < front {
+            return None;
+        }
+        let i = (seq - front) as usize;
+        if i < self.rob.len() {
+            debug_assert_eq!(self.rob[i].dyn_seq, seq);
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    fn iq_depth(&self) -> u32 {
+        self.cfg.levels[self.level].iq_depth
+    }
+
+    fn mispredict_penalty(&self) -> u32 {
+        self.cfg.mispredict_penalty + self.cfg.levels[self.level].extra_mispredict_penalty
+    }
+
+    /// Announces a producer's result time/validity to its waiters. Safe
+    /// to call again with an earlier time (runahead INV override).
+    fn notify_waiters(&mut self, producer: DynSeq) {
+        let Some(p_idx) = self.rob_idx(producer) else {
+            return;
+        };
+        let value_ready = self.rob[p_idx].value_ready_at;
+        let inv = self.rob[p_idx].inv;
+        let waiters = self.rob[p_idx].waiters.clone();
+        for w in waiters {
+            let Some(i) = self.rob_idx(w) else { continue };
+            if self.rob[i].issued {
+                continue;
+            }
+            let mut changed = false;
+            for s in 0..2 {
+                if self.rob[i].src_producers[s] == Some(producer) {
+                    if self.rob[i].src_ready[s] == Cycle::MAX {
+                        self.rob[i].unresolved_srcs -= 1;
+                    }
+                    self.rob[i].src_ready[s] = value_ready;
+                    self.rob[i].src_inv[s] = inv;
+                    changed = true;
+                }
+            }
+            if changed && self.rob[i].unresolved_srcs == 0 {
+                let rt = self.rob[i].src_ready[0]
+                    .max(self.rob[i].src_ready[1])
+                    .max(self.rob[i].fetched_at + 1);
+                self.rob[i].ready_time = rt;
+                self.pending_ready.push(Reverse((rt, w)));
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- writeback
+
+    fn writeback(&mut self, now: Cycle) {
+        while let Some(&Reverse((t, seq))) = self.completions.peek() {
+            if t > now {
+                break;
+            }
+            self.completions.pop();
+            let Some(i) = self.rob_idx(seq) else { continue };
+            if self.rob[i].completed || self.rob[i].complete_at != t {
+                continue; // squash-then-reuse or stale event
+            }
+            self.rob[i].completed = true;
+            if self.rob[i].is_branch() {
+                self.resolve_branch(i, now);
+            }
+        }
+    }
+
+    fn resolve_branch(&mut self, idx: usize, now: Cycle) {
+        let d = &self.rob[idx];
+        let seq = d.dyn_seq;
+        let inv = d.inv;
+        let mispredicted = d.mispredicted;
+        let trace_seq = d.trace_seq;
+        let inst = d.inst.clone();
+        let outcome = d.bp_outcome.clone();
+        if d.wrong_path {
+            return; // wrong-path instructions carry no branches by
+                    // construction, but stay safe
+        }
+        if inv {
+            // Runahead: the branch outcome is unknowable in hardware; the
+            // pipeline keeps following the prediction. No training, no
+            // recovery.
+            return;
+        }
+        if let Some(outcome) = &outcome {
+            self.bp.resolve(&inst, outcome);
+        }
+        if mispredicted {
+            self.stats.squashes += 1;
+            self.squash_younger(seq);
+            let resume = trace_seq.expect("correct-path branch has a trace seq") + 1;
+            self.front
+                .redirect(resume, now + self.mispredict_penalty() as Cycle);
+        }
+    }
+
+    fn squash_younger(&mut self, seq: DynSeq) {
+        while self.rob.back().is_some_and(|d| d.dyn_seq > seq) {
+            let d = self.rob.pop_back().expect("checked non-empty");
+            if let Some((reg, prev)) = d.prev_map {
+                self.rename.rollback(reg, prev);
+            }
+            if d.in_iq {
+                self.iq_occ -= 1;
+            }
+        }
+        self.lsq.squash_younger(seq);
+        self.blocked_loads.retain(|&s| s <= seq);
+        self.ready.retain(|&s| s <= seq);
+        // Reuse the squashed sequence numbers so ROB dyn_seqs stay
+        // contiguous (rob_idx relies on it). Stale heap entries naming a
+        // reused seq are filtered: completions check complete_at and
+        // pending_ready checks ready_time against the live instruction.
+        self.next_dyn = seq + 1;
+    }
+
+    // ------------------------------------------------------------- commit
+
+    fn commit(&mut self, now: Cycle) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            let in_runahead = self.episode.is_some();
+            if head.completed {
+                self.retire_head(now, in_runahead);
+                continue;
+            }
+            // Head not complete: runahead entry/pseudo-retire decisions.
+            let head_blocked_l2_load =
+                head.inst.op == OpClass::Load && head.issued && head.l2_miss;
+            if in_runahead {
+                if head_blocked_l2_load {
+                    // Pseudo-retire the miss with an INV result.
+                    let seq = head.dyn_seq;
+                    self.force_inv(seq, now);
+                    self.retire_head(now, true);
+                    continue;
+                }
+                break;
+            }
+            if self.cfg.runahead.is_some() && head_blocked_l2_load && !head.wrong_path {
+                let pc = head.inst.pc;
+                let seq = head.dyn_seq;
+                let opts = self.cfg.runahead.as_ref().expect("checked is_some");
+                // A nearly-resolved miss cannot buy a useful episode
+                // (ISCA 2005 efficiency technique): stall normally.
+                let remaining = head.value_ready_at.saturating_sub(now);
+                if remaining < opts.min_entry_remaining as Cycle {
+                    if self.last_suppressed != Some(seq) {
+                        self.last_suppressed = Some(seq);
+                        self.stats.runahead_short_skips += 1;
+                    }
+                    break;
+                }
+                let useful = self.cst.as_ref().map_or(true, |c| c.predict_useful(pc));
+                if useful {
+                    self.enter_runahead(now);
+                    self.retire_head(now, true);
+                    continue;
+                } else if self.last_suppressed != Some(seq) {
+                    self.last_suppressed = Some(seq);
+                    self.stats.runahead_suppressed += 1;
+                }
+            }
+            break;
+        }
+    }
+
+    fn retire_head(&mut self, now: Cycle, in_runahead: bool) {
+        let d = self.rob.pop_front().expect("retire from empty ROB");
+        if d.in_iq {
+            self.iq_occ -= 1;
+        }
+        if let Some(dest) = d.inst.dest {
+            self.rename.commit(dest, d.dyn_seq);
+        }
+        if d.is_mem() {
+            self.lsq.commit(d.dyn_seq);
+        }
+        self.blocked_loads.retain(|&s| s != d.dyn_seq);
+        self.ready.remove(&d.dyn_seq);
+
+        if in_runahead {
+            // Pseudo-retirement: results go nowhere architectural; stores
+            // feed the runahead cache so younger runahead loads can
+            // forward.
+            if let Some(dest) = d.inst.dest {
+                self.arch_inv[dest.index()] = d.inv;
+            }
+            if d.inst.op == OpClass::Store {
+                let inv = d.inv;
+                if let (Some(cache), Some(m)) = (self.ra_cache.as_mut(), &d.inst.mem) {
+                    cache.write(m.addr, inv);
+                }
+            }
+            return;
+        }
+
+        debug_assert!(!d.wrong_path, "wrong-path instruction reached commit");
+        self.last_commit_cycle = now;
+        self.stats.committed_insts += 1;
+        if let Some(dest) = d.inst.dest {
+            self.arch_inv[dest.index()] = false;
+        }
+        match d.inst.op {
+            OpClass::Load => {
+                self.stats.committed_loads += 1;
+                // Effective latency: from issue (entering the memory
+                // system or the blocked-behind-a-store wait) to data
+                // availability — what Table 3 reports.
+                self.stats.load_latency_sum +=
+                    d.value_ready_at.saturating_sub(d.issued_at);
+            }
+            OpClass::Store => {
+                self.stats.committed_stores += 1;
+                // The store retires to the cache hierarchy now.
+                if let Some(m) = &d.inst.mem {
+                    let r = self.mem.access(
+                        AccessKind::Store,
+                        d.inst.pc,
+                        m.addr,
+                        now,
+                        PathKind::Correct,
+                    );
+                    if r.l2_demand_miss {
+                        self.l2_miss_events += 1;
+                    }
+                }
+            }
+            OpClass::CondBranch | OpClass::Jump => {
+                self.stats.committed_branches += 1;
+                if d.inst.op == OpClass::CondBranch {
+                    self.stats.committed_cond_branches += 1;
+                }
+                if d.mispredicted {
+                    self.stats.committed_mispredicts += 1;
+                }
+            }
+            _ => {}
+        }
+        if let Some(ts) = d.trace_seq {
+            self.front.retire_below(ts + 1);
+        }
+    }
+
+    // ----------------------------------------------------------- runahead
+
+    fn enter_runahead(&mut self, now: Cycle) {
+        let head = self.rob.front().expect("trigger requires a head");
+        let resume_seq = head
+            .trace_seq
+            .expect("runahead triggers on correct-path loads");
+        let end_at = head.value_ready_at.max(now + 1);
+        let trigger_pc = head.inst.pc;
+        let seq = head.dyn_seq;
+        self.episode = Some(Episode {
+            resume_seq,
+            end_at,
+            trigger_pc,
+            l2_misses: 0,
+        });
+        self.stats.runahead_episodes += 1;
+        self.force_inv(seq, now);
+    }
+
+    /// Marks an instruction's result INV and available immediately,
+    /// re-notifying dependents that were promised a later time.
+    fn force_inv(&mut self, seq: DynSeq, now: Cycle) {
+        let Some(i) = self.rob_idx(seq) else { return };
+        self.rob[i].inv = true;
+        self.rob[i].value_ready_at = now + 1;
+        self.rob[i].completed = true;
+        self.rob[i].complete_at = now;
+        self.notify_waiters(seq);
+    }
+
+    fn exit_runahead(&mut self, now: Cycle) {
+        let ep = self.episode.take().expect("exit requires an episode");
+        // Squash the entire speculative window back to the checkpoint.
+        self.rob.clear();
+        self.iq_occ = 0;
+        self.lsq.clear();
+        self.blocked_loads.clear();
+        self.ready.clear();
+        self.pending_ready.clear();
+        self.completions.clear();
+        self.fu.flush();
+        self.rename = RenameMap::new();
+        self.arch_inv = [false; 64];
+        if let Some(cache) = self.ra_cache.as_mut() {
+            cache.clear();
+        }
+        let threshold = self
+            .cfg
+            .runahead
+            .as_ref()
+            .map_or(1, |o| o.cst_useful_threshold);
+        let useful = ep.l2_misses >= threshold;
+        if useful {
+            self.stats.runahead_useful_episodes += 1;
+        }
+        if let Some(cst) = self.cst.as_mut() {
+            cst.update(ep.trigger_pc, useful);
+        }
+        // Resume from the checkpoint; the paper assumes no extra penalty
+        // for the mode switch.
+        self.front.redirect(ep.resume_seq, now);
+    }
+
+    // ------------------------------------------------------------- resize
+
+    fn resize(&mut self, now: Cycle) {
+        self.shrink_wait = false;
+        let misses = std::mem::take(&mut self.l2_miss_events);
+        let max = self.cfg.levels.len() - 1;
+        let target = self
+            .policy
+            .target_level(now, misses, self.level, max)
+            .min(max);
+        if target > self.level {
+            let old = self.level;
+            self.level = target;
+            self.alloc_stall_until = self
+                .alloc_stall_until
+                .max(now + self.cfg.transition_penalty as Cycle);
+            self.stats.transitions_up += 1;
+            self.policy.on_transition(now, old, self.level);
+        } else if target < self.level {
+            // Shrink one level per decision, only once the doomed regions
+            // of ROB, IQ and LSQ are simultaneously vacant.
+            let new_level = self.level - 1;
+            let spec = self.cfg.levels[new_level];
+            if self.rob.len() <= spec.rob
+                && self.iq_occ <= spec.iq
+                && self.lsq.occupancy() <= spec.lsq
+            {
+                let old = self.level;
+                self.level = new_level;
+                self.alloc_stall_until = self
+                    .alloc_stall_until
+                    .max(now + self.cfg.transition_penalty as Cycle);
+                self.stats.transitions_down += 1;
+                self.policy.on_transition(now, old, self.level);
+            } else {
+                self.shrink_wait = true;
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- issue
+
+    fn issue(&mut self, now: Cycle) {
+        // Promote instructions whose operands have arrived.
+        while let Some(&Reverse((t, seq))) = self.pending_ready.peek() {
+            if t > now {
+                break;
+            }
+            self.pending_ready.pop();
+            if let Some(i) = self.rob_idx(seq) {
+                if !self.rob[i].issued
+                    && self.rob[i].unresolved_srcs == 0
+                    && self.rob[i].ready_time == t
+                {
+                    self.ready.insert(seq);
+                }
+            }
+        }
+
+        // Retry loads blocked behind stores (oldest first); they consume
+        // a cache port but not issue-queue bandwidth.
+        let blocked = std::mem::take(&mut self.blocked_loads);
+        for seq in blocked {
+            let Some(i) = self.rob_idx(seq) else { continue };
+            let m = self.rob[i].inst.mem.expect("blocked entry is a load");
+            match self.lsq.check_load(seq, &m) {
+                LoadCheck::Blocked => self.blocked_loads.push(seq),
+                check => {
+                    if self.fu.can_issue(OpClass::Load) {
+                        self.fu.issue(OpClass::Load, now, 1);
+                        self.perform_load(seq, now, check);
+                    } else {
+                        self.blocked_loads.push(seq);
+                    }
+                }
+            }
+        }
+
+        // Select up to issue_width ready instructions, oldest first.
+        let mut issued = 0;
+        let candidates: Vec<DynSeq> = self.ready.iter().copied().collect();
+        for seq in candidates {
+            if issued == self.cfg.issue_width {
+                break;
+            }
+            let Some(i) = self.rob_idx(seq) else {
+                self.ready.remove(&seq);
+                continue;
+            };
+            if self.rob[i].issued {
+                self.ready.remove(&seq);
+                continue;
+            }
+            let op = self.rob[i].inst.op;
+            match op {
+                OpClass::Load => {
+                    let m = self.rob[i].inst.mem.expect("load has a memref");
+                    let base_inv = self.rob[i].src_inv[0] || self.rob[i].src_inv[1];
+                    if base_inv {
+                        // INV address: the load produces INV without
+                        // touching memory (runahead semantics).
+                        self.ready.remove(&seq);
+                        self.mark_issued(seq, now);
+                        self.lsq.mark_issued(seq);
+                        let depth = self.iq_depth();
+                        let d = &mut self.rob[i];
+                        d.inv = true;
+                        d.mem_state = MemState::Issued;
+                        d.value_ready_at = now + depth.max(2) as Cycle;
+                        d.complete_at = d.value_ready_at;
+                        self.completions.push(Reverse((now + depth.max(2) as Cycle, seq)));
+                        self.notify_waiters(seq);
+                        issued += 1;
+                        continue;
+                    }
+                    match self.lsq.check_load(seq, &m) {
+                        LoadCheck::Blocked => {
+                            self.ready.remove(&seq);
+                            self.mark_issued(seq, now);
+                            self.rob[i].mem_state = MemState::Blocked;
+                            self.blocked_loads.push(seq);
+                            self.blocked_loads.sort_unstable();
+                            // No FU consumed; no issue-slot charged.
+                        }
+                        check => {
+                            if !self.fu.can_issue(op) {
+                                continue;
+                            }
+                            self.fu.issue(op, now, 1);
+                            self.ready.remove(&seq);
+                            self.perform_load(seq, now, check);
+                            issued += 1;
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    if !self.fu.can_issue(op) {
+                        continue;
+                    }
+                    self.fu.issue(op, now, 1);
+                    self.ready.remove(&seq);
+                    self.mark_issued(seq, now);
+                    self.lsq.mark_issued(seq);
+                    let d = &mut self.rob[i];
+                    d.inv = d.src_inv[0] || d.src_inv[1];
+                    d.mem_state = MemState::Issued;
+                    d.complete_at = now + 1;
+                    self.completions.push(Reverse((now + 1, seq)));
+                    issued += 1;
+                }
+                _ => {
+                    if !self.fu.can_issue(op) {
+                        continue;
+                    }
+                    let latency = op.exec_latency();
+                    self.fu.issue(op, now, latency);
+                    self.ready.remove(&seq);
+                    self.mark_issued(seq, now);
+                    let depth = self.iq_depth();
+                    let d = &mut self.rob[i];
+                    d.inv = d.src_inv[0] || d.src_inv[1];
+                    d.value_ready_at = now + latency.max(depth) as Cycle;
+                    d.complete_at = now + latency as Cycle;
+                    self.completions.push(Reverse((now + latency as Cycle, seq)));
+                    self.notify_waiters(seq);
+                    issued += 1;
+                }
+            }
+        }
+    }
+
+    fn mark_issued(&mut self, seq: DynSeq, now: Cycle) {
+        self.stats.issued_total += 1;
+        let i = self.rob_idx(seq).expect("issuing a live instruction");
+        let d = &mut self.rob[i];
+        debug_assert!(!d.issued);
+        d.issued = true;
+        d.issued_at = now;
+        if d.in_iq {
+            d.in_iq = false;
+            self.iq_occ -= 1;
+        }
+    }
+
+    /// Executes a load whose disambiguation check allowed it to proceed.
+    fn perform_load(&mut self, seq: DynSeq, now: Cycle, check: LoadCheck) {
+        let i = self.rob_idx(seq).expect("load is live");
+        let m = self.rob[i].inst.mem.expect("load has a memref");
+        let pc = self.rob[i].inst.pc;
+        let wrong_path = self.rob[i].wrong_path;
+        let depth = self.iq_depth() as Cycle;
+        let in_runahead = self.episode.is_some();
+        let l1_hit = self.cfg.memory.l1d.hit_latency as Cycle;
+
+        let (value_ready, inv, mem_latency, l2_miss) = match check {
+            LoadCheck::Forward(store_seq) => {
+                let store_inv = self
+                    .rob_idx(store_seq)
+                    .map(|si| self.rob[si].inv)
+                    .unwrap_or(false);
+                (now + l1_hit.max(depth), store_inv, l1_hit as u32, false)
+            }
+            LoadCheck::Access => {
+                // Runahead loads may forward from pseudo-retired stores.
+                if in_runahead {
+                    let lookup = self
+                        .ra_cache
+                        .as_mut()
+                        .map(|c| c.lookup(m.addr))
+                        .unwrap_or(RaLookup::Miss);
+                    match lookup {
+                        RaLookup::Valid => {
+                            (now + l1_hit.max(depth), false, l1_hit as u32, false)
+                        }
+                        RaLookup::Inv => (now + l1_hit.max(depth), true, l1_hit as u32, false),
+                        RaLookup::Miss => self.load_from_memory(pc, m.addr, now, wrong_path),
+                    }
+                } else {
+                    self.load_from_memory(pc, m.addr, now, wrong_path)
+                }
+            }
+            LoadCheck::Blocked => unreachable!("caller filtered blocked loads"),
+        };
+
+        // In runahead mode an L2 miss yields INV immediately — the memory
+        // request stays in flight (that is the prefetching benefit), but
+        // dependents proceed with an invalid value.
+        let (value_ready, inv) = if in_runahead && l2_miss {
+            (now + l1_hit.max(depth), true)
+        } else {
+            (value_ready, inv)
+        };
+
+        self.lsq.mark_issued(seq);
+        if !self.rob[i].issued {
+            self.mark_issued(seq, now);
+        }
+        let d = &mut self.rob[i];
+        d.mem_state = MemState::Issued;
+        d.mem_latency = mem_latency;
+        d.l2_miss = l2_miss;
+        d.inv = inv || d.src_inv[0] || d.src_inv[1];
+        d.value_ready_at = value_ready.max(now + depth);
+        d.complete_at = d.value_ready_at;
+        let complete_at = d.complete_at;
+        self.completions.push(Reverse((complete_at, seq)));
+        self.notify_waiters(seq);
+    }
+
+    fn load_from_memory(
+        &mut self,
+        pc: Addr,
+        addr: Addr,
+        now: Cycle,
+        wrong_path: bool,
+    ) -> (Cycle, bool, u32, bool) {
+        let in_runahead = self.episode.is_some();
+        let path = if wrong_path || in_runahead {
+            PathKind::Wrong
+        } else {
+            PathKind::Correct
+        };
+        let r = self.mem.access(AccessKind::Load, pc, addr, now + 1, path);
+        if r.l2_demand_miss {
+            self.l2_miss_events += 1;
+            if let Some(ep) = self.episode.as_mut() {
+                ep.l2_misses += 1;
+            }
+        }
+        (r.ready_at, false, r.latency, !r.l2_or_better)
+    }
+
+    // ----------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self, now: Cycle) {
+        if now < self.alloc_stall_until {
+            self.stats.stall_transition += 1;
+            return;
+        }
+        if self.shrink_wait {
+            self.stats.stall_shrink_wait += 1;
+            return;
+        }
+        let spec = self.cfg.levels[self.level];
+        for slot in 0..self.cfg.fetch_width {
+            if self.rob.len() >= spec.rob {
+                if slot == 0 {
+                    self.stats.stall_rob_full += 1;
+                }
+                break;
+            }
+            if self.iq_occ >= spec.iq {
+                if slot == 0 {
+                    self.stats.stall_iq_full += 1;
+                }
+                break;
+            }
+            // Peek before popping: LSQ capacity only gates memory ops.
+            let needs_lsq = {
+                let Some(peek) = self.front_peek_ready(now) else {
+                    if slot == 0 {
+                        self.stats.stall_fetch_empty += 1;
+                    }
+                    break;
+                };
+                peek
+            };
+            if needs_lsq && self.lsq.occupancy() >= spec.lsq {
+                if slot == 0 {
+                    self.stats.stall_lsq_full += 1;
+                }
+                break;
+            }
+            let fetched = self
+                .front
+                .pop_ready(now)
+                .expect("peeked entry must still be there");
+            self.rename_and_insert(fetched, now);
+        }
+    }
+
+    fn front_peek_ready(&mut self, now: Cycle) -> Option<bool> {
+        self.front.peek_ready(now).map(|f| f.inst.op.is_mem())
+    }
+
+    fn rename_and_insert(&mut self, fetched: FetchedInst, now: Cycle) {
+        let seq = self.next_dyn;
+        self.next_dyn += 1;
+        let mut d = DynInst::new(
+            seq,
+            fetched.trace_seq,
+            fetched.inst,
+            fetched.wrong_path,
+            fetched.fetched_at,
+        );
+        d.bp_outcome = fetched.bp_outcome;
+        d.mispredicted = d
+            .bp_outcome
+            .as_ref()
+            .map(|o| o.mispredicted)
+            .unwrap_or(false);
+        self.stats.dispatched_total += 1;
+        if d.wrong_path {
+            self.stats.wrongpath_dispatched += 1;
+        }
+
+        // Rename sources.
+        let srcs = d.inst.srcs;
+        for (s, src) in srcs.iter().enumerate() {
+            let Some(reg) = src else { continue };
+            match self.rename.producer(*reg) {
+                None => {
+                    d.src_ready[s] = 0;
+                    d.src_inv[s] = self.arch_inv[reg.index()];
+                }
+                Some(p) => {
+                    d.src_producers[s] = Some(p);
+                    match self.rob_idx(p) {
+                        Some(pi) if self.rob[pi].value_ready_at != Cycle::MAX => {
+                            d.src_ready[s] = self.rob[pi].value_ready_at;
+                            d.src_inv[s] = self.rob[pi].inv;
+                            // Still register as a waiter: a runahead
+                            // force-INV can lower the producer's ready
+                            // time after the fact, and the re-notification
+                            // must reach direct readers too.
+                            self.rob[pi].waiters.push(seq);
+                        }
+                        Some(pi) => {
+                            d.src_ready[s] = Cycle::MAX;
+                            d.unresolved_srcs += 1;
+                            self.rob[pi].waiters.push(seq);
+                        }
+                        None => {
+                            // Producer left the ROB between map update and
+                            // commit-clear: value is architectural.
+                            d.src_ready[s] = 0;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rename destination.
+        if let Some(dest) = d.inst.dest {
+            let prev = self.rename.define(dest, seq);
+            d.prev_map = Some((dest.index(), prev));
+        }
+
+        // Enter the window resources.
+        d.in_iq = true;
+        self.iq_occ += 1;
+        if let Some(m) = d.inst.mem {
+            self.lsq
+                .allocate(seq, d.inst.op == OpClass::Store, m);
+        }
+        if d.unresolved_srcs == 0 {
+            let rt = d.src_ready[0].max(d.src_ready[1]).max(now + 1);
+            d.ready_time = rt;
+            self.pending_ready.push(Reverse((rt, seq)));
+        }
+        self.rob.push_back(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LevelSpec;
+    use crate::policy::FixedLevelPolicy;
+    use mlpwin_workloads::profiles;
+
+    fn run_profile(name: &str, cfg: CoreConfig, level: usize, insts: u64) -> CoreStats {
+        let w = profiles::by_name(name, 7).expect("profile");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(level)));
+        core.run_warmup(30_000);
+        core.run(insts)
+    }
+
+    #[test]
+    fn base_core_commits_and_reports_sane_ipc() {
+        let s = run_profile("gcc", CoreConfig::default(), 0, 10_000);
+        // Commit is up to 4-wide, so the run may overshoot by a group.
+        assert!(s.committed_insts >= 10_000 && s.committed_insts < 10_004);
+        assert!(s.ipc() > 0.8, "compute workload too slow: {}", s.ipc());
+        assert!(s.ipc() <= 4.0, "cannot exceed machine width");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run_profile("soplex", CoreConfig::default(), 0, 3_000);
+        let b = run_profile("soplex", CoreConfig::default(), 0, 3_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_intensive_profile_gains_from_level3() {
+        let base = run_profile("libquantum", CoreConfig::default(), 0, 8_000);
+        let big = run_profile(
+            "libquantum",
+            CoreConfig::with_table2_levels(),
+            2,
+            8_000,
+        );
+        assert!(
+            big.ipc() > base.ipc() * 1.1,
+            "large window should help libquantum: base {} vs L3 {}",
+            base.ipc(),
+            big.ipc()
+        );
+    }
+
+    #[test]
+    fn compute_profile_loses_from_pipelined_window() {
+        // A serial-dependence compute workload issues back-to-back at
+        // depth 1; depth 2 halves its dependent-issue rate.
+        let l1 = run_profile("sjeng", CoreConfig::default(), 0, 10_000);
+        let l3 = run_profile("sjeng", CoreConfig::with_table2_levels(), 2, 10_000);
+        assert!(
+            l3.ipc() < l1.ipc(),
+            "pipelining should hurt sjeng: L1 {} vs L3 {}",
+            l1.ipc(),
+            l3.ipc()
+        );
+    }
+
+    #[test]
+    fn ideal_large_window_never_loses_to_pipelined_large_window() {
+        let mut ideal_cfg = CoreConfig::with_table2_levels();
+        ideal_cfg.levels = ideal_cfg
+            .levels
+            .into_iter()
+            .map(LevelSpec::idealized)
+            .collect();
+        let ideal = run_profile("gobmk", ideal_cfg, 2, 10_000);
+        let piped = run_profile("gobmk", CoreConfig::with_table2_levels(), 2, 10_000);
+        assert!(
+            ideal.ipc() >= piped.ipc() * 0.999,
+            "ideal {} must not lose to pipelined {}",
+            ideal.ipc(),
+            piped.ipc()
+        );
+    }
+
+    #[test]
+    fn branches_resolve_and_train() {
+        let s = run_profile("gobmk", CoreConfig::default(), 0, 20_000);
+        assert!(s.committed_cond_branches > 1_000);
+        assert!(s.committed_mispredicts > 0, "gobmk must mispredict");
+        let dist = s.mispredict_distance();
+        assert!(
+            (20.0..3000.0).contains(&dist),
+            "gobmk mispredict distance {dist} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn loads_and_stores_commit() {
+        let s = run_profile("mcf", CoreConfig::default(), 0, 5_000);
+        assert!(s.committed_loads > 500);
+        assert!(s.committed_stores > 50);
+        assert!(s.avg_load_latency() > 10.0, "mcf is memory-intensive");
+    }
+
+    #[test]
+    fn level_residency_sums_to_one() {
+        let s = run_profile("gcc", CoreConfig::with_table2_levels(), 1, 5_000);
+        let total: u64 = s.level_cycles.iter().sum();
+        assert_eq!(total, s.cycles);
+        assert_eq!(s.level_cycles[1], s.cycles, "fixed level 2");
+    }
+
+    #[test]
+    fn wrong_path_instructions_never_commit() {
+        let s = run_profile("gobmk", CoreConfig::default(), 0, 10_000);
+        assert!(s.wrongpath_dispatched > 0, "mispredictions fetch wrong path");
+        assert!(s.committed_insts >= 10_000);
+    }
+
+    #[test]
+    fn runahead_core_enters_and_exits_episodes() {
+        let mut cfg = CoreConfig::default();
+        cfg.runahead = Some(crate::config::RunaheadOpts::default());
+        let s = run_profile("libquantum", cfg, 0, 8_000);
+        assert!(s.runahead_episodes > 0, "memory-bound profile must trigger");
+        assert!(s.runahead_cycles > 0);
+        assert!(s.committed_insts >= 8_000, "checkpoint restore must work");
+    }
+
+    #[test]
+    fn runahead_helps_clustered_miss_workloads() {
+        let base = run_profile("libquantum", CoreConfig::default(), 0, 8_000);
+        let mut cfg = CoreConfig::default();
+        cfg.runahead = Some(crate::config::RunaheadOpts::default());
+        let ra = run_profile("libquantum", cfg, 0, 8_000);
+        assert!(
+            ra.ipc() > base.ipc(),
+            "runahead should beat base on libquantum: {} vs {}",
+            ra.ipc(),
+            base.ipc()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Function-unit pools.
+//!
+//! Pipelined units accept one operation per cycle per unit; unpipelined
+//! units (integer/FP divide, FP sqrt) are reserved until their operation
+//! completes.
+
+use mlpwin_isa::{Cycle, FuKind, OpClass};
+
+/// The five function-unit pools of the core.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    counts: [usize; 5],
+    /// Completion times of in-flight unpipelined reservations, per pool.
+    busy: [Vec<Cycle>; 5],
+    /// Issues performed this cycle, per pool (reset by [`FuPool::begin_cycle`]).
+    issued_this_cycle: [usize; 5],
+}
+
+impl FuPool {
+    /// Creates the pools with the given unit counts (indexed by
+    /// [`FuKind::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pool is empty.
+    pub fn new(counts: [usize; 5]) -> FuPool {
+        assert!(counts.iter().all(|&c| c > 0), "every pool needs a unit");
+        FuPool {
+            counts,
+            busy: Default::default(),
+            issued_this_cycle: [0; 5],
+        }
+    }
+
+    /// Starts a new cycle: clears per-cycle issue counts and expires
+    /// finished unpipelined reservations.
+    pub fn begin_cycle(&mut self, now: Cycle) {
+        self.issued_this_cycle = [0; 5];
+        for pool in &mut self.busy {
+            pool.retain(|&t| t > now);
+        }
+    }
+
+    /// Whether an operation of class `op` can issue this cycle.
+    pub fn can_issue(&self, op: OpClass) -> bool {
+        let k = op.fu_kind().index();
+        self.busy[k].len() + self.issued_this_cycle[k] < self.counts[k]
+    }
+
+    /// Records the issue of `op` at `now` with execution latency
+    /// `latency`; reserves the unit for unpipelined classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unit is available (check [`FuPool::can_issue`] first).
+    pub fn issue(&mut self, op: OpClass, now: Cycle, latency: u32) {
+        assert!(self.can_issue(op), "no {} unit free", op.fu_kind());
+        let k = op.fu_kind().index();
+        if op.is_unpipelined() {
+            // The busy reservation itself blocks the unit for the rest of
+            // this cycle and beyond; counting it in issued_this_cycle too
+            // would double-book the unit.
+            self.busy[k].push(now + latency as Cycle);
+        } else {
+            self.issued_this_cycle[k] += 1;
+        }
+    }
+
+    /// Units of `kind` still available this cycle.
+    pub fn available(&self, kind: FuKind) -> usize {
+        let k = kind.index();
+        self.counts[k] - self.busy[k].len() - self.issued_this_cycle[k]
+    }
+
+    /// Clears all unpipelined reservations (pipeline squash).
+    pub fn flush(&mut self) {
+        for pool in &mut self.busy {
+            pool.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> FuPool {
+        FuPool::new([4, 2, 2, 4, 2])
+    }
+
+    #[test]
+    fn per_cycle_width_limits() {
+        let mut p = pool();
+        p.begin_cycle(0);
+        for _ in 0..4 {
+            assert!(p.can_issue(OpClass::IntAlu));
+            p.issue(OpClass::IntAlu, 0, 1);
+        }
+        assert!(!p.can_issue(OpClass::IntAlu));
+        // Other pools unaffected.
+        assert!(p.can_issue(OpClass::Load));
+        p.begin_cycle(1);
+        assert!(p.can_issue(OpClass::IntAlu));
+    }
+
+    #[test]
+    fn unpipelined_ops_hold_the_unit() {
+        let mut p = pool();
+        p.begin_cycle(0);
+        p.issue(OpClass::IntDiv, 0, 20);
+        p.issue(OpClass::IntDiv, 0, 20);
+        assert!(!p.can_issue(OpClass::IntDiv));
+        assert!(!p.can_issue(OpClass::IntMul), "mul shares the div pool");
+        p.begin_cycle(5);
+        assert!(!p.can_issue(OpClass::IntDiv), "still busy at cycle 5");
+        p.begin_cycle(20);
+        assert!(p.can_issue(OpClass::IntDiv), "freed when latency elapsed");
+    }
+
+    #[test]
+    fn pipelined_multiplies_issue_every_cycle() {
+        let mut p = pool();
+        p.begin_cycle(0);
+        p.issue(OpClass::IntMul, 0, 3);
+        p.issue(OpClass::IntMul, 0, 3);
+        assert!(!p.can_issue(OpClass::IntMul));
+        p.begin_cycle(1);
+        assert!(p.can_issue(OpClass::IntMul), "pipelined: next cycle free");
+    }
+
+    #[test]
+    fn flush_releases_reservations() {
+        let mut p = pool();
+        p.begin_cycle(0);
+        p.issue(OpClass::FpDiv, 0, 12);
+        p.flush();
+        p.begin_cycle(1);
+        assert_eq!(p.available(FuKind::FpMulDiv), 2);
+    }
+
+    #[test]
+    fn available_counts() {
+        let mut p = pool();
+        p.begin_cycle(0);
+        assert_eq!(p.available(FuKind::MemPort), 2);
+        p.issue(OpClass::Load, 0, 1);
+        assert_eq!(p.available(FuKind::MemPort), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Load/store queue with store-to-load forwarding.
+//!
+//! The LSQ keeps loads and stores in program order. A load about to
+//! access memory scans the older stores:
+//!
+//! - an older *issued* store overlapping its address forwards the data
+//!   (L1-hit-like latency, no cache access);
+//! - an older *un-issued* store overlapping its address blocks the load
+//!   until the store's operands arrive;
+//! - otherwise the load goes to the cache.
+//!
+//! Non-overlapping un-issued stores do not block — perfect memory
+//! disambiguation, the standard idealization for trace-driven simulation
+//! where every address is architecturally known (`DESIGN.md` §5).
+
+use crate::types::DynSeq;
+use mlpwin_isa::MemRef;
+use std::collections::VecDeque;
+
+/// What a load should do, per the disambiguation scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// Forward from the youngest older overlapping (issued) store,
+    /// identified by its `DynSeq` (so the consumer can inherit its INV
+    /// status during runahead).
+    Forward(DynSeq),
+    /// Wait: an older overlapping store has not produced its data yet.
+    Blocked,
+    /// Access the cache hierarchy.
+    Access,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    dyn_seq: DynSeq,
+    is_store: bool,
+    mem: MemRef,
+    issued: bool,
+}
+
+/// The load/store queue.
+#[derive(Debug, Clone, Default)]
+pub struct Lsq {
+    entries: VecDeque<LsqEntry>,
+}
+
+impl Lsq {
+    /// Creates an empty queue.
+    pub fn new() -> Lsq {
+        Lsq::default()
+    }
+
+    /// Current occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends a memory operation (program order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dyn_seq` is not younger than every current entry.
+    pub fn allocate(&mut self, dyn_seq: DynSeq, is_store: bool, mem: MemRef) {
+        if let Some(back) = self.entries.back() {
+            assert!(back.dyn_seq < dyn_seq, "LSQ allocation out of order");
+        }
+        self.entries.push_back(LsqEntry {
+            dyn_seq,
+            is_store,
+            mem,
+            issued: false,
+        });
+    }
+
+    /// Marks the entry's address/data as produced (store executed or load
+    /// access performed).
+    pub fn mark_issued(&mut self, dyn_seq: DynSeq) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.dyn_seq == dyn_seq) {
+            e.issued = true;
+        }
+    }
+
+    /// Disambiguation scan for the load `dyn_seq` with reference `mem`.
+    pub fn check_load(&self, dyn_seq: DynSeq, mem: &MemRef) -> LoadCheck {
+        // Scan older entries youngest-first so the nearest store wins.
+        for e in self.entries.iter().rev() {
+            if e.dyn_seq >= dyn_seq || !e.is_store {
+                continue;
+            }
+            if e.mem.overlaps(mem) {
+                return if e.issued {
+                    LoadCheck::Forward(e.dyn_seq)
+                } else {
+                    LoadCheck::Blocked
+                };
+            }
+        }
+        LoadCheck::Access
+    }
+
+    /// Removes the committed (oldest) entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not `dyn_seq` (commit must be in order).
+    pub fn commit(&mut self, dyn_seq: DynSeq) {
+        let head = self.entries.pop_front().expect("commit from empty LSQ");
+        assert_eq!(head.dyn_seq, dyn_seq, "LSQ commit out of order");
+    }
+
+    /// Drops every entry younger than `dyn_seq` (squash).
+    pub fn squash_younger(&mut self, dyn_seq: DynSeq) {
+        while let Some(back) = self.entries.back() {
+            if back.dyn_seq > dyn_seq {
+                self.entries.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops everything (runahead exit).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(addr: u64) -> MemRef {
+        MemRef::new(addr, 8)
+    }
+
+    #[test]
+    fn load_with_no_stores_accesses_cache() {
+        let mut q = Lsq::new();
+        q.allocate(1, false, m(0x100));
+        assert_eq!(q.check_load(1, &m(0x100)), LoadCheck::Access);
+    }
+
+    #[test]
+    fn issued_store_forwards() {
+        let mut q = Lsq::new();
+        q.allocate(1, true, m(0x100));
+        q.allocate(2, false, m(0x100));
+        assert_eq!(q.check_load(2, &m(0x100)), LoadCheck::Blocked);
+        q.mark_issued(1);
+        assert_eq!(q.check_load(2, &m(0x100)), LoadCheck::Forward(1));
+    }
+
+    #[test]
+    fn nearest_older_store_wins() {
+        let mut q = Lsq::new();
+        q.allocate(1, true, m(0x100));
+        q.mark_issued(1);
+        q.allocate(2, true, m(0x100)); // younger, un-issued
+        q.allocate(3, false, m(0x100));
+        // Store 2 is nearer: load must block on it even though store 1
+        // could forward.
+        assert_eq!(q.check_load(3, &m(0x100)), LoadCheck::Blocked);
+    }
+
+    #[test]
+    fn younger_stores_do_not_affect_the_load() {
+        let mut q = Lsq::new();
+        q.allocate(1, false, m(0x100));
+        q.allocate(2, true, m(0x100));
+        assert_eq!(q.check_load(1, &m(0x100)), LoadCheck::Access);
+    }
+
+    #[test]
+    fn disjoint_stores_do_not_block() {
+        let mut q = Lsq::new();
+        q.allocate(1, true, m(0x200));
+        q.allocate(2, false, m(0x100));
+        assert_eq!(q.check_load(2, &m(0x100)), LoadCheck::Access);
+    }
+
+    #[test]
+    fn partial_overlap_blocks() {
+        let mut q = Lsq::new();
+        q.allocate(1, true, MemRef::new(0x104, 8));
+        q.allocate(2, false, MemRef::new(0x100, 8));
+        assert_eq!(q.check_load(2, &m(0x100)), LoadCheck::Blocked);
+    }
+
+    #[test]
+    fn commit_pops_in_order() {
+        let mut q = Lsq::new();
+        q.allocate(1, false, m(0x100));
+        q.allocate(2, true, m(0x108));
+        q.commit(1);
+        q.commit(2);
+        assert_eq!(q.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn commit_out_of_order_panics() {
+        let mut q = Lsq::new();
+        q.allocate(1, false, m(0x100));
+        q.allocate(2, false, m(0x108));
+        q.commit(2);
+    }
+
+    #[test]
+    fn squash_drops_younger_only() {
+        let mut q = Lsq::new();
+        q.allocate(1, false, m(0x100));
+        q.allocate(2, true, m(0x108));
+        q.allocate(3, false, m(0x110));
+        q.squash_younger(1);
+        assert_eq!(q.occupancy(), 1);
+        assert_eq!(q.check_load(5, &m(0x100)), LoadCheck::Access);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn allocation_must_be_in_order() {
+        let mut q = Lsq::new();
+        q.allocate(5, false, m(0x100));
+        q.allocate(3, false, m(0x108));
+    }
+}

@@ -1,0 +1,75 @@
+//! The window-resizing policy interface.
+//!
+//! The core queries its [`WindowPolicy`] once per cycle with the number
+//! of fresh demand L2 misses observed in the previous cycle; the policy
+//! answers with the level (0-based index into
+//! [`CoreConfig::levels`](crate::CoreConfig)) the window should be at.
+//! Enlarging takes effect immediately (plus the transition stall);
+//! shrinking is applied by the core only when the doomed regions are
+//! vacant, and the core reports every completed transition back through
+//! [`WindowPolicy::on_transition`].
+//!
+//! This crate ships only the trivial [`FixedLevelPolicy`]; the paper's
+//! MLP-aware dynamic policy lives in `mlpwin-core`.
+
+use mlpwin_isa::Cycle;
+
+/// Per-cycle window-level decision maker.
+pub trait WindowPolicy {
+    /// Returns the desired level (0-based) for this cycle.
+    ///
+    /// `l2_demand_misses` counts the fresh demand L2 misses the core
+    /// observed since the previous query; `current_level` is the level
+    /// actually in effect; `max_level` is the highest configured index.
+    fn target_level(
+        &mut self,
+        now: Cycle,
+        l2_demand_misses: u32,
+        current_level: usize,
+        max_level: usize,
+    ) -> usize;
+
+    /// Notification that a resize committed (shrinks may lag the request
+    /// while the doomed region drains).
+    fn on_transition(&mut self, _now: Cycle, _old_level: usize, _new_level: usize) {}
+}
+
+/// A policy pinning the window to one level forever — the paper's
+/// fixed-size and ideal models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedLevelPolicy {
+    level: usize,
+}
+
+impl FixedLevelPolicy {
+    /// Pins the window to `level` (0-based).
+    pub fn new(level: usize) -> FixedLevelPolicy {
+        FixedLevelPolicy { level }
+    }
+}
+
+impl WindowPolicy for FixedLevelPolicy {
+    fn target_level(
+        &mut self,
+        _now: Cycle,
+        _l2_demand_misses: u32,
+        _current_level: usize,
+        max_level: usize,
+    ) -> usize {
+        self.level.min(max_level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_is_constant_and_clamped() {
+        let mut p = FixedLevelPolicy::new(2);
+        assert_eq!(p.target_level(0, 5, 0, 2), 2);
+        assert_eq!(p.target_level(100, 0, 2, 2), 2);
+        // Clamped to the configured ladder.
+        assert_eq!(p.target_level(0, 0, 0, 1), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Core simulation statistics.
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed-path instructions retired.
+    pub committed_insts: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed control transfers.
+    pub committed_branches: u64,
+    /// Committed conditional branches.
+    pub committed_cond_branches: u64,
+    /// Committed branches that had been mispredicted.
+    pub committed_mispredicts: u64,
+    /// Summed end-to-end latency of committed loads (cycles).
+    pub load_latency_sum: u64,
+
+    /// Cycles spent at each resource level (index 0 = level 1) — Fig. 8.
+    pub level_cycles: Vec<u64>,
+    /// Completed enlargements.
+    pub transitions_up: u64,
+    /// Completed shrinks.
+    pub transitions_down: u64,
+
+    /// Cycles allocation was stalled by a level-transition penalty.
+    pub stall_transition: u64,
+    /// Cycles allocation was stalled waiting for a shrink region to drain.
+    pub stall_shrink_wait: u64,
+    /// Cycles allocation was blocked by a full ROB.
+    pub stall_rob_full: u64,
+    /// Cycles allocation was blocked by a full issue queue.
+    pub stall_iq_full: u64,
+    /// Cycles allocation was blocked by a full LSQ.
+    pub stall_lsq_full: u64,
+    /// Cycles nothing was ready to dispatch (fetch-limited).
+    pub stall_fetch_empty: u64,
+
+    /// Total instructions dispatched into the window (committed-path,
+    /// wrong-path and runahead replays alike) — the energy model's
+    /// activity base.
+    pub dispatched_total: u64,
+    /// Total instructions issued to function units.
+    pub issued_total: u64,
+    /// Pipeline squashes from branch recovery.
+    pub squashes: u64,
+    /// Wrong-path instructions that entered the pipeline.
+    pub wrongpath_dispatched: u64,
+
+    /// Runahead episodes entered.
+    pub runahead_episodes: u64,
+    /// Cycles spent in runahead mode.
+    pub runahead_cycles: u64,
+    /// Episodes suppressed by the cause status table.
+    pub runahead_suppressed: u64,
+    /// Entries skipped because too little of the miss latency remained.
+    pub runahead_short_skips: u64,
+    /// Episodes that overlapped at least one additional L2 miss.
+    pub runahead_useful_episodes: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average end-to-end latency of committed loads (Table 3).
+    pub fn avg_load_latency(&self) -> f64 {
+        if self.committed_loads == 0 {
+            0.0
+        } else {
+            self.load_latency_sum as f64 / self.committed_loads as f64
+        }
+    }
+
+    /// Committed instructions per committed misprediction (Table 5).
+    /// Returns `committed_insts` when no branch mispredicted.
+    pub fn mispredict_distance(&self) -> f64 {
+        if self.committed_mispredicts == 0 {
+            self.committed_insts as f64
+        } else {
+            self.committed_insts as f64 / self.committed_mispredicts as f64
+        }
+    }
+
+    /// Fraction of cycles spent at `level` (0-based) — Fig. 8 series.
+    pub fn level_residency(&self, level: usize) -> f64 {
+        if self.cycles == 0 || level >= self.level_cycles.len() {
+            0.0
+        } else {
+            self.level_cycles[level] as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = CoreStats {
+            cycles: 1000,
+            committed_insts: 1500,
+            committed_loads: 100,
+            load_latency_sum: 700,
+            committed_mispredicts: 5,
+            level_cycles: vec![600, 300, 100],
+            ..Default::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.avg_load_latency() - 7.0).abs() < 1e-12);
+        assert!((s.mispredict_distance() - 300.0).abs() < 1e-12);
+        assert!((s.level_residency(0) - 0.6).abs() < 1e-12);
+        assert!((s.level_residency(2) - 0.1).abs() < 1e-12);
+        assert_eq!(s.level_residency(9), 0.0);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.avg_load_latency(), 0.0);
+        assert_eq!(s.mispredict_distance(), 0.0);
+        assert_eq!(s.level_residency(0), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Dynamic-instruction state carried through the pipeline.
+
+use mlpwin_branch::PredictionOutcome;
+use mlpwin_isa::{Cycle, Instruction, SeqNum};
+
+/// Identifier of a dynamic instruction: a monotonically increasing
+/// counter over everything that enters the pipeline, wrong path included.
+pub type DynSeq = u64;
+
+/// Memory-operation progress of a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemState {
+    /// Not a memory operation.
+    None,
+    /// In the LSQ, operands not yet ready or access not yet performed.
+    Waiting,
+    /// A load blocked behind an older store (not yet issued/overlapping).
+    Blocked,
+    /// Access performed (data in flight or arrived for loads; address and
+    /// data valid in the store queue for stores).
+    Issued,
+}
+
+/// One in-flight dynamic instruction: the ROB entry, issue-queue state,
+/// and LSQ state fused into a single record (the simulator's ROB *is* the
+/// ordered collection of these).
+#[derive(Debug, Clone)]
+pub struct DynInst {
+    /// Pipeline-unique sequence number (allocation order).
+    pub dyn_seq: DynSeq,
+    /// Position in the committed-path trace; `None` for wrong-path
+    /// instructions.
+    pub trace_seq: Option<SeqNum>,
+    /// The static instruction.
+    pub inst: Instruction,
+    /// True if fetched past an unresolved mispredicted branch.
+    pub wrong_path: bool,
+    /// Cycle the instruction was fetched.
+    pub fetched_at: Cycle,
+
+    // ---- scheduling ----
+    /// Producer (by `dyn_seq`) of each source operand, if in flight at
+    /// rename time.
+    pub src_producers: [Option<DynSeq>; 2],
+    /// Cycle each source operand becomes available.
+    pub src_ready: [Cycle; 2],
+    /// Whether each source operand carries an INV (runahead) value.
+    pub src_inv: [bool; 2],
+    /// Number of source operands whose availability is still unknown.
+    pub unresolved_srcs: u8,
+    /// Earliest cycle at which every source is available (valid once
+    /// `unresolved_srcs == 0`).
+    pub ready_time: Cycle,
+    /// Still occupies an issue-queue entry.
+    pub in_iq: bool,
+    /// Has been selected and sent to a function unit.
+    pub issued: bool,
+    /// Cycle the instruction issued (meaningful once `issued`).
+    pub issued_at: Cycle,
+    /// Cycle the result is available to dependents (`Cycle::MAX` until
+    /// known). Includes the issue-queue re-broadcast depth.
+    pub value_ready_at: Cycle,
+    /// Cycle execution finishes and the instruction may commit.
+    pub complete_at: Cycle,
+    /// Execution finished.
+    pub completed: bool,
+    /// Dependents (by `dyn_seq`) waiting for this result.
+    pub waiters: Vec<DynSeq>,
+
+    // ---- memory ----
+    /// Load/store progress.
+    pub mem_state: MemState,
+    /// End-to-end latency of the memory access (loads; for Table 3).
+    pub mem_latency: u32,
+    /// The access missed the L2 (used by runahead's trigger condition).
+    pub l2_miss: bool,
+
+    // ---- control ----
+    /// Prediction made at fetch, for resolution/training.
+    pub bp_outcome: Option<PredictionOutcome>,
+    /// The prediction was wrong; resolution squashes younger state.
+    pub mispredicted: bool,
+
+    // ---- rename rollback ----
+    /// Previous map-table entry for the destination register (restored on
+    /// squash), as (register index, previous producer).
+    pub prev_map: Option<(usize, Option<DynSeq>)>,
+
+    // ---- runahead ----
+    /// Result is invalid (dependent on the runahead-triggering miss).
+    pub inv: bool,
+}
+
+impl DynInst {
+    /// Wraps a fetched instruction with cleared pipeline state.
+    pub fn new(
+        dyn_seq: DynSeq,
+        trace_seq: Option<SeqNum>,
+        inst: Instruction,
+        wrong_path: bool,
+        fetched_at: Cycle,
+    ) -> DynInst {
+        let mem_state = if inst.op.is_mem() {
+            MemState::Waiting
+        } else {
+            MemState::None
+        };
+        DynInst {
+            dyn_seq,
+            trace_seq,
+            inst,
+            wrong_path,
+            fetched_at,
+            src_producers: [None, None],
+            src_ready: [0, 0],
+            src_inv: [false, false],
+            unresolved_srcs: 0,
+            ready_time: 0,
+            in_iq: false,
+            issued: false,
+            issued_at: 0,
+            value_ready_at: Cycle::MAX,
+            complete_at: Cycle::MAX,
+            completed: false,
+            waiters: Vec::new(),
+            mem_state,
+            mem_latency: 0,
+            l2_miss: false,
+            bp_outcome: None,
+            mispredicted: false,
+            prev_map: None,
+            inv: false,
+        }
+    }
+
+    /// True for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        self.inst.op.is_mem()
+    }
+
+    /// True for control transfers.
+    pub fn is_branch(&self) -> bool {
+        self.inst.op.is_branch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpwin_isa::{ArchReg, MemRef, OpClass};
+
+    #[test]
+    fn new_inst_state_is_clean() {
+        let i = Instruction::alu(0x100, OpClass::IntAlu, ArchReg::int(1), &[ArchReg::int(2)]);
+        let d = DynInst::new(7, Some(3), i, false, 42);
+        assert_eq!(d.dyn_seq, 7);
+        assert_eq!(d.trace_seq, Some(3));
+        assert!(!d.issued && !d.completed && !d.inv);
+        assert_eq!(d.mem_state, MemState::None);
+        assert_eq!(d.value_ready_at, Cycle::MAX);
+    }
+
+    #[test]
+    fn memory_ops_start_waiting() {
+        let l = Instruction::load(0x100, ArchReg::int(1), ArchReg::int(2), MemRef::new(0x40, 8));
+        let d = DynInst::new(0, None, l, true, 0);
+        assert_eq!(d.mem_state, MemState::Waiting);
+        assert!(d.is_mem());
+        assert!(d.wrong_path);
+    }
+
+    #[test]
+    fn branch_predicate() {
+        let b = Instruction::cond_branch(0x100, ArchReg::int(1), true, 0x80);
+        assert!(DynInst::new(0, Some(0), b, false, 0).is_branch());
+    }
+}

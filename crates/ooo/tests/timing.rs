@@ -1,0 +1,209 @@
+//! Cycle-precision timing tests of the pipeline, using hand-scripted
+//! workloads so every dependence and address is exact.
+
+use mlpwin_isa::{ArchReg, Instruction, MemRef, OpClass};
+use mlpwin_ooo::{Core, CoreConfig, CoreStats, FixedLevelPolicy, LevelSpec};
+use mlpwin_workloads::ScriptedWorkload;
+
+fn run_scripted(body: Vec<Instruction>, config: CoreConfig, insts: u64) -> CoreStats {
+    let w = ScriptedWorkload::loop_with_backedge(body).expect("consistent script");
+    let mut core = Core::new(config, w, Box::new(FixedLevelPolicy::new(0)));
+    core.run_warmup(2_000);
+    core.run(insts)
+}
+
+fn depth2_config() -> CoreConfig {
+    CoreConfig {
+        levels: vec![LevelSpec {
+            iq_depth: 2,
+            extra_mispredict_penalty: 2,
+            ..LevelSpec::level1()
+        }],
+        ..CoreConfig::default()
+    }
+}
+
+/// A chain of dependent single-cycle ALU ops: r1 <- r1 + ..., repeated.
+fn dependent_chain(n: usize) -> Vec<Instruction> {
+    (0..n)
+        .map(|i| {
+            Instruction::alu(
+                0x1000 + 4 * i as u64,
+                OpClass::IntAlu,
+                ArchReg::int(1),
+                &[ArchReg::int(1)],
+            )
+        })
+        .collect()
+}
+
+/// Independent ALU ops writing round-robin registers from a constant.
+fn independent_ops(n: usize) -> Vec<Instruction> {
+    (0..n)
+        .map(|i| {
+            Instruction::alu(
+                0x1000 + 4 * i as u64,
+                OpClass::IntAlu,
+                ArchReg::int(1 + (i % 8) as u8),
+                &[ArchReg::int(0)],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn dependent_chain_issues_back_to_back_only_at_depth_1() {
+    let d1 = run_scripted(dependent_chain(16), CoreConfig::default(), 8_000);
+    let d2 = run_scripted(dependent_chain(16), depth2_config(), 8_000);
+    // A serial chain runs at ~1 op/cycle at depth 1 and ~0.5 at depth 2.
+    let ratio = d1.ipc() / d2.ipc();
+    assert!(
+        (1.6..2.4).contains(&ratio),
+        "depth-2 wakeup should halve chain throughput: d1={:.3} d2={:.3} ratio={ratio:.2}",
+        d1.ipc(),
+        d2.ipc()
+    );
+    // Sanity on the absolute rate: ~1 IPC for the chain (plus the jump).
+    assert!(
+        (0.8..1.3).contains(&d1.ipc()),
+        "chain IPC at depth 1 should be ~1: {:.3}",
+        d1.ipc()
+    );
+}
+
+#[test]
+fn independent_ops_are_insensitive_to_iq_depth() {
+    let d1 = run_scripted(independent_ops(16), CoreConfig::default(), 8_000);
+    let d2 = run_scripted(independent_ops(16), depth2_config(), 8_000);
+    // No dependent back-to-back pairs: the pipelined IQ costs nothing.
+    let ratio = d1.ipc() / d2.ipc();
+    assert!(
+        (0.95..1.1).contains(&ratio),
+        "independent ops should not care about depth: d1={:.3} d2={:.3}",
+        d1.ipc(),
+        d2.ipc()
+    );
+    // And they should saturate the 4 ALUs reasonably well.
+    assert!(d1.ipc() > 2.0, "wide independent code too slow: {:.3}", d1.ipc());
+}
+
+#[test]
+fn loads_blocked_by_slow_stores_wait_for_the_data() {
+    // r1 <- r1 via a 20-cycle divide; store r1 to A; load A back.
+    // The load aliases the store, so it must wait out the divide chain
+    // even though address A is L1-resident.
+    let addr = 0x8000_0000u64;
+    let body = vec![
+        Instruction::alu(0x1000, OpClass::IntDiv, ArchReg::int(1), &[ArchReg::int(1)]),
+        Instruction::store(
+            0x1004,
+            ArchReg::int(1),
+            ArchReg::int(0),
+            MemRef::new(addr, 8),
+        ),
+        Instruction::load(
+            0x1008,
+            ArchReg::int(2),
+            ArchReg::int(0),
+            MemRef::new(addr, 8),
+        ),
+    ];
+    let s = run_scripted(body, CoreConfig::default(), 4_000);
+    // Each iteration serializes on the divide; the dependent load's
+    // latency is dominated by waiting for the store's data.
+    assert!(
+        s.avg_load_latency() > 10.0,
+        "aliased load must wait for the slow store: {:.1}",
+        s.avg_load_latency()
+    );
+    // And the whole loop runs at ~3 insts (+jump) per ~20-cycle divide.
+    assert!(
+        s.ipc() < 0.5,
+        "divide-serialized loop cannot be fast: {:.3}",
+        s.ipc()
+    );
+}
+
+#[test]
+fn store_forwarding_is_fast_when_data_is_ready() {
+    // Store from a constant-ready register, then an aliasing load: the
+    // store issues immediately, so the load forwards at L1-hit speed.
+    let addr = 0x8000_0000u64;
+    let body = vec![
+        Instruction::store(
+            0x1000,
+            ArchReg::int(0),
+            ArchReg::int(0),
+            MemRef::new(addr, 8),
+        ),
+        Instruction::load(
+            0x1004,
+            ArchReg::int(2),
+            ArchReg::int(0),
+            MemRef::new(addr, 8),
+        ),
+        Instruction::alu(0x1008, OpClass::IntAlu, ArchReg::int(3), &[ArchReg::int(2)]),
+    ];
+    let s = run_scripted(body, CoreConfig::default(), 4_000);
+    assert!(
+        s.avg_load_latency() < 5.0,
+        "forwarded load should be L1-fast: {:.1}",
+        s.avg_load_latency()
+    );
+}
+
+#[test]
+fn unpipelined_divides_throttle_throughput() {
+    // Independent divides bound by the 2 unpipelined iMUL/DIV units:
+    // throughput <= 2 per 20 cycles = 0.1 div-IPC.
+    let body: Vec<Instruction> = (0..8)
+        .map(|i| {
+            Instruction::alu(
+                0x1000 + 4 * i as u64,
+                OpClass::IntDiv,
+                ArchReg::int(1 + i as u8),
+                &[ArchReg::int(0)],
+            )
+        })
+        .collect();
+    let s = run_scripted(body, CoreConfig::default(), 2_000);
+    // 8 divs + 1 jump per iteration; iteration time >= 8/2 * 20 = 80.
+    let ipc_bound = 9.0 / 80.0;
+    assert!(
+        s.ipc() < ipc_bound * 1.3,
+        "divide throughput bound violated: {:.3} vs {:.3}",
+        s.ipc(),
+        ipc_bound
+    );
+}
+
+#[test]
+fn window_occupancy_never_exceeds_the_level_capacity() {
+    use mlpwin_workloads::profiles;
+    let config = CoreConfig::with_table2_levels();
+    let w = profiles::by_name("sphinx3", 3).expect("profile");
+    let mut core = Core::new(
+        config,
+        w,
+        Box::new(mlpwin_ooo::FixedLevelPolicy::new(2)),
+    );
+    for _ in 0..30_000 {
+        core.step();
+        let (rob, iq, lsq) = core.occupancy();
+        let spec = core.config().levels[core.current_level()];
+        assert!(rob <= spec.rob, "ROB overflow: {rob} > {}", spec.rob);
+        assert!(iq <= spec.iq, "IQ overflow: {iq} > {}", spec.iq);
+        assert!(lsq <= spec.lsq, "LSQ overflow: {lsq} > {}", spec.lsq);
+    }
+}
+
+#[test]
+fn perfectly_predictable_branches_cost_nothing_after_warmup() {
+    // The scripted loop's back edge is an unconditional jump: after the
+    // BTB warms there are no mispredictions at all.
+    let s = run_scripted(independent_ops(16), CoreConfig::default(), 8_000);
+    assert_eq!(
+        s.committed_mispredicts, 0,
+        "a static loop must be perfectly predicted after warm-up"
+    );
+}

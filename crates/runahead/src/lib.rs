@@ -1,0 +1,223 @@
+//! # mlpwin-runahead
+//!
+//! Runahead execution (Mutlu, Stark, Wilkerson & Patt, HPCA 2003) with
+//! the efficiency enhancements of Mutlu, Kim & Patt (ISCA 2005) — the
+//! comparison baseline of the paper's §5.7.
+//!
+//! Runahead attacks the same problem as dynamic window resizing — memory-
+//! level parallelism under a small window — by *pre-executing* past a
+//! blocking L2 miss instead of buffering more instructions:
+//!
+//! 1. an L2-miss load reaches the ROB head and would stall commit;
+//! 2. the architectural state is checkpointed and the pipeline enters
+//!    *runahead mode*: the miss pseudo-retires with an INV result and
+//!    execution keeps flowing, prefetching any further L2 misses it
+//!    finds (that overlap is the exploited MLP);
+//! 3. pseudo-retired stores park their data in a small **runahead cache**
+//!    (512 B, 4-way, 2-port) so later runahead loads can forward;
+//! 4. when the triggering miss resolves, everything squashes back to the
+//!    checkpoint and normal execution re-runs — this time hitting.
+//!
+//! The **runahead cause status table** (from the ISCA 2005 enhancements)
+//! suppresses episodes for loads whose past episodes overlapped no
+//! additional misses ("useless runahead" — the paper's milc discussion).
+//!
+//! The mode machinery is woven into `mlpwin-ooo`'s commit stage (see that
+//! crate's docs for why); this crate owns the *model*: configuration
+//! presets matching the paper, the comparison entry point used by the
+//! Fig. 12 bench, and the behavioural test-suite of runahead semantics.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlpwin_runahead::RunaheadModel;
+//! use mlpwin_ooo::CoreConfig;
+//!
+//! let (config, policy) = RunaheadModel::paper().build(CoreConfig::default());
+//! assert!(config.runahead.is_some());
+//! let _ = policy; // level-1 fixed window, as in the paper
+//! ```
+
+use mlpwin_ooo::{CoreConfig, FixedLevelPolicy, LevelSpec, RunaheadOpts, WindowPolicy};
+
+pub use mlpwin_ooo::runahead::{CauseStatusTable, RaLookup, RunaheadCache};
+
+/// A runahead-processor configuration.
+///
+/// The paper's runahead comparator is the base (level 1) processor plus
+/// checkpointing register files and the runahead cache; it never resizes
+/// its window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunaheadModel {
+    /// Runahead options applied to the base core.
+    pub opts: RunaheadOpts,
+}
+
+impl RunaheadModel {
+    /// The configuration evaluated in the paper's §5.7: 512 B 4-way
+    /// runahead cache and the cause-status-table enhancement.
+    pub fn paper() -> RunaheadModel {
+        RunaheadModel {
+            opts: RunaheadOpts::default(),
+        }
+    }
+
+    /// The basic HPCA 2003 scheme without the usefulness predictor
+    /// (ablation: shows the milc-style useless-runahead pathology).
+    pub fn without_cause_status_table() -> RunaheadModel {
+        RunaheadModel {
+            opts: RunaheadOpts {
+                use_cause_status_table: false,
+                ..RunaheadOpts::default()
+            },
+        }
+    }
+
+    /// Builds the core configuration and (fixed level-1) window policy.
+    pub fn build(&self, base: CoreConfig) -> (CoreConfig, Box<dyn WindowPolicy>) {
+        let config = CoreConfig {
+            levels: vec![LevelSpec::level1()],
+            runahead: Some(self.opts),
+            ..base
+        };
+        (config, Box::new(FixedLevelPolicy::new(0)))
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        if self.opts.use_cause_status_table {
+            "Runahead"
+        } else {
+            "Runahead (no CST)"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpwin_ooo::{Core, CoreStats};
+    use mlpwin_workloads::profiles;
+
+    fn run(model: RunaheadModel, profile: &str, insts: u64) -> CoreStats {
+        let (config, policy) = model.build(CoreConfig::default());
+        let w = profiles::by_name(profile, 7).expect("profile");
+        let mut core = Core::new(config, w, policy);
+        core.run_warmup(30_000);
+        core.run(insts)
+    }
+
+    fn run_base(profile: &str, insts: u64) -> CoreStats {
+        let w = profiles::by_name(profile, 7).expect("profile");
+        let mut core = Core::new(
+            CoreConfig::default(),
+            w,
+            Box::new(FixedLevelPolicy::new(0)),
+        );
+        core.run_warmup(30_000);
+        core.run(insts)
+    }
+
+    #[test]
+    fn paper_preset_matches_section57() {
+        let m = RunaheadModel::paper();
+        assert_eq!(m.opts.cache_bytes, 512);
+        assert_eq!(m.opts.cache_ways, 4);
+        assert!(m.opts.use_cause_status_table);
+        assert_eq!(m.label(), "Runahead");
+        let (c, _) = m.build(CoreConfig::default());
+        assert_eq!(c.levels.len(), 1, "runahead keeps the small window");
+        assert_eq!(c.levels[0], LevelSpec::level1());
+    }
+
+    #[test]
+    fn episodes_trigger_on_memory_bound_workloads() {
+        // sphinx3: independent random misses the prefetcher cannot cover
+        // and a 128-entry window cannot hold — runahead's sweet spot.
+        let s = run(RunaheadModel::paper(), "sphinx3", 8_000);
+        assert!(s.runahead_episodes > 10, "got {}", s.runahead_episodes);
+        assert!(
+            s.runahead_cycles > s.cycles / 10,
+            "memory-bound run should spend real time in runahead: {} of {}",
+            s.runahead_cycles,
+            s.cycles
+        );
+        assert!(
+            s.runahead_useful_episodes > 0,
+            "sphinx3 episodes overlap further independent misses"
+        );
+    }
+
+    #[test]
+    fn runahead_speeds_up_clustered_misses() {
+        let base = run_base("libquantum", 8_000);
+        let ra = run(RunaheadModel::paper(), "libquantum", 8_000);
+        assert!(
+            ra.ipc() > base.ipc() * 1.05,
+            "runahead {:.3} vs base {:.3}",
+            ra.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn compute_workloads_barely_enter_runahead() {
+        let s = run(RunaheadModel::paper(), "sjeng", 8_000);
+        assert!(
+            s.runahead_cycles < s.cycles / 20,
+            "cache-resident workload should almost never run ahead: {} of {}",
+            s.runahead_cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn cause_status_table_suppresses_useless_episodes() {
+        // milc's misses are sparse and unclustered: episodes rarely
+        // overlap another miss, so the CST should learn to suppress.
+        let with = run(RunaheadModel::paper(), "milc", 8_000);
+        let without = run(RunaheadModel::without_cause_status_table(), "milc", 8_000);
+        assert!(
+            with.runahead_episodes < without.runahead_episodes,
+            "CST should reduce episodes: {} vs {}",
+            with.runahead_episodes,
+            without.runahead_episodes
+        );
+        assert!(with.runahead_suppressed > 0);
+    }
+
+    #[test]
+    fn runahead_never_corrupts_committed_count() {
+        for p in ["libquantum", "mcf", "milc", "gcc"] {
+            let s = run(RunaheadModel::paper(), p, 3_000);
+            assert!(
+                s.committed_insts >= 3_000,
+                "{p}: checkpoint restore lost instructions"
+            );
+        }
+    }
+
+    #[test]
+    fn dbg_mcf() {
+        let s = run(RunaheadModel::paper(), "sphinx3", 8_000);
+        eprintln!("episodes={} suppressed={} short={} useful={} ra_cycles={} cycles={} ipc={:.3}",
+            s.runahead_episodes, s.runahead_suppressed, s.runahead_short_skips, s.runahead_useful_episodes,
+            s.runahead_cycles, s.cycles, s.ipc());
+        let b = run_base("sphinx3", 8_000);
+        eprintln!("base ipc={:.3}", b.ipc());
+        let mut m3 = RunaheadModel::without_cause_status_table();
+        m3.opts.min_entry_remaining = 0;
+        let s3 = run(m3, "sphinx3", 8_000);
+        eprintln!("gate0-noCST sphinx3: episodes={} ra_cycles={} cycles={} ipc={:.3}", s3.runahead_episodes, s3.runahead_cycles, s3.cycles, s3.ipc());
+        let s2 = run(RunaheadModel::without_cause_status_table(), "mcf", 8_000);
+        eprintln!("noCST: episodes={} ra_cycles={} cycles={} ipc={:.3}",
+            s2.runahead_episodes, s2.runahead_cycles, s2.cycles, s2.ipc());
+    }
+
+    #[test]
+    fn determinism_holds_under_runahead() {
+        let a = run(RunaheadModel::paper(), "mcf", 3_000);
+        let b = run(RunaheadModel::paper(), "mcf", 3_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mlpwin-sim
+//!
+//! The experiment layer: one place that knows how to build every
+//! processor model the paper evaluates, run it over any workload profile,
+//! and collect everything the tables and figures need.
+//!
+//! - [`SimModel`] is the full model registry: the base processor, the
+//!   fixed/ideal window ladder, dynamic resizing, runahead execution and
+//!   the enlarged-L2 alternative (Fig. 10).
+//! - [`runner`] executes `(profile, model)` pairs — optionally a whole
+//!   matrix in parallel — and returns [`RunResult`]s combining pipeline,
+//!   memory, predictor and provenance statistics.
+//! - [`report`] holds the shared presentation helpers: geometric means,
+//!   aligned text tables, histograms, and the normalized-series helpers
+//!   every `fig*`/`table*` binary uses.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlpwin_sim::{runner::RunSpec, SimModel};
+//!
+//! let spec = RunSpec {
+//!     profile: "gcc".into(),
+//!     model: SimModel::Base,
+//!     warmup: 2_000,
+//!     insts: 2_000,
+//!     seed: 1,
+//! };
+//! let r = mlpwin_sim::runner::run(&spec);
+//! assert!(r.stats.ipc() > 0.0);
+//! ```
+
+pub mod model;
+pub mod report;
+pub mod runner;
+
+pub use model::SimModel;
+pub use runner::{RunResult, RunSpec};

@@ -1,0 +1,103 @@
+//! The complete model registry of the paper's evaluation.
+
+use mlpwin_core::WindowModel;
+use mlpwin_memsys::CacheConfig;
+use mlpwin_ooo::{CoreConfig, WindowPolicy};
+use mlpwin_runahead::RunaheadModel;
+
+/// Every processor configuration the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimModel {
+    /// The conventional Table 1 processor (= fixed level 1).
+    Base,
+    /// Fixed-size pipelined window at Table 2 level 1–3 (Fig. 7 "Fix").
+    Fixed(usize),
+    /// Un-pipelined fixed window, no penalties (Fig. 7 "Ideal" line).
+    Ideal(usize),
+    /// MLP-aware dynamic window resizing — the proposal (Fig. 7 "Res").
+    Dynamic,
+    /// Runahead execution on the base window (Fig. 12), with the cause
+    /// status table enhancement.
+    Runahead,
+    /// Runahead without the cause-status-table enhancement (ablation).
+    RunaheadNoCst,
+    /// Base processor with the enlarged 2.5 MB, 5-way L2 (Fig. 10).
+    BigL2,
+}
+
+impl SimModel {
+    /// Display label used across report tables.
+    pub fn label(&self) -> String {
+        match self {
+            SimModel::Base => "Base".into(),
+            SimModel::Fixed(l) => format!("Fix L{l}"),
+            SimModel::Ideal(l) => format!("Ideal L{l}"),
+            SimModel::Dynamic => "Res".into(),
+            SimModel::Runahead => "Runahead".into(),
+            SimModel::RunaheadNoCst => "Runahead (no CST)".into(),
+            SimModel::BigL2 => "Base + 2.5MB L2".into(),
+        }
+    }
+
+    /// Builds the core configuration and window policy.
+    pub fn build(&self) -> (CoreConfig, Box<dyn WindowPolicy>) {
+        let base = CoreConfig::default();
+        match self {
+            SimModel::Base => WindowModel::Base.build(base),
+            SimModel::Fixed(l) => WindowModel::Fixed(*l).build(base),
+            SimModel::Ideal(l) => WindowModel::Ideal(*l).build(base),
+            SimModel::Dynamic => WindowModel::Dynamic.build(base),
+            SimModel::Runahead => RunaheadModel::paper().build(base),
+            SimModel::RunaheadNoCst => RunaheadModel::without_cause_status_table().build(base),
+            SimModel::BigL2 => {
+                let mut config = base;
+                config.memory.l2 = CacheConfig::l2_enlarged();
+                WindowModel::Base.build(config)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_builds_a_valid_config() {
+        let models = [
+            SimModel::Base,
+            SimModel::Fixed(1),
+            SimModel::Fixed(2),
+            SimModel::Fixed(3),
+            SimModel::Ideal(3),
+            SimModel::Dynamic,
+            SimModel::Runahead,
+            SimModel::RunaheadNoCst,
+            SimModel::BigL2,
+        ];
+        for m in models {
+            let (config, _policy) = m.build();
+            config.validate().unwrap_or_else(|e| panic!("{m:?}: {e}"));
+            assert!(!m.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn big_l2_enlarges_only_the_l2() {
+        let (c, _) = SimModel::BigL2.build();
+        assert_eq!(c.memory.l2.size_bytes, 2 * 1024 * 1024 + 512 * 1024);
+        assert_eq!(c.memory.l2.assoc, 5);
+        assert_eq!(c.levels.len(), 1, "window stays at level 1");
+    }
+
+    #[test]
+    fn runahead_models_differ_in_cst_only() {
+        let (a, _) = SimModel::Runahead.build();
+        let (b, _) = SimModel::RunaheadNoCst.build();
+        let oa = a.runahead.unwrap();
+        let ob = b.runahead.unwrap();
+        assert!(oa.use_cause_status_table);
+        assert!(!ob.use_cause_status_table);
+        assert_eq!(oa.cache_bytes, ob.cache_bytes);
+    }
+}

@@ -1,0 +1,199 @@
+//! Report helpers shared by every table/figure binary: geometric means,
+//! aligned text tables, histograms and series normalization.
+
+use mlpwin_isa::Cycle;
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or contains non-positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires positive values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A simple aligned text table, printed by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut TextTable {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                if i == 0 {
+                    // Left-align the label column.
+                    line.push_str(&cells[i]);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[i]);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Histogram of `values` with fixed-width bins (Fig. 4).
+///
+/// Returns `(bin_start, count)` pairs covering `0..=max(values)`.
+/// Empty input yields an empty histogram.
+///
+/// # Panics
+///
+/// Panics if `bin_width` is zero.
+pub fn histogram(values: &[u64], bin_width: u64) -> Vec<(u64, u64)> {
+    assert!(bin_width > 0, "bin width must be positive");
+    let Some(&max) = values.iter().max() else {
+        return Vec::new();
+    };
+    let bins = (max / bin_width + 1) as usize;
+    let mut counts = vec![0u64; bins];
+    for &v in values {
+        counts[(v / bin_width) as usize] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (i as u64 * bin_width, c))
+        .collect()
+}
+
+/// Consecutive differences of a sorted event-cycle list — the Fig. 4
+/// miss-interval series.
+pub fn intervals(cycles: &[Cycle]) -> Vec<u64> {
+    cycles.windows(2).map(|w| w[1].saturating_sub(w[0])).collect()
+}
+
+/// Formats a ratio as a percentage string with one decimal ("+21.3%").
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", ratio * 100.0)
+}
+
+/// Normalizes each value by `base`, the Fig. 7/9/10/12 convention.
+///
+/// # Panics
+///
+/// Panics if `base` is not positive.
+pub fn normalize(values: &[f64], base: f64) -> Vec<f64> {
+    assert!(base > 0.0, "normalization base must be positive");
+    values.iter().map(|v| v / base).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing")]
+    fn geomean_rejects_empty() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["prog", "IPC"]);
+        t.row(vec!["libquantum", "0.41"]);
+        t.row(vec!["gcc", "1.20"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("prog"));
+        assert!(lines[2].contains("libquantum"));
+        // Right-aligned numeric column: both rows end at the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let h = histogram(&[0, 3, 8, 9, 17], 8);
+        assert_eq!(h, vec![(0, 2), (8, 2), (16, 1)]);
+        assert!(histogram(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn intervals_are_pairwise_diffs() {
+        assert_eq!(intervals(&[10, 15, 35]), vec![5, 20]);
+        assert!(intervals(&[42]).is_empty());
+    }
+
+    #[test]
+    fn normalize_and_pct() {
+        assert_eq!(normalize(&[2.0, 3.0], 2.0), vec![1.0, 1.5]);
+        assert_eq!(pct(0.213), "+21.3%");
+        assert_eq!(pct(-0.08), "-8.0%");
+    }
+}

@@ -1,0 +1,221 @@
+//! Experiment execution.
+//!
+//! A [`RunSpec`] names a `(profile, model)` pair plus warm-up and
+//! measurement budgets; [`run`] executes it and returns a [`RunResult`]
+//! with everything the tables and figures consume. [`run_matrix`]
+//! executes many specs across threads (each run is independent and
+//! deterministic, so parallelism cannot change any result).
+
+use crate::model::SimModel;
+use mlpwin_branch::PredictorStats;
+use mlpwin_energy::RunCounters;
+use mlpwin_isa::Cycle;
+use mlpwin_memsys::ProvenanceStats;
+use mlpwin_ooo::{Core, CoreStats, LevelSpec};
+use mlpwin_workloads::{profiles, Category};
+
+/// One experiment to run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunSpec {
+    /// Workload profile name (Table 3).
+    pub profile: String,
+    /// Processor model.
+    pub model: SimModel,
+    /// Warm-up instructions (counters reset afterwards).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub insts: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A spec with the default experiment budgets (250k warm-up + 100k
+    /// measured — scaled-down stand-ins for the paper's 16G + 100M; the
+    /// warm-up must populate each profile's cache-resident hot region).
+    pub fn new(profile: &str, model: SimModel) -> RunSpec {
+        RunSpec {
+            profile: profile.to_string(),
+            model,
+            warmup: 250_000,
+            insts: 100_000,
+            seed: 1,
+        }
+    }
+
+    /// Replaces the instruction budgets.
+    pub fn with_budget(mut self, warmup: u64, insts: u64) -> RunSpec {
+        self.warmup = warmup;
+        self.insts = insts;
+        self
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The spec that produced this result.
+    pub spec: RunSpec,
+    /// Table 3 category of the profile.
+    pub category: Category,
+    /// Pipeline statistics.
+    pub stats: CoreStats,
+    /// Branch predictor statistics.
+    pub predictor: PredictorStats,
+    /// Fig. 11 line-provenance breakdown (finalized).
+    pub provenance: ProvenanceStats,
+    /// Cycle of each demand L2 miss (Fig. 4 histogram input).
+    pub l2_miss_cycles: Vec<Cycle>,
+    /// L1 (I+D) accesses, for the energy model.
+    pub l1_accesses: u64,
+    /// L2 accesses, for the energy model.
+    pub l2_accesses: u64,
+    /// Main-memory line transfers, for the energy model.
+    pub dram_lines: u64,
+    /// Average load latency as seen by committed loads (Table 3).
+    pub avg_load_latency: f64,
+    /// The level ladder the model ran with (for energy weighting).
+    pub levels: Vec<LevelSpec>,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Builds the energy model's activity counters for this run.
+    pub fn run_counters(&self) -> RunCounters {
+        let level_cycles = self
+            .levels
+            .iter()
+            .copied()
+            .zip(self.stats.level_cycles.iter().copied())
+            .collect();
+        RunCounters {
+            cycles: self.stats.cycles,
+            dispatched: self.stats.dispatched_total,
+            issued: self.stats.issued_total,
+            l1_accesses: self.l1_accesses,
+            l2_accesses: self.l2_accesses,
+            dram_lines: self.dram_lines,
+            level_cycles,
+            provisioned: *self.levels.last().expect("at least one level"),
+        }
+    }
+}
+
+/// Runs one experiment.
+///
+/// # Panics
+///
+/// Panics if the profile name is unknown.
+pub fn run(spec: &RunSpec) -> RunResult {
+    let params = profiles::params_by_name(&spec.profile)
+        .unwrap_or_else(|| panic!("unknown profile {}", spec.profile));
+    let workload = profiles::by_name(&spec.profile, spec.seed).expect("checked above");
+    let (config, policy) = spec.model.build();
+    let levels = config.levels.clone();
+    let mut core = Core::new(config, workload, policy);
+    if spec.warmup > 0 {
+        core.run_warmup(spec.warmup);
+    }
+    let stats = core.run(spec.insts);
+    core.mem_mut().finalize();
+    let mem = core.mem();
+    RunResult {
+        spec: spec.clone(),
+        category: params.category,
+        predictor: core.predictor().stats().clone(),
+        provenance: *mem.provenance(),
+        l2_miss_cycles: mem.stats().l2_demand_miss_cycles.clone(),
+        l1_accesses: mem.l1d().stats().hits
+            + mem.l1d().stats().misses
+            + mem.l1i().stats().hits
+            + mem.l1i().stats().misses,
+        l2_accesses: mem.l2().stats().hits + mem.l2().stats().misses,
+        dram_lines: mem.dram().stats().requests,
+        avg_load_latency: stats.avg_load_latency(),
+        levels,
+        stats,
+    }
+}
+
+/// Runs many experiments across `threads` worker threads, preserving the
+/// input order in the output.
+pub fn run_matrix(specs: &[RunSpec], threads: usize) -> Vec<RunResult> {
+    let threads = threads.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
+        (0..specs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(specs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let r = run(&specs[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.into_inner().expect("result slot poisoned");
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every spec produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(profile: &str, model: SimModel) -> RunSpec {
+        RunSpec::new(profile, model).with_budget(3_000, 3_000)
+    }
+
+    #[test]
+    fn run_produces_consistent_result() {
+        let r = run(&quick("gcc", SimModel::Base));
+        assert!(r.stats.committed_insts >= 3_000);
+        assert_eq!(r.category, Category::ComputeIntensive);
+        assert!(r.l1_accesses > 0);
+        assert!(r.avg_load_latency > 0.0);
+        let c = r.run_counters();
+        assert_eq!(c.cycles, r.stats.cycles);
+        assert_eq!(c.level_cycles.len(), 1);
+    }
+
+    #[test]
+    fn matrix_preserves_order_and_matches_serial_runs() {
+        let specs = vec![
+            quick("gcc", SimModel::Base),
+            quick("milc", SimModel::Base),
+            quick("gcc", SimModel::Dynamic),
+        ];
+        let parallel = run_matrix(&specs, 3);
+        assert_eq!(parallel.len(), 3);
+        for (spec, result) in specs.iter().zip(&parallel) {
+            assert_eq!(&result.spec, spec);
+            let serial = run(spec);
+            assert_eq!(serial.stats, result.stats, "{spec:?} must be deterministic");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown profile")]
+    fn unknown_profile_panics() {
+        let _ = run(&quick("wrf", SimModel::Base));
+    }
+
+    #[test]
+    fn dynamic_run_reports_full_ladder() {
+        let r = run(&quick("libquantum", SimModel::Dynamic));
+        assert_eq!(r.levels.len(), 3);
+        assert_eq!(r.run_counters().provisioned.rob, 512);
+    }
+}

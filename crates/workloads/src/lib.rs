@@ -1,0 +1,69 @@
+//! # mlpwin-workloads
+//!
+//! Deterministic synthetic workload generators standing in for the
+//! SPEC CPU2006 binaries of the paper's evaluation (see `DESIGN.md` §1
+//! for the substitution rationale).
+//!
+//! Each of the 28 profiles in [`profiles`] mirrors one Table 3 program:
+//! its memory-/compute-intensive category, an address pattern that lands
+//! its average load latency in the right regime, a dependency structure
+//! that sets its exploitable ILP and MLP, and a branch population tuned
+//! toward the paper's Table 5 misprediction distances.
+//!
+//! A workload is an *infinite committed-path instruction stream*: the
+//! out-of-order core fetches from it through a rewindable
+//! [`TraceWindow`], and switches to the [`WrongPathGen`] stream while a
+//! mispredicted branch is unresolved.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlpwin_workloads::{profiles, Workload};
+//!
+//! let mut w = profiles::by_name("libquantum", 1).expect("known profile");
+//! let first = w.next_inst();
+//! let second = w.next_inst();
+//! // The committed path is PC-consistent.
+//! assert_eq!(first.successor_pc(), second.pc);
+//! ```
+
+pub mod body;
+pub mod gen;
+pub mod params;
+pub mod profiles;
+pub mod scripted;
+pub mod window;
+pub mod wrongpath;
+
+pub use gen::ProfileWorkload;
+pub use params::{Category, MemPattern, PhaseParams, ProfileParams};
+pub use scripted::ScriptedWorkload;
+pub use window::TraceWindow;
+pub use wrongpath::WrongPathGen;
+
+use mlpwin_isa::Instruction;
+
+/// An infinite, deterministic committed-path instruction stream.
+///
+/// Implementations must be pure functions of their construction
+/// parameters: two workloads built identically yield identical streams.
+pub trait Workload {
+    /// The profile name (e.g. `"libquantum"`).
+    fn name(&self) -> &str;
+
+    /// Produces the next committed-path instruction.
+    ///
+    /// Consecutive instructions are PC-consistent:
+    /// `previous.successor_pc() == next.pc`.
+    fn next_inst(&mut self) -> Instruction;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn next_inst(&mut self) -> Instruction {
+        (**self).next_inst()
+    }
+}

@@ -1,0 +1,286 @@
+//! Workload parameterization.
+//!
+//! A profile is a list of *phases*, cycled through endlessly. Each phase
+//! generates a static loop body (see [`crate::body`]) and a runtime
+//! address/branch behaviour. The parameters are chosen per SPEC2006
+//! program to reproduce the two axes the paper's evaluation depends on:
+//! how much MLP the program exposes to a large window (address patterns,
+//! load density, chase fraction) and how much ILP a small window already
+//! captures (dependency depth, long-latency op mix).
+
+/// Whether a profile is memory- or compute-intensive, per the paper's
+/// Table 3 threshold (average load latency 10 cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Average load latency above 10 cycles: dominated by memory stalls.
+    MemoryIntensive,
+    /// Average load latency at or below 10 cycles.
+    ComputeIntensive,
+}
+
+impl Category {
+    /// Short label used in reports ("mem" / "comp").
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::MemoryIntensive => "mem",
+            Category::ComputeIntensive => "comp",
+        }
+    }
+}
+
+/// Data-address pattern of a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemPattern {
+    /// Sequential streaming at the given byte stride — prefetcher-friendly
+    /// but bandwidth-hungry when the working set exceeds the L2.
+    Stream {
+        /// Bytes between consecutive accesses.
+        stride: u64,
+    },
+    /// Uniform random within the working set — unprefetchable; the miss
+    /// rate is set by the working-set-to-L2 ratio.
+    Random,
+    /// Random with temporal bursts: runs of `burst` accesses fall in a
+    /// small hot region, then the region jumps. Produces the clustered
+    /// L2-miss arrivals of Fig. 4 even without window-induced stalls.
+    BurstyRandom {
+        /// Accesses per hot region before jumping.
+        burst: u32,
+        /// Size of the hot region in bytes.
+        region: u64,
+    },
+    /// Random line-granular accesses with spatial reuse: a random
+    /// line-aligned base, then `run` sequential 8-byte accesses from it.
+    /// This is how SPEC's memory-intensive programs actually touch
+    /// memory — roughly one fresh L2 line per `run` loads — keeping the
+    /// miss rate in the tens-per-kilo-instruction range where latency
+    /// (not bus bandwidth) binds and window size pays off.
+    RandomChunk {
+        /// Accesses per random chunk before jumping.
+        run: u32,
+        /// Probability a chunk (or chase target) lands in the hot,
+        /// cache-resident subset of the working set instead of a cold
+        /// random location — the temporal locality that sets the average
+        /// load latency (Table 3) below the raw miss penalty.
+        reuse: f64,
+    },
+}
+
+/// One phase of a profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseParams {
+    /// Committed instructions spent in this phase before moving on.
+    pub len: u64,
+    /// Static loop-body length in instructions (power of ~dozens-hundreds;
+    /// determines the code footprint and PHT pressure).
+    pub body_len: usize,
+    /// Fraction of body slots that are loads.
+    pub load_frac: f64,
+    /// Fraction of body slots that are stores.
+    pub store_frac: f64,
+    /// Fraction of body slots that are conditional branches.
+    pub branch_frac: f64,
+    /// Probability a conditional branch follows its per-slot bias; the
+    /// steady-state misprediction rate approaches `1 - bias`.
+    pub branch_bias: f64,
+    /// Of non-memory, non-branch slots, the fraction that are FP ops.
+    pub fp_frac: f64,
+    /// Of ALU slots, the fraction that are long-latency (mul/div/sqrt).
+    pub longlat_frac: f64,
+    /// How far back (in body slots) a consumer may reach for its sources:
+    /// 1–2 creates serial chains (low ILP), 8+ creates wide parallelism.
+    pub dep_depth: usize,
+    /// Of loads, the fraction that are pointer-chasing: each such load's
+    /// address depends on the previous chase load's result, serializing
+    /// their misses (low MLP no matter the window).
+    pub chase_frac: f64,
+    /// Data working-set size in bytes; below the L1 size everything hits,
+    /// beyond the L2 size demand misses dominate.
+    pub working_set: u64,
+    /// Address pattern within the working set.
+    pub pattern: MemPattern,
+}
+
+impl Default for PhaseParams {
+    /// A cache-resident, branch-light compute phase.
+    fn default() -> PhaseParams {
+        PhaseParams {
+            len: 100_000,
+            body_len: 128,
+            load_frac: 0.18,
+            store_frac: 0.08,
+            branch_frac: 0.12,
+            branch_bias: 0.97,
+            fp_frac: 0.0,
+            longlat_frac: 0.05,
+            dep_depth: 6,
+            chase_frac: 0.0,
+            working_set: 32 * 1024,
+            pattern: MemPattern::Stream { stride: 8 },
+        }
+    }
+}
+
+impl PhaseParams {
+    /// Validates that all fractions are sane; generators call this before
+    /// building a body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.len == 0 {
+            return Err("phase length must be positive".into());
+        }
+        if self.body_len < 8 {
+            return Err("body must have at least 8 slots".into());
+        }
+        let occupied = self.load_frac + self.store_frac + self.branch_frac;
+        if !(0.0..=0.95).contains(&occupied) {
+            return Err(format!(
+                "load+store+branch fractions must leave room for ALU ops, got {occupied}"
+            ));
+        }
+        for (name, v) in [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("branch_bias", self.branch_bias),
+            ("fp_frac", self.fp_frac),
+            ("longlat_frac", self.longlat_frac),
+            ("chase_frac", self.chase_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} out of [0,1]: {v}"));
+            }
+        }
+        if self.dep_depth == 0 {
+            return Err("dep_depth must be at least 1".into());
+        }
+        if self.working_set < 4096 {
+            return Err("working set must be at least 4 KiB".into());
+        }
+        Ok(())
+    }
+}
+
+/// A complete workload profile: a named, categorized phase cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileParams {
+    /// Program name (matches the paper's Table 3).
+    pub name: &'static str,
+    /// Memory- or compute-intensive category from Table 3.
+    pub category: Category,
+    /// Whether Table 3 lists the program as floating-point.
+    pub is_fp: bool,
+    /// The phases, cycled endlessly.
+    pub phases: Vec<PhaseParams>,
+}
+
+impl ProfileParams {
+    /// Validates every phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first phase error, prefixed with the profile name.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err(format!("{}: profile needs at least one phase", self.name));
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            p.validate()
+                .map_err(|e| format!("{} phase {i}: {e}", self.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_phase_is_valid() {
+        PhaseParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_overfull_slot_budget() {
+        let p = PhaseParams {
+            load_frac: 0.5,
+            store_frac: 0.4,
+            branch_frac: 0.2,
+            ..PhaseParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_fractions() {
+        let p = PhaseParams {
+            branch_bias: 1.5,
+            ..PhaseParams::default()
+        };
+        assert!(p.validate().unwrap_err().contains("branch_bias"));
+    }
+
+    #[test]
+    fn rejects_degenerate_structure() {
+        assert!(PhaseParams {
+            len: 0,
+            ..PhaseParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseParams {
+            body_len: 4,
+            ..PhaseParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseParams {
+            dep_depth: 0,
+            ..PhaseParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PhaseParams {
+            working_set: 16,
+            ..PhaseParams::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn profile_validation_names_the_phase() {
+        let p = ProfileParams {
+            name: "bad",
+            category: Category::ComputeIntensive,
+            is_fp: false,
+            phases: vec![PhaseParams::default(), PhaseParams {
+                dep_depth: 0,
+                ..PhaseParams::default()
+            }],
+        };
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("bad phase 1"), "{err}");
+    }
+
+    #[test]
+    fn empty_profile_is_invalid() {
+        let p = ProfileParams {
+            name: "empty",
+            category: Category::ComputeIntensive,
+            is_fp: false,
+            phases: vec![],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(Category::MemoryIntensive.label(), "mem");
+        assert_eq!(Category::ComputeIntensive.label(), "comp");
+    }
+}

@@ -1,0 +1,125 @@
+//! Hand-scripted workloads for precision timing tests.
+//!
+//! A [`ScriptedWorkload`] loops forever over a fixed instruction vector.
+//! Unlike the profile generators it gives tests *exact* control over
+//! dependences, addresses and branch outcomes — the right tool for
+//! asserting cycle-level properties ("dependent single-cycle ops issue
+//! back-to-back at depth 1 but not at depth 2") that statistical
+//! workloads can only suggest.
+
+use crate::Workload;
+use mlpwin_isa::{BranchKind, Instruction};
+
+/// A workload that repeats a fixed, PC-consistent instruction loop.
+#[derive(Debug, Clone)]
+pub struct ScriptedWorkload {
+    body: Vec<Instruction>,
+    next: usize,
+}
+
+impl ScriptedWorkload {
+    /// Builds a looping workload from `body`.
+    ///
+    /// The body must be PC-consistent as a loop: each instruction's
+    /// `successor_pc()` must equal the next instruction's `pc`, and the
+    /// last instruction's successor must equal the first instruction's
+    /// `pc` (i.e. the body ends with a taken branch back to the top).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first PC inconsistency.
+    pub fn looping(body: Vec<Instruction>) -> Result<ScriptedWorkload, String> {
+        if body.is_empty() {
+            return Err("scripted body must not be empty".into());
+        }
+        for (i, inst) in body.iter().enumerate() {
+            inst.validate()?;
+            let next = &body[(i + 1) % body.len()];
+            if inst.successor_pc() != next.pc {
+                return Err(format!(
+                    "instruction {i} at {:#x} continues at {:#x}, but the next \
+                     instruction is at {:#x}",
+                    inst.pc,
+                    inst.successor_pc(),
+                    next.pc
+                ));
+            }
+        }
+        Ok(ScriptedWorkload { body, next: 0 })
+    }
+
+    /// Convenience: wraps straight-line `insts` with a terminal jump back
+    /// to the first instruction, so callers only script the interesting
+    /// part. Instructions must be laid out contiguously (each at the
+    /// previous one's fall-through).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the straight-line layout is inconsistent.
+    pub fn loop_with_backedge(mut insts: Vec<Instruction>) -> Result<ScriptedWorkload, String> {
+        let first_pc = insts.first().ok_or("empty body")?.pc;
+        let last = insts.last().expect("checked non-empty");
+        let jump_pc = last.next_pc();
+        insts.push(Instruction::jump(jump_pc, BranchKind::Unconditional, first_pc));
+        ScriptedWorkload::looping(insts)
+    }
+
+    /// The loop body length, including any synthesized back edge.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+}
+
+impl Workload for ScriptedWorkload {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+
+    fn next_inst(&mut self) -> Instruction {
+        let inst = self.body[self.next].clone();
+        self.next = (self.next + 1) % self.body.len();
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpwin_isa::{ArchReg, OpClass};
+
+    fn alu(pc: u64) -> Instruction {
+        Instruction::alu(pc, OpClass::IntAlu, ArchReg::int(1), &[ArchReg::int(1)])
+    }
+
+    #[test]
+    fn backedge_loop_is_pc_consistent_forever() {
+        let mut w =
+            ScriptedWorkload::loop_with_backedge(vec![alu(0x100), alu(0x104), alu(0x108)])
+                .unwrap();
+        assert_eq!(w.body_len(), 4);
+        let mut prev = w.next_inst();
+        for _ in 0..50 {
+            let next = w.next_inst();
+            assert_eq!(prev.successor_pc(), next.pc);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_layout() {
+        // Gap between 0x100 and 0x200 without a branch.
+        let err = ScriptedWorkload::looping(vec![alu(0x100), alu(0x200)]).unwrap_err();
+        assert!(err.contains("continues at"));
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        assert!(ScriptedWorkload::looping(vec![]).is_err());
+    }
+
+    #[test]
+    fn explicit_loop_must_close_the_cycle() {
+        // A straight line without a back edge cannot loop.
+        assert!(ScriptedWorkload::looping(vec![alu(0x100), alu(0x104)]).is_err());
+    }
+}

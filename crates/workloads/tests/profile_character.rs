@@ -1,0 +1,182 @@
+//! Behavioural audits of all 28 profiles: the generated streams must
+//! exhibit the statistical character their parameters promise, because
+//! every paper figure rests on it.
+
+use mlpwin_isa::OpClass;
+use mlpwin_workloads::{profiles, Category, Workload};
+use std::collections::HashSet;
+
+struct Mix {
+    loads: f64,
+    stores: f64,
+    branches: f64,
+    fp: f64,
+    distinct_lines: usize,
+    taken_rate: f64,
+}
+
+fn measure(name: &str, n: usize) -> Mix {
+    let mut w = profiles::by_name(name, 3).expect("profile");
+    let (mut loads, mut stores, mut branches, mut fp, mut taken, mut cond) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut lines = HashSet::new();
+    for _ in 0..n {
+        let i = w.next_inst();
+        match i.op {
+            OpClass::Load => {
+                loads += 1;
+                lines.insert(i.mem.expect("load has mem").addr / 64);
+            }
+            OpClass::Store => stores += 1,
+            OpClass::CondBranch => {
+                branches += 1;
+                cond += 1;
+                taken += i.branch.expect("branch info").taken as u64;
+            }
+            OpClass::Jump => branches += 1,
+            op if op.is_fp() => fp += 1,
+            _ => {}
+        }
+    }
+    Mix {
+        loads: loads as f64 / n as f64,
+        stores: stores as f64 / n as f64,
+        branches: branches as f64 / n as f64,
+        fp: fp as f64 / n as f64,
+        distinct_lines: lines.len(),
+        taken_rate: if cond > 0 {
+            taken as f64 / cond as f64
+        } else {
+            1.0
+        },
+    }
+}
+
+#[test]
+fn instruction_mixes_track_the_declared_fractions() {
+    for p in profiles::all() {
+        let mix = measure(p.name, 30_000);
+        let declared = &p.phases[0];
+        // Loads/stores within a loose band of the declared fraction (the
+        // dynamic mix shifts with taken-branch skips).
+        assert!(
+            (mix.loads - declared.load_frac).abs() < 0.10,
+            "{}: loads {:.2} vs declared {:.2}",
+            p.name,
+            mix.loads,
+            declared.load_frac
+        );
+        assert!(
+            (mix.stores - declared.store_frac).abs() < 0.08,
+            "{}: stores {:.2} vs declared {:.2}",
+            p.name,
+            mix.stores,
+            declared.store_frac
+        );
+        assert!(
+            mix.branches > 0.005,
+            "{}: every profile needs control flow, got {:.3}",
+            p.name,
+            mix.branches
+        );
+    }
+}
+
+#[test]
+fn fp_profiles_execute_fp_work() {
+    for p in profiles::all() {
+        let mix = measure(p.name, 20_000);
+        if p.is_fp {
+            assert!(
+                mix.fp > 0.05,
+                "{}: fp profile with only {:.3} fp ops",
+                p.name,
+                mix.fp
+            );
+        } else {
+            assert!(
+                mix.fp < 0.01,
+                "{}: integer profile executing fp ops ({:.3})",
+                p.name,
+                mix.fp
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_profiles_touch_far_more_lines_than_compute_profiles() {
+    let mut worst_mem = usize::MAX;
+    let mut worst_comp = 0usize;
+    for p in profiles::all() {
+        let mix = measure(p.name, 30_000);
+        match p.category {
+            Category::MemoryIntensive => worst_mem = worst_mem.min(mix.distinct_lines),
+            Category::ComputeIntensive => worst_comp = worst_comp.max(mix.distinct_lines),
+        }
+    }
+    // Every memory profile's footprint must beat a compute-footprint
+    // floor; the categories must not interleave badly.
+    assert!(
+        worst_mem > 400,
+        "memory-intensive profiles must touch many lines: {worst_mem}"
+    );
+    assert!(
+        worst_comp < 4_000,
+        "compute-intensive profiles must stay cache-scale: {worst_comp}"
+    );
+}
+
+#[test]
+fn branch_bias_shapes_the_taken_rate() {
+    // Biased-taken conditional branches: the measured taken rate must
+    // track branch_bias for every profile that has branches.
+    for p in profiles::all() {
+        let declared = p.phases[0].branch_bias;
+        if p.phases[0].branch_frac < 0.02 {
+            continue;
+        }
+        let mix = measure(p.name, 40_000);
+        assert!(
+            (mix.taken_rate - declared).abs() < 0.05,
+            "{}: taken rate {:.3} vs bias {:.3}",
+            p.name,
+            mix.taken_rate,
+            declared
+        );
+    }
+}
+
+#[test]
+fn seeds_change_the_dynamic_stream_but_not_its_character() {
+    for name in ["mcf", "gcc"] {
+        let a = {
+            let mut w = profiles::by_name(name, 1).expect("profile");
+            (0..1000).map(|_| w.next_inst()).collect::<Vec<_>>()
+        };
+        let b = {
+            let mut w = profiles::by_name(name, 2).expect("profile");
+            (0..1000).map(|_| w.next_inst()).collect::<Vec<_>>()
+        };
+        assert_ne!(a, b, "{name}: seeds must vary the stream");
+        let mix1 = measure(name, 20_000);
+        // Same structural mix regardless of seed (static body is seeded
+        // by the same profile seed, so compare against declared instead).
+        let declared = profiles::params_by_name(name).expect("known").phases[0].load_frac;
+        assert!((mix1.loads - declared).abs() < 0.10);
+    }
+}
+
+#[test]
+fn selected_figure_programs_cover_both_categories() {
+    let mem: Vec<_> = profiles::SELECTED_MEM
+        .iter()
+        .map(|n| profiles::params_by_name(n).expect("known").category)
+        .collect();
+    let comp: Vec<_> = profiles::SELECTED_COMP
+        .iter()
+        .map(|n| profiles::params_by_name(n).expect("known").category)
+        .collect();
+    assert!(mem.iter().all(|c| *c == Category::MemoryIntensive));
+    assert!(comp.iter().all(|c| *c == Category::ComputeIntensive));
+}

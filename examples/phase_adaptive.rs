@@ -1,0 +1,61 @@
+//! Phase adaptivity: watch the window resize live on the omnetpp-like
+//! workload, whose memory-bound event-processing phases alternate with
+//! cache-resident bookkeeping every 30k instructions (the paper's §5.3
+//! case where dynamic resizing beats *every* fixed configuration).
+//!
+//! Prints an ASCII timeline of the window level and the phase-tracking
+//! summary.
+//!
+//! ```text
+//! cargo run --release --example phase_adaptive
+//! ```
+
+use mlpwin::core::WindowModel;
+use mlpwin::ooo::{Core, CoreConfig};
+use mlpwin::workloads::profiles;
+
+fn main() {
+    let (config, policy) = WindowModel::Dynamic.build(CoreConfig::default());
+    let workload = profiles::by_name("omnetpp", 1).expect("profile");
+    let mut cpu = Core::new(config, workload, policy);
+    cpu.run_warmup(150_000);
+
+    println!("omnetpp under dynamic resizing — window level sampled every 500 cycles");
+    println!("(# = level: one column per sample; tall = enlarged window)\n");
+
+    // Sample the level as the run progresses.
+    let mut samples = Vec::new();
+    let target = cpu.stats().committed_insts + 120_000;
+    let mut next_sample = cpu.cycle() + 500;
+    while cpu.stats().committed_insts < target {
+        cpu.step();
+        if cpu.cycle() >= next_sample {
+            samples.push(cpu.current_level());
+            next_sample += 500;
+        }
+    }
+
+    // Render three rows, level 3 on top.
+    for row in (0..3usize).rev() {
+        let mut line = String::new();
+        for &s in samples.iter().take(160) {
+            line.push(if s >= row { '#' } else { ' ' });
+        }
+        println!("L{} |{line}", row + 1);
+    }
+    println!("    +{}", "-".repeat(samples.len().min(160)));
+
+    let s = cpu.stats();
+    println!(
+        "\nresidency: L1 {:.0}%  L2 {:.0}%  L3 {:.0}%   transitions: {} up / {} down",
+        s.level_residency(0) * 100.0,
+        s.level_residency(1) * 100.0,
+        s.level_residency(2) * 100.0,
+        s.transitions_up,
+        s.transitions_down
+    );
+    println!("IPC {:.3} over the sampled window", s.ipc());
+    println!("\nThe alternating blocks mirror omnetpp's phase structure: the window");
+    println!("grows within memory phases (clustered L2 misses) and shrinks one");
+    println!("memory latency after each phase's last miss.");
+}

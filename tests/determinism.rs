@@ -1,0 +1,74 @@
+//! Determinism guarantees: every run is a pure function of
+//! (profile, model, seed, budgets) — across repeated executions, across
+//! thread counts, and across all models.
+
+use mlpwin::sim::runner::{run, run_matrix, RunSpec};
+use mlpwin::sim::SimModel;
+
+fn spec(profile: &str, model: SimModel, seed: u64) -> RunSpec {
+    let mut s = RunSpec::new(profile, model).with_budget(10_000, 5_000);
+    s.seed = seed;
+    s
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for model in [
+        SimModel::Base,
+        SimModel::Fixed(3),
+        SimModel::Dynamic,
+        SimModel::Runahead,
+        SimModel::BigL2,
+    ] {
+        let a = run(&spec("soplex", model, 1));
+        let b = run(&spec("soplex", model, 1));
+        assert_eq!(a.stats, b.stats, "{model:?} not deterministic");
+        assert_eq!(a.provenance, b.provenance);
+        assert_eq!(a.l2_miss_cycles, b.l2_miss_cycles);
+    }
+}
+
+#[test]
+fn thread_count_cannot_change_results() {
+    let specs: Vec<RunSpec> = ["gcc", "milc", "mcf", "sjeng"]
+        .iter()
+        .map(|p| spec(p, SimModel::Dynamic, 1))
+        .collect();
+    let serial = run_matrix(&specs, 1);
+    let parallel = run_matrix(&specs, 4);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.stats, p.stats, "{}: thread-count sensitivity", s.spec.profile);
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run(&spec("soplex", SimModel::Base, 1));
+    let b = run(&spec("soplex", SimModel::Base, 2));
+    assert_ne!(
+        a.stats.cycles, b.stats.cycles,
+        "distinct seeds should explore distinct dynamic behaviour"
+    );
+    // But aggregate character stays put: same category, same regime.
+    let ratio = a.ipc() / b.ipc();
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "seed variance should be bounded: {ratio}"
+    );
+}
+
+#[test]
+fn warmup_reset_preserves_microarchitectural_state() {
+    // Running 2k after an 8k warmup must differ from a cold 2k run
+    // (warm caches), and two warm runs must agree with each other.
+    let cold = run(&RunSpec::new("gcc", SimModel::Base).with_budget(0, 2_000));
+    let warm1 = run(&RunSpec::new("gcc", SimModel::Base).with_budget(8_000, 2_000));
+    let warm2 = run(&RunSpec::new("gcc", SimModel::Base).with_budget(8_000, 2_000));
+    assert_eq!(warm1.stats, warm2.stats);
+    assert!(
+        warm1.ipc() > cold.ipc(),
+        "warm ({:.3}) should beat cold ({:.3})",
+        warm1.ipc(),
+        cold.ipc()
+    );
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of cross-crate invariants.
+
+use mlpwin::branch::{BranchPredictor, PredictorConfig};
+use mlpwin::core::DynamicResizingPolicy;
+use mlpwin::isa::{Instruction, Xoshiro256StarStar};
+use mlpwin::memsys::{AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig, PathKind};
+use mlpwin::ooo::WindowPolicy;
+use mlpwin::workloads::{
+    MemPattern, PhaseParams, ProfileParams, ProfileWorkload, TraceWindow, Workload,
+};
+use proptest::prelude::*;
+
+/// Arbitrary-but-valid phase parameters.
+fn phase_strategy() -> impl Strategy<Value = PhaseParams> {
+    (
+        16usize..256,          // body_len
+        0.05f64..0.35,         // load_frac
+        0.0f64..0.15,          // store_frac
+        0.0f64..0.20,          // branch_frac
+        0.5f64..1.0,           // branch_bias
+        0.0f64..0.8,           // fp_frac
+        1usize..16,            // dep_depth
+        0.0f64..0.6,           // chase_frac
+        0u8..4,                // pattern selector
+    )
+        .prop_map(
+            |(body, load, store, branch, bias, fp, dep, chase, pat)| PhaseParams {
+                len: 10_000,
+                body_len: body,
+                load_frac: load,
+                store_frac: store,
+                branch_frac: branch,
+                branch_bias: bias,
+                fp_frac: fp,
+                longlat_frac: 0.1,
+                dep_depth: dep,
+                chase_frac: chase,
+                working_set: 1 << 20,
+                pattern: match pat {
+                    0 => MemPattern::Stream { stride: 8 },
+                    1 => MemPattern::Random,
+                    2 => MemPattern::BurstyRandom {
+                        burst: 16,
+                        region: 4096,
+                    },
+                    _ => MemPattern::RandomChunk {
+                        run: 6,
+                        reuse: 0.5,
+                    },
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated stream is PC-consistent and structurally valid,
+    /// for arbitrary valid phase parameters.
+    #[test]
+    fn generated_streams_are_always_pc_consistent(phase in phase_strategy(), seed in 0u64..1000) {
+        let params = ProfileParams {
+            name: "prop",
+            category: mlpwin::workloads::Category::ComputeIntensive,
+            is_fp: false,
+            phases: vec![phase],
+        };
+        let mut w = ProfileWorkload::new(params, seed).expect("valid params");
+        let mut prev: Option<Instruction> = None;
+        for _ in 0..3_000 {
+            let inst = w.next_inst();
+            inst.validate().expect("structurally valid");
+            if let Some(p) = prev {
+                prop_assert_eq!(p.successor_pc(), inst.pc);
+            }
+            prev = Some(inst);
+        }
+    }
+
+    /// Rewinding a trace window replays the identical instructions.
+    #[test]
+    fn trace_window_rewind_is_exact(seed in 0u64..500, ahead in 1u64..3000) {
+        let w = mlpwin::workloads::profiles::by_name("gcc", seed).expect("profile");
+        let mut win = TraceWindow::new(w);
+        let first: Vec<Instruction> = (0..100).map(|s| win.get(s).clone()).collect();
+        let _ = win.get(100 + ahead); // run ahead
+        for (s, expect) in first.iter().enumerate() {
+            prop_assert_eq!(win.get(s as u64), expect);
+        }
+    }
+
+    /// Cache fills never exceed capacity and LRU keeps the most recent
+    /// line of any filled set resident.
+    #[test]
+    fn cache_capacity_and_recency(addrs in proptest::collection::vec(0u64..(1 << 16), 1..300)) {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+        let meta = mlpwin::memsys::cache::LineMeta {
+            provenance: mlpwin::memsys::Provenance::DemandCorrect,
+            touched_by_correct_path: false,
+        };
+        for &a in &addrs {
+            c.fill(a, meta);
+            prop_assert!(c.resident_count() <= 64, "capacity exceeded");
+            prop_assert!(c.contains(a), "just-filled line must be resident");
+        }
+    }
+
+    /// The memory system never returns a completion earlier than its own
+    /// hit latency, and monotone `now` keeps results causal.
+    #[test]
+    fn memsys_results_are_causal(
+        addrs in proptest::collection::vec(0u64..(1 << 30), 1..200),
+        stride in 1u64..64,
+    ) {
+        let mut m = MemSystem::new(MemSystemConfig::default());
+        let mut now = 0;
+        for (i, &a) in addrs.iter().enumerate() {
+            now += stride;
+            let r = m.access(AccessKind::Load, 0x1000 + (i as u64 % 16) * 4, a * 8, now, PathKind::Correct);
+            prop_assert!(r.ready_at >= now + 2, "faster than the L1 hit latency");
+            prop_assert!(r.ready_at <= now + 100_000, "implausibly slow");
+        }
+    }
+
+    /// The Fig. 5 controller's level stays within bounds and shrinks are
+    /// armed only after a full memory latency without misses.
+    #[test]
+    fn controller_level_always_in_range(misses in proptest::collection::vec(any::<bool>(), 1..2000)) {
+        let mut p = DynamicResizingPolicy::new(300);
+        let mut level = 0usize;
+        let mut last_miss: Option<u64> = None;
+        for (t, &miss) in misses.iter().enumerate() {
+            let t = t as u64;
+            let target = p.target_level(t, miss as u32, level, 2);
+            prop_assert!(target <= 2);
+            if target != level {
+                if target < level {
+                    // A shrink request requires >= one memory latency of
+                    // miss-free cycles since the last miss (or start).
+                    if let Some(lm) = last_miss {
+                        prop_assert!(t >= lm + 300, "shrink at {t} after miss at {lm}");
+                    }
+                }
+                p.on_transition(t, level, target);
+                level = target;
+            }
+            if miss {
+                last_miss = Some(t);
+                prop_assert!(level > 0 || target > 0, "miss must enlarge below max");
+            }
+        }
+    }
+
+    /// The branch predictor is self-consistent on arbitrary outcome
+    /// sequences: speculative history repair never panics and stats add up.
+    #[test]
+    fn predictor_handles_arbitrary_outcomes(outcomes in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let mut bp = BranchPredictor::new(PredictorConfig::default());
+        let mut rng = Xoshiro256StarStar::seed_from(9);
+        for &taken in &outcomes {
+            let pc = 0x400 + (rng.range(64)) * 4;
+            let br = Instruction::cond_branch(pc, mlpwin::isa::ArchReg::int(1), taken, 0x9000);
+            let o = bp.predict(&br);
+            bp.resolve(&br, &o);
+        }
+        let s = bp.stats();
+        prop_assert_eq!(s.conditional_branches, outcomes.len() as u64);
+        prop_assert!(s.direction_mispredicts <= s.conditional_branches);
+    }
+}
