@@ -1,37 +1,37 @@
-//! Criterion end-to-end benchmarks: simulated instructions per second of
+//! End-to-end benchmarks: simulated instructions per second of
 //! wall-clock for each processor model, on one memory-bound and one
 //! compute-bound workload. Throughput here bounds how large an
 //! experiment matrix (`fig7`, `fig12`, ...) is affordable.
+//!
+//! Self-contained harness (no external benchmarking crate — the build
+//! must work offline): each model runs a few times and the best
+//! wall-clock time is reported as instructions simulated per second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mlpwin_ooo::Core;
 use mlpwin_sim::SimModel;
 use mlpwin_workloads::profiles;
+use std::time::Instant;
 
 const INSTS: u64 = 5_000;
+const SAMPLES: usize = 5;
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate");
-    group.throughput(Throughput::Elements(INSTS));
-    group.sample_size(10);
+fn main() {
     for profile in ["sphinx3", "gcc"] {
         for model in [SimModel::Base, SimModel::Dynamic, SimModel::Runahead] {
-            group.bench_with_input(
-                BenchmarkId::new(profile, model.label()),
-                &(profile, model),
-                |b, (profile, model)| {
-                    b.iter(|| {
-                        let (config, policy) = model.build();
-                        let w = profiles::by_name(profile, 1).expect("profile");
-                        let mut core = Core::new(config, w, policy);
-                        core.run(INSTS)
-                    })
-                },
+            let mut best = f64::INFINITY;
+            for _ in 0..SAMPLES {
+                let (config, policy) = model.build();
+                let w = profiles::by_name(profile, 1).expect("profile");
+                let mut core = Core::new(config, w, policy);
+                let t0 = Instant::now();
+                core.run(INSTS).expect("benchmark run must not stall");
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            println!(
+                "simulate/{profile}/{:20} {:10.0} insts/s   (best of {SAMPLES})",
+                model.label(),
+                INSTS as f64 / best,
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(endtoend, bench_models);
-criterion_main!(endtoend);

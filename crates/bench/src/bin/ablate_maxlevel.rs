@@ -16,13 +16,15 @@ use mlpwin_sim::report::{geomean, pct, TextTable};
 use mlpwin_workloads::{profiles, Category};
 
 fn run_one(name: &str, max_level: usize, warmup: u64, insts: u64, seed: u64) -> f64 {
-    let mut config = CoreConfig::default();
-    config.levels = LevelSpec::table2().into_iter().take(max_level).collect();
+    let config = CoreConfig {
+        levels: LevelSpec::table2().into_iter().take(max_level).collect(),
+        ..CoreConfig::default()
+    };
     let latency = config.memory.dram.min_latency;
     let w = profiles::by_name(name, seed).expect("profile");
     let mut core = Core::new(config, w, Box::new(DynamicResizingPolicy::new(latency)));
-    core.run_warmup(warmup);
-    core.run(insts).ipc()
+    core.run_warmup(warmup).expect("warm-up must not stall");
+    core.run(insts).expect("healthy run").ipc()
 }
 
 fn main() {
@@ -66,13 +68,7 @@ fn main() {
             .iter()
             .filter(|(_, c, _)| cat.is_none_or(|x| *c == x))
             .collect();
-        let gm = |k: usize| {
-            geomean(
-                &sel.iter()
-                    .map(|(_, _, v)| v[k] / v[0])
-                    .collect::<Vec<_>>(),
-            )
-        };
+        let gm = |k: usize| geomean(&sel.iter().map(|(_, _, v)| v[k] / v[0]).collect::<Vec<_>>());
         t.row(vec![
             label.to_string(),
             "1.000".to_string(),

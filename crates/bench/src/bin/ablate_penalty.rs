@@ -18,8 +18,9 @@ fn gm_ipc(penalty: u32, warmup: u64, insts: u64, seed: u64, threads: usize) -> f
     let names = profiles::names();
     let mut ratios = vec![0.0f64; names.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<f64>> =
-        (0..names.len()).map(|_| std::sync::Mutex::new(0.0)).collect();
+    let slots: Vec<std::sync::Mutex<f64>> = (0..names.len())
+        .map(|_| std::sync::Mutex::new(0.0))
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(names.len()) {
             scope.spawn(|| loop {
@@ -27,13 +28,15 @@ fn gm_ipc(penalty: u32, warmup: u64, insts: u64, seed: u64, threads: usize) -> f
                 if i >= names.len() {
                     break;
                 }
-                let mut base_cfg = CoreConfig::default();
-                base_cfg.transition_penalty = penalty;
+                let base_cfg = CoreConfig {
+                    transition_penalty: penalty,
+                    ..CoreConfig::default()
+                };
                 let (config, policy) = WindowModel::Dynamic.build(base_cfg);
                 let w = profiles::by_name(names[i], seed).expect("profile");
                 let mut core = Core::new(config, w, policy);
-                core.run_warmup(warmup);
-                let s = core.run(insts);
+                core.run_warmup(warmup).expect("warm-up must not stall");
+                let s = core.run(insts).expect("healthy run");
                 *slots[i].lock().expect("slot") = s.ipc();
             });
         }

@@ -17,12 +17,14 @@ use mlpwin_sim::report::{geomean, pct, TextTable};
 use mlpwin_workloads::{profiles, Category};
 
 fn run_one(name: &str, timeout: u32, warmup: u64, insts: u64, seed: u64) -> f64 {
-    let mut config = CoreConfig::default();
-    config.levels = LevelSpec::table2();
+    let config = CoreConfig {
+        levels: LevelSpec::table2(),
+        ..CoreConfig::default()
+    };
     let w = profiles::by_name(name, seed).expect("profile");
     let mut core = Core::new(config, w, Box::new(DynamicResizingPolicy::new(timeout)));
-    core.run_warmup(warmup);
-    core.run(insts).ipc()
+    core.run_warmup(warmup).expect("warm-up must not stall");
+    core.run(insts).expect("healthy run").ipc()
 }
 
 fn main() {
@@ -80,7 +82,7 @@ fn main() {
         };
         let mut cells = vec![label.to_string()];
         for k in 0..timeouts.len() {
-            cells.push(format!("{}", pct(gm(k) - 1.0)));
+            cells.push(pct(gm(k) - 1.0).to_string());
         }
         t.row(cells);
     }

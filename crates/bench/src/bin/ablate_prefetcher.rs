@@ -22,8 +22,9 @@ fn run_one(name: &str, model: WindowModel, prefetch: bool, args: &ExpArgs) -> f6
     let (config, policy) = model.build(base);
     let w = profiles::by_name(name, args.seed).expect("profile");
     let mut core = Core::new(config, w, policy);
-    core.run_warmup(args.warmup);
-    core.run(args.insts).ipc()
+    core.run_warmup(args.warmup)
+        .expect("warm-up must not stall");
+    core.run(args.insts).expect("healthy run").ipc()
 }
 
 fn main() {
@@ -67,12 +68,7 @@ fn main() {
     println!("Ablation: prefetcher x window resizing (memory-intensive GM IPC,\nnormalized to base-with-prefetch)\n");
     let mut t = TextTable::new(vec!["configuration", "GM-mem IPC rel", "delta"]);
     for (k, (label, _, _)) in combos.iter().enumerate() {
-        let gm = geomean(
-            &ipcs
-                .iter()
-                .map(|v| v[k] / v[0])
-                .collect::<Vec<_>>(),
-        );
+        let gm = geomean(&ipcs.iter().map(|v| v[k] / v[0]).collect::<Vec<_>>());
         t.row(vec![label.to_string(), format!("{gm:.3}"), pct(gm - 1.0)]);
     }
     println!("{}", t.render());

@@ -25,7 +25,7 @@ fn main() {
             specs.push(RunSpec::new(p, m).with_budget(args.warmup, args.insts));
         }
     }
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
     let ipc = |p: &str, m: SimModel| {
         results
             .iter()
@@ -61,7 +61,11 @@ fn main() {
     };
     let l2_gain = gm(SimModel::BigL2);
     let res_gain = gm(SimModel::Dynamic);
-    println!("GM all: enlarged L2 {} | dynamic resizing {}", pct(l2_gain - 1.0), pct(res_gain - 1.0));
+    println!(
+        "GM all: enlarged L2 {} | dynamic resizing {}",
+        pct(l2_gain - 1.0),
+        pct(res_gain - 1.0)
+    );
 
     let area = AreaModel::new();
     let l2_extra =

@@ -30,7 +30,7 @@ fn main() {
         specs.push(RunSpec::new(p, SimModel::Base).with_budget(args.warmup, args.insts));
         specs.push(RunSpec::new(p, SimModel::Dynamic).with_budget(args.warmup, args.insts));
     }
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
 
     println!("Figure 11: L2 lines brought in, by provenance x usefulness");
     println!("(each pair normalized to the base model's total)\n");
@@ -95,9 +95,6 @@ fn main() {
         rw as f64 / rt as f64 * 100.0,
         ru as f64 / rt as f64 * 100.0,
     );
-    println!(
-        "total lines, Res vs base: {:.2}x",
-        rt as f64 / bt as f64
-    );
+    println!("total lines, Res vs base: {:.2}x", rt as f64 / bt as f64);
     println!("\npaper: wrong-path lines few, useless share small, Res total ~= base total");
 }

@@ -26,7 +26,7 @@ fn main() {
             specs.push(RunSpec::new(p, m).with_budget(args.warmup, args.insts));
         }
     }
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
     let get = |p: &str, m: SimModel| {
         results
             .iter()
@@ -41,7 +41,12 @@ fn main() {
         .copied()
         .collect();
     let mut t = TextTable::new(vec![
-        "program", "cat", "Runahead", "Res", "RA episodes", "RA cycles %",
+        "program",
+        "cat",
+        "Runahead",
+        "Res",
+        "RA episodes",
+        "RA cycles %",
     ]);
     for p in &selected {
         let base = get(p, SimModel::Base).ipc();

@@ -26,7 +26,7 @@ fn main() {
             specs.push(RunSpec::new(p, SimModel::Ideal(l)).with_budget(args.warmup, args.insts));
         }
     }
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
     let ipc = |p: &str, m: SimModel| {
         results
             .iter()

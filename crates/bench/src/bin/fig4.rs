@@ -17,7 +17,9 @@ use mlpwin_sim::SimModel;
 
 fn main() {
     let args = ExpArgs::parse(250_000, 120_000);
-    let r = run(&RunSpec::new("soplex", SimModel::Base).with_budget(args.warmup, args.insts));
+    let r = mlpwin_bench::expect_run(run(
+        &RunSpec::new("soplex", SimModel::Base).with_budget(args.warmup, args.insts)
+    ));
     let ivals = intervals(&r.l2_miss_cycles);
     println!(
         "Figure 4: histogram of L2 miss intervals, soplex (bin = 8 cycles)\n\
@@ -47,11 +49,7 @@ fn main() {
     println!("(+ {tail} misses at intervals beyond the shown range)");
 
     // The two paper-shape checkpoints.
-    let short: u64 = hist
-        .iter()
-        .filter(|(s, _)| *s < 64)
-        .map(|(_, c)| c)
-        .sum();
+    let short: u64 = hist.iter().filter(|(s, _)| *s < 64).map(|(_, c)| c).sum();
     let near_latency: u64 = hist
         .iter()
         .filter(|(s, _)| (248..=400).contains(s))

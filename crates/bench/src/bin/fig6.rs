@@ -39,9 +39,17 @@ fn main() {
                 "latency elapsed -> shrink"
             };
             level = target;
-            t1.row(vec![format!("{t}"), ev.to_string(), format!("{}", level + 1)]);
+            t1.row(vec![
+                format!("{t}"),
+                ev.to_string(),
+                format!("{}", level + 1),
+            ]);
         } else if miss {
-            t1.row(vec![format!("{t}"), "L2 miss (already at max)".into(), format!("{}", level + 1)]);
+            t1.row(vec![
+                format!("{t}"),
+                "L2 miss (already at max)".into(),
+                format!("{}", level + 1),
+            ]);
         }
     }
     println!("{}", t1.render());
@@ -51,7 +59,8 @@ fn main() {
     let (config, policy) = WindowModel::Dynamic.build(CoreConfig::default());
     let workload = profiles::by_name("soplex", args.seed).expect("profile");
     let mut core = Core::new(config, workload, policy);
-    core.run_warmup(args.warmup);
+    core.run_warmup(args.warmup)
+        .expect("warm-up must not stall");
 
     let mut t2 = TextTable::new(vec!["cycle", "transition", "level (1-based)"]);
     let mut last_level = core.current_level();

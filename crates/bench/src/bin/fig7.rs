@@ -41,7 +41,7 @@ fn main() {
             specs.push(RunSpec::new(p, m).with_budget(args.warmup, args.insts));
         }
     }
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
     let by_key: HashMap<(String, SimModel), &RunResult> = results
         .iter()
         .map(|r| ((r.spec.profile.clone(), r.spec.model), r))
@@ -52,8 +52,16 @@ fn main() {
     // Per-program normalized series (base = Fix L1).
     println!("Figure 7: IPC normalized to the base (Fix L1) processor\n");
     let mut t = TextTable::new(vec![
-        "program", "cat", "Fix L1", "Fix L2", "Fix L3", "Res", "Ideal L1", "Ideal L2",
-        "Ideal L3", "Res vs best-Fix",
+        "program",
+        "cat",
+        "Fix L1",
+        "Fix L2",
+        "Fix L3",
+        "Res",
+        "Ideal L1",
+        "Ideal L2",
+        "Ideal L3",
+        "Res vs best-Fix",
     ]);
     let selected: Vec<&str> = profiles::SELECTED_MEM
         .iter()
@@ -61,7 +69,7 @@ fn main() {
         .copied()
         .collect();
     for p in &names {
-        if !selected.contains(&p.as_ref()) {
+        if !selected.contains(p) {
             continue;
         }
         let base = ipc(p, SimModel::Fixed(1));
@@ -77,7 +85,12 @@ fn main() {
 
     // Geometric means over the full program set.
     let mut gm = TextTable::new(vec![
-        "group", "Fix L2", "Fix L3", "Res", "Ideal L3", "Res speedup vs base",
+        "group",
+        "Fix L2",
+        "Fix L3",
+        "Res",
+        "Ideal L3",
+        "Res speedup vs base",
     ]);
     for (label, filter) in [
         ("GM mem", Some(Category::MemoryIntensive)),
@@ -87,9 +100,7 @@ fn main() {
         let sel: Vec<&&str> = names
             .iter()
             .filter(|n| {
-                filter.is_none_or(|c| {
-                    profiles::params_by_name(n).expect("known").category == c
-                })
+                filter.is_none_or(|c| profiles::params_by_name(n).expect("known").category == c)
             })
             .collect();
         let rel = |m: SimModel| -> f64 {

@@ -26,10 +26,17 @@ fn main() {
         .iter()
         .map(|p| RunSpec::new(p, SimModel::Dynamic).with_budget(args.warmup, args.insts))
         .collect();
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
 
     println!("Figure 8: % of cycles at each window level (dynamic resizing)\n");
-    let mut t = TextTable::new(vec!["program", "cat", "level 1", "level 2", "level 3", "transitions"]);
+    let mut t = TextTable::new(vec![
+        "program",
+        "cat",
+        "level 1",
+        "level 2",
+        "level 3",
+        "transitions",
+    ]);
     for r in &results {
         t.row(vec![
             r.spec.profile.clone(),

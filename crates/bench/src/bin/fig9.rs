@@ -26,11 +26,17 @@ fn main() {
         specs.push(RunSpec::new(p, SimModel::Base).with_budget(args.warmup, args.insts));
         specs.push(RunSpec::new(p, SimModel::Dynamic).with_budget(args.warmup, args.insts));
     }
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
     let energy = EnergyModel::default();
 
     println!("Figure 9: energy efficiency (1/EDP) of dynamic resizing vs base\n");
-    let mut t = TextTable::new(vec!["program", "cat", "IPC ratio", "energy ratio", "1/EDP rel"]);
+    let mut t = TextTable::new(vec![
+        "program",
+        "cat",
+        "IPC ratio",
+        "energy ratio",
+        "1/EDP rel",
+    ]);
     let mut per_cat: Vec<(Category, f64)> = Vec::new();
     let selected: Vec<&str> = profiles::SELECTED_MEM
         .iter()
@@ -46,11 +52,11 @@ fn main() {
             .iter()
             .find(|r| r.spec.profile == *p && r.spec.model == SimModel::Dynamic)
             .expect("ran");
-        let bc = base.run_counters();
-        let dc = dynr.run_counters();
+        let bc = base.run_counters().expect("non-empty ladder");
+        let dc = dynr.run_counters().expect("non-empty ladder");
         let rel = energy.relative_inverse_edp(&bc, &dc);
         per_cat.push((base.category, rel));
-        if selected.contains(&p.as_ref()) {
+        if selected.contains(p) {
             t.row(vec![
                 p.to_string(),
                 base.category.label().to_string(),

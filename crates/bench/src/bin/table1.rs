@@ -15,13 +15,13 @@ fn main() {
     let mut t = TextTable::new(vec!["parameter", "value"]);
     t.row(vec![
         "pipeline width".to_string(),
-        format!(
-            "{}-wide fetch/decode/issue/commit",
-            c.fetch_width
-        ),
+        format!("{}-wide fetch/decode/issue/commit", c.fetch_width),
     ]);
     t.row(vec!["ROB".into(), format!("{} entries", c.levels[0].rob)]);
-    t.row(vec!["issue queue".into(), format!("{} entries", c.levels[0].iq)]);
+    t.row(vec![
+        "issue queue".into(),
+        format!("{} entries", c.levels[0].iq),
+    ]);
     t.row(vec!["LSQ".into(), format!("{} entries", c.levels[0].lsq)]);
     t.row(vec![
         "branch prediction".into(),

@@ -12,10 +12,14 @@ use mlpwin_sim::report::TextTable;
 fn main() {
     let ladder = LevelSpec::table2();
     println!("Table 2: window resources per level\n");
-    let mut t = TextTable::new(vec!["resource", "parameter", "level 1", "level 2", "level 3"]);
-    let cell = |f: &dyn Fn(&LevelSpec) -> String| -> Vec<String> {
-        ladder.iter().map(|l| f(l)).collect()
-    };
+    let mut t = TextTable::new(vec![
+        "resource",
+        "parameter",
+        "level 1",
+        "level 2",
+        "level 3",
+    ]);
+    let cell = |f: &dyn Fn(&LevelSpec) -> String| -> Vec<String> { ladder.iter().map(f).collect() };
     let mut row = |name: &str, param: &str, f: &dyn Fn(&LevelSpec) -> String| {
         let vals = cell(f);
         t.row(vec![

@@ -53,7 +53,7 @@ fn main() {
         .iter()
         .map(|p| RunSpec::new(p, SimModel::Base).with_budget(args.warmup, args.insts))
         .collect();
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
 
     println!("Table 3: benchmark programs and their average load latency");
     println!("(measured on the base processor; category threshold 10 cycles)\n");
@@ -92,8 +92,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!(
-        "category agreement: {matches}/{} programs",
-        results.len()
-    );
+    println!("category agreement: {matches}/{} programs", results.len());
 }

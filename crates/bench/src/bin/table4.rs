@@ -23,7 +23,7 @@ fn main() {
         specs.push(RunSpec::new(p, SimModel::Base).with_budget(args.warmup, args.insts));
         specs.push(RunSpec::new(p, SimModel::Dynamic).with_budget(args.warmup, args.insts));
     }
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
     let ratios: Vec<f64> = names
         .iter()
         .map(|p| {
@@ -76,10 +76,15 @@ fn main() {
         pct(report.pollack_speedup),
         "+3%".to_string(),
     ]);
-    let l2_extra = area.l2_area_mm2(2 * 1024 * 1024 + 512 * 1024) - area.l2_area_mm2(2 * 1024 * 1024);
+    let l2_extra =
+        area.l2_area_mm2(2 * 1024 * 1024 + 512 * 1024) - area.l2_area_mm2(2 * 1024 * 1024);
     t.row(vec![
         "augmented-L2 alternative area".to_string(),
-        format!("{:.2} mm2 (~{:.1}x window delta)", l2_extra, l2_extra / report.added_mm2),
+        format!(
+            "{:.2} mm2 (~{:.1}x window delta)",
+            l2_extra,
+            l2_extra / report.added_mm2
+        ),
         "~1.3x, +1% IPC".to_string(),
     ]);
     println!("{}", t.render());

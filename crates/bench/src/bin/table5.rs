@@ -16,7 +16,6 @@ use mlpwin_sim::report::TextTable;
 use mlpwin_sim::runner::{run_matrix, RunSpec};
 use mlpwin_sim::SimModel;
 
-
 /// The paper's Table 5 values for side-by-side display.
 const PAPER: &[(&str, f64)] = &[
     ("libquantum", 3_703_704.0),
@@ -41,7 +40,7 @@ fn main() {
         .iter()
         .map(|(p, _)| RunSpec::new(p, SimModel::Base).with_budget(args.warmup, args.insts))
         .collect();
-    let results = run_matrix(&specs, args.threads);
+    let results = mlpwin_bench::expect_results(run_matrix(&specs, args.threads));
 
     println!("Table 5: committed instructions between adjacent mispredicted branches\n");
     let mut t = TextTable::new(vec!["program", "cat", "measured", "paper", "mispredicts"]);
@@ -74,8 +73,8 @@ fn main() {
     };
     let huge = ["libquantum", "milc", "lbm"].map(dist);
     let small = ["gobmk", "sjeng", "soplex", "omnetpp"].map(dist);
-    let sep = huge.iter().copied().fold(f64::MAX, f64::min)
-        / small.iter().copied().fold(0.0, f64::max);
+    let sep =
+        huge.iter().copied().fold(f64::MAX, f64::min) / small.iter().copied().fold(0.0, f64::max);
     println!(
         "ordering check: min(libquantum, milc, lbm) / max(gobmk, sjeng, soplex, omnetpp) = {sep:.0}x"
     );

@@ -10,7 +10,8 @@
 //! ```text
 //! --insts N     measured instructions per run   (default per binary)
 //! --warmup N    warm-up instructions per run    (default per binary)
-//! --threads N   parallel runs                   (default: available cores)
+//! --threads N   parallel runs                   (default: MLPWIN_THREADS
+//!               when set, otherwise available cores)
 //! --seed N      workload seed                   (default 1)
 //! ```
 //!
@@ -18,6 +19,7 @@
 //! 100M-measure sampling; raising `--insts` tightens every number at
 //! linear cost.
 
+use mlpwin_sim::runner::{RunOutcome, RunResult, RunSpec};
 use std::env;
 
 /// Command-line arguments shared by every experiment binary.
@@ -52,9 +54,7 @@ impl ExpArgs {
         let mut out = ExpArgs {
             insts: default_insts,
             warmup: default_warmup,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: RunSpec::threads_from_env(),
             seed: 1,
         };
         let mut it = args.into_iter();
@@ -70,15 +70,44 @@ impl ExpArgs {
                 "--warmup" => out.warmup = take("--warmup"),
                 "--threads" => out.threads = take("--threads") as usize,
                 "--seed" => out.seed = take("--seed"),
-                other => panic!(
-                    "unknown flag {other}; expected --insts/--warmup/--threads/--seed"
-                ),
+                other => panic!("unknown flag {other}; expected --insts/--warmup/--threads/--seed"),
             }
         }
         assert!(out.insts > 0, "--insts must be positive");
         assert!(out.threads > 0, "--threads must be positive");
         out
     }
+}
+
+/// Unwraps a single run for a report binary: prints the typed error to
+/// stderr and exits non-zero on failure.
+pub fn expect_run(outcome: Result<RunResult, mlpwin_sim::SimError>) -> RunResult {
+    outcome.unwrap_or_else(|error| {
+        eprintln!("run failed: {error}");
+        std::process::exit(1);
+    })
+}
+
+/// Unwraps a matrix's outcomes for a report binary: prints every typed
+/// failure to stderr and exits non-zero, so a partially failed campaign
+/// never renders a table from incomplete data.
+pub fn expect_results(outcomes: Vec<RunOutcome>) -> Vec<RunResult> {
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut failures = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            RunOutcome::Ok(r) => results.push(r),
+            RunOutcome::Failed { error, attempts } => {
+                failures += 1;
+                eprintln!("run failed after {attempts} attempt(s): {error}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} run(s) failed; aborting report");
+        std::process::exit(1);
+    }
+    results
 }
 
 #[cfg(test)]

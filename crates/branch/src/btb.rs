@@ -47,7 +47,10 @@ impl Btb {
     ///
     /// Panics if `sets` is not a power of two or `ways` is zero.
     pub fn new(config: BtbConfig) -> Btb {
-        assert!(config.sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(
+            config.sets.is_power_of_two(),
+            "BTB sets must be a power of two"
+        );
         assert!(config.ways > 0, "BTB needs at least one way");
         Btb {
             entries: vec![

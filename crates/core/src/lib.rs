@@ -35,7 +35,7 @@
 //! let (config, policy) = WindowModel::Dynamic.build(CoreConfig::default());
 //! let workload = profiles::by_name("omnetpp", 1).expect("profile");
 //! let mut core = Core::new(config, workload, policy);
-//! let stats = core.run(2_000);
+//! let stats = core.run(2_000).expect("healthy run");
 //! assert!(stats.committed_insts >= 2_000);
 //! ```
 

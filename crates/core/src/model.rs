@@ -116,8 +116,8 @@ mod tests {
         let mut core = Core::new(config, w, policy);
         // Long enough for compulsory (cold) misses to stop driving the
         // controller — including the wrong-path region's first touches.
-        core.run_warmup(120_000);
-        core.run(insts)
+        core.run_warmup(120_000).expect("warm-up must not stall");
+        core.run(insts).expect("healthy run must not stall")
     }
 
     #[test]
@@ -161,8 +161,8 @@ mod tests {
         let (config, policy) = WindowModel::Dynamic.build(CoreConfig::default());
         let w = profiles::by_name("libquantum", 7).expect("profile");
         let mut core = Core::new(config, w, policy);
-        core.run_warmup(60_000);
-        let s = core.run(10_000);
+        core.run_warmup(60_000).expect("warm-up must not stall");
+        let s = core.run(10_000).expect("healthy run");
         // The window enlarged during warm-up and the miss stream keeps it
         // there; transitions_up can legitimately be zero if it is pinned
         // at the maximum, so assert on residency instead.

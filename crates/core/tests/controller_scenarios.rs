@@ -1,9 +1,11 @@
 //! Scenario tests of the Fig. 5 controller against hand-built miss
-//! schedules, plus property tests of its safety invariants.
+//! schedules, plus randomized tests of its safety invariants (driven by
+//! the workspace's own RNG so the suite builds offline).
 
 use mlpwin_core::DynamicResizingPolicy;
+use mlpwin_isa::Xoshiro256StarStar;
 use mlpwin_ooo::WindowPolicy;
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 const LAT: u32 = 300;
 const MAX: usize = 2;
@@ -98,36 +100,45 @@ fn postponed_shrink_still_counts_from_the_decision_point() {
     assert_eq!(p.target_level(650, 0, 1, MAX), 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// A random miss schedule of up to `max_misses` cycles below `horizon`.
+fn random_schedule(
+    rng: &mut Xoshiro256StarStar,
+    horizon: u64,
+    min_misses: u64,
+    max_misses: u64,
+) -> Vec<u64> {
+    let n = rng.range_between(min_misses, max_misses);
+    let set: BTreeSet<u64> = (0..n).map(|_| rng.range(horizon)).collect();
+    set.into_iter().collect()
+}
 
-    /// For any miss schedule: levels stay in range, every enlarge is
-    /// triggered by a miss, and every shrink follows >= one full memory
-    /// latency without misses.
-    #[test]
-    fn controller_safety_invariants(
-        misses in proptest::collection::btree_set(0u64..5_000, 0..120)
-    ) {
-        let schedule: Vec<u64> = misses.iter().copied().collect();
+/// For any miss schedule: levels stay in range, every enlarge is
+/// triggered by a miss, and every shrink follows >= one full memory
+/// latency without misses.
+#[test]
+fn controller_safety_invariants() {
+    for case in 0..32u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0x5AFE + case);
+        let schedule = random_schedule(&mut rng, 5_000, 0, 120);
         let mut p = DynamicResizingPolicy::new(LAT);
         let mut level = 0usize;
         let mut last_miss: Option<u64> = None;
         for t in 0..6_000u64 {
             let m = schedule.binary_search(&t).is_ok();
             let target = p.target_level(t, m as u32, level, MAX);
-            prop_assert!(target <= MAX);
-            prop_assert!(
+            assert!(target <= MAX, "case {case}");
+            assert!(
                 (target as i64 - level as i64).abs() <= 1,
-                "one level per decision"
+                "case {case}: one level per decision"
             );
             if target > level {
-                prop_assert!(m, "enlarge only on a miss cycle");
+                assert!(m, "case {case}: enlarge only on a miss cycle");
             }
             if target < level {
                 let quiet_since = last_miss.map_or(t, |lm| t - lm);
-                prop_assert!(
+                assert!(
                     quiet_since >= LAT as u64,
-                    "shrink after only {quiet_since} quiet cycles"
+                    "case {case}: shrink after only {quiet_since} quiet cycles"
                 );
             }
             if target != level {
@@ -139,14 +150,15 @@ proptest! {
             }
         }
     }
+}
 
-    /// The controller always returns to level 0 after the miss stream
-    /// ends (no stuck-enlarged leak).
-    #[test]
-    fn controller_always_drains_to_level_zero(
-        misses in proptest::collection::btree_set(0u64..2_000, 1..60)
-    ) {
-        let schedule: Vec<u64> = misses.iter().copied().collect();
+/// The controller always returns to level 0 after the miss stream ends
+/// (no stuck-enlarged leak).
+#[test]
+fn controller_always_drains_to_level_zero() {
+    for case in 0..32u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0xD2A1 + case);
+        let schedule = random_schedule(&mut rng, 2_000, 1, 60);
         let mut p = DynamicResizingPolicy::new(LAT);
         let mut level = 0usize;
         let horizon = 2_000 + (MAX as u64 + 2) * LAT as u64 + 100;
@@ -158,6 +170,9 @@ proptest! {
                 level = target;
             }
         }
-        prop_assert_eq!(level, 0, "window must fully shrink after quiet");
+        assert_eq!(
+            level, 0,
+            "case {case}: window must fully shrink after quiet"
+        );
     }
 }

@@ -46,8 +46,7 @@ impl Default for AreaModel {
 impl AreaModel {
     /// Builds the calibrated model.
     pub fn new() -> AreaModel {
-        let delta_units =
-            storage_units(&LevelSpec::level3()) - storage_units(&LevelSpec::level1());
+        let delta_units = storage_units(&LevelSpec::level3()) - storage_units(&LevelSpec::level1());
         AreaModel {
             mm2_per_unit: anchors::WINDOW_DELTA_MM2 / delta_units,
         }
@@ -126,7 +125,11 @@ mod tests {
         assert!((r.vs_sb_core - 0.084).abs() < 0.01, "{}", r.vs_sb_core);
         assert!((r.vs_sb_chip - 0.0296).abs() < 0.005, "{}", r.vs_sb_chip);
         // Pollack: ~3% expected speedup for +6% core area.
-        assert!((r.pollack_speedup - 0.03).abs() < 0.01, "{}", r.pollack_speedup);
+        assert!(
+            (r.pollack_speedup - 0.03).abs() < 0.01,
+            "{}",
+            r.pollack_speedup
+        );
         assert!(r.measured_speedup > r.pollack_speedup * 3.0);
     }
 

@@ -146,10 +146,8 @@ impl EnergyModel {
             weighted_entries(&LevelSpec::level1())
         };
         let gated_equiv = (weighted_entries(&run.provisioned) - active_equiv).max(0.0);
-        let window_gated = gated_equiv
-            * self.p_window_per_entry_pj
-            * self.gated_leak_fraction
-            * run.cycles as f64;
+        let window_gated =
+            gated_equiv * self.p_window_per_entry_pj * self.gated_leak_fraction * run.cycles as f64;
 
         EnergyBreakdown {
             pipeline_dynamic_pj: run.dispatched as f64 * self.e_dispatch_pj,

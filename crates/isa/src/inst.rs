@@ -234,7 +234,7 @@ impl Instruction {
         if self.op == OpClass::Store && self.dest.is_some() {
             return Err(format!("{self}: store must not write a register"));
         }
-        if self.pc % 4 != 0 {
+        if !self.pc.is_multiple_of(4) {
             return Err(format!("{self}: pc not 4-byte aligned"));
         }
         Ok(())
@@ -273,7 +273,12 @@ mod tests {
     fn constructors_are_internally_consistent() {
         let insts = [
             Instruction::alu(0x100, OpClass::IntAlu, ArchReg::int(1), &[ArchReg::int(2)]),
-            Instruction::load(0x104, ArchReg::int(3), ArchReg::int(1), MemRef::new(0x8000, 8)),
+            Instruction::load(
+                0x104,
+                ArchReg::int(3),
+                ArchReg::int(1),
+                MemRef::new(0x8000, 8),
+            ),
             Instruction::store(
                 0x108,
                 ArchReg::int(3),
@@ -347,7 +352,12 @@ mod tests {
 
     #[test]
     fn display_mentions_key_fields() {
-        let l = Instruction::load(0x104, ArchReg::int(3), ArchReg::int(1), MemRef::new(0x8000, 8));
+        let l = Instruction::load(
+            0x104,
+            ArchReg::int(3),
+            ArchReg::int(1),
+            MemRef::new(0x8000, 8),
+        );
         let s = l.to_string();
         assert!(s.contains("load"));
         assert!(s.contains("0x8000"));

@@ -201,7 +201,12 @@ impl Cache {
     /// Probes the cache. On a hit the line's LRU position refreshes, the
     /// dirty bit is set for writes, and `mark_correct_touch` (if set)
     /// records that a correct-path access used the line.
-    pub fn access(&mut self, addr: Addr, is_write: bool, mark_correct_touch: bool) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        addr: Addr,
+        is_write: bool,
+        mark_correct_touch: bool,
+    ) -> AccessOutcome {
         self.tick += 1;
         let tag = self.line_addr(addr);
         let tick = self.tick;

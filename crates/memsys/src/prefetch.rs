@@ -81,9 +81,16 @@ impl StridePrefetcher {
     /// divisible into power-of-two sets).
     pub fn new(config: StrideConfig) -> StridePrefetcher {
         assert!(config.ways > 0, "prefetch table needs at least one way");
-        assert_eq!(config.entries % config.ways, 0, "entries must divide into ways");
+        assert_eq!(
+            config.entries % config.ways,
+            0,
+            "entries must divide into ways"
+        );
         let sets = config.entries / config.ways;
-        assert!(sets.is_power_of_two(), "prefetch sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "prefetch sets must be a power of two"
+        );
         StridePrefetcher {
             config,
             table: vec![

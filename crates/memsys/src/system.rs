@@ -199,6 +199,13 @@ impl MemSystem {
         &self.provenance
     }
 
+    /// In-flight line fills across both MSHR files — the "how many
+    /// misses is the hierarchy still chasing" number a stall snapshot
+    /// reports.
+    pub fn outstanding_misses(&self) -> usize {
+        self.l1d_mshr.occupancy() + self.l2_mshr.occupancy()
+    }
+
     /// Clears all counters (including provenance) while keeping cache,
     /// MSHR, predictor-table and bus state warm — the measurement reset
     /// after a warm-up phase. Lines resident at reset time count toward
@@ -350,11 +357,7 @@ impl MemSystem {
                 // All MSHRs busy: the access must retry once one frees.
                 // Approximate the retry by waiting for the earliest
                 // in-flight completion, then paying an L2-probe re-access.
-                let earliest = self
-                    .l1d_mshr
-                    .earliest_completion()
-                    .unwrap_or(now)
-                    .max(now);
+                let earliest = self.l1d_mshr.earliest_completion().unwrap_or(now).max(now);
                 let ready_at = earliest + self.l2.config().hit_latency as Cycle;
                 return AccessResult {
                     ready_at,
@@ -434,7 +437,11 @@ impl MemSystem {
                     .earliest_completion()
                     .unwrap_or(probe_time)
                     .max(probe_time);
-                (earliest + self.config.dram.min_latency as Cycle, false, false)
+                (
+                    earliest + self.config.dram.min_latency as Cycle,
+                    false,
+                    false,
+                )
             }
             MshrOutcome::Allocated => {
                 if is_demand {
@@ -517,7 +524,13 @@ mod tests {
     fn warm_load_hits_l1() {
         let mut m = mem();
         let _ = m.access(AccessKind::Load, 0x100, 0x8000_0000, 0, PathKind::Correct);
-        let r = m.access(AccessKind::Load, 0x100, 0x8000_0000, 1000, PathKind::Correct);
+        let r = m.access(
+            AccessKind::Load,
+            0x100,
+            0x8000_0000,
+            1000,
+            PathKind::Correct,
+        );
         assert!(r.l1_hit);
         assert_eq!(r.latency, 2);
     }
@@ -586,7 +599,13 @@ mod tests {
         let _ = m.access(AccessKind::Load, 0x100, 0xA000_0000, 0, PathKind::Wrong);
         let _ = m.access(AccessKind::Load, 0x104, 0xB000_0000, 10, PathKind::Wrong);
         // One of the wrong-path lines gets used by the correct path.
-        let _ = m.access(AccessKind::Load, 0x108, 0xA000_0000, 2000, PathKind::Correct);
+        let _ = m.access(
+            AccessKind::Load,
+            0x108,
+            0xA000_0000,
+            2000,
+            PathKind::Correct,
+        );
         m.finalize();
         let p = m.provenance();
         assert_eq!(p.wrongpath_useful, 1);
@@ -618,7 +637,13 @@ mod tests {
         let mut m = mem();
         let _ = m.access(AccessKind::Load, 0x100, 0x8000_0000, 0, PathKind::Correct);
         assert!(m.stats().avg_load_latency() >= 300.0);
-        let _ = m.access(AccessKind::Load, 0x100, 0x8000_0000, 1000, PathKind::Correct);
+        let _ = m.access(
+            AccessKind::Load,
+            0x100,
+            0x8000_0000,
+            1000,
+            PathKind::Correct,
+        );
         // One ~314-cycle miss and one 2-cycle hit.
         assert!(m.stats().avg_load_latency() < 300.0);
         assert_eq!(m.stats().loads, 2);

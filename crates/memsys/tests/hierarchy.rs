@@ -101,7 +101,13 @@ fn prefetcher_covers_streams_but_not_random_access() {
     let mut stream_misses = 0;
     for i in 0..400u64 {
         now += 40;
-        let r = stream.access(AccessKind::Load, 0x500, 0x4000_0000 + i * 64, now, PathKind::Correct);
+        let r = stream.access(
+            AccessKind::Load,
+            0x500,
+            0x4000_0000 + i * 64,
+            now,
+            PathKind::Correct,
+        );
         if i >= 50 {
             stream_misses += r.l2_demand_miss as u32;
         }
@@ -164,7 +170,13 @@ fn stores_allocate_lines_and_count_as_demand() {
     let r = m.access(AccessKind::Store, 0x600, 0x5000_0000, 0, PathKind::Correct);
     assert!(r.l2_demand_miss, "write-allocate: stores miss like loads");
     // The line is then present for loads.
-    let l = m.access(AccessKind::Load, 0x604, 0x5000_0000, 2_000, PathKind::Correct);
+    let l = m.access(
+        AccessKind::Load,
+        0x604,
+        0x5000_0000,
+        2_000,
+        PathKind::Correct,
+    );
     assert!(l.l2_or_better);
 }
 
@@ -175,6 +187,12 @@ fn reset_stats_keeps_cache_state_warm() {
     m.reset_stats();
     assert_eq!(m.stats().loads, 0);
     assert_eq!(m.stats().l2_demand_misses, 0);
-    let r = m.access(AccessKind::Load, 0x400, 0x6000_0000, 2_000, PathKind::Correct);
+    let r = m.access(
+        AccessKind::Load,
+        0x400,
+        0x6000_0000,
+        2_000,
+        PathKind::Correct,
+    );
     assert!(r.l1_hit, "reset must not cool the caches");
 }

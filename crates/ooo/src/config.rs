@@ -1,8 +1,77 @@
-//! Core configuration: pipeline widths, the resource-level table, and
-//! optional runahead execution.
+//! Core configuration: pipeline widths, the resource-level table,
+//! optional runahead execution, and the forward-progress watchdog.
 
 use mlpwin_branch::PredictorConfig;
 use mlpwin_memsys::MemSystemConfig;
+use std::fmt;
+
+/// Default watchdog budget: cycles with no commit before the simulator
+/// assumes a modelling bug (memory latency is 300; any real stall clears
+/// in a few thousand cycles).
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 500_000;
+
+/// A structurally invalid [`CoreConfig`], rejected before a core is
+/// built. Each variant names the first offending field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A fetch/issue/commit width is zero.
+    ZeroWidth,
+    /// The resource-level ladder is empty.
+    EmptyLevels,
+    /// A level's ROB, IQ or LSQ has zero entries (1-based level index).
+    EmptyResource(usize),
+    /// A level's issue-queue depth is zero (1-based level index).
+    ZeroIqDepth(usize),
+    /// A level is smaller than its predecessor in some resource — the
+    /// ladder must be monotone (1-based index of the smaller level).
+    NonMonotoneLadder(usize),
+    /// A function-unit pool has zero units.
+    EmptyFuPool,
+    /// The fetch queue has zero capacity.
+    EmptyFetchQueue,
+    /// The watchdog budget is zero — it could never observe a commit.
+    ZeroWatchdog,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWidth => write!(f, "pipeline widths must be positive"),
+            ConfigError::EmptyLevels => write!(f, "at least one resource level is required"),
+            ConfigError::EmptyResource(l) => write!(f, "level {l} has an empty resource"),
+            ConfigError::ZeroIqDepth(l) => write!(f, "level {l} iq_depth must be >= 1"),
+            ConfigError::NonMonotoneLadder(l) => {
+                write!(f, "level {} smaller than level {}", l, l - 1)
+            }
+            ConfigError::EmptyFuPool => {
+                write!(f, "every function-unit pool needs at least one unit")
+            }
+            ConfigError::EmptyFetchQueue => write!(f, "fetch queue must have capacity"),
+            ConfigError::ZeroWatchdog => write!(f, "watchdog budget must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Test-support fault injection, simulating the failure modes a
+/// resilient experiment harness must contain. `None` everywhere (the
+/// default) means a faithful simulation.
+///
+/// Livelock is injected here rather than in a workload because a correct
+/// core cannot be livelocked by any well-formed instruction stream —
+/// only a modelling bug stops commit, and that is what the freeze
+/// simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultInjection {
+    /// Stop committing (silently, like a lost wakeup) once this many
+    /// instructions have committed since construction — an injected
+    /// livelock the watchdog must catch.
+    pub freeze_commit_after: Option<u64>,
+    /// Panic at commit once this many instructions have committed since
+    /// construction — an injected crash the matrix runner must isolate.
+    pub panic_after: Option<u64>,
+}
 
 /// Size and pipelining of the window resources at one resource level
 /// (one row of the paper's Table 2).
@@ -65,7 +134,11 @@ impl LevelSpec {
 
     /// The full Table 2 ladder.
     pub fn table2() -> Vec<LevelSpec> {
-        vec![LevelSpec::level1(), LevelSpec::level2(), LevelSpec::level3()]
+        vec![
+            LevelSpec::level1(),
+            LevelSpec::level2(),
+            LevelSpec::level3(),
+        ]
     }
 
     /// The *ideal-model* variant of a level: same sizes, but un-pipelined
@@ -143,6 +216,16 @@ pub struct CoreConfig {
     pub runahead: Option<RunaheadOpts>,
     /// Seed for the wrong-path synthesizer.
     pub wrongpath_seed: u64,
+    /// Cycles with no commit before a run aborts with
+    /// [`PipelineError::Stall`](crate::PipelineError::Stall).
+    pub watchdog_cycles: u64,
+    /// Per-run wall-cycle deadline: a call to [`Core::run`](crate::Core::run)
+    /// (or warm-up) that simulates more than this many cycles aborts with
+    /// [`PipelineError::DeadlineExceeded`](crate::PipelineError::DeadlineExceeded).
+    /// `None` (the default) disables the limit.
+    pub deadline_cycles: Option<u64>,
+    /// Fault injection for harness tests; `None` (the default) disables.
+    pub fault: Option<FaultInjection>,
 }
 
 impl Default for CoreConfig {
@@ -162,6 +245,9 @@ impl Default for CoreConfig {
             memory: MemSystemConfig::default(),
             runahead: None,
             wrongpath_seed: 0xBAD_C0DE,
+            watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
+            deadline_cycles: None,
+            fault: None,
         }
     }
 }
@@ -175,37 +261,40 @@ impl CoreConfig {
         }
     }
 
-    /// Validates widths, levels and unit counts.
+    /// Validates widths, levels, unit counts and the watchdog budget.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first invalid field as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
-            return Err("pipeline widths must be positive".into());
+            return Err(ConfigError::ZeroWidth);
         }
         if self.levels.is_empty() {
-            return Err("at least one resource level is required".into());
+            return Err(ConfigError::EmptyLevels);
         }
         for (i, l) in self.levels.iter().enumerate() {
             if l.iq == 0 || l.rob == 0 || l.lsq == 0 {
-                return Err(format!("level {} has an empty resource", i + 1));
+                return Err(ConfigError::EmptyResource(i + 1));
             }
             if l.iq_depth == 0 {
-                return Err(format!("level {} iq_depth must be >= 1", i + 1));
+                return Err(ConfigError::ZeroIqDepth(i + 1));
             }
             if i > 0 {
                 let p = &self.levels[i - 1];
                 if l.iq < p.iq || l.rob < p.rob || l.lsq < p.lsq {
-                    return Err(format!("level {} smaller than level {}", i + 1, i));
+                    return Err(ConfigError::NonMonotoneLadder(i + 1));
                 }
             }
         }
-        if self.fu_counts.iter().any(|&c| c == 0) {
-            return Err("every function-unit pool needs at least one unit".into());
+        if self.fu_counts.contains(&0) {
+            return Err(ConfigError::EmptyFuPool);
         }
         if self.fetch_queue == 0 {
-            return Err("fetch queue must have capacity".into());
+            return Err(ConfigError::EmptyFetchQueue);
+        }
+        if self.watchdog_cycles == 0 {
+            return Err(ConfigError::ZeroWatchdog);
         }
         Ok(())
     }
@@ -234,9 +323,18 @@ mod tests {
     fn table2_ladder_matches_the_paper() {
         let l = LevelSpec::table2();
         assert_eq!(l.len(), 3);
-        assert_eq!((l[0].iq, l[0].rob, l[0].lsq, l[0].iq_depth), (64, 128, 64, 1));
-        assert_eq!((l[1].iq, l[1].rob, l[1].lsq, l[1].iq_depth), (160, 320, 160, 2));
-        assert_eq!((l[2].iq, l[2].rob, l[2].lsq, l[2].iq_depth), (256, 512, 256, 2));
+        assert_eq!(
+            (l[0].iq, l[0].rob, l[0].lsq, l[0].iq_depth),
+            (64, 128, 64, 1)
+        );
+        assert_eq!(
+            (l[1].iq, l[1].rob, l[1].lsq, l[1].iq_depth),
+            (160, 320, 160, 2)
+        );
+        assert_eq!(
+            (l[2].iq, l[2].rob, l[2].lsq, l[2].iq_depth),
+            (256, 512, 256, 2)
+        );
     }
 
     #[test]
@@ -251,19 +349,38 @@ mod tests {
     fn validation_catches_bad_ladders() {
         let mut c = CoreConfig::with_table2_levels();
         c.levels[1].rob = 64; // smaller than level 1
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NonMonotoneLadder(2)));
 
         let mut c2 = CoreConfig::default();
         c2.levels.clear();
-        assert!(c2.validate().is_err());
+        assert_eq!(c2.validate(), Err(ConfigError::EmptyLevels));
 
         let mut c3 = CoreConfig::default();
         c3.levels[0].iq_depth = 0;
-        assert!(c3.validate().is_err());
+        assert_eq!(c3.validate(), Err(ConfigError::ZeroIqDepth(1)));
 
         let mut c4 = CoreConfig::default();
         c4.fu_counts[2] = 0;
-        assert!(c4.validate().is_err());
+        assert_eq!(c4.validate(), Err(ConfigError::EmptyFuPool));
+
+        let c5 = CoreConfig {
+            watchdog_cycles: 0,
+            ..CoreConfig::default()
+        };
+        assert_eq!(c5.validate(), Err(ConfigError::ZeroWatchdog));
+
+        let mut c6 = CoreConfig::with_table2_levels();
+        c6.levels[2].lsq = 0;
+        assert_eq!(c6.validate(), Err(ConfigError::EmptyResource(3)));
+    }
+
+    #[test]
+    fn config_errors_render_their_field() {
+        assert_eq!(
+            ConfigError::NonMonotoneLadder(2).to_string(),
+            "level 2 smaller than level 1"
+        );
+        assert!(ConfigError::ZeroWatchdog.to_string().contains("watchdog"));
     }
 
     #[test]

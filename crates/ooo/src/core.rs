@@ -9,7 +9,8 @@
 //! sequence numbers are assigned at dispatch, so they are contiguous
 //! within the ROB and `dyn_seq - head.dyn_seq` indexes it directly.
 
-use crate::config::CoreConfig;
+use crate::config::{ConfigError, CoreConfig};
+use crate::error::{PipelineError, StallSnapshot};
 use crate::frontend::{FetchedInst, FrontEnd};
 use crate::fu::FuPool;
 use crate::lsq::{LoadCheck, Lsq};
@@ -24,11 +25,6 @@ use mlpwin_memsys::{AccessKind, MemSystem, PathKind};
 use mlpwin_workloads::Workload;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
-
-/// Cycles with no commit after which the simulator assumes a modelling
-/// bug and panics with a state dump (memory latency is 300; any real
-/// stall clears in a few thousand cycles).
-const WATCHDOG_CYCLES: u64 = 500_000;
 
 #[derive(Debug, Clone, Copy)]
 struct Episode {
@@ -78,6 +74,11 @@ pub struct Core<W> {
 
     stats: CoreStats,
     last_commit_cycle: Cycle,
+    /// Committed-path instructions over the core's whole lifetime —
+    /// unlike `stats.committed_insts`, never cleared by
+    /// [`reset_counters`](Core::reset_counters), so fault-injection
+    /// triggers count warm-up and measurement alike.
+    total_committed: u64,
 }
 
 impl<W: Workload> Core<W> {
@@ -85,9 +86,25 @@ impl<W: Workload> Core<W> {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails validation.
+    /// Panics if `config` fails validation; use
+    /// [`try_new`](Core::try_new) to handle the error instead.
     pub fn new(config: CoreConfig, workload: W, policy: Box<dyn WindowPolicy>) -> Core<W> {
-        config.validate().expect("invalid core configuration");
+        match Core::try_new(config, workload, policy) {
+            Ok(core) => core,
+            Err(e) => panic!("invalid core configuration: {e}"),
+        }
+    }
+
+    /// Builds a core over `workload`, rejecting a malformed
+    /// configuration (empty or non-monotone level ladder, zero-capacity
+    /// resources, ...) with a typed [`ConfigError`] before any state is
+    /// allocated.
+    pub fn try_new(
+        config: CoreConfig,
+        workload: W,
+        policy: Box<dyn WindowPolicy>,
+    ) -> Result<Core<W>, ConfigError> {
+        config.validate()?;
         let mem = MemSystem::new(config.memory.clone());
         let bp = BranchPredictor::new(config.predictor.clone());
         let front = FrontEnd::new(
@@ -109,9 +126,11 @@ impl<W: Workload> Core<W> {
             ),
             None => (None, None),
         };
-        let mut stats = CoreStats::default();
-        stats.level_cycles = vec![0; config.levels.len()];
-        Core {
+        let stats = CoreStats {
+            level_cycles: vec![0; config.levels.len()],
+            ..CoreStats::default()
+        };
+        Ok(Core {
             fu: FuPool::new(config.fu_counts),
             cfg: config,
             mem,
@@ -139,45 +158,90 @@ impl<W: Workload> Core<W> {
             last_suppressed: None,
             stats,
             last_commit_cycle: 0,
-        }
+            total_committed: 0,
+        })
     }
 
     /// Runs until `n_insts` committed-path instructions retire, then
     /// finalizes memory-side accounting and returns the statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the pipeline makes no forward progress for an
-    /// implausible number of cycles (a modelling bug).
-    pub fn run(&mut self, n_insts: u64) -> CoreStats {
+    /// Returns [`PipelineError::Stall`] when no instruction commits for
+    /// `watchdog_cycles` (a livelocked pipeline — a modelling bug or an
+    /// injected fault), and [`PipelineError::DeadlineExceeded`] when the
+    /// call consumes more than `deadline_cycles` wall cycles while still
+    /// making progress. Both carry a [`StallSnapshot`] of the machine
+    /// state for post-mortem triage.
+    pub fn run(&mut self, n_insts: u64) -> Result<CoreStats, PipelineError> {
+        let start = self.now;
         while self.stats.committed_insts < n_insts {
             self.step();
-            assert!(
-                self.now - self.last_commit_cycle < WATCHDOG_CYCLES,
-                "no commit for {WATCHDOG_CYCLES} cycles at cycle {}: \
-                 rob={} iq={} lsq={} level={} head={:?}",
-                self.now,
-                self.rob.len(),
-                self.iq_occ,
-                self.lsq.occupancy(),
-                self.level + 1,
-                self.rob.front().map(|d| (&d.inst, d.issued, d.completed)),
-            );
+            self.check_progress(start)?;
         }
         self.mem.finalize();
-        self.stats.clone()
+        Ok(self.stats.clone())
     }
 
     /// Runs `n_insts` committed instructions as warm-up, then clears all
     /// counters (pipeline, memory, predictor) while keeping every
     /// microarchitectural table warm — the equivalent of the paper's
     /// fast-forward before measurement.
-    pub fn run_warmup(&mut self, n_insts: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Same watchdog/deadline contract as [`run`](Core::run); counters
+    /// are left un-cleared when the warm-up fails, so the snapshot and
+    /// any later diagnostics still see the stalled state.
+    pub fn run_warmup(&mut self, n_insts: u64) -> Result<(), PipelineError> {
+        let start = self.now;
         let target = self.stats.committed_insts + n_insts;
         while self.stats.committed_insts < target {
             self.step();
+            self.check_progress(start)?;
         }
         self.reset_counters();
+        Ok(())
+    }
+
+    /// The watchdog: raises a typed error when the pipeline stops
+    /// committing or overruns the per-call cycle deadline.
+    fn check_progress(&self, start: Cycle) -> Result<(), PipelineError> {
+        let stalled_for = self.now - self.last_commit_cycle;
+        if stalled_for >= self.cfg.watchdog_cycles {
+            return Err(PipelineError::Stall {
+                budget: self.cfg.watchdog_cycles,
+                snapshot: self.stall_snapshot(stalled_for),
+            });
+        }
+        if let Some(limit) = self.cfg.deadline_cycles {
+            if self.now - start >= limit {
+                return Err(PipelineError::DeadlineExceeded {
+                    limit,
+                    snapshot: self.stall_snapshot(stalled_for),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Captures the diagnostic state the watchdog reports.
+    fn stall_snapshot(&self, stalled_for: u64) -> StallSnapshot {
+        StallSnapshot {
+            cycle: self.now,
+            committed_insts: self.stats.committed_insts,
+            stalled_for,
+            level: self.level,
+            rob_len: self.rob.len(),
+            iq_occ: self.iq_occ,
+            lsq_occ: self.lsq.occupancy(),
+            outstanding_misses: self.mem.outstanding_misses(),
+            in_runahead: self.episode.is_some(),
+            rob_head: self
+                .rob
+                .front()
+                .map(|d| format!("{:?}", (&d.inst, d.issued, d.completed))),
+        }
     }
 
     /// Clears statistics without touching microarchitectural state.
@@ -392,6 +456,25 @@ impl<W: Workload> Core<W> {
     // ------------------------------------------------------------- commit
 
     fn commit(&mut self, now: Cycle) {
+        // Test-only fault injection: simulate the modelling bugs the
+        // harness must survive. A frozen commit stage livelocks the core
+        // (the watchdog's job to catch); a panic models a crash.
+        if let Some(fault) = &self.cfg.fault {
+            if let Some(at) = fault.panic_after {
+                if self.total_committed >= at {
+                    panic!(
+                        "injected core fault: panic after {at} committed instructions \
+                         (cycle {now})"
+                    );
+                }
+            }
+            if fault
+                .freeze_commit_after
+                .is_some_and(|at| self.total_committed >= at)
+            {
+                return;
+            }
+        }
         for _ in 0..self.cfg.commit_width {
             let Some(head) = self.rob.front() else { break };
             let in_runahead = self.episode.is_some();
@@ -400,8 +483,7 @@ impl<W: Workload> Core<W> {
                 continue;
             }
             // Head not complete: runahead entry/pseudo-retire decisions.
-            let head_blocked_l2_load =
-                head.inst.op == OpClass::Load && head.issued && head.l2_miss;
+            let head_blocked_l2_load = head.inst.op == OpClass::Load && head.issued && head.l2_miss;
             if in_runahead {
                 if head_blocked_l2_load {
                     // Pseudo-retire the miss with an INV result.
@@ -426,7 +508,7 @@ impl<W: Workload> Core<W> {
                     }
                     break;
                 }
-                let useful = self.cst.as_ref().map_or(true, |c| c.predict_useful(pc));
+                let useful = self.cst.as_ref().is_none_or(|c| c.predict_useful(pc));
                 if useful {
                     self.enter_runahead(now);
                     self.retire_head(now, true);
@@ -473,6 +555,7 @@ impl<W: Workload> Core<W> {
         debug_assert!(!d.wrong_path, "wrong-path instruction reached commit");
         self.last_commit_cycle = now;
         self.stats.committed_insts += 1;
+        self.total_committed += 1;
         if let Some(dest) = d.inst.dest {
             self.arch_inv[dest.index()] = false;
         }
@@ -482,8 +565,7 @@ impl<W: Workload> Core<W> {
                 // Effective latency: from issue (entering the memory
                 // system or the blocked-behind-a-store wait) to data
                 // availability — what Table 3 reports.
-                self.stats.load_latency_sum +=
-                    d.value_ready_at.saturating_sub(d.issued_at);
+                self.stats.load_latency_sum += d.value_ready_at.saturating_sub(d.issued_at);
             }
             OpClass::Store => {
                 self.stats.committed_stores += 1;
@@ -691,7 +773,8 @@ impl<W: Workload> Core<W> {
                         d.mem_state = MemState::Issued;
                         d.value_ready_at = now + depth.max(2) as Cycle;
                         d.complete_at = d.value_ready_at;
-                        self.completions.push(Reverse((now + depth.max(2) as Cycle, seq)));
+                        self.completions
+                            .push(Reverse((now + depth.max(2) as Cycle, seq)));
                         self.notify_waiters(seq);
                         issued += 1;
                         continue;
@@ -744,7 +827,8 @@ impl<W: Workload> Core<W> {
                     d.inv = d.src_inv[0] || d.src_inv[1];
                     d.value_ready_at = now + latency.max(depth) as Cycle;
                     d.complete_at = now + latency as Cycle;
-                    self.completions.push(Reverse((now + latency as Cycle, seq)));
+                    self.completions
+                        .push(Reverse((now + latency as Cycle, seq)));
                     self.notify_waiters(seq);
                     issued += 1;
                 }
@@ -792,9 +876,7 @@ impl<W: Workload> Core<W> {
                         .map(|c| c.lookup(m.addr))
                         .unwrap_or(RaLookup::Miss);
                     match lookup {
-                        RaLookup::Valid => {
-                            (now + l1_hit.max(depth), false, l1_hit as u32, false)
-                        }
+                        RaLookup::Valid => (now + l1_hit.max(depth), false, l1_hit as u32, false),
                         RaLookup::Inv => (now + l1_hit.max(depth), true, l1_hit as u32, false),
                         RaLookup::Miss => self.load_from_memory(pc, m.addr, now, wrong_path),
                     }
@@ -973,8 +1055,7 @@ impl<W: Workload> Core<W> {
         d.in_iq = true;
         self.iq_occ += 1;
         if let Some(m) = d.inst.mem {
-            self.lsq
-                .allocate(seq, d.inst.op == OpClass::Store, m);
+            self.lsq.allocate(seq, d.inst.op == OpClass::Store, m);
         }
         if d.unresolved_srcs == 0 {
             let rt = d.src_ready[0].max(d.src_ready[1]).max(now + 1);
@@ -995,8 +1076,8 @@ mod tests {
     fn run_profile(name: &str, cfg: CoreConfig, level: usize, insts: u64) -> CoreStats {
         let w = profiles::by_name(name, 7).expect("profile");
         let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(level)));
-        core.run_warmup(30_000);
-        core.run(insts)
+        core.run_warmup(30_000).expect("warm-up must not stall");
+        core.run(insts).expect("healthy profile must not stall")
     }
 
     #[test]
@@ -1018,12 +1099,7 @@ mod tests {
     #[test]
     fn memory_intensive_profile_gains_from_level3() {
         let base = run_profile("libquantum", CoreConfig::default(), 0, 8_000);
-        let big = run_profile(
-            "libquantum",
-            CoreConfig::with_table2_levels(),
-            2,
-            8_000,
-        );
+        let big = run_profile("libquantum", CoreConfig::with_table2_levels(), 2, 8_000);
         assert!(
             big.ipc() > base.ipc() * 1.1,
             "large window should help libquantum: base {} vs L3 {}",
@@ -1095,14 +1171,19 @@ mod tests {
     #[test]
     fn wrong_path_instructions_never_commit() {
         let s = run_profile("gobmk", CoreConfig::default(), 0, 10_000);
-        assert!(s.wrongpath_dispatched > 0, "mispredictions fetch wrong path");
+        assert!(
+            s.wrongpath_dispatched > 0,
+            "mispredictions fetch wrong path"
+        );
         assert!(s.committed_insts >= 10_000);
     }
 
     #[test]
     fn runahead_core_enters_and_exits_episodes() {
-        let mut cfg = CoreConfig::default();
-        cfg.runahead = Some(crate::config::RunaheadOpts::default());
+        let cfg = CoreConfig {
+            runahead: Some(crate::config::RunaheadOpts::default()),
+            ..CoreConfig::default()
+        };
         let s = run_profile("libquantum", cfg, 0, 8_000);
         assert!(s.runahead_episodes > 0, "memory-bound profile must trigger");
         assert!(s.runahead_cycles > 0);
@@ -1110,10 +1191,82 @@ mod tests {
     }
 
     #[test]
+    fn frozen_commit_trips_the_watchdog_with_a_snapshot() {
+        let cfg = CoreConfig {
+            watchdog_cycles: 2_000, // keep the test fast
+            fault: Some(crate::config::FaultInjection {
+                freeze_commit_after: Some(500),
+                panic_after: None,
+            }),
+            ..CoreConfig::default()
+        };
+        let w = profiles::by_name("gcc", 7).expect("profile");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(0)));
+        let err = core.run(5_000).expect_err("frozen commit must stall");
+        match &err {
+            PipelineError::Stall { budget, snapshot } => {
+                assert_eq!(*budget, 2_000);
+                assert!(snapshot.stalled_for >= 2_000);
+                assert!(snapshot.committed_insts >= 500);
+                assert!(snapshot.cycle > 0);
+                // A frozen commit backs the window up: the ROB holds
+                // instructions and its head is renderable.
+                assert!(snapshot.rob_len > 0);
+                assert!(snapshot.rob_head.is_some());
+            }
+            other => panic!("expected Stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_fires_while_still_making_progress() {
+        let cfg = CoreConfig {
+            deadline_cycles: Some(1_000),
+            ..CoreConfig::default()
+        };
+        let w = profiles::by_name("mcf", 7).expect("profile");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(0)));
+        // mcf cannot retire 10M instructions in 1k cycles.
+        let err = core.run(10_000_000).expect_err("deadline must fire");
+        match &err {
+            PipelineError::DeadlineExceeded { limit, snapshot } => {
+                assert_eq!(*limit, 1_000);
+                assert!(snapshot.committed_insts < 10_000_000);
+                assert!(snapshot.stalled_for < 1_000, "still progressing");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_counts_lifetime_commits_across_warmup() {
+        let cfg = CoreConfig {
+            fault: Some(crate::config::FaultInjection {
+                freeze_commit_after: None,
+                panic_after: Some(1_000),
+            }),
+            ..CoreConfig::default()
+        };
+        let w = profiles::by_name("gcc", 7).expect("profile");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(0)));
+        // The trigger lands inside warm-up: reset_counters must not
+        // restart the fault countdown.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            core.run_warmup(700).expect("below trigger");
+            core.run_warmup(700).expect("crosses trigger")
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("injected core fault"), "{msg}");
+    }
+
+    #[test]
     fn runahead_helps_clustered_miss_workloads() {
         let base = run_profile("libquantum", CoreConfig::default(), 0, 8_000);
-        let mut cfg = CoreConfig::default();
-        cfg.runahead = Some(crate::config::RunaheadOpts::default());
+        let cfg = CoreConfig {
+            runahead: Some(crate::config::RunaheadOpts::default()),
+            ..CoreConfig::default()
+        };
         let ra = run_profile("libquantum", cfg, 0, 8_000);
         assert!(
             ra.ipc() > base.ipc(),

@@ -1,0 +1,152 @@
+//! Typed pipeline failures.
+//!
+//! The simulator's contract is forward progress: every well-formed
+//! workload commits instructions at a bounded rate. When that contract
+//! breaks — a modelling bug, an injected fault, or an exhausted cycle
+//! deadline — [`Core::run`](crate::Core::run) returns a
+//! [`PipelineError`] carrying a [`StallSnapshot`] of the machine state
+//! instead of panicking or spinning forever, so a matrix harness can
+//! report the failure and keep running its other specs.
+
+use mlpwin_isa::Cycle;
+use std::fmt;
+
+/// Diagnostic state captured at the moment the watchdog or deadline
+/// fired — everything needed to triage a stall post-mortem without
+/// re-running the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallSnapshot {
+    /// Cycle at which the error was raised.
+    pub cycle: Cycle,
+    /// Committed-path instructions retired so far (measurement window).
+    pub committed_insts: u64,
+    /// Cycles elapsed since the last commit.
+    pub stalled_for: u64,
+    /// Current resource level (0-based).
+    pub level: usize,
+    /// Reorder-buffer occupancy.
+    pub rob_len: usize,
+    /// Issue-queue occupancy.
+    pub iq_occ: usize,
+    /// Load/store-queue occupancy.
+    pub lsq_occ: usize,
+    /// In-flight line fills across the memory hierarchy's MSHR files.
+    pub outstanding_misses: usize,
+    /// Whether a runahead episode was active.
+    pub in_runahead: bool,
+    /// Debug rendering of the ROB head `(inst, issued, completed)`, the
+    /// usual culprit of a stall; `None` when the ROB is empty.
+    pub rob_head: Option<String>,
+}
+
+impl fmt::Display for StallSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle={} committed={} stalled_for={} level={} rob={} iq={} lsq={} \
+             mshrs={} runahead={} head={}",
+            self.cycle,
+            self.committed_insts,
+            self.stalled_for,
+            self.level + 1,
+            self.rob_len,
+            self.iq_occ,
+            self.lsq_occ,
+            self.outstanding_misses,
+            self.in_runahead,
+            self.rob_head.as_deref().unwrap_or("<empty>"),
+        )
+    }
+}
+
+/// A run that could not complete its instruction budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// No instruction committed for the configured watchdog budget — the
+    /// pipeline is livelocked (memory latency is ~300 cycles; any real
+    /// stall clears in a few thousand).
+    Stall {
+        /// The watchdog budget that was exhausted.
+        budget: u64,
+        /// Machine state when the watchdog fired.
+        snapshot: StallSnapshot,
+    },
+    /// The run exceeded its wall-cycle deadline while still making
+    /// progress — the spec asked for more simulation than its budget.
+    DeadlineExceeded {
+        /// The per-run cycle limit that was exceeded.
+        limit: Cycle,
+        /// Machine state when the deadline fired.
+        snapshot: StallSnapshot,
+    },
+}
+
+impl PipelineError {
+    /// The diagnostic snapshot, whichever variant carries it.
+    pub fn snapshot(&self) -> &StallSnapshot {
+        match self {
+            PipelineError::Stall { snapshot, .. } => snapshot,
+            PipelineError::DeadlineExceeded { snapshot, .. } => snapshot,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Stall { budget, snapshot } => {
+                write!(
+                    f,
+                    "pipeline stall: no commit for {budget} cycles [{snapshot}]"
+                )
+            }
+            PipelineError::DeadlineExceeded { limit, snapshot } => {
+                write!(f, "run exceeded its {limit}-cycle deadline [{snapshot}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> StallSnapshot {
+        StallSnapshot {
+            cycle: 12_345,
+            committed_insts: 900,
+            stalled_for: 5_000,
+            level: 1,
+            rob_len: 320,
+            iq_occ: 17,
+            lsq_occ: 42,
+            outstanding_misses: 3,
+            in_runahead: false,
+            rob_head: Some("Load@0x400".into()),
+        }
+    }
+
+    #[test]
+    fn display_carries_the_diagnostics() {
+        let e = PipelineError::Stall {
+            budget: 5_000,
+            snapshot: snapshot(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("no commit for 5000 cycles"), "{s}");
+        assert!(s.contains("rob=320"), "{s}");
+        assert!(s.contains("Load@0x400"), "{s}");
+        assert_eq!(e.snapshot().iq_occ, 17);
+    }
+
+    #[test]
+    fn deadline_display_names_the_limit() {
+        let e = PipelineError::DeadlineExceeded {
+            limit: 1_000_000,
+            snapshot: snapshot(),
+        };
+        assert!(e.to_string().contains("1000000-cycle deadline"));
+    }
+}

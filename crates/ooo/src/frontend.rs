@@ -253,7 +253,7 @@ mod tests {
         let resume = 2000;
         fe.fetch_cycle(resume, &mut bp, &mut mem);
         let fetched = fe.stats().trace_fetched - start;
-        assert!(fetched >= 1 && fetched <= 4, "fetched {fetched}");
+        assert!((1..=4).contains(&fetched), "fetched {fetched}");
     }
 
     #[test]

@@ -53,14 +53,24 @@
 //! let config = CoreConfig::default(); // level-1-only window
 //! let workload = profiles::by_name("gcc", 1).expect("profile exists");
 //! let mut core = Core::new(config, workload, Box::new(FixedLevelPolicy::new(0)));
-//! let stats = core.run(5_000);
+//! let stats = core.run(5_000).expect("healthy run");
 //! assert!(stats.committed_insts >= 5_000);
 //! assert!(stats.ipc() > 0.1);
 //! ```
+//!
+//! ## Failure contract
+//!
+//! [`Core::run`] returns a typed [`PipelineError`] instead of panicking:
+//! a watchdog converts a commit-less stretch of `watchdog_cycles` into
+//! [`PipelineError::Stall`] with a [`StallSnapshot`] of the machine
+//! state, and an optional `deadline_cycles` budget bounds each call's
+//! wall cycles. [`CoreConfig::fault`] injects commit-stage faults
+//! (freeze or panic) so harnesses can test their recovery paths.
 
 pub mod config;
 #[allow(clippy::module_inception)]
 pub mod core;
+pub mod error;
 pub mod frontend;
 pub mod fu;
 pub mod lsq;
@@ -70,8 +80,11 @@ pub mod runahead;
 pub mod stats;
 pub mod types;
 
-pub use config::{CoreConfig, LevelSpec, RunaheadOpts};
+pub use config::{
+    ConfigError, CoreConfig, FaultInjection, LevelSpec, RunaheadOpts, DEFAULT_WATCHDOG_CYCLES,
+};
 pub use core::Core;
+pub use error::{PipelineError, StallSnapshot};
 pub use policy::{FixedLevelPolicy, WindowPolicy};
 pub use stats::CoreStats;
 pub use types::{DynInst, DynSeq, MemState};

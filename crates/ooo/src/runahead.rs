@@ -60,7 +60,10 @@ impl RunaheadCache {
     /// of sets.
     pub fn new(bytes: usize, ways: usize, line: usize) -> RunaheadCache {
         assert!(line.is_power_of_two(), "line size must be a power of two");
-        assert!(ways > 0 && bytes % (ways * line) == 0, "bad geometry");
+        assert!(
+            ways > 0 && bytes.is_multiple_of(ways * line),
+            "bad geometry"
+        );
         let sets = bytes / (ways * line);
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         RunaheadCache {
@@ -119,7 +122,11 @@ impl RunaheadCache {
         for l in &mut self.lines[range] {
             if l.valid && l.tag == tag {
                 l.lru = tick;
-                return if l.inv { RaLookup::Inv } else { RaLookup::Valid };
+                return if l.inv {
+                    RaLookup::Inv
+                } else {
+                    RaLookup::Valid
+                };
             }
         }
         RaLookup::Miss

@@ -162,7 +162,12 @@ mod tests {
 
     #[test]
     fn memory_ops_start_waiting() {
-        let l = Instruction::load(0x100, ArchReg::int(1), ArchReg::int(2), MemRef::new(0x40, 8));
+        let l = Instruction::load(
+            0x100,
+            ArchReg::int(1),
+            ArchReg::int(2),
+            MemRef::new(0x40, 8),
+        );
         let d = DynInst::new(0, None, l, true, 0);
         assert_eq!(d.mem_state, MemState::Waiting);
         assert!(d.is_mem());

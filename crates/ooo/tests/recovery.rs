@@ -7,8 +7,8 @@ use mlpwin_workloads::{ScriptedWorkload, Workload};
 
 fn run(w: ScriptedWorkload, config: CoreConfig, insts: u64) -> CoreStats {
     let mut core = Core::new(config, w, Box::new(FixedLevelPolicy::new(0)));
-    core.run_warmup(2_000);
-    core.run(insts)
+    core.run_warmup(2_000).expect("warm-up must not stall");
+    core.run(insts).expect("healthy run must not stall")
 }
 
 /// A loop whose conditional branch alternates taken/not-taken with a
@@ -16,14 +16,12 @@ fn run(w: ScriptedWorkload, config: CoreConfig, insts: u64) -> CoreStats {
 fn alternating_branch_loop() -> Vec<Instruction> {
     // r1 <- r1 (filler), cond branch (alternating), filler, back edge.
     // Alternation with period 2 is learnable through global history.
-    let mut body = Vec::new();
-    body.push(Instruction::alu(
+    vec![Instruction::alu(
         0x1000,
         OpClass::IntAlu,
         ArchReg::int(1),
         &[ArchReg::int(1)],
-    ));
-    body
+    )]
 }
 
 #[test]
@@ -39,7 +37,12 @@ fn alternating_branch_is_learned_end_to_end() {
         Instruction::cond_branch(0x1004, ArchReg::int(1), true, taken_target),
         // (0x1008 is architecturally skipped in iteration A; the stream
         // continues at 0x100c directly.)
-        Instruction::alu(taken_target, OpClass::IntAlu, ArchReg::int(2), &[ArchReg::int(1)]),
+        Instruction::alu(
+            taken_target,
+            OpClass::IntAlu,
+            ArchReg::int(2),
+            &[ArchReg::int(1)],
+        ),
         // Iteration B begins: fall through a not-taken instance.
         Instruction::alu(0x1010, OpClass::IntAlu, ArchReg::int(1), &[ArchReg::int(1)]),
         Instruction::cond_branch(0x1014, ArchReg::int(1), false, 0x2000),
@@ -114,8 +117,8 @@ fn deeper_levels_pay_a_larger_mispredict_penalty() {
         };
         let w = profiles::by_name("gobmk", 11).expect("profile");
         let mut core = Core::new(config, w, Box::new(FixedLevelPolicy::new(0)));
-        core.run_warmup(60_000);
-        ipcs.push(core.run(15_000).ipc());
+        core.run_warmup(60_000).expect("warm-up must not stall");
+        ipcs.push(core.run(15_000).expect("healthy run").ipc());
     }
     assert!(
         ipcs[1] < ipcs[0],
@@ -140,8 +143,8 @@ fn squash_preserves_architectural_register_semantics() {
     // Use the dynamic ladder so transitions interleave with execution.
     let config = CoreConfig::with_table2_levels();
     let mut core = Core::new(config, w, Box::new(FixedLevelPolicy::new(1)));
-    core.run_warmup(1_000);
-    let s = core.run(6_000);
+    core.run_warmup(1_000).expect("warm-up must not stall");
+    let s = core.run(6_000).expect("healthy run");
     assert!(s.committed_insts >= 6_000);
     assert!(s.ipc() > 0.3, "chain loop stalled: {:.3}", s.ipc());
 }

@@ -8,8 +8,8 @@ use mlpwin_workloads::ScriptedWorkload;
 fn run_scripted(body: Vec<Instruction>, config: CoreConfig, insts: u64) -> CoreStats {
     let w = ScriptedWorkload::loop_with_backedge(body).expect("consistent script");
     let mut core = Core::new(config, w, Box::new(FixedLevelPolicy::new(0)));
-    core.run_warmup(2_000);
-    core.run(insts)
+    core.run_warmup(2_000).expect("warm-up must not stall");
+    core.run(insts).expect("healthy run must not stall")
 }
 
 fn depth2_config() -> CoreConfig {
@@ -84,7 +84,11 @@ fn independent_ops_are_insensitive_to_iq_depth() {
         d2.ipc()
     );
     // And they should saturate the 4 ALUs reasonably well.
-    assert!(d1.ipc() > 2.0, "wide independent code too slow: {:.3}", d1.ipc());
+    assert!(
+        d1.ipc() > 2.0,
+        "wide independent code too slow: {:.3}",
+        d1.ipc()
+    );
 }
 
 #[test]
@@ -182,11 +186,7 @@ fn window_occupancy_never_exceeds_the_level_capacity() {
     use mlpwin_workloads::profiles;
     let config = CoreConfig::with_table2_levels();
     let w = profiles::by_name("sphinx3", 3).expect("profile");
-    let mut core = Core::new(
-        config,
-        w,
-        Box::new(mlpwin_ooo::FixedLevelPolicy::new(2)),
-    );
+    let mut core = Core::new(config, w, Box::new(mlpwin_ooo::FixedLevelPolicy::new(2)));
     for _ in 0..30_000 {
         core.step();
         let (rob, iq, lsq) = core.occupancy();

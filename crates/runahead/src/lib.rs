@@ -103,19 +103,15 @@ mod tests {
         let (config, policy) = model.build(CoreConfig::default());
         let w = profiles::by_name(profile, 7).expect("profile");
         let mut core = Core::new(config, w, policy);
-        core.run_warmup(30_000);
-        core.run(insts)
+        core.run_warmup(30_000).expect("warm-up must not stall");
+        core.run(insts).expect("healthy run must not stall")
     }
 
     fn run_base(profile: &str, insts: u64) -> CoreStats {
         let w = profiles::by_name(profile, 7).expect("profile");
-        let mut core = Core::new(
-            CoreConfig::default(),
-            w,
-            Box::new(FixedLevelPolicy::new(0)),
-        );
-        core.run_warmup(30_000);
-        core.run(insts)
+        let mut core = Core::new(CoreConfig::default(), w, Box::new(FixedLevelPolicy::new(0)));
+        core.run_warmup(30_000).expect("warm-up must not stall");
+        core.run(insts).expect("healthy run must not stall")
     }
 
     #[test]
@@ -200,18 +196,36 @@ mod tests {
     #[test]
     fn dbg_mcf() {
         let s = run(RunaheadModel::paper(), "sphinx3", 8_000);
-        eprintln!("episodes={} suppressed={} short={} useful={} ra_cycles={} cycles={} ipc={:.3}",
-            s.runahead_episodes, s.runahead_suppressed, s.runahead_short_skips, s.runahead_useful_episodes,
-            s.runahead_cycles, s.cycles, s.ipc());
+        eprintln!(
+            "episodes={} suppressed={} short={} useful={} ra_cycles={} cycles={} ipc={:.3}",
+            s.runahead_episodes,
+            s.runahead_suppressed,
+            s.runahead_short_skips,
+            s.runahead_useful_episodes,
+            s.runahead_cycles,
+            s.cycles,
+            s.ipc()
+        );
         let b = run_base("sphinx3", 8_000);
         eprintln!("base ipc={:.3}", b.ipc());
         let mut m3 = RunaheadModel::without_cause_status_table();
         m3.opts.min_entry_remaining = 0;
         let s3 = run(m3, "sphinx3", 8_000);
-        eprintln!("gate0-noCST sphinx3: episodes={} ra_cycles={} cycles={} ipc={:.3}", s3.runahead_episodes, s3.runahead_cycles, s3.cycles, s3.ipc());
+        eprintln!(
+            "gate0-noCST sphinx3: episodes={} ra_cycles={} cycles={} ipc={:.3}",
+            s3.runahead_episodes,
+            s3.runahead_cycles,
+            s3.cycles,
+            s3.ipc()
+        );
         let s2 = run(RunaheadModel::without_cause_status_table(), "mcf", 8_000);
-        eprintln!("noCST: episodes={} ra_cycles={} cycles={} ipc={:.3}",
-            s2.runahead_episodes, s2.runahead_cycles, s2.cycles, s2.ipc());
+        eprintln!(
+            "noCST: episodes={} ra_cycles={} cycles={} ipc={:.3}",
+            s2.runahead_episodes,
+            s2.runahead_cycles,
+            s2.cycles,
+            s2.ipc()
+        );
     }
 
     #[test]

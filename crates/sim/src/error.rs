@@ -1,0 +1,137 @@
+//! The experiment layer's error taxonomy.
+//!
+//! Every way a run can fail maps to one [`SimError`] variant, so a
+//! matrix campaign distinguishes "you typo'd the profile name" from "the
+//! pipeline livelocked" from "a worker panicked" — and retries only what
+//! retrying can fix.
+
+use mlpwin_ooo::{ConfigError, PipelineError};
+use mlpwin_workloads::UnknownProfile;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Any failure the experiment layer can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The spec names a profile the registry does not know.
+    UnknownProfile(UnknownProfile),
+    /// The model built a configuration that failed validation.
+    Config(ConfigError),
+    /// The core raised a watchdog stall or deadline error mid-run.
+    Pipeline(PipelineError),
+    /// The run panicked (isolated by the matrix runner's `catch_unwind`).
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The results journal could not be read or written.
+    Journal {
+        /// The journal file involved.
+        path: PathBuf,
+        /// What went wrong (I/O or format detail).
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Whether a retry could plausibly change the outcome.
+    ///
+    /// Typed failures are deterministic — the same spec produces the
+    /// same stall or config error every time — so only panics (which may
+    /// stem from the environment rather than the model) are worth
+    /// bounded retries.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Panic { .. })
+    }
+
+    /// Stable one-word tag for logs and the journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::UnknownProfile(_) => "unknown-profile",
+            SimError::Config(_) => "config",
+            SimError::Pipeline(PipelineError::Stall { .. }) => "stall",
+            SimError::Pipeline(PipelineError::DeadlineExceeded { .. }) => "deadline",
+            SimError::Panic { .. } => "panic",
+            SimError::Journal { .. } => "journal",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownProfile(e) => write!(f, "{e}"),
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::Pipeline(e) => write!(f, "{e}"),
+            SimError::Panic { message } => write!(f, "run panicked: {message}"),
+            SimError::Journal { path, detail } => {
+                write!(f, "journal {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<UnknownProfile> for SimError {
+    fn from(e: UnknownProfile) -> SimError {
+        SimError::UnknownProfile(e)
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+impl From<PipelineError> for SimError {
+    fn from(e: PipelineError) -> SimError {
+        SimError::Pipeline(e)
+    }
+}
+
+/// Renders a `catch_unwind` payload into the panic message, or a
+/// placeholder when the payload is not a string.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_panics_are_transient() {
+        let p = SimError::Panic {
+            message: "boom".into(),
+        };
+        assert!(p.is_transient());
+        assert_eq!(p.kind(), "panic");
+        let c = SimError::Config(ConfigError::EmptyLevels);
+        assert!(!c.is_transient());
+        assert_eq!(c.kind(), "config");
+    }
+
+    #[test]
+    fn display_forwards_the_inner_error() {
+        let e = SimError::from(UnknownProfile::for_name("libqantum"));
+        let s = e.to_string();
+        assert!(s.contains("libqantum"), "{s}");
+        assert!(s.contains("libquantum"), "{s}");
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(payload), "static str");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        assert_eq!(panic_message(payload), "<non-string panic payload>");
+    }
+}

@@ -14,25 +14,38 @@
 //!   aligned text tables, histograms, and the normalized-series helpers
 //!   every `fig*`/`table*` binary uses.
 //!
+//! ## Resilience
+//!
+//! Every failure is a typed [`SimError`]; nothing in the experiment
+//! layer panics on bad input. The matrix runner isolates each run behind
+//! `catch_unwind` (one crashing spec yields a [`RunOutcome::Failed`]
+//! entry, not a dead campaign), retries transient failures a bounded
+//! number of times, and — via [`MatrixConfig::journal`] — checkpoints
+//! completed results to a JSON-lines [`journal`] so a killed campaign
+//! resumes without re-running finished specs.
+//!
 //! ## Example
 //!
 //! ```
 //! use mlpwin_sim::{runner::RunSpec, SimModel};
 //!
-//! let spec = RunSpec {
-//!     profile: "gcc".into(),
-//!     model: SimModel::Base,
-//!     warmup: 2_000,
-//!     insts: 2_000,
-//!     seed: 1,
-//! };
-//! let r = mlpwin_sim::runner::run(&spec);
+//! let spec = RunSpec::new("gcc", SimModel::Base).with_budget(2_000, 2_000);
+//! let r = mlpwin_sim::runner::run(&spec).expect("healthy run");
 //! assert!(r.stats.ipc() > 0.0);
+//!
+//! // A typo'd profile is a typed error with a suggestion, not a panic.
+//! let err = mlpwin_sim::runner::run(&RunSpec::new("libqantum", SimModel::Base));
+//! assert!(err.unwrap_err().to_string().contains("did you mean `libquantum`?"));
 //! ```
 
+pub mod error;
+pub mod journal;
+pub mod json;
 pub mod model;
 pub mod report;
 pub mod runner;
 
+pub use error::SimError;
+pub use journal::{spec_hash, Journal};
 pub use model::SimModel;
-pub use runner::{RunResult, RunSpec};
+pub use runner::{FaultSpec, MatrixConfig, RunOutcome, RunResult, RunSpec};

@@ -39,6 +39,40 @@ impl SimModel {
         }
     }
 
+    /// Stable machine-readable tag, used as the journal encoding.
+    /// Round-trips through [`SimModel::from_tag`].
+    pub fn tag(&self) -> String {
+        match self {
+            SimModel::Base => "base".into(),
+            SimModel::Fixed(l) => format!("fixed{l}"),
+            SimModel::Ideal(l) => format!("ideal{l}"),
+            SimModel::Dynamic => "dynamic".into(),
+            SimModel::Runahead => "runahead".into(),
+            SimModel::RunaheadNoCst => "runahead-nocst".into(),
+            SimModel::BigL2 => "bigl2".into(),
+        }
+    }
+
+    /// Parses a [`SimModel::tag`] back into the model.
+    pub fn from_tag(tag: &str) -> Option<SimModel> {
+        match tag {
+            "base" => Some(SimModel::Base),
+            "dynamic" => Some(SimModel::Dynamic),
+            "runahead" => Some(SimModel::Runahead),
+            "runahead-nocst" => Some(SimModel::RunaheadNoCst),
+            "bigl2" => Some(SimModel::BigL2),
+            _ => {
+                let (kind, level) = tag.split_at(tag.len().min(5));
+                let level = level.parse::<usize>().ok()?;
+                match kind {
+                    "fixed" => Some(SimModel::Fixed(level)),
+                    "ideal" => Some(SimModel::Ideal(level)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
     /// Builds the core configuration and window policy.
     pub fn build(&self) -> (CoreConfig, Box<dyn WindowPolicy>) {
         let base = CoreConfig::default();
@@ -80,6 +114,26 @@ mod tests {
             config.validate().unwrap_or_else(|e| panic!("{m:?}: {e}"));
             assert!(!m.label().is_empty());
         }
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        let models = [
+            SimModel::Base,
+            SimModel::Fixed(1),
+            SimModel::Fixed(3),
+            SimModel::Ideal(2),
+            SimModel::Dynamic,
+            SimModel::Runahead,
+            SimModel::RunaheadNoCst,
+            SimModel::BigL2,
+        ];
+        for m in models {
+            assert_eq!(SimModel::from_tag(&m.tag()), Some(m), "{m:?}");
+        }
+        assert_eq!(SimModel::from_tag("warp9"), None);
+        assert_eq!(SimModel::from_tag("fixed"), None);
+        assert_eq!(SimModel::from_tag(""), None);
     }
 
     #[test]

@@ -115,7 +115,10 @@ pub fn histogram(values: &[u64], bin_width: u64) -> Vec<(u64, u64)> {
 /// Consecutive differences of a sorted event-cycle list — the Fig. 4
 /// miss-interval series.
 pub fn intervals(cycles: &[Cycle]) -> Vec<u64> {
-    cycles.windows(2).map(|w| w[1].saturating_sub(w[0])).collect()
+    cycles
+        .windows(2)
+        .map(|w| w[1].saturating_sub(w[0]))
+        .collect()
 }
 
 /// Formats a ratio as a percentage string with one decimal ("+21.3%").

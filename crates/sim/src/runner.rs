@@ -2,17 +2,40 @@
 //!
 //! A [`RunSpec`] names a `(profile, model)` pair plus warm-up and
 //! measurement budgets; [`run`] executes it and returns a [`RunResult`]
-//! with everything the tables and figures consume. [`run_matrix`]
-//! executes many specs across threads (each run is independent and
-//! deterministic, so parallelism cannot change any result).
+//! with everything the tables and figures consume, or a typed
+//! [`SimError`] when the spec cannot complete. [`run_matrix`] executes
+//! many specs across threads (each run is independent and deterministic,
+//! so parallelism cannot change any result) with per-run isolation: a
+//! panicking or livelocking spec becomes a [`RunOutcome::Failed`] entry
+//! while its siblings keep running. [`run_matrix_with`] adds bounded
+//! retries and a crash-safe results journal for resumable campaigns.
 
+use crate::error::{panic_message, SimError};
+use crate::journal::Journal;
 use crate::model::SimModel;
 use mlpwin_branch::PredictorStats;
 use mlpwin_energy::RunCounters;
 use mlpwin_isa::Cycle;
 use mlpwin_memsys::ProvenanceStats;
-use mlpwin_ooo::{Core, CoreStats, LevelSpec};
-use mlpwin_workloads::{profiles, Category};
+use mlpwin_ooo::{Core, CoreConfig, CoreStats, LevelSpec, WindowPolicy};
+use mlpwin_workloads::{profiles, Category, FaultyWorkload, Workload};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A deliberately injected failure, for testing the harness's own
+/// recovery paths (see `DESIGN.md` §"Error handling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSpec {
+    /// The workload panics once it has produced this many instructions
+    /// (models a crash in workload or model code).
+    PanicAt(u64),
+    /// The commit stage freezes after this many lifetime commits (models
+    /// a livelock bug; the watchdog must catch it).
+    LivelockAt(u64),
+}
 
 /// One experiment to run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -27,6 +50,13 @@ pub struct RunSpec {
     pub insts: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Override of the core's no-commit watchdog budget (cycles);
+    /// `None` keeps [`mlpwin_ooo::DEFAULT_WATCHDOG_CYCLES`].
+    pub watchdog_cycles: Option<u64>,
+    /// Per-phase wall-cycle deadline; `None` means unbounded.
+    pub deadline_cycles: Option<u64>,
+    /// Injected fault, test-only.
+    pub fault: Option<FaultSpec>,
 }
 
 impl RunSpec {
@@ -40,6 +70,9 @@ impl RunSpec {
             warmup: 250_000,
             insts: 100_000,
             seed: 1,
+            watchdog_cycles: None,
+            deadline_cycles: None,
+            fault: None,
         }
     }
 
@@ -49,10 +82,45 @@ impl RunSpec {
         self.insts = insts;
         self
     }
+
+    /// Sets the watchdog budget (cycles without a commit before the run
+    /// fails with a stall error).
+    pub fn with_watchdog(mut self, cycles: u64) -> RunSpec {
+        self.watchdog_cycles = Some(cycles);
+        self
+    }
+
+    /// Bounds each simulation phase (warm-up, measurement) to `cycles`
+    /// wall cycles.
+    pub fn with_deadline(mut self, cycles: u64) -> RunSpec {
+        self.deadline_cycles = Some(cycles);
+        self
+    }
+
+    /// Injects a fault (test-only).
+    pub fn with_fault(mut self, fault: FaultSpec) -> RunSpec {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The worker-thread count every experiment binary shares: the
+    /// `MLPWIN_THREADS` environment variable when set to a positive
+    /// integer, otherwise the machine's available parallelism.
+    pub fn threads_from_env() -> usize {
+        std::env::var("MLPWIN_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    }
 }
 
 /// Everything a finished run reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The spec that produced this result.
     pub spec: RunSpec,
@@ -84,15 +152,18 @@ impl RunResult {
         self.stats.ipc()
     }
 
-    /// Builds the energy model's activity counters for this run.
-    pub fn run_counters(&self) -> RunCounters {
+    /// Builds the energy model's activity counters for this run;
+    /// `None` when the level ladder is empty (possible only for results
+    /// decoded from a hand-edited journal).
+    pub fn run_counters(&self) -> Option<RunCounters> {
+        let provisioned = *self.levels.last()?;
         let level_cycles = self
             .levels
             .iter()
             .copied()
             .zip(self.stats.level_cycles.iter().copied())
             .collect();
-        RunCounters {
+        Some(RunCounters {
             cycles: self.stats.cycles,
             dispatched: self.stats.dispatched_total,
             issued: self.stats.issued_total,
@@ -100,32 +171,144 @@ impl RunResult {
             l2_accesses: self.l2_accesses,
             dram_lines: self.dram_lines,
             level_cycles,
-            provisioned: *self.levels.last().expect("at least one level"),
+            provisioned,
+        })
+    }
+}
+
+/// How one spec of a matrix ended.
+///
+/// `Ok` inlines the (large) [`RunResult`] on purpose: matrices hold one
+/// outcome per spec — tens of entries, not thousands — and callers
+/// consume the result by value, so boxing would cost an allocation per
+/// run for no measurable footprint win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The run completed.
+    Ok(RunResult),
+    /// The run failed with a typed error after `attempts` tries.
+    Failed {
+        /// The final attempt's error.
+        error: SimError,
+        /// How many times the spec was attempted.
+        attempts: u32,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the run completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok(_))
+    }
+
+    /// The result, when the run completed.
+    pub fn result(&self) -> Option<&RunResult> {
+        match self {
+            RunOutcome::Ok(r) => Some(r),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The error, when the run failed.
+    pub fn error(&self) -> Option<&SimError> {
+        match self {
+            RunOutcome::Ok(_) => None,
+            RunOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// Converts into a `Result`, dropping the attempt count.
+    pub fn into_result(self) -> Result<RunResult, SimError> {
+        match self {
+            RunOutcome::Ok(r) => Ok(r),
+            RunOutcome::Failed { error, .. } => Err(error),
+        }
+    }
+}
+
+/// Matrix execution policy: parallelism, retry budget, checkpointing.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Worker threads (at least 1).
+    pub threads: usize,
+    /// Attempts per spec; only transient errors
+    /// ([`SimError::is_transient`]) are retried.
+    pub max_attempts: u32,
+    /// JSON-lines journal of completed results. Specs already journaled
+    /// are not re-run; freshly completed ones are appended, so a killed
+    /// campaign resumes where it stopped.
+    pub journal: Option<PathBuf>,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> MatrixConfig {
+        MatrixConfig {
+            threads: RunSpec::threads_from_env(),
+            max_attempts: 2,
+            journal: None,
         }
     }
 }
 
 /// Runs one experiment.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the profile name is unknown.
-pub fn run(spec: &RunSpec) -> RunResult {
-    let params = profiles::params_by_name(&spec.profile)
-        .unwrap_or_else(|| panic!("unknown profile {}", spec.profile));
-    let workload = profiles::by_name(&spec.profile, spec.seed).expect("checked above");
-    let (config, policy) = spec.model.build();
-    let levels = config.levels.clone();
-    let mut core = Core::new(config, workload, policy);
-    if spec.warmup > 0 {
-        core.run_warmup(spec.warmup);
+/// [`SimError::UnknownProfile`] for a bad profile name (with a
+/// nearest-name suggestion), [`SimError::Config`] for a model
+/// configuration that fails validation, and [`SimError::Pipeline`] when
+/// the watchdog or deadline fires mid-run. An injected
+/// [`FaultSpec::PanicAt`] panic propagates — isolation is the matrix
+/// runner's job.
+pub fn run(spec: &RunSpec) -> Result<RunResult, SimError> {
+    let params = profiles::params_by_name(&spec.profile)?;
+    let (mut config, policy) = spec.model.build();
+    if let Some(cycles) = spec.watchdog_cycles {
+        config.watchdog_cycles = cycles;
     }
-    let stats = core.run(spec.insts);
+    if spec.deadline_cycles.is_some() {
+        config.deadline_cycles = spec.deadline_cycles;
+    }
+    if let Some(FaultSpec::LivelockAt(at)) = spec.fault {
+        let mut fault = config.fault.unwrap_or_default();
+        fault.freeze_commit_after = Some(at);
+        config.fault = Some(fault);
+    }
+    let workload = profiles::by_name(&spec.profile, spec.seed)?;
+    if let Some(FaultSpec::PanicAt(at)) = spec.fault {
+        execute(
+            spec,
+            params.category,
+            config,
+            policy,
+            FaultyWorkload::panic_at(workload, at),
+        )
+    } else {
+        execute(spec, params.category, config, policy, workload)
+    }
+}
+
+/// The monomorphic run body, generic over the workload so the common
+/// path stays free of dynamic dispatch.
+fn execute<W: Workload>(
+    spec: &RunSpec,
+    category: Category,
+    config: CoreConfig,
+    policy: Box<dyn WindowPolicy>,
+    workload: W,
+) -> Result<RunResult, SimError> {
+    let levels = config.levels.clone();
+    let mut core = Core::try_new(config, workload, policy)?;
+    if spec.warmup > 0 {
+        core.run_warmup(spec.warmup)?;
+    }
+    let stats = core.run(spec.insts)?;
     core.mem_mut().finalize();
     let mem = core.mem();
-    RunResult {
+    Ok(RunResult {
         spec: spec.clone(),
-        category: params.category,
+        category,
         predictor: core.predictor().stats().clone(),
         provenance: *mem.provenance(),
         l2_miss_cycles: mem.stats().l2_demand_miss_cycles.clone(),
@@ -138,36 +321,113 @@ pub fn run(spec: &RunSpec) -> RunResult {
         avg_load_latency: stats.avg_load_latency(),
         levels,
         stats,
+    })
+}
+
+/// Runs one spec with panic isolation: a panic anywhere inside the run
+/// becomes [`SimError::Panic`] instead of unwinding the caller.
+fn run_isolated(spec: &RunSpec) -> Result<RunResult, SimError> {
+    catch_unwind(AssertUnwindSafe(|| run(spec))).unwrap_or_else(|payload| {
+        Err(SimError::Panic {
+            message: panic_message(payload),
+        })
+    })
+}
+
+fn run_with_retries(spec: &RunSpec, max_attempts: u32) -> RunOutcome {
+    let max_attempts = max_attempts.max(1);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match run_isolated(spec) {
+            Ok(r) => return RunOutcome::Ok(r),
+            Err(error) if error.is_transient() && attempts < max_attempts => continue,
+            Err(error) => return RunOutcome::Failed { error, attempts },
+        }
     }
 }
 
 /// Runs many experiments across `threads` worker threads, preserving the
-/// input order in the output.
-pub fn run_matrix(specs: &[RunSpec], threads: usize) -> Vec<RunResult> {
-    let threads = threads.max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
-        (0..specs.len()).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(specs.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
+/// input order in the output. Every spec yields exactly one
+/// [`RunOutcome`]; a failing spec never disturbs its siblings.
+pub fn run_matrix(specs: &[RunSpec], threads: usize) -> Vec<RunOutcome> {
+    let config = MatrixConfig {
+        threads,
+        ..MatrixConfig::default()
+    };
+    run_matrix_with(specs, &config).expect("journalless matrix cannot hit I/O errors")
+}
+
+/// [`run_matrix`] with an explicit [`MatrixConfig`] — retry budget and
+/// an optional resume journal.
+///
+/// # Errors
+///
+/// Only journal I/O failures surface here (simulation failures are
+/// per-spec [`RunOutcome::Failed`] entries, never a whole-matrix error).
+pub fn run_matrix_with(
+    specs: &[RunSpec],
+    config: &MatrixConfig,
+) -> Result<Vec<RunOutcome>, SimError> {
+    let threads = config.threads.max(1);
+    let journal = config.journal.as_deref().map(Journal::new);
+    let slots: Vec<Mutex<Option<RunOutcome>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+
+    // Resume: pre-fill the slots of journaled specs without re-running.
+    let mut remaining: Vec<usize> = Vec::new();
+    match &journal {
+        Some(journal) => {
+            let mut done: HashMap<RunSpec, RunResult> = HashMap::new();
+            for (spec, result) in journal.load()? {
+                done.insert(spec, result);
+            }
+            for (i, spec) in specs.iter().enumerate() {
+                match done.get(spec) {
+                    Some(result) => {
+                        *slots[i].lock().expect("slot poisoned") =
+                            Some(RunOutcome::Ok(result.clone()))
+                    }
+                    None => remaining.push(i),
                 }
-                let r = run(&specs[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            }
+        }
+        None => remaining.extend(0..specs.len()),
+    }
+
+    let next = AtomicUsize::new(0);
+    let journal_error: Mutex<Option<SimError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(remaining.len()) {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = remaining.get(k) else { break };
+                let outcome = run_with_retries(&specs[i], config.max_attempts);
+                if let (Some(journal), RunOutcome::Ok(result)) = (&journal, &outcome) {
+                    if let Err(e) = journal.append(&specs[i], result) {
+                        journal_error
+                            .lock()
+                            .expect("journal error slot poisoned")
+                            .get_or_insert(e);
+                    }
+                }
+                *slots[i].lock().expect("slot poisoned") = Some(outcome);
             });
         }
     });
-    for (i, slot) in slots.into_iter().enumerate() {
-        results[i] = slot.into_inner().expect("result slot poisoned");
+    if let Some(e) = journal_error
+        .into_inner()
+        .expect("journal error slot poisoned")
+    {
+        return Err(e);
     }
-    results
+    Ok(slots
         .into_iter()
-        .map(|r| r.expect("every spec produces a result"))
-        .collect()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every spec produces an outcome")
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -180,12 +440,12 @@ mod tests {
 
     #[test]
     fn run_produces_consistent_result() {
-        let r = run(&quick("gcc", SimModel::Base));
+        let r = run(&quick("gcc", SimModel::Base)).expect("healthy run");
         assert!(r.stats.committed_insts >= 3_000);
         assert_eq!(r.category, Category::ComputeIntensive);
         assert!(r.l1_accesses > 0);
         assert!(r.avg_load_latency > 0.0);
-        let c = r.run_counters();
+        let c = r.run_counters().expect("non-empty ladder");
         assert_eq!(c.cycles, r.stats.cycles);
         assert_eq!(c.level_cycles.len(), 1);
     }
@@ -199,23 +459,44 @@ mod tests {
         ];
         let parallel = run_matrix(&specs, 3);
         assert_eq!(parallel.len(), 3);
-        for (spec, result) in specs.iter().zip(&parallel) {
+        for (spec, outcome) in specs.iter().zip(&parallel) {
+            let result = outcome.result().expect("healthy spec");
             assert_eq!(&result.spec, spec);
-            let serial = run(spec);
+            let serial = run(spec).expect("healthy run");
             assert_eq!(serial.stats, result.stats, "{spec:?} must be deterministic");
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown profile")]
-    fn unknown_profile_panics() {
-        let _ = run(&quick("wrf", SimModel::Base));
+    fn unknown_profile_is_a_typed_error_with_a_suggestion() {
+        let err = run(&quick("libqantum", SimModel::Base)).expect_err("typo");
+        match &err {
+            SimError::UnknownProfile(e) => {
+                assert_eq!(e.name, "libqantum");
+                assert_eq!(e.suggestion, Some("libquantum"));
+            }
+            other => panic!("expected UnknownProfile, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean `libquantum`?"), "{msg}");
     }
 
     #[test]
     fn dynamic_run_reports_full_ladder() {
-        let r = run(&quick("libquantum", SimModel::Dynamic));
+        let r = run(&quick("libquantum", SimModel::Dynamic)).expect("healthy run");
         assert_eq!(r.levels.len(), 3);
-        assert_eq!(r.run_counters().provisioned.rob, 512);
+        assert_eq!(r.run_counters().expect("ladder").provisioned.rob, 512);
+    }
+
+    #[test]
+    fn empty_ladder_counters_are_none_not_a_panic() {
+        let mut r = run(&quick("gcc", SimModel::Base)).expect("healthy run");
+        r.levels.clear();
+        assert!(r.run_counters().is_none());
+    }
+
+    #[test]
+    fn threads_from_env_is_positive() {
+        assert!(RunSpec::threads_from_env() >= 1);
     }
 }

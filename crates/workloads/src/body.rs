@@ -94,15 +94,7 @@ impl StaticBody {
         let mut fp_rr: u8 = 0; // round-robin over f0..=f26
         for i in 1..n {
             let kind = Self::draw_kind(params, &mut rng);
-            let slot = Self::build_slot(
-                kind,
-                i,
-                &slots,
-                params,
-                &mut rng,
-                &mut int_rr,
-                &mut fp_rr,
-            );
+            let slot = Self::build_slot(kind, i, &slots, params, &mut rng, &mut int_rr, &mut fp_rr);
             slots.push(slot);
         }
 
@@ -376,7 +368,10 @@ mod tests {
                     }
                     let lo = i.saturating_sub(3);
                     let produced_nearby = b.slots[lo..i].iter().any(|t| t.dest == Some(*src));
-                    assert!(produced_nearby, "slot {i} source {src} not produced in window");
+                    assert!(
+                        produced_nearby,
+                        "slot {i} source {src} not produced in window"
+                    );
                 }
             }
         }

@@ -104,7 +104,7 @@ impl ProfileWorkload {
         // addresses of in-flight loads, and cursor aliasing would create
         // artificial store-to-load blocking storms.
         let base = if is_store {
-            st.data_base + (ws + 63) / 64 * 64
+            st.data_base + ws.div_ceil(64) * 64
         } else {
             st.data_base
         };
@@ -264,11 +264,7 @@ mod tests {
         let mut prev = w.next_inst();
         for _ in 0..20_000 {
             let next = w.next_inst();
-            assert_eq!(
-                prev.successor_pc(),
-                next.pc,
-                "PC chain broken after {prev}"
-            );
+            assert_eq!(prev.successor_pc(), next.pc, "PC chain broken after {prev}");
             prev = next;
         }
     }
@@ -330,7 +326,10 @@ mod tests {
             }
             prev = next;
         }
-        assert!(phase_jumps >= 4, "expected several phase changes, got {phase_jumps}");
+        assert!(
+            phase_jumps >= 4,
+            "expected several phase changes, got {phase_jumps}"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod body;
+pub mod fault;
 pub mod gen;
 pub mod params;
 pub mod profiles;
@@ -35,8 +36,10 @@ pub mod scripted;
 pub mod window;
 pub mod wrongpath;
 
+pub use fault::FaultyWorkload;
 pub use gen::ProfileWorkload;
 pub use params::{Category, MemPattern, PhaseParams, ProfileParams};
+pub use profiles::UnknownProfile;
 pub use scripted::ScriptedWorkload;
 pub use window::TraceWindow;
 pub use wrongpath::WrongPathGen;

@@ -258,10 +258,13 @@ mod tests {
             name: "bad",
             category: Category::ComputeIntensive,
             is_fp: false,
-            phases: vec![PhaseParams::default(), PhaseParams {
-                dep_depth: 0,
-                ..PhaseParams::default()
-            }],
+            phases: vec![
+                PhaseParams::default(),
+                PhaseParams {
+                    dep_depth: 0,
+                    ..PhaseParams::default()
+                },
+            ],
         };
         let err = p.validate().unwrap_err();
         assert!(err.contains("bad phase 1"), "{err}");

@@ -21,6 +21,71 @@
 
 use crate::gen::ProfileWorkload;
 use crate::params::{Category, MemPattern, PhaseParams, ProfileParams};
+use std::fmt;
+
+/// A profile lookup named a program the registry does not contain.
+///
+/// Carries the nearest registered name (by edit distance) when one is
+/// plausibly what the caller meant — typos in experiment scripts are the
+/// dominant failure mode for a 28-profile matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProfile {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// The closest registered profile name, if any is close enough.
+    pub suggestion: Option<&'static str>,
+}
+
+impl fmt::Display for UnknownProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown profile `{}`", self.name)?;
+        if let Some(s) = self.suggestion {
+            write!(f, " (did you mean `{s}`?)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownProfile {}
+
+impl UnknownProfile {
+    /// Builds the error for a failed lookup, attaching the nearest
+    /// registered name as a suggestion when one is plausibly close.
+    pub fn for_name(name: &str) -> UnknownProfile {
+        UnknownProfile {
+            name: name.to_string(),
+            suggestion: nearest_name(name),
+        }
+    }
+}
+
+/// Levenshtein edit distance, case-insensitive (lookup typos often get
+/// the case of mixed-case names like `GemsFDTD` wrong).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(|c| c.to_lowercase()).collect();
+    let b: Vec<char> = b.chars().flat_map(|c| c.to_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The registered name nearest to `name`, if close enough to suggest
+/// (within 3 edits — beyond that the guess is noise, not help).
+fn nearest_name(name: &str) -> Option<&'static str> {
+    names()
+        .into_iter()
+        .map(|n| (edit_distance(name, n), n))
+        .min()
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, n)| n)
+}
 
 /// The memory-intensive programs shown individually in Fig. 7 (a)–(h).
 pub const SELECTED_MEM: [&str; 8] = [
@@ -86,7 +151,10 @@ pub fn all() -> Vec<ProfileParams> {
                 branch_frac: 0.08,
                 branch_bias: 0.99833,
                 working_set: 8 * MB,
-                pattern: MemPattern::RandomChunk { run: 8, reuse: 0.974 },
+                pattern: MemPattern::RandomChunk {
+                    run: 8,
+                    reuse: 0.974,
+                },
                 dep_depth: 8,
                 ..mem_phase()
             },
@@ -107,7 +175,10 @@ pub fn all() -> Vec<ProfileParams> {
                 // the regime where the paper's libquantum scales almost
                 // linearly with window size while its average load
                 // latency stays near the full memory round-trip.
-                pattern: MemPattern::RandomChunk { run: 4, reuse: 0.45 },
+                pattern: MemPattern::RandomChunk {
+                    run: 4,
+                    reuse: 0.45,
+                },
                 dep_depth: 14,
                 ..mem_phase()
             },
@@ -123,7 +194,10 @@ pub fn all() -> Vec<ProfileParams> {
                 branch_bias: 0.98667,
                 chase_frac: 0.25,
                 working_set: 192 * MB,
-                pattern: MemPattern::RandomChunk { run: 8, reuse: 0.84 },
+                pattern: MemPattern::RandomChunk {
+                    run: 8,
+                    reuse: 0.84,
+                },
                 dep_depth: 8,
                 ..mem_phase()
             },
@@ -144,7 +218,10 @@ pub fn all() -> Vec<ProfileParams> {
                     branch_frac: 0.14,
                     branch_bias: 0.985,
                     working_set: 96 * MB,
-                    pattern: MemPattern::RandomChunk { run: 6, reuse: 0.85 },
+                    pattern: MemPattern::RandomChunk {
+                        run: 6,
+                        reuse: 0.85,
+                    },
                     dep_depth: 9,
                     ..mem_phase()
                 },
@@ -172,7 +249,10 @@ pub fn all() -> Vec<ProfileParams> {
                 branch_bias: 0.99,
                 chase_frac: 0.15,
                 working_set: 128 * MB,
-                pattern: MemPattern::RandomChunk { run: 6, reuse: 0.77 },
+                pattern: MemPattern::RandomChunk {
+                    run: 6,
+                    reuse: 0.77,
+                },
                 dep_depth: 9,
                 ..mem_phase()
             },
@@ -220,7 +300,10 @@ pub fn all() -> Vec<ProfileParams> {
                 branch_bias: 0.996,
                 fp_frac: 0.55,
                 working_set: 128 * MB,
-                pattern: MemPattern::RandomChunk { run: 4, reuse: 0.84 },
+                pattern: MemPattern::RandomChunk {
+                    run: 4,
+                    reuse: 0.84,
+                },
                 dep_depth: 10,
                 ..mem_phase()
             },
@@ -239,7 +322,10 @@ pub fn all() -> Vec<ProfileParams> {
                 branch_bias: 0.9999,
                 fp_frac: 0.65,
                 working_set: 24 * MB,
-                pattern: MemPattern::RandomChunk { run: 8, reuse: 0.98 },
+                pattern: MemPattern::RandomChunk {
+                    run: 8,
+                    reuse: 0.98,
+                },
                 dep_depth: 6,
                 ..mem_phase()
             },
@@ -255,7 +341,10 @@ pub fn all() -> Vec<ProfileParams> {
                 branch_bias: 0.98433,
                 fp_frac: 0.4,
                 working_set: 96 * MB,
-                pattern: MemPattern::RandomChunk { run: 6, reuse: 0.93 },
+                pattern: MemPattern::RandomChunk {
+                    run: 6,
+                    reuse: 0.93,
+                },
                 dep_depth: 9,
                 ..mem_phase()
             },
@@ -271,7 +360,10 @@ pub fn all() -> Vec<ProfileParams> {
                 branch_bias: 0.99067,
                 fp_frac: 0.5,
                 working_set: 48 * MB,
-                pattern: MemPattern::RandomChunk { run: 6, reuse: 0.89 },
+                pattern: MemPattern::RandomChunk {
+                    run: 6,
+                    reuse: 0.89,
+                },
                 dep_depth: 9,
                 ..mem_phase()
             },
@@ -554,15 +646,27 @@ pub fn all() -> Vec<ProfileParams> {
 }
 
 /// Looks up a profile's parameters by name.
-pub fn params_by_name(name: &str) -> Option<ProfileParams> {
-    all().into_iter().find(|p| p.name == name)
+///
+/// # Errors
+///
+/// Returns [`UnknownProfile`] (with a nearest-name suggestion) when no
+/// registered profile matches.
+pub fn params_by_name(name: &str) -> Result<ProfileParams, UnknownProfile> {
+    all()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| UnknownProfile::for_name(name))
 }
 
 /// Builds the workload generator for a named profile.
-pub fn by_name(name: &str, seed: u64) -> Option<ProfileWorkload> {
-    params_by_name(name).map(|p| {
-        ProfileWorkload::new(p, seed).expect("built-in profiles validate by construction")
-    })
+///
+/// # Errors
+///
+/// Returns [`UnknownProfile`] (with a nearest-name suggestion) when no
+/// registered profile matches.
+pub fn by_name(name: &str, seed: u64) -> Result<ProfileWorkload, UnknownProfile> {
+    params_by_name(name)
+        .map(|p| ProfileWorkload::new(p, seed).expect("built-in profiles validate by construction"))
 }
 
 /// Names of every profile, in Table 3 order.
@@ -628,13 +732,31 @@ mod tests {
     #[test]
     fn selected_lists_reference_real_profiles() {
         for name in SELECTED_MEM.iter().chain(SELECTED_COMP.iter()) {
-            assert!(params_by_name(name).is_some(), "{name} missing");
+            assert!(params_by_name(name).is_ok(), "{name} missing");
         }
     }
 
     #[test]
-    fn by_name_unknown_is_none() {
-        assert!(by_name("wrf", 1).is_none(), "wrf is excluded per the paper");
+    fn by_name_unknown_is_typed_error() {
+        let err = by_name("wrf", 1).unwrap_err();
+        assert_eq!(err.name, "wrf", "wrf is excluded per the paper");
+    }
+
+    #[test]
+    fn typos_get_a_nearest_name_suggestion() {
+        let err = params_by_name("libqantum").unwrap_err();
+        assert_eq!(err.suggestion, Some("libquantum"));
+        assert!(err.to_string().contains("did you mean `libquantum`?"));
+        // Case-insensitive matching reaches mixed-case names.
+        assert_eq!(
+            params_by_name("gemsfdtd").unwrap_err().suggestion,
+            Some("GemsFDTD")
+        );
+        // Garbage gets no guess.
+        assert_eq!(
+            params_by_name("xxxxxxxxxxxxxxx").unwrap_err().suggestion,
+            None
+        );
     }
 
     #[test]

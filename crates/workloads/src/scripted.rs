@@ -60,7 +60,11 @@ impl ScriptedWorkload {
         let first_pc = insts.first().ok_or("empty body")?.pc;
         let last = insts.last().expect("checked non-empty");
         let jump_pc = last.next_pc();
-        insts.push(Instruction::jump(jump_pc, BranchKind::Unconditional, first_pc));
+        insts.push(Instruction::jump(
+            jump_pc,
+            BranchKind::Unconditional,
+            first_pc,
+        ));
         ScriptedWorkload::looping(insts)
     }
 
@@ -94,8 +98,7 @@ mod tests {
     #[test]
     fn backedge_loop_is_pc_consistent_forever() {
         let mut w =
-            ScriptedWorkload::loop_with_backedge(vec![alu(0x100), alu(0x104), alu(0x108)])
-                .unwrap();
+            ScriptedWorkload::loop_with_backedge(vec![alu(0x100), alu(0x104), alu(0x108)]).unwrap();
         assert_eq!(w.body_len(), 4);
         let mut prev = w.next_inst();
         for _ in 0..50 {

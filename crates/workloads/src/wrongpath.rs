@@ -93,7 +93,9 @@ mod tests {
     fn different_seeds_differ() {
         let a = WrongPathGen::new(1);
         let b = WrongPathGen::new(2);
-        let same = (0..100).filter(|&o| a.inst(0x8000, o) == b.inst(0x8000, o)).count();
+        let same = (0..100)
+            .filter(|&o| a.inst(0x8000, o) == b.inst(0x8000, o))
+            .count();
         assert!(same < 60, "streams too similar: {same}");
     }
 

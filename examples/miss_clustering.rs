@@ -19,8 +19,8 @@ fn miss_cycles(profile: &str) -> Vec<u64> {
     let (config, policy) = WindowModel::Base.build(CoreConfig::default());
     let w = profiles::by_name(profile, 1).expect("profile");
     let mut cpu = Core::new(config, w, policy);
-    cpu.run_warmup(150_000);
-    let _ = cpu.run(60_000);
+    cpu.run_warmup(150_000).expect("warm-up must not stall");
+    let _ = cpu.run(60_000).expect("healthy run");
     cpu.mem().stats().l2_demand_miss_cycles.clone()
 }
 
@@ -30,8 +30,8 @@ fn speedup(profile: &str) -> f64 {
         let (config, policy) = model.build(CoreConfig::default());
         let w = profiles::by_name(profile, 1).expect("profile");
         let mut cpu = Core::new(config, w, policy);
-        cpu.run_warmup(150_000);
-        ipcs.push(cpu.run(40_000).ipc());
+        cpu.run_warmup(150_000).expect("warm-up must not stall");
+        ipcs.push(cpu.run(40_000).expect("healthy run").ipc());
     }
     ipcs[1] / ipcs[0]
 }

@@ -18,7 +18,7 @@ fn main() {
     let (config, policy) = WindowModel::Dynamic.build(CoreConfig::default());
     let workload = profiles::by_name("omnetpp", 1).expect("profile");
     let mut cpu = Core::new(config, workload, policy);
-    cpu.run_warmup(150_000);
+    cpu.run_warmup(150_000).expect("warm-up must not stall");
 
     println!("omnetpp under dynamic resizing — window level sampled every 500 cycles");
     println!("(# = level: one column per sample; tall = enlarged window)\n");

@@ -15,8 +15,8 @@ fn simulate(profile: &str, model: WindowModel) -> CoreStats {
     let (config, policy) = model.build(CoreConfig::default());
     let workload = profiles::by_name(profile, 1).expect("known profile");
     let mut cpu = Core::new(config, workload, policy);
-    cpu.run_warmup(100_000); // fast-forward: warm caches and predictors
-    cpu.run(30_000)
+    cpu.run_warmup(100_000).expect("warm-up must not stall"); // fast-forward: warm caches and predictors
+    cpu.run(30_000).expect("healthy run")
 }
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
         let base = simulate(profile, WindowModel::Base);
         let fixed3 = simulate(profile, WindowModel::Fixed(3));
         let dynamic = simulate(profile, WindowModel::Dynamic);
-        println!("  base (64-entry IQ, back-to-back issue): IPC {:.3}", base.ipc());
+        println!(
+            "  base (64-entry IQ, back-to-back issue): IPC {:.3}",
+            base.ipc()
+        );
         println!(
             "  fixed level 3 (256-entry IQ, pipelined):  IPC {:.3}  ({:+.1}%)",
             fixed3.ipc(),

@@ -12,25 +12,25 @@
 //! cargo run --release --example runahead_duel
 //! ```
 
+use mlpwin::core::WindowModel;
 use mlpwin::ooo::{Core, CoreConfig, CoreStats};
 use mlpwin::runahead::RunaheadModel;
-use mlpwin::core::WindowModel;
 use mlpwin::workloads::profiles;
 
 fn run_window(profile: &str, model: WindowModel) -> CoreStats {
     let (config, policy) = model.build(CoreConfig::default());
     let w = profiles::by_name(profile, 1).expect("profile");
     let mut cpu = Core::new(config, w, policy);
-    cpu.run_warmup(150_000);
-    cpu.run(40_000)
+    cpu.run_warmup(150_000).expect("warm-up must not stall");
+    cpu.run(40_000).expect("healthy run")
 }
 
 fn run_runahead(profile: &str) -> CoreStats {
     let (config, policy) = RunaheadModel::paper().build(CoreConfig::default());
     let w = profiles::by_name(profile, 1).expect("profile");
     let mut cpu = Core::new(config, w, policy);
-    cpu.run_warmup(150_000);
-    cpu.run(40_000)
+    cpu.run_warmup(150_000).expect("warm-up must not stall");
+    cpu.run(40_000).expect("healthy run")
 }
 
 fn main() {

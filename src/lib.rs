@@ -32,7 +32,7 @@
 //! let (config, policy) = WindowModel::Dynamic.build(CoreConfig::default());
 //! let workload = profiles::by_name("omnetpp", 1).expect("profile");
 //! let mut cpu = Core::new(config, workload, policy);
-//! let stats = cpu.run(5_000);
+//! let stats = cpu.run(5_000).expect("healthy run");
 //! println!("IPC {:.2} at level {:?}", stats.ipc(), stats.level_cycles);
 //! # assert!(stats.ipc() > 0.0);
 //! ```

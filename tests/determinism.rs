@@ -20,8 +20,8 @@ fn repeated_runs_are_bit_identical() {
         SimModel::Runahead,
         SimModel::BigL2,
     ] {
-        let a = run(&spec("soplex", model, 1));
-        let b = run(&spec("soplex", model, 1));
+        let a = run(&spec("soplex", model, 1)).expect("healthy run");
+        let b = run(&spec("soplex", model, 1)).expect("healthy run");
         assert_eq!(a.stats, b.stats, "{model:?} not deterministic");
         assert_eq!(a.provenance, b.provenance);
         assert_eq!(a.l2_miss_cycles, b.l2_miss_cycles);
@@ -37,14 +37,20 @@ fn thread_count_cannot_change_results() {
     let serial = run_matrix(&specs, 1);
     let parallel = run_matrix(&specs, 4);
     for (s, p) in serial.iter().zip(&parallel) {
-        assert_eq!(s.stats, p.stats, "{}: thread-count sensitivity", s.spec.profile);
+        let s = s.result().expect("healthy spec");
+        let p = p.result().expect("healthy spec");
+        assert_eq!(
+            s.stats, p.stats,
+            "{}: thread-count sensitivity",
+            s.spec.profile
+        );
     }
 }
 
 #[test]
 fn different_seeds_diverge() {
-    let a = run(&spec("soplex", SimModel::Base, 1));
-    let b = run(&spec("soplex", SimModel::Base, 2));
+    let a = run(&spec("soplex", SimModel::Base, 1)).expect("healthy run");
+    let b = run(&spec("soplex", SimModel::Base, 2)).expect("healthy run");
     assert_ne!(
         a.stats.cycles, b.stats.cycles,
         "distinct seeds should explore distinct dynamic behaviour"
@@ -61,9 +67,12 @@ fn different_seeds_diverge() {
 fn warmup_reset_preserves_microarchitectural_state() {
     // Running 2k after an 8k warmup must differ from a cold 2k run
     // (warm caches), and two warm runs must agree with each other.
-    let cold = run(&RunSpec::new("gcc", SimModel::Base).with_budget(0, 2_000));
-    let warm1 = run(&RunSpec::new("gcc", SimModel::Base).with_budget(8_000, 2_000));
-    let warm2 = run(&RunSpec::new("gcc", SimModel::Base).with_budget(8_000, 2_000));
+    let cold =
+        run(&RunSpec::new("gcc", SimModel::Base).with_budget(0, 2_000)).expect("healthy run");
+    let warm1 =
+        run(&RunSpec::new("gcc", SimModel::Base).with_budget(8_000, 2_000)).expect("healthy run");
+    let warm2 =
+        run(&RunSpec::new("gcc", SimModel::Base).with_budget(8_000, 2_000)).expect("healthy run");
     assert_eq!(warm1.stats, warm2.stats);
     assert!(
         warm1.ipc() > cold.ipc(),

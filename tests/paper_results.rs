@@ -13,21 +13,20 @@ const WARMUP: u64 = 120_000;
 const INSTS: u64 = 15_000;
 
 fn ipc(profile: &str, model: SimModel) -> f64 {
-    run(&RunSpec::new(profile, model).with_budget(WARMUP, INSTS)).ipc()
+    run(&RunSpec::new(profile, model).with_budget(WARMUP, INSTS))
+        .expect("healthy run")
+        .ipc()
 }
 
 #[test]
 fn memory_workload_prefers_large_window_and_res_tracks_it() {
-    let specs: Vec<RunSpec> = [
-        SimModel::Fixed(1),
-        SimModel::Fixed(3),
-        SimModel::Dynamic,
-    ]
-    .into_iter()
-    .map(|m| RunSpec::new("sphinx3", m).with_budget(WARMUP, INSTS))
-    .collect();
+    let specs: Vec<RunSpec> = [SimModel::Fixed(1), SimModel::Fixed(3), SimModel::Dynamic]
+        .into_iter()
+        .map(|m| RunSpec::new("sphinx3", m).with_budget(WARMUP, INSTS))
+        .collect();
     let r = run_matrix(&specs, 3);
-    let (fix1, fix3, res) = (r[0].ipc(), r[1].ipc(), r[2].ipc());
+    let ipc_of = |i: usize| r[i].result().expect("healthy spec").ipc();
+    let (fix1, fix3, res) = (ipc_of(0), ipc_of(1), ipc_of(2));
     assert!(
         fix3 > fix1 * 1.3,
         "sphinx3 must gain from the big window: {fix1:.3} -> {fix3:.3}"
@@ -71,8 +70,10 @@ fn ideal_model_upper_bounds_the_fixed_model() {
 
 #[test]
 fn dynamic_residency_follows_the_workload_character() {
-    let mem = run(&RunSpec::new("sphinx3", SimModel::Dynamic).with_budget(WARMUP, INSTS));
-    let comp = run(&RunSpec::new("sjeng", SimModel::Dynamic).with_budget(WARMUP, INSTS));
+    let mem = run(&RunSpec::new("sphinx3", SimModel::Dynamic).with_budget(WARMUP, INSTS))
+        .expect("healthy run");
+    let comp = run(&RunSpec::new("sjeng", SimModel::Dynamic).with_budget(WARMUP, INSTS))
+        .expect("healthy run");
     let mem_upper = mem.stats.level_residency(1) + mem.stats.level_residency(2);
     assert!(
         mem_upper > 0.5,
@@ -118,7 +119,8 @@ fn enlarged_l2_buys_far_less_than_resizing() {
 
 #[test]
 fn cache_pollution_from_speculation_stays_small() {
-    let r = run(&RunSpec::new("gobmk", SimModel::Dynamic).with_budget(WARMUP, INSTS));
+    let r = run(&RunSpec::new("gobmk", SimModel::Dynamic).with_budget(WARMUP, INSTS))
+        .expect("healthy run");
     let p = &r.provenance;
     assert!(p.total() > 0, "some lines must have been brought in");
     let wrong_share = p.wrongpath_total() as f64 / p.total() as f64;
@@ -138,13 +140,15 @@ fn transition_penalty_is_not_the_bottleneck() {
     use mlpwin::workloads::profiles;
     let mut ipcs = Vec::new();
     for penalty in [10u32, 30] {
-        let mut base = CoreConfig::default();
-        base.transition_penalty = penalty;
+        let base = CoreConfig {
+            transition_penalty: penalty,
+            ..CoreConfig::default()
+        };
         let (config, policy) = WindowModel::Dynamic.build(base);
         let w = profiles::by_name("soplex", 1).expect("profile");
         let mut cpu = Core::new(config, w, policy);
-        cpu.run_warmup(WARMUP);
-        ipcs.push(cpu.run(INSTS).ipc());
+        cpu.run_warmup(WARMUP).expect("warm-up must not stall");
+        ipcs.push(cpu.run(INSTS).expect("healthy run").ipc());
     }
     let loss = 1.0 - ipcs[1] / ipcs[0];
     assert!(
@@ -164,7 +168,8 @@ fn milc_is_hostile_to_runahead_but_safe_for_resizing() {
         "resizing must be safe on milc: {base:.3} -> {res:.3}"
     );
     // And the CST must be suppressing episodes (the workload's character).
-    let ra = run(&RunSpec::new("milc", SimModel::Runahead).with_budget(WARMUP, INSTS));
+    let ra = run(&RunSpec::new("milc", SimModel::Runahead).with_budget(WARMUP, INSTS))
+        .expect("healthy run");
     assert!(
         ra.stats.runahead_suppressed + ra.stats.runahead_short_skips > 0,
         "milc should trip the useless-runahead defenses"

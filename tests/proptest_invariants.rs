@@ -1,4 +1,10 @@
-//! Property-based tests of cross-crate invariants.
+//! Randomized (property-style) tests of cross-crate invariants.
+//!
+//! Implemented over the workspace's own deterministic
+//! [`Xoshiro256StarStar`] generator instead of an external
+//! property-testing crate, so the suite builds offline. Each test sweeps
+//! a fixed number of seeded random cases; failures print the case seed
+//! so a reproduction is one constant away.
 
 use mlpwin::branch::{BranchPredictor, PredictorConfig};
 use mlpwin::core::DynamicResizingPolicy;
@@ -8,57 +14,42 @@ use mlpwin::ooo::WindowPolicy;
 use mlpwin::workloads::{
     MemPattern, PhaseParams, ProfileParams, ProfileWorkload, TraceWindow, Workload,
 };
-use proptest::prelude::*;
 
-/// Arbitrary-but-valid phase parameters.
-fn phase_strategy() -> impl Strategy<Value = PhaseParams> {
-    (
-        16usize..256,          // body_len
-        0.05f64..0.35,         // load_frac
-        0.0f64..0.15,          // store_frac
-        0.0f64..0.20,          // branch_frac
-        0.5f64..1.0,           // branch_bias
-        0.0f64..0.8,           // fp_frac
-        1usize..16,            // dep_depth
-        0.0f64..0.6,           // chase_frac
-        0u8..4,                // pattern selector
-    )
-        .prop_map(
-            |(body, load, store, branch, bias, fp, dep, chase, pat)| PhaseParams {
-                len: 10_000,
-                body_len: body,
-                load_frac: load,
-                store_frac: store,
-                branch_frac: branch,
-                branch_bias: bias,
-                fp_frac: fp,
-                longlat_frac: 0.1,
-                dep_depth: dep,
-                chase_frac: chase,
-                working_set: 1 << 20,
-                pattern: match pat {
-                    0 => MemPattern::Stream { stride: 8 },
-                    1 => MemPattern::Random,
-                    2 => MemPattern::BurstyRandom {
-                        burst: 16,
-                        region: 4096,
-                    },
-                    _ => MemPattern::RandomChunk {
-                        run: 6,
-                        reuse: 0.5,
-                    },
-                },
+/// Arbitrary-but-valid phase parameters drawn from `rng`.
+fn random_phase(rng: &mut Xoshiro256StarStar) -> PhaseParams {
+    let unit = |rng: &mut Xoshiro256StarStar, lo: f64, hi: f64| lo + rng.unit_f64() * (hi - lo);
+    PhaseParams {
+        len: 10_000,
+        body_len: rng.range_between(16, 256) as usize,
+        load_frac: unit(rng, 0.05, 0.35),
+        store_frac: unit(rng, 0.0, 0.15),
+        branch_frac: unit(rng, 0.0, 0.20),
+        branch_bias: unit(rng, 0.5, 1.0),
+        fp_frac: unit(rng, 0.0, 0.8),
+        longlat_frac: 0.1,
+        dep_depth: rng.range_between(1, 16) as usize,
+        chase_frac: unit(rng, 0.0, 0.6),
+        working_set: 1 << 20,
+        pattern: match rng.range(4) {
+            0 => MemPattern::Stream { stride: 8 },
+            1 => MemPattern::Random,
+            2 => MemPattern::BurstyRandom {
+                burst: 16,
+                region: 4096,
             },
-        )
+            _ => MemPattern::RandomChunk { run: 6, reuse: 0.5 },
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every generated stream is PC-consistent and structurally valid,
-    /// for arbitrary valid phase parameters.
-    #[test]
-    fn generated_streams_are_always_pc_consistent(phase in phase_strategy(), seed in 0u64..1000) {
+/// Every generated stream is PC-consistent and structurally valid, for
+/// arbitrary valid phase parameters.
+#[test]
+fn generated_streams_are_always_pc_consistent() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0xA11CE + case);
+        let phase = random_phase(&mut rng);
+        let seed = rng.range(1000);
         let params = ProfileParams {
             name: "prop",
             category: mlpwin::workloads::Category::ComputeIntensive,
@@ -71,28 +62,36 @@ proptest! {
             let inst = w.next_inst();
             inst.validate().expect("structurally valid");
             if let Some(p) = prev {
-                prop_assert_eq!(p.successor_pc(), inst.pc);
+                assert_eq!(p.successor_pc(), inst.pc, "case {case}: pc chain broken");
             }
             prev = Some(inst);
         }
     }
+}
 
-    /// Rewinding a trace window replays the identical instructions.
-    #[test]
-    fn trace_window_rewind_is_exact(seed in 0u64..500, ahead in 1u64..3000) {
+/// Rewinding a trace window replays the identical instructions.
+#[test]
+fn trace_window_rewind_is_exact() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0xB0B + case);
+        let seed = rng.range(500);
+        let ahead = rng.range_between(1, 3000);
         let w = mlpwin::workloads::profiles::by_name("gcc", seed).expect("profile");
         let mut win = TraceWindow::new(w);
         let first: Vec<Instruction> = (0..100).map(|s| win.get(s).clone()).collect();
         let _ = win.get(100 + ahead); // run ahead
         for (s, expect) in first.iter().enumerate() {
-            prop_assert_eq!(win.get(s as u64), expect);
+            assert_eq!(win.get(s as u64), expect, "case {case}: rewind diverged");
         }
     }
+}
 
-    /// Cache fills never exceed capacity and LRU keeps the most recent
-    /// line of any filled set resident.
-    #[test]
-    fn cache_capacity_and_recency(addrs in proptest::collection::vec(0u64..(1 << 16), 1..300)) {
+/// Cache fills never exceed capacity and LRU keeps the most recent line
+/// of any filled set resident.
+#[test]
+fn cache_capacity_and_recency() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0xCAFE + case);
         let mut c = Cache::new(CacheConfig {
             size_bytes: 4096,
             assoc: 2,
@@ -103,47 +102,68 @@ proptest! {
             provenance: mlpwin::memsys::Provenance::DemandCorrect,
             touched_by_correct_path: false,
         };
-        for &a in &addrs {
+        let n = rng.range_between(1, 300);
+        for _ in 0..n {
+            let a = rng.range(1 << 16);
             c.fill(a, meta);
-            prop_assert!(c.resident_count() <= 64, "capacity exceeded");
-            prop_assert!(c.contains(a), "just-filled line must be resident");
+            assert!(c.resident_count() <= 64, "case {case}: capacity exceeded");
+            assert!(
+                c.contains(a),
+                "case {case}: just-filled line must be resident"
+            );
         }
     }
+}
 
-    /// The memory system never returns a completion earlier than its own
-    /// hit latency, and monotone `now` keeps results causal.
-    #[test]
-    fn memsys_results_are_causal(
-        addrs in proptest::collection::vec(0u64..(1 << 30), 1..200),
-        stride in 1u64..64,
-    ) {
+/// The memory system never returns a completion earlier than its own hit
+/// latency, and monotone `now` keeps results causal.
+#[test]
+fn memsys_results_are_causal() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0xD00D + case);
         let mut m = MemSystem::new(MemSystemConfig::default());
+        let stride = rng.range_between(1, 64);
+        let n = rng.range_between(1, 200);
         let mut now = 0;
-        for (i, &a) in addrs.iter().enumerate() {
+        for i in 0..n {
             now += stride;
-            let r = m.access(AccessKind::Load, 0x1000 + (i as u64 % 16) * 4, a * 8, now, PathKind::Correct);
-            prop_assert!(r.ready_at >= now + 2, "faster than the L1 hit latency");
-            prop_assert!(r.ready_at <= now + 100_000, "implausibly slow");
+            let a = rng.range(1 << 30);
+            let r = m.access(
+                AccessKind::Load,
+                0x1000 + (i % 16) * 4,
+                a * 8,
+                now,
+                PathKind::Correct,
+            );
+            assert!(r.ready_at >= now + 2, "case {case}: faster than the L1 hit");
+            assert!(r.ready_at <= now + 100_000, "case {case}: implausibly slow");
         }
     }
+}
 
-    /// The Fig. 5 controller's level stays within bounds and shrinks are
-    /// armed only after a full memory latency without misses.
-    #[test]
-    fn controller_level_always_in_range(misses in proptest::collection::vec(any::<bool>(), 1..2000)) {
+/// The Fig. 5 controller's level stays within bounds and shrinks are
+/// armed only after a full memory latency without misses.
+#[test]
+fn controller_level_always_in_range() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0xE66 + case);
         let mut p = DynamicResizingPolicy::new(300);
         let mut level = 0usize;
         let mut last_miss: Option<u64> = None;
-        for (t, &miss) in misses.iter().enumerate() {
-            let t = t as u64;
+        let n = rng.range_between(1, 2000);
+        for t in 0..n {
+            let miss = rng.chance(0.5);
             let target = p.target_level(t, miss as u32, level, 2);
-            prop_assert!(target <= 2);
+            assert!(target <= 2, "case {case}");
             if target != level {
                 if target < level {
                     // A shrink request requires >= one memory latency of
                     // miss-free cycles since the last miss (or start).
                     if let Some(lm) = last_miss {
-                        prop_assert!(t >= lm + 300, "shrink at {t} after miss at {lm}");
+                        assert!(
+                            t >= lm + 300,
+                            "case {case}: shrink at {t} after miss at {lm}"
+                        );
                     }
                 }
                 p.on_transition(t, level, target);
@@ -151,25 +171,35 @@ proptest! {
             }
             if miss {
                 last_miss = Some(t);
-                prop_assert!(level > 0 || target > 0, "miss must enlarge below max");
+                assert!(
+                    level > 0 || target > 0,
+                    "case {case}: miss must enlarge below max"
+                );
             }
         }
     }
+}
 
-    /// The branch predictor is self-consistent on arbitrary outcome
-    /// sequences: speculative history repair never panics and stats add up.
-    #[test]
-    fn predictor_handles_arbitrary_outcomes(outcomes in proptest::collection::vec(any::<bool>(), 1..500)) {
+/// The branch predictor is self-consistent on arbitrary outcome
+/// sequences: speculative history repair never panics and stats add up.
+#[test]
+fn predictor_handles_arbitrary_outcomes() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0xF00 + case);
         let mut bp = BranchPredictor::new(PredictorConfig::default());
-        let mut rng = Xoshiro256StarStar::seed_from(9);
-        for &taken in &outcomes {
-            let pc = 0x400 + (rng.range(64)) * 4;
+        let n = rng.range_between(1, 500);
+        for _ in 0..n {
+            let taken = rng.chance(0.5);
+            let pc = 0x400 + rng.range(64) * 4;
             let br = Instruction::cond_branch(pc, mlpwin::isa::ArchReg::int(1), taken, 0x9000);
             let o = bp.predict(&br);
             bp.resolve(&br, &o);
         }
         let s = bp.stats();
-        prop_assert_eq!(s.conditional_branches, outcomes.len() as u64);
-        prop_assert!(s.direction_mispredicts <= s.conditional_branches);
+        assert_eq!(s.conditional_branches, n, "case {case}");
+        assert!(
+            s.direction_mispredicts <= s.conditional_branches,
+            "case {case}"
+        );
     }
 }
