@@ -9,6 +9,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo test -q --features trace (event-trace hooks)"
+cargo test -q -p mlpwin-ooo --features trace
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

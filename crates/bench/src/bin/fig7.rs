@@ -13,7 +13,7 @@
 //! ```
 
 use mlpwin_bench::ExpArgs;
-use mlpwin_sim::report::{geomean, pct, TextTable};
+use mlpwin_sim::report::{cpi_stack_table, pct, try_geomean, TextTable};
 use mlpwin_sim::runner::{run_matrix, RunResult, RunSpec};
 use mlpwin_sim::SimModel;
 use mlpwin_workloads::{profiles, Category};
@@ -103,23 +103,38 @@ fn main() {
                 filter.is_none_or(|c| profiles::params_by_name(n).expect("known").category == c)
             })
             .collect();
-        let rel = |m: SimModel| -> f64 {
-            geomean(
+        let rel = |m: SimModel| {
+            try_geomean(
                 &sel.iter()
                     .map(|p| ipc(p, m) / ipc(p, SimModel::Fixed(1)))
                     .collect::<Vec<_>>(),
             )
         };
-        let res = rel(SimModel::Dynamic);
-        gm.row(vec![
-            label.to_string(),
-            format!("{:.3}", rel(SimModel::Fixed(2))),
-            format!("{:.3}", rel(SimModel::Fixed(3))),
-            format!("{res:.3}"),
-            format!("{:.3}", rel(SimModel::Ideal(3))),
-            pct(res - 1.0),
-        ]);
+        let row = rel(SimModel::Dynamic).and_then(|res| {
+            gm.try_row(vec![
+                label.to_string(),
+                format!("{:.3}", rel(SimModel::Fixed(2))?),
+                format!("{:.3}", rel(SimModel::Fixed(3))?),
+                format!("{res:.3}"),
+                format!("{:.3}", rel(SimModel::Ideal(3))?),
+                pct(res - 1.0),
+            ])
+            .map(|_| ())
+        });
+        if let Err(e) = row {
+            eprintln!("{label}: skipped ({e})");
+        }
     }
     println!("{}", gm.render());
     println!("paper: GM mem +48%, GM comp +4%, GM all +21%");
+
+    // Where the dynamic model's cycles went, per selected program.
+    println!("\nCPI-stack attribution, dynamic resizing (% of each level's cycles):\n");
+    for p in &selected {
+        println!("{p}:");
+        println!(
+            "{}",
+            cpi_stack_table(&by_key[&(p.to_string(), SimModel::Dynamic)].stats)
+        );
+    }
 }

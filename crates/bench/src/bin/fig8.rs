@@ -10,7 +10,7 @@
 //! ```
 
 use mlpwin_bench::ExpArgs;
-use mlpwin_sim::report::TextTable;
+use mlpwin_sim::report::{cpi_stack_table, TextTable};
 use mlpwin_sim::runner::{run_matrix, RunSpec};
 use mlpwin_sim::SimModel;
 use mlpwin_workloads::profiles;
@@ -38,7 +38,7 @@ fn main() {
         "transitions",
     ]);
     for r in &results {
-        t.row(vec![
+        let row = t.try_row(vec![
             r.spec.profile.clone(),
             r.category.label().to_string(),
             format!("{:.1}%", r.stats.level_residency(0) * 100.0),
@@ -46,8 +46,18 @@ fn main() {
             format!("{:.1}%", r.stats.level_residency(2) * 100.0),
             format!("{}", r.stats.transitions_up + r.stats.transitions_down),
         ]);
+        if let Err(e) = row {
+            eprintln!("{}: skipped ({e})", r.spec.profile);
+        }
     }
     println!("{}", t.render());
     println!("paper shape: compute programs sit at level 1, memory programs at level 3,");
     println!("phase-mixed programs (omnetpp) split their residency");
+
+    // Why each program sits where it does: the per-level CPI stacks.
+    println!("\nCPI-stack attribution per level (% of each level's cycles):\n");
+    for r in &results {
+        println!("{}:", r.spec.profile);
+        println!("{}", cpi_stack_table(&r.stats));
+    }
 }

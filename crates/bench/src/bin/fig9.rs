@@ -13,7 +13,7 @@
 
 use mlpwin_bench::ExpArgs;
 use mlpwin_energy::EnergyModel;
-use mlpwin_sim::report::{geomean, pct, TextTable};
+use mlpwin_sim::report::{cpi_stack_table, pct, try_geomean, TextTable};
 use mlpwin_sim::runner::{run_matrix, RunSpec};
 use mlpwin_sim::SimModel;
 use mlpwin_workloads::{profiles, Category};
@@ -81,8 +81,22 @@ fn main() {
             .filter(|(c, _)| cat.is_none_or(|x| *c == x))
             .map(|(_, v)| *v)
             .collect();
-        let gm = geomean(&vals);
-        println!("{label}: {:.3} ({})", gm, pct(gm - 1.0));
+        match try_geomean(&vals) {
+            Ok(gm) => println!("{label}: {:.3} ({})", gm, pct(gm - 1.0)),
+            Err(e) => eprintln!("{label}: skipped ({e})"),
+        }
     }
     println!("\npaper: GM mem +36%, GM comp -8%, GM all +8% (libquantum extreme ~+423%)");
+
+    // The energy story's denominator: where the dynamic model's cycles
+    // went on the extremes of each category.
+    println!("\nCPI-stack attribution, dynamic resizing (% of each level's cycles):\n");
+    for p in [profiles::SELECTED_MEM[0], profiles::SELECTED_COMP[0]] {
+        let r = results
+            .iter()
+            .find(|r| r.spec.profile == p && r.spec.model == SimModel::Dynamic)
+            .expect("ran");
+        println!("{p}:");
+        println!("{}", cpi_stack_table(&r.stats));
+    }
 }

@@ -1,6 +1,7 @@
 //! Core configuration: pipeline widths, the resource-level table,
 //! optional runahead execution, and the forward-progress watchdog.
 
+use crate::trace::TraceConfig;
 use mlpwin_branch::PredictorConfig;
 use mlpwin_memsys::MemSystemConfig;
 use std::fmt;
@@ -31,6 +32,12 @@ pub enum ConfigError {
     EmptyFetchQueue,
     /// The watchdog budget is zero — it could never observe a commit.
     ZeroWatchdog,
+    /// The interval collector's epoch length is zero.
+    ZeroIntervalEpoch,
+    /// The tracer's ring-buffer capacity is zero.
+    ZeroTraceCapacity,
+    /// The tracer's LLC-miss sampling divisor is zero.
+    ZeroTraceSample,
 }
 
 impl fmt::Display for ConfigError {
@@ -48,6 +55,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptyFetchQueue => write!(f, "fetch queue must have capacity"),
             ConfigError::ZeroWatchdog => write!(f, "watchdog budget must be positive"),
+            ConfigError::ZeroIntervalEpoch => {
+                write!(f, "interval epoch length must be positive")
+            }
+            ConfigError::ZeroTraceCapacity => {
+                write!(f, "trace ring capacity must be positive")
+            }
+            ConfigError::ZeroTraceSample => {
+                write!(f, "trace LLC sampling divisor must be positive")
+            }
         }
     }
 }
@@ -226,6 +242,16 @@ pub struct CoreConfig {
     pub deadline_cycles: Option<u64>,
     /// Fault injection for harness tests; `None` (the default) disables.
     pub fault: Option<FaultInjection>,
+    /// Interval time-series epoch length in cycles; `None` (the
+    /// default) disables collection. When set, the core appends one
+    /// [`IntervalSample`](crate::stats::IntervalSample) to
+    /// `CoreStats::intervals` every `interval_cycles` measured cycles.
+    pub interval_cycles: Option<u64>,
+    /// Runtime tracing knob. Always present so configurations are
+    /// feature-independent, but events are only recorded when the crate
+    /// is built with the `trace` cargo feature; without it the field is
+    /// validated and otherwise inert.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for CoreConfig {
@@ -248,6 +274,8 @@ impl Default for CoreConfig {
             watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
             deadline_cycles: None,
             fault: None,
+            interval_cycles: None,
+            trace: None,
         }
     }
 }
@@ -295,6 +323,17 @@ impl CoreConfig {
         }
         if self.watchdog_cycles == 0 {
             return Err(ConfigError::ZeroWatchdog);
+        }
+        if self.interval_cycles == Some(0) {
+            return Err(ConfigError::ZeroIntervalEpoch);
+        }
+        if let Some(trace) = &self.trace {
+            if trace.capacity == 0 {
+                return Err(ConfigError::ZeroTraceCapacity);
+            }
+            if trace.llc_sample == 0 {
+                return Err(ConfigError::ZeroTraceSample);
+            }
         }
         Ok(())
     }
@@ -372,6 +411,40 @@ mod tests {
         let mut c6 = CoreConfig::with_table2_levels();
         c6.levels[2].lsq = 0;
         assert_eq!(c6.validate(), Err(ConfigError::EmptyResource(3)));
+    }
+
+    #[test]
+    fn validation_catches_bad_observability_knobs() {
+        let c = CoreConfig {
+            interval_cycles: Some(0),
+            ..CoreConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroIntervalEpoch));
+
+        let c2 = CoreConfig {
+            trace: Some(TraceConfig {
+                capacity: 0,
+                llc_sample: 1,
+            }),
+            ..CoreConfig::default()
+        };
+        assert_eq!(c2.validate(), Err(ConfigError::ZeroTraceCapacity));
+
+        let c3 = CoreConfig {
+            trace: Some(TraceConfig {
+                capacity: 16,
+                llc_sample: 0,
+            }),
+            ..CoreConfig::default()
+        };
+        assert_eq!(c3.validate(), Err(ConfigError::ZeroTraceSample));
+
+        let ok = CoreConfig {
+            interval_cycles: Some(1_000),
+            trace: Some(TraceConfig::default()),
+            ..CoreConfig::default()
+        };
+        ok.validate().expect("well-formed observability knobs");
     }
 
     #[test]

@@ -17,7 +17,9 @@ use crate::lsq::{LoadCheck, Lsq};
 use crate::policy::WindowPolicy;
 use crate::rename::RenameMap;
 use crate::runahead::{CauseStatusTable, RaLookup, RunaheadCache};
-use crate::stats::CoreStats;
+use crate::stats::{CoreStats, CpiBucket, IntervalSample, CPI_BUCKETS};
+#[cfg(feature = "trace")]
+use crate::trace::{TraceEventKind, Tracer};
 use crate::types::{DynInst, DynSeq, MemState};
 use mlpwin_branch::BranchPredictor;
 use mlpwin_isa::{Addr, Cycle, OpClass, SeqNum};
@@ -26,12 +28,35 @@ use mlpwin_workloads::Workload;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
+/// Why dispatch allocated nothing this cycle — the raw observation the
+/// CPI-stack accounting pass refines into a [`CpiBucket`]. The dispatch
+/// stage checks these conditions in a fixed priority order, so at most
+/// one blocks any given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchBlock {
+    Transition,
+    ShrinkWait,
+    RobFull,
+    IqFull,
+    LsqFull,
+    FetchEmpty,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Episode {
     resume_seq: SeqNum,
     end_at: Cycle,
     trigger_pc: Addr,
     l2_misses: u32,
+}
+
+/// Zeroed statistics shaped for `config`'s level ladder.
+fn fresh_stats(config: &CoreConfig) -> CoreStats {
+    CoreStats {
+        level_cycles: vec![0; config.levels.len()],
+        cpi_stack: vec![[0; CPI_BUCKETS]; config.levels.len()],
+        ..CoreStats::default()
+    }
 }
 
 /// The simulated processor: front end, window resources, execution
@@ -71,6 +96,16 @@ pub struct Core<W> {
     episode: Option<Episode>,
     arch_inv: [bool; 64],
     last_suppressed: Option<DynSeq>,
+
+    // Observability.
+    /// What dispatch did this cycle (instructions allocated, or the
+    /// first blocking condition) — consumed by the accounting pass.
+    cycle_dispatched: usize,
+    cycle_block: Option<DispatchBlock>,
+    /// Committed-instruction count at the last interval boundary.
+    interval_last_insts: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<Tracer>,
 
     stats: CoreStats,
     last_commit_cycle: Cycle,
@@ -126,10 +161,9 @@ impl<W: Workload> Core<W> {
             ),
             None => (None, None),
         };
-        let stats = CoreStats {
-            level_cycles: vec![0; config.levels.len()],
-            ..CoreStats::default()
-        };
+        let stats = fresh_stats(&config);
+        #[cfg(feature = "trace")]
+        let tracer = config.trace.map(Tracer::new);
         Ok(Core {
             fu: FuPool::new(config.fu_counts),
             cfg: config,
@@ -156,6 +190,11 @@ impl<W: Workload> Core<W> {
             episode: None,
             arch_inv: [false; 64],
             last_suppressed: None,
+            cycle_dispatched: 0,
+            cycle_block: None,
+            interval_last_insts: 0,
+            #[cfg(feature = "trace")]
+            tracer,
             stats,
             last_commit_cycle: 0,
             total_committed: 0,
@@ -246,13 +285,17 @@ impl<W: Workload> Core<W> {
 
     /// Clears statistics without touching microarchitectural state.
     pub fn reset_counters(&mut self) {
-        self.stats = CoreStats {
-            level_cycles: vec![0; self.cfg.levels.len()],
-            ..CoreStats::default()
-        };
+        self.stats = fresh_stats(&self.cfg);
         self.mem.reset_stats();
         self.bp.reset_stats();
         self.last_commit_cycle = self.now;
+        self.interval_last_insts = 0;
+        #[cfg(feature = "trace")]
+        {
+            // The trace restarts with the measurement window, like every
+            // other counter: warm-up events are observability noise.
+            self.tracer = self.cfg.trace.map(Tracer::new);
+        }
     }
 
     /// Simulates one clock cycle.
@@ -274,6 +317,95 @@ impl<W: Workload> Core<W> {
         self.stats.level_cycles[self.level] += 1;
         if self.episode.is_some() {
             self.stats.runahead_cycles += 1;
+        }
+        self.account_cycle(now);
+        self.collect_interval();
+    }
+
+    // ------------------------------------------------------ observability
+
+    /// The CPI-stack accounting pass: charges the cycle that just ran to
+    /// exactly one [`CpiBucket`] of the current level's row. One
+    /// increment per [`step`](Core::step) makes the conservation
+    /// invariant (`Σ cpi_stack == cycles`) structural; this pass only
+    /// decides *which* bucket.
+    fn account_cycle(&mut self, now: Cycle) {
+        let bucket =
+            if self.cycle_dispatched > 0 {
+                CpiBucket::Base
+            } else {
+                match self.cycle_block {
+                    Some(DispatchBlock::Transition) => CpiBucket::Transition,
+                    Some(DispatchBlock::ShrinkWait) => CpiBucket::ShrinkDrain,
+                    // A full window resource whose oldest instruction is an
+                    // in-flight load is backed up behind the memory system,
+                    // whichever capacity happened to fill first.
+                    Some(
+                        DispatchBlock::RobFull | DispatchBlock::IqFull | DispatchBlock::LsqFull,
+                    ) if self.head_blocked_on_memory() => CpiBucket::MemoryStall,
+                    Some(DispatchBlock::RobFull) => CpiBucket::RobFull,
+                    Some(DispatchBlock::IqFull) => CpiBucket::IqFull,
+                    Some(DispatchBlock::LsqFull) => CpiBucket::LsqFull,
+                    Some(DispatchBlock::FetchEmpty) if self.front.recovering(now) => {
+                        CpiBucket::BranchRecovery
+                    }
+                    Some(DispatchBlock::FetchEmpty) => CpiBucket::FetchEmpty,
+                    // Dispatch always either allocates or names its first
+                    // blocker; this arm is unreachable but total.
+                    None => CpiBucket::Base,
+                }
+            };
+        self.stats.cpi_stack[self.level][bucket as usize] += 1;
+    }
+
+    /// Whether the ROB head is an issued, still-incomplete load — the
+    /// signature of a window backed up behind the memory system.
+    fn head_blocked_on_memory(&self) -> bool {
+        self.rob
+            .front()
+            .is_some_and(|d| d.inst.op == OpClass::Load && d.issued && !d.completed)
+    }
+
+    /// Appends an [`IntervalSample`] at each epoch boundary of the
+    /// measured-cycle clock (so warm-up resets re-align the series).
+    fn collect_interval(&mut self) {
+        let Some(epoch) = self.cfg.interval_cycles else {
+            return;
+        };
+        if !self.stats.cycles.is_multiple_of(epoch) {
+            return;
+        }
+        let committed = self.stats.committed_insts - self.interval_last_insts;
+        self.interval_last_insts = self.stats.committed_insts;
+        let sample = IntervalSample {
+            end_cycle: self.stats.cycles,
+            committed_insts: committed,
+            level: self.level as u32,
+            rob_occ: self.rob.len() as u32,
+            iq_occ: self.iq_occ as u32,
+            lsq_occ: self.lsq.occupancy() as u32,
+            outstanding_misses: self.mem.outstanding_misses() as u32,
+        };
+        self.stats.intervals.push(sample);
+    }
+
+    /// Records a trace event when tracing is compiled in *and* enabled
+    /// at runtime; otherwise free. Kept as a `#[cfg]`-gated method so
+    /// call sites stay single lines.
+    #[cfg(feature = "trace")]
+    fn trace(&mut self, cycle: Cycle, kind: TraceEventKind) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.record(cycle, kind);
+        }
+    }
+
+    /// Offers an LLC miss to the tracer through its sampling divisor,
+    /// stamping the current MSHR occupancy.
+    #[cfg(feature = "trace")]
+    fn trace_llc_miss(&mut self, cycle: Cycle, pc: Addr, addr: Addr) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            let occ = self.mem.outstanding_misses() as u32;
+            tracer.offer_llc_miss(cycle, pc, addr, occ);
         }
     }
 
@@ -317,6 +449,14 @@ impl<W: Workload> Core<W> {
     /// Whether the core is currently in a runahead episode.
     pub fn in_runahead(&self) -> bool {
         self.episode.is_some()
+    }
+
+    /// The structured-event tracer, when one is configured. Only exists
+    /// in `trace`-feature builds — a default build carries no tracer
+    /// state at all.
+    #[cfg(feature = "trace")]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Current (ROB, IQ, LSQ) occupancy — for invariant checks and
@@ -426,6 +566,8 @@ impl<W: Workload> Core<W> {
         }
         if mispredicted {
             self.stats.squashes += 1;
+            #[cfg(feature = "trace")]
+            self.trace(now, TraceEventKind::Squash { at_seq: seq });
             self.squash_younger(seq);
             let resume = trace_seq.expect("correct-path branch has a trace seq") + 1;
             self.front
@@ -580,6 +722,8 @@ impl<W: Workload> Core<W> {
                     );
                     if r.l2_demand_miss {
                         self.l2_miss_events += 1;
+                        #[cfg(feature = "trace")]
+                        self.trace_llc_miss(now, d.inst.pc, m.addr);
                     }
                 }
             }
@@ -617,6 +761,8 @@ impl<W: Workload> Core<W> {
         });
         self.stats.runahead_episodes += 1;
         self.force_inv(seq, now);
+        #[cfg(feature = "trace")]
+        self.trace(now, TraceEventKind::RunaheadEnter { trigger_pc });
     }
 
     /// Marks an instruction's result INV and available immediately,
@@ -658,6 +804,14 @@ impl<W: Workload> Core<W> {
         if let Some(cst) = self.cst.as_mut() {
             cst.update(ep.trigger_pc, useful);
         }
+        #[cfg(feature = "trace")]
+        self.trace(
+            now,
+            TraceEventKind::RunaheadExit {
+                l2_misses: ep.l2_misses,
+                useful,
+            },
+        );
         // Resume from the checkpoint; the paper assumes no extra penalty
         // for the mode switch.
         self.front.redirect(ep.resume_seq, now);
@@ -681,6 +835,15 @@ impl<W: Workload> Core<W> {
                 .max(now + self.cfg.transition_penalty as Cycle);
             self.stats.transitions_up += 1;
             self.policy.on_transition(now, old, self.level);
+            #[cfg(feature = "trace")]
+            self.trace(
+                now,
+                TraceEventKind::LevelUp {
+                    from: old,
+                    to: self.level,
+                    penalty: self.cfg.transition_penalty,
+                },
+            );
         } else if target < self.level {
             // Shrink one level per decision, only once the doomed regions
             // of ROB, IQ and LSQ are simultaneously vacant.
@@ -697,6 +860,15 @@ impl<W: Workload> Core<W> {
                     .max(now + self.cfg.transition_penalty as Cycle);
                 self.stats.transitions_down += 1;
                 self.policy.on_transition(now, old, self.level);
+                #[cfg(feature = "trace")]
+                self.trace(
+                    now,
+                    TraceEventKind::LevelDown {
+                        from: old,
+                        to: self.level,
+                        penalty: self.cfg.transition_penalty,
+                    },
+                );
             } else {
                 self.shrink_wait = true;
             }
@@ -931,6 +1103,8 @@ impl<W: Workload> Core<W> {
             if let Some(ep) = self.episode.as_mut() {
                 ep.l2_misses += 1;
             }
+            #[cfg(feature = "trace")]
+            self.trace_llc_miss(now, pc, addr);
         }
         (r.ready_at, false, r.latency, !r.l2_or_better)
     }
@@ -938,12 +1112,16 @@ impl<W: Workload> Core<W> {
     // ----------------------------------------------------------- dispatch
 
     fn dispatch(&mut self, now: Cycle) {
+        self.cycle_dispatched = 0;
+        self.cycle_block = None;
         if now < self.alloc_stall_until {
             self.stats.stall_transition += 1;
+            self.cycle_block = Some(DispatchBlock::Transition);
             return;
         }
         if self.shrink_wait {
             self.stats.stall_shrink_wait += 1;
+            self.cycle_block = Some(DispatchBlock::ShrinkWait);
             return;
         }
         let spec = self.cfg.levels[self.level];
@@ -951,12 +1129,14 @@ impl<W: Workload> Core<W> {
             if self.rob.len() >= spec.rob {
                 if slot == 0 {
                     self.stats.stall_rob_full += 1;
+                    self.cycle_block = Some(DispatchBlock::RobFull);
                 }
                 break;
             }
             if self.iq_occ >= spec.iq {
                 if slot == 0 {
                     self.stats.stall_iq_full += 1;
+                    self.cycle_block = Some(DispatchBlock::IqFull);
                 }
                 break;
             }
@@ -965,6 +1145,7 @@ impl<W: Workload> Core<W> {
                 let Some(peek) = self.front_peek_ready(now) else {
                     if slot == 0 {
                         self.stats.stall_fetch_empty += 1;
+                        self.cycle_block = Some(DispatchBlock::FetchEmpty);
                     }
                     break;
                 };
@@ -973,6 +1154,7 @@ impl<W: Workload> Core<W> {
             if needs_lsq && self.lsq.occupancy() >= spec.lsq {
                 if slot == 0 {
                     self.stats.stall_lsq_full += 1;
+                    self.cycle_block = Some(DispatchBlock::LsqFull);
                 }
                 break;
             }
@@ -981,6 +1163,7 @@ impl<W: Workload> Core<W> {
                 .pop_ready(now)
                 .expect("peeked entry must still be there");
             self.rename_and_insert(fetched, now);
+            self.cycle_dispatched += 1;
         }
     }
 

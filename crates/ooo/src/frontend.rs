@@ -68,6 +68,10 @@ pub struct FrontEnd<W> {
     fetch_width: usize,
     front_depth: u32,
     stall_until: Cycle,
+    /// End of the latest redirect's resume delay plus the decode refill
+    /// (`front_depth`) — while `now` is below this, an empty fetch queue
+    /// is recovery latency, not a fetch-bandwidth problem.
+    recovery_until: Cycle,
     last_line: Option<Addr>,
     stats: FrontEndStats,
 }
@@ -90,6 +94,7 @@ impl<W: Workload> FrontEnd<W> {
             fetch_width,
             front_depth,
             stall_until: 0,
+            recovery_until: 0,
             last_line: None,
             stats: FrontEndStats::default(),
         }
@@ -132,8 +137,18 @@ impl<W: Workload> FrontEnd<W> {
         self.queue.clear();
         self.source = Source::Trace(resume_seq);
         self.stall_until = self.stall_until.max(resume_at);
+        self.recovery_until = self
+            .recovery_until
+            .max(resume_at + self.front_depth as Cycle);
         self.last_line = None;
         self.stats.redirects += 1;
+    }
+
+    /// Whether an empty queue at `now` is explained by a recent redirect
+    /// (the resume delay plus the decode pipe refilling) — the CPI
+    /// stack's branch-recovery bucket.
+    pub fn recovering(&self, now: Cycle) -> bool {
+        now < self.recovery_until
     }
 
     /// Releases trace storage below the commit frontier.

@@ -66,6 +66,18 @@
 //! state, and an optional `deadline_cycles` budget bounds each call's
 //! wall cycles. [`CoreConfig::fault`] injects commit-stage faults
 //! (freeze or panic) so harnesses can test their recovery paths.
+//!
+//! ## Observability
+//!
+//! Every cycle is charged to exactly one [`CpiBucket`] of a per-level
+//! CPI stack ([`CoreStats::cpi_stack`]), and
+//! [`CoreConfig::interval_cycles`] turns on a fixed-epoch time series of
+//! IPC, window level, occupancies and outstanding misses
+//! ([`CoreStats::intervals`]). The `trace` cargo feature additionally
+//! compiles in a ring-buffered structured-event [`Tracer`] (level
+//! transitions, runahead boundaries, squashes, sampled LLC misses)
+//! enabled at runtime via [`CoreConfig::trace`]; default builds carry
+//! no tracer state and no per-event branches.
 
 pub mod config;
 #[allow(clippy::module_inception)]
@@ -78,6 +90,7 @@ pub mod policy;
 pub mod rename;
 pub mod runahead;
 pub mod stats;
+pub mod trace;
 pub mod types;
 
 pub use config::{
@@ -86,5 +99,6 @@ pub use config::{
 pub use core::Core;
 pub use error::{PipelineError, StallSnapshot};
 pub use policy::{FixedLevelPolicy, WindowPolicy};
-pub use stats::CoreStats;
+pub use stats::{CoreStats, CpiBucket, IntervalSample, CPI_BUCKETS};
+pub use trace::{TraceConfig, TraceEvent, TraceEventKind, Tracer};
 pub use types::{DynInst, DynSeq, MemState};

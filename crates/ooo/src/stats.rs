@@ -1,5 +1,100 @@
 //! Core simulation statistics.
 
+use mlpwin_isa::Cycle;
+
+/// Where one cycle of execution went. Every simulated cycle is charged
+/// to exactly one bucket by the core's accounting pass, so the buckets
+/// of [`CoreStats::cpi_stack`] provably sum to [`CoreStats::cycles`]
+/// (asserted over every workload profile by `tests/accounting.rs`).
+///
+/// Attribution is dispatch-centric: a cycle in which at least one
+/// instruction entered the window is `Base`; a cycle in which dispatch
+/// was blocked is charged to the first blocking condition, refined by
+/// what the machine was actually waiting on (a full ROB, IQ or LSQ
+/// whose oldest instruction is an in-flight load is a `MemoryStall`,
+/// not a capacity stall; an empty fetch queue during mispredict
+/// recovery is `BranchRecovery`, not `FetchEmpty`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpiBucket {
+    /// At least one instruction dispatched — base/commit-limited work.
+    Base = 0,
+    /// Dispatch blocked behind a window full of memory-stalled work
+    /// (the head of the ROB is an issued, incomplete load).
+    MemoryStall = 1,
+    /// Dispatch blocked by a full reorder buffer (head not memory-bound).
+    RobFull = 2,
+    /// Dispatch blocked by a full issue queue.
+    IqFull = 3,
+    /// Dispatch blocked by a full load/store queue.
+    LsqFull = 4,
+    /// Allocation stalled by a level-transition penalty.
+    Transition = 5,
+    /// Allocation stalled waiting for a shrink region to drain.
+    ShrinkDrain = 6,
+    /// Fetch queue empty while the front end replays a branch-recovery
+    /// redirect.
+    BranchRecovery = 7,
+    /// Fetch queue empty for any other reason (I-cache misses, taken
+    /// branches fragmenting fetch groups).
+    FetchEmpty = 8,
+}
+
+/// Number of [`CpiBucket`] variants (the width of a CPI-stack row).
+pub const CPI_BUCKETS: usize = 9;
+
+impl CpiBucket {
+    /// Every bucket, in stack-plot order.
+    pub const ALL: [CpiBucket; CPI_BUCKETS] = [
+        CpiBucket::Base,
+        CpiBucket::MemoryStall,
+        CpiBucket::RobFull,
+        CpiBucket::IqFull,
+        CpiBucket::LsqFull,
+        CpiBucket::Transition,
+        CpiBucket::ShrinkDrain,
+        CpiBucket::BranchRecovery,
+        CpiBucket::FetchEmpty,
+    ];
+
+    /// Stable short label for tables and exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CpiBucket::Base => "base",
+            CpiBucket::MemoryStall => "mem",
+            CpiBucket::RobFull => "rob",
+            CpiBucket::IqFull => "iq",
+            CpiBucket::LsqFull => "lsq",
+            CpiBucket::Transition => "trans",
+            CpiBucket::ShrinkDrain => "shrink",
+            CpiBucket::BranchRecovery => "brrec",
+            CpiBucket::FetchEmpty => "fetch",
+        }
+    }
+}
+
+/// One entry of the interval time series: counters sampled at the end
+/// of each fixed-length cycle epoch (enabled by
+/// [`CoreConfig::interval_cycles`](crate::CoreConfig)). All fields are
+/// integers so the series is bit-exact across runs and thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// Measured cycle the epoch ended at (multiples of the epoch length).
+    pub end_cycle: Cycle,
+    /// Instructions committed during this epoch (per-epoch IPC is
+    /// `committed_insts / epoch`).
+    pub committed_insts: u64,
+    /// Window level at the sample point (0-based).
+    pub level: u32,
+    /// ROB occupancy at the sample point.
+    pub rob_occ: u32,
+    /// Issue-queue occupancy at the sample point.
+    pub iq_occ: u32,
+    /// Load/store-queue occupancy at the sample point.
+    pub lsq_occ: u32,
+    /// Outstanding cache misses (MSHR occupancy) at the sample point.
+    pub outstanding_misses: u32,
+}
+
 /// Counters accumulated over a simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CoreStats {
@@ -22,6 +117,13 @@ pub struct CoreStats {
 
     /// Cycles spent at each resource level (index 0 = level 1) — Fig. 8.
     pub level_cycles: Vec<u64>,
+    /// Per-level CPI stack: `cpi_stack[level][bucket]` cycles, indexed
+    /// by [`CpiBucket`]. Each row sums to `level_cycles[level]`; the
+    /// whole matrix sums to `cycles` (the conservation invariant).
+    pub cpi_stack: Vec<[u64; CPI_BUCKETS]>,
+    /// Interval time series; empty unless
+    /// [`CoreConfig::interval_cycles`](crate::CoreConfig) is set.
+    pub intervals: Vec<IntervalSample>,
     /// Completed enlargements.
     pub transitions_up: u64,
     /// Completed shrinks.
@@ -100,6 +202,26 @@ impl CoreStats {
             self.level_cycles[level] as f64 / self.cycles as f64
         }
     }
+
+    /// Cycles charged to `bucket`, summed across levels.
+    pub fn cpi_bucket_cycles(&self, bucket: CpiBucket) -> u64 {
+        self.cpi_stack.iter().map(|row| row[bucket as usize]).sum()
+    }
+
+    /// Every cycle the CPI stack accounts for; equals `cycles` by the
+    /// conservation invariant.
+    pub fn cpi_stack_cycles(&self) -> u64 {
+        self.cpi_stack.iter().flatten().sum()
+    }
+
+    /// Fraction of all cycles charged to `bucket` (0 when no cycles ran).
+    pub fn cpi_fraction(&self, bucket: CpiBucket) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.cpi_bucket_cycles(bucket) as f64 / self.cycles as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +254,35 @@ mod tests {
         assert_eq!(s.avg_load_latency(), 0.0);
         assert_eq!(s.mispredict_distance(), 0.0);
         assert_eq!(s.level_residency(0), 0.0);
+        assert_eq!(s.cpi_fraction(CpiBucket::Base), 0.0);
+        assert_eq!(s.cpi_stack_cycles(), 0);
+    }
+
+    #[test]
+    fn cpi_stack_accessors_sum_across_levels() {
+        let mut row0 = [0u64; CPI_BUCKETS];
+        row0[CpiBucket::Base as usize] = 60;
+        row0[CpiBucket::MemoryStall as usize] = 20;
+        let mut row1 = [0u64; CPI_BUCKETS];
+        row1[CpiBucket::Base as usize] = 15;
+        row1[CpiBucket::FetchEmpty as usize] = 5;
+        let s = CoreStats {
+            cycles: 100,
+            level_cycles: vec![80, 20],
+            cpi_stack: vec![row0, row1],
+            ..Default::default()
+        };
+        assert_eq!(s.cpi_bucket_cycles(CpiBucket::Base), 75);
+        assert_eq!(s.cpi_stack_cycles(), 100);
+        assert!((s.cpi_fraction(CpiBucket::MemoryStall) - 0.2).abs() < 1e-12);
+        assert_eq!(s.cpi_bucket_cycles(CpiBucket::RobFull), 0);
+    }
+
+    #[test]
+    fn bucket_labels_are_unique() {
+        let mut labels: Vec<&str> = CpiBucket::ALL.iter().map(CpiBucket::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), CPI_BUCKETS);
     }
 }

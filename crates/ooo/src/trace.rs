@@ -1,0 +1,309 @@
+//! Structured event tracing.
+//!
+//! A [`Tracer`] records the events that explain *why* the window is the
+//! size it is: level transitions, runahead episode boundaries, pipeline
+//! squashes and last-level-cache misses. Events live in a bounded ring
+//! buffer — when it fills, the oldest events are overwritten and a drop
+//! counter keeps the books, so a long run costs bounded memory and the
+//! tail of the run (usually the interesting part) survives.
+//!
+//! The module is always compiled so its invariants stay testable, but
+//! the core only *calls* it when the `trace` cargo feature is enabled:
+//! a default build carries no tracer field and no per-event branches,
+//! which is what keeps the zero-cost claim honest (see
+//! `tests/trace_zero_cost.rs`). With the feature on, the runtime knob is
+//! [`CoreConfig::trace`](crate::CoreConfig) — `None` means no tracer is
+//! allocated and every hook is one `Option` test.
+//!
+//! High-frequency events (LLC misses) additionally honour a sampling
+//! divisor, [`TraceConfig::llc_sample`]: only every Nth miss is offered
+//! to the ring. Rare events (transitions, runahead boundaries, squashes)
+//! are always offered.
+
+use mlpwin_isa::{Addr, Cycle};
+use std::collections::VecDeque;
+
+/// What happened, without the timestamp (that lives in [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The window grew `from` → `to` (0-based levels); allocation stalls
+    /// for `penalty` cycles.
+    LevelUp {
+        /// Previous level (0-based).
+        from: usize,
+        /// New level (0-based).
+        to: usize,
+        /// Transition penalty charged (cycles).
+        penalty: u32,
+    },
+    /// The window shrank `from` → `to` after its doomed regions drained.
+    LevelDown {
+        /// Previous level (0-based).
+        from: usize,
+        /// New level (0-based).
+        to: usize,
+        /// Transition penalty charged (cycles).
+        penalty: u32,
+    },
+    /// A runahead episode began on an L2-missing load at `trigger_pc`.
+    RunaheadEnter {
+        /// PC of the triggering load.
+        trigger_pc: Addr,
+    },
+    /// The runahead episode ended (the triggering miss returned).
+    RunaheadExit {
+        /// Additional L2 misses the episode overlapped.
+        l2_misses: u32,
+        /// Whether the cause-status table will count it useful.
+        useful: bool,
+    },
+    /// Branch recovery squashed every instruction younger than `at_seq`.
+    Squash {
+        /// Dynamic sequence number of the mispredicted branch.
+        at_seq: u64,
+    },
+    /// A demand access missed the last-level cache.
+    LlcMiss {
+        /// PC of the access.
+        pc: Addr,
+        /// Missing address.
+        addr: Addr,
+        /// Outstanding misses (MSHR occupancy) at record time.
+        mshr_occupancy: u32,
+    },
+}
+
+impl TraceEventKind {
+    /// Short stable name, used by exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::LevelUp { .. } => "level_up",
+            TraceEventKind::LevelDown { .. } => "level_down",
+            TraceEventKind::RunaheadEnter { .. } => "runahead_enter",
+            TraceEventKind::RunaheadExit { .. } => "runahead_exit",
+            TraceEventKind::Squash { .. } => "squash",
+            TraceEventKind::LlcMiss { .. } => "llc_miss",
+        }
+    }
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event was recorded.
+    pub cycle: Cycle,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Runtime tracing configuration (the knob in `CoreConfig::trace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in events. Must be positive.
+    pub capacity: usize,
+    /// Record only every Nth LLC-miss event (1 = record all). Must be
+    /// positive. Rare events (transitions, runahead, squashes) ignore
+    /// this divisor.
+    pub llc_sample: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            capacity: 64 * 1024,
+            llc_sample: 1,
+        }
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s with overflow accounting.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    cfg: TraceConfig,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+    llc_seen: u64,
+}
+
+impl Tracer {
+    /// An empty tracer with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity or zero sampling divisor; both are
+    /// rejected earlier by `CoreConfig::validate`, so a core never
+    /// constructs an invalid tracer.
+    pub fn new(cfg: TraceConfig) -> Tracer {
+        assert!(cfg.capacity > 0, "trace capacity must be positive");
+        assert!(cfg.llc_sample > 0, "llc_sample must be positive");
+        Tracer {
+            cfg,
+            buf: VecDeque::with_capacity(cfg.capacity.min(4096)),
+            dropped: 0,
+            llc_seen: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Records an event, evicting the oldest one when the ring is full.
+    /// `cycle` must be non-decreasing across calls (the core records in
+    /// simulation order); the buffered slice is therefore always sorted.
+    pub fn record(&mut self, cycle: Cycle, kind: TraceEventKind) {
+        debug_assert!(
+            self.buf.back().is_none_or(|e| e.cycle <= cycle),
+            "trace events must be recorded in cycle order"
+        );
+        if self.buf.len() == self.cfg.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceEvent { cycle, kind });
+    }
+
+    /// Offers an LLC-miss event through the sampling divisor: the 1st,
+    /// (N+1)th, (2N+1)th... observed misses are recorded, the rest are
+    /// counted but not stored.
+    pub fn offer_llc_miss(&mut self, cycle: Cycle, pc: Addr, addr: Addr, mshr_occupancy: u32) {
+        let sampled = self.llc_seen.is_multiple_of(self.cfg.llc_sample);
+        self.llc_seen += 1;
+        if sampled {
+            self.record(
+                cycle,
+                TraceEventKind::LlcMiss {
+                    pc,
+                    addr,
+                    mshr_occupancy,
+                },
+            );
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of buffered events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted by ring overflow. Every event ever recorded is
+    /// either buffered or counted here: `recorded = len() + dropped()`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events recorded into the ring (buffered + dropped). LLC
+    /// misses filtered out by sampling never count.
+    pub fn recorded(&self) -> u64 {
+        self.buf.len() as u64 + self.dropped
+    }
+
+    /// Total LLC misses observed, sampled or not.
+    pub fn llc_misses_seen(&self) -> u64 {
+        self.llc_seen
+    }
+
+    /// Drains the buffered events, oldest first, leaving the counters
+    /// (dropped, LLC-seen) intact.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squash(seq: u64) -> TraceEventKind {
+        TraceEventKind::Squash { at_seq: seq }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let mut t = Tracer::new(TraceConfig {
+            capacity: 3,
+            llc_sample: 1,
+        });
+        for i in 0..10u64 {
+            t.record(i, squash(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.recorded(), 10);
+        let cycles: Vec<Cycle> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn sampling_thins_llc_misses_only() {
+        let mut t = Tracer::new(TraceConfig {
+            capacity: 100,
+            llc_sample: 4,
+        });
+        for i in 0..10u64 {
+            t.offer_llc_miss(i, 0x400, 0x8000 + i * 64, 1);
+        }
+        t.record(10, squash(1)); // rare events bypass the divisor
+        assert_eq!(t.llc_misses_seen(), 10);
+        // Misses 0, 4 and 8 are sampled; the squash always records.
+        assert_eq!(t.recorded(), 4);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_counters() {
+        let mut t = Tracer::new(TraceConfig {
+            capacity: 2,
+            llc_sample: 1,
+        });
+        t.record(1, squash(1));
+        t.record(2, squash(2));
+        t.record(3, squash(3));
+        let drained = t.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = Tracer::new(TraceConfig {
+            capacity: 0,
+            llc_sample: 1,
+        });
+    }
+
+    #[test]
+    fn event_kinds_have_stable_names() {
+        assert_eq!(
+            TraceEventKind::LevelUp {
+                from: 0,
+                to: 2,
+                penalty: 10
+            }
+            .name(),
+            "level_up"
+        );
+        assert_eq!(
+            TraceEventKind::LlcMiss {
+                pc: 0,
+                addr: 0,
+                mshr_occupancy: 0
+            }
+            .name(),
+            "llc_miss"
+        );
+    }
+}

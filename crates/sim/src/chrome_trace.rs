@@ -1,0 +1,220 @@
+//! Chrome `trace_event` export.
+//!
+//! Converts a run's observability data — the interval time series in
+//! [`CoreStats::intervals`] and, when the `trace` feature captured them,
+//! the core's structured [`TraceEvent`]s — into the Chrome trace-event
+//! JSON format (the `{"traceEvents": [...]}` object form), loadable in
+//! `chrome://tracing` or Perfetto. Counter samples become `ph: "C"`
+//! events on per-metric tracks; discrete events become `ph: "i"` instant
+//! events. Timestamps are simulated cycles reported as microseconds —
+//! the viewer's time axis then reads directly in cycles.
+//!
+//! The writer reuses the journal's std-only [`json`](crate::json)
+//! module, so the export stays dependency-free and structurally
+//! verifiable by [`Json::parse`].
+
+use crate::json::{num, s, Json};
+use crate::runner::RunResult;
+use mlpwin_ooo::{CoreStats, TraceEvent, TraceEventKind};
+use std::collections::BTreeMap;
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+/// One counter event (`ph: "C"`): the value of named series at a cycle.
+fn counter(name: &str, cycle: u64, series: Vec<(&str, Json)>) -> Json {
+    obj(vec![
+        ("name", s(name)),
+        ("ph", s("C")),
+        ("ts", num(cycle)),
+        ("pid", num(1)),
+        ("tid", num(1)),
+        ("args", obj(series)),
+    ])
+}
+
+/// Counter tracks from the interval time series: one IPC track, one
+/// window-level track, one occupancy track (ROB/IQ/LSQ together), one
+/// outstanding-miss track per sample.
+fn interval_events(stats: &CoreStats, epoch: u64, out: &mut Vec<Json>) {
+    for i in &stats.intervals {
+        let ipc = if epoch == 0 {
+            0.0
+        } else {
+            i.committed_insts as f64 / epoch as f64
+        };
+        out.push(counter("ipc", i.end_cycle, vec![("ipc", Json::Num(ipc))]));
+        out.push(counter(
+            "window level",
+            i.end_cycle,
+            vec![("level", num(i.level as u64 + 1))],
+        ));
+        out.push(counter(
+            "occupancy",
+            i.end_cycle,
+            vec![
+                ("rob", num(i.rob_occ as u64)),
+                ("iq", num(i.iq_occ as u64)),
+                ("lsq", num(i.lsq_occ as u64)),
+            ],
+        ));
+        out.push(counter(
+            "outstanding misses",
+            i.end_cycle,
+            vec![("mshr", num(i.outstanding_misses as u64))],
+        ));
+    }
+}
+
+/// One instant event (`ph: "i"`) from a structured trace event.
+fn instant(event: &TraceEvent) -> Json {
+    let args = match event.kind {
+        TraceEventKind::LevelUp { from, to, penalty }
+        | TraceEventKind::LevelDown { from, to, penalty } => obj(vec![
+            ("from", num(from as u64 + 1)),
+            ("to", num(to as u64 + 1)),
+            ("penalty", num(penalty as u64)),
+        ]),
+        TraceEventKind::RunaheadEnter { trigger_pc } => {
+            obj(vec![("trigger_pc", s(format!("{trigger_pc:#x}")))])
+        }
+        TraceEventKind::RunaheadExit { l2_misses, useful } => obj(vec![
+            ("l2_misses", num(l2_misses as u64)),
+            ("useful", Json::Bool(useful)),
+        ]),
+        TraceEventKind::Squash { at_seq } => obj(vec![("at_seq", num(at_seq))]),
+        TraceEventKind::LlcMiss {
+            pc,
+            addr,
+            mshr_occupancy,
+        } => obj(vec![
+            ("pc", s(format!("{pc:#x}"))),
+            ("addr", s(format!("{addr:#x}"))),
+            ("mshr", num(mshr_occupancy as u64)),
+        ]),
+    };
+    obj(vec![
+        ("name", s(event.kind.name())),
+        ("ph", s("i")),
+        ("s", s("t")), // thread-scoped instant
+        ("ts", num(event.cycle)),
+        ("pid", num(1)),
+        ("tid", num(1)),
+        ("args", args),
+    ])
+}
+
+/// Builds the trace document for a run: counter tracks from its interval
+/// series plus instant events from `events` (pass `&[]` when the run
+/// carried no tracer). The result encodes to a complete Chrome
+/// `trace_event` JSON object.
+pub fn trace_document(result: &RunResult, events: &[TraceEvent]) -> Json {
+    let mut trace_events = Vec::new();
+    let epoch = result.spec.interval_cycles.unwrap_or(0);
+    interval_events(&result.stats, epoch, &mut trace_events);
+    trace_events.extend(events.iter().map(instant));
+    obj(vec![
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![
+                ("profile", s(&result.spec.profile)),
+                ("model", s(result.spec.model.tag())),
+                ("cycles", num(result.stats.cycles)),
+            ]),
+        ),
+    ])
+}
+
+/// [`trace_document`] rendered to its JSON text.
+pub fn write_trace(result: &RunResult, events: &[TraceEvent]) -> String {
+    trace_document(result, events).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimModel;
+    use crate::runner::{run, RunSpec};
+
+    fn sample() -> RunResult {
+        let spec = RunSpec::new("libquantum", SimModel::Dynamic)
+            .with_budget(2_000, 4_000)
+            .with_intervals(500);
+        run(&spec).expect("healthy run")
+    }
+
+    #[test]
+    fn document_has_counter_events_for_every_sample() {
+        let result = sample();
+        assert!(!result.stats.intervals.is_empty(), "intervals collected");
+        let doc = trace_document(&result, &[]);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 4 * result.stats.intervals.len());
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("C"));
+            assert!(e.get("ts").and_then(Json::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn instant_events_carry_their_payloads() {
+        let result = sample();
+        let events = vec![
+            TraceEvent {
+                cycle: 10,
+                kind: TraceEventKind::LevelUp {
+                    from: 0,
+                    to: 1,
+                    penalty: 10,
+                },
+            },
+            TraceEvent {
+                cycle: 25,
+                kind: TraceEventKind::LlcMiss {
+                    pc: 0x400,
+                    addr: 0x8000,
+                    mshr_occupancy: 3,
+                },
+            },
+        ];
+        let doc = trace_document(&result, &events);
+        let arr = doc.get("traceEvents").and_then(Json::as_arr).expect("arr");
+        let instants: Vec<&Json> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 2);
+        assert_eq!(
+            instants[0].get("name").and_then(Json::as_str),
+            Some("level_up")
+        );
+        let args = instants[1].get("args").expect("args");
+        assert_eq!(args.get("mshr").and_then(Json::as_u64), Some(3));
+        assert_eq!(args.get("addr").and_then(Json::as_str), Some("0x8000"));
+    }
+
+    #[test]
+    fn rendered_text_parses_back() {
+        let result = sample();
+        let text = write_trace(&result, &[]);
+        let doc = Json::parse(&text).expect("valid JSON");
+        assert!(doc.get("traceEvents").is_some());
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("profile"))
+                .and_then(Json::as_str),
+            Some("libquantum")
+        );
+    }
+}

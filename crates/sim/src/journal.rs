@@ -21,7 +21,7 @@ use crate::model::SimModel;
 use crate::runner::{FaultSpec, RunResult, RunSpec};
 use mlpwin_branch::PredictorStats;
 use mlpwin_memsys::ProvenanceStats;
-use mlpwin_ooo::{CoreStats, LevelSpec};
+use mlpwin_ooo::{CoreStats, IntervalSample, LevelSpec, CPI_BUCKETS};
 use mlpwin_workloads::Category;
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -47,7 +47,7 @@ fn canonical_spec(spec: &RunSpec) -> String {
         Some(FaultSpec::LivelockAt(n)) => format!("livelock@{n}"),
     };
     format!(
-        "{}|{}|{}|{}|{}|{}|{}|{}",
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}",
         spec.profile,
         spec.model.tag(),
         spec.warmup,
@@ -56,6 +56,7 @@ fn canonical_spec(spec: &RunSpec) -> String {
         spec.watchdog_cycles.map_or("-".into(), |v| v.to_string()),
         spec.deadline_cycles.map_or("-".into(), |v| v.to_string()),
         fault,
+        spec.interval_cycles.map_or("-".into(), |v| v.to_string()),
     )
 }
 
@@ -193,6 +194,7 @@ fn encode_spec(spec: &RunSpec) -> Json {
         ("watchdog", opt_num(spec.watchdog_cycles)),
         ("deadline", opt_num(spec.deadline_cycles)),
         ("fault", fault),
+        ("intervals", opt_num(spec.interval_cycles)),
     ])
 }
 
@@ -212,6 +214,36 @@ fn encode_stats(stats: &CoreStats) -> Json {
         (
             "level_cycles",
             Json::Arr(stats.level_cycles.iter().copied().map(num).collect()),
+        ),
+        (
+            "cpi_stack",
+            Json::Arr(
+                stats
+                    .cpi_stack
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().copied().map(num).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "intervals",
+            Json::Arr(
+                stats
+                    .intervals
+                    .iter()
+                    .map(|i| {
+                        Json::Arr(vec![
+                            num(i.end_cycle),
+                            num(i.committed_insts),
+                            num(i.level as u64),
+                            num(i.rob_occ as u64),
+                            num(i.iq_occ as u64),
+                            num(i.lsq_occ as u64),
+                            num(i.outstanding_misses as u64),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         ("transitions_up", num(stats.transitions_up)),
         ("transitions_down", num(stats.transitions_down)),
@@ -356,11 +388,53 @@ fn decode_spec(v: &Json) -> Option<RunSpec> {
             n => Some(n.as_u64()?),
         },
         fault,
+        interval_cycles: match v.get("intervals")? {
+            Json::Null => None,
+            n => Some(n.as_u64()?),
+        },
     })
 }
 
 fn decode_u64_arr(v: &Json, key: &str) -> Option<Vec<u64>> {
     v.get(key)?.as_arr()?.iter().map(Json::as_u64).collect()
+}
+
+fn decode_cpi_stack(v: &Json) -> Option<Vec<[u64; CPI_BUCKETS]>> {
+    v.as_arr()?
+        .iter()
+        .map(|row| {
+            let vals: Vec<u64> = row
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<_>>()?;
+            <[u64; CPI_BUCKETS]>::try_from(vals).ok()
+        })
+        .collect()
+}
+
+fn decode_intervals(v: &Json) -> Option<Vec<IntervalSample>> {
+    v.as_arr()?
+        .iter()
+        .map(|sample| {
+            let f: Vec<u64> = sample
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<_>>()?;
+            let [end_cycle, committed_insts, level, rob_occ, iq_occ, lsq_occ, outstanding] =
+                <[u64; 7]>::try_from(f).ok()?;
+            Some(IntervalSample {
+                end_cycle,
+                committed_insts,
+                level: u32::try_from(level).ok()?,
+                rob_occ: u32::try_from(rob_occ).ok()?,
+                iq_occ: u32::try_from(iq_occ).ok()?,
+                lsq_occ: u32::try_from(lsq_occ).ok()?,
+                outstanding_misses: u32::try_from(outstanding).ok()?,
+            })
+        })
+        .collect()
 }
 
 fn decode_stats(v: &Json) -> Option<CoreStats> {
@@ -374,6 +448,8 @@ fn decode_stats(v: &Json) -> Option<CoreStats> {
         committed_mispredicts: get_u64(v, "committed_mispredicts")?,
         load_latency_sum: get_u64(v, "load_latency_sum")?,
         level_cycles: decode_u64_arr(v, "level_cycles")?,
+        cpi_stack: decode_cpi_stack(v.get("cpi_stack")?)?,
+        intervals: decode_intervals(v.get("intervals")?)?,
         transitions_up: get_u64(v, "transitions_up")?,
         transitions_down: get_u64(v, "transitions_down")?,
         stall_transition: get_u64(v, "stall_transition")?,

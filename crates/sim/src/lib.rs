@@ -11,8 +11,11 @@
 //!   matrix in parallel — and returns [`RunResult`]s combining pipeline,
 //!   memory, predictor and provenance statistics.
 //! - [`report`] holds the shared presentation helpers: geometric means,
-//!   aligned text tables, histograms, and the normalized-series helpers
-//!   every `fig*`/`table*` binary uses.
+//!   aligned text tables, histograms, CPI-stack attribution and the
+//!   normalized-series helpers every `fig*`/`table*` binary uses.
+//! - [`chrome_trace`] exports a run's interval time series and
+//!   structured trace events as Chrome `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto.
 //!
 //! ## Resilience
 //!
@@ -38,6 +41,7 @@
 //! assert!(err.unwrap_err().to_string().contains("did you mean `libquantum`?"));
 //! ```
 
+pub mod chrome_trace;
 pub mod error;
 pub mod journal;
 pub mod json;

@@ -2,20 +2,76 @@
 //! aligned text tables, histograms and series normalization.
 
 use mlpwin_isa::Cycle;
+use mlpwin_ooo::{CoreStats, CpiBucket};
+use std::fmt;
+
+/// Why a report helper could not produce a value. The figure binaries
+/// use the `try_*` variants so a degenerate input (every spec of a
+/// profile failed, say) prints a diagnostic instead of panicking
+/// mid-report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// An aggregate over zero values.
+    EmptyInput,
+    /// A geometric mean over a non-positive value.
+    NonPositive,
+    /// A table row whose width differs from its header.
+    RowWidthMismatch {
+        /// Columns the table has.
+        expected: usize,
+        /// Cells the row supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::EmptyInput => write!(f, "aggregate over an empty input"),
+            ReportError::NonPositive => {
+                write!(f, "geometric mean requires positive values")
+            }
+            ReportError::RowWidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "row width mismatch: expected {expected} cells, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
 
 /// Geometric mean of a slice of positive values.
 ///
 /// # Panics
 ///
-/// Panics if the slice is empty or contains non-positive values.
+/// Panics if the slice is empty or contains non-positive values; use
+/// [`try_geomean`] to handle degenerate inputs instead.
 pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geometric mean of nothing");
-    assert!(
-        values.iter().all(|&v| v > 0.0),
-        "geometric mean requires positive values"
-    );
+    match try_geomean(values) {
+        Ok(g) => g,
+        Err(ReportError::EmptyInput) => panic!("geometric mean of nothing"),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`geomean`] with degenerate inputs as typed errors instead of panics.
+///
+/// # Errors
+///
+/// [`ReportError::EmptyInput`] for an empty slice,
+/// [`ReportError::NonPositive`] when any value is zero or negative.
+pub fn try_geomean(values: &[f64]) -> Result<f64, ReportError> {
+    if values.is_empty() {
+        return Err(ReportError::EmptyInput);
+    }
+    if !values.iter().all(|&v| v > 0.0) {
+        return Err(ReportError::NonPositive);
+    }
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
-    (log_sum / values.len() as f64).exp()
+    Ok((log_sum / values.len() as f64).exp())
 }
 
 /// A simple aligned text table, printed by every experiment binary.
@@ -38,12 +94,33 @@ impl TextTable {
     ///
     /// # Panics
     ///
-    /// Panics if the row width differs from the header width.
+    /// Panics if the row width differs from the header width; use
+    /// [`try_row`](TextTable::try_row) to handle it instead.
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut TextTable {
-        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells);
+        self.try_row(cells).expect("row width mismatch");
         self
+    }
+
+    /// Appends a row, rejecting a width mismatch as a typed error
+    /// instead of panicking (the table is left unchanged).
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::RowWidthMismatch`] when the cell count differs
+    /// from the header count.
+    pub fn try_row<S: Into<String>>(
+        &mut self,
+        cells: Vec<S>,
+    ) -> Result<&mut TextTable, ReportError> {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        if cells.len() != self.headers.len() {
+            return Err(ReportError::RowWidthMismatch {
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(self)
     }
 
     /// Renders the table with aligned columns.
@@ -136,6 +213,40 @@ pub fn normalize(values: &[f64], base: f64) -> Vec<f64> {
     values.iter().map(|v| v / base).collect()
 }
 
+/// Renders a run's per-level CPI-stack attribution: one row per level
+/// the run actually visited (each bucket as a percentage of that
+/// level's cycles) plus an `all` row over the whole run. The figure
+/// binaries print this under their headline tables.
+pub fn cpi_stack_table(stats: &CoreStats) -> String {
+    let mut headers = vec!["level".to_string(), "cycles".to_string()];
+    headers.extend(CpiBucket::ALL.iter().map(|b| b.label().to_string()));
+    let mut t = TextTable::new(headers);
+    let visited = stats
+        .cpi_stack
+        .iter()
+        .enumerate()
+        .filter(|&(level, _)| stats.level_cycles.get(level).copied().unwrap_or(0) > 0);
+    for (level, row) in visited {
+        let cycles = stats.level_cycles[level];
+        let mut cells = vec![format!("L{}", level + 1), cycles.to_string()];
+        cells.extend(
+            row.iter()
+                .map(|&c| format!("{:.1}%", 100.0 * c as f64 / cycles as f64)),
+        );
+        t.row(cells);
+    }
+    if stats.cycles > 0 {
+        let mut cells = vec!["all".to_string(), stats.cycles.to_string()];
+        cells.extend(
+            CpiBucket::ALL
+                .iter()
+                .map(|&b| format!("{:.1}%", 100.0 * stats.cpi_fraction(b))),
+        );
+        t.row(cells);
+    }
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +309,51 @@ mod tests {
         assert_eq!(normalize(&[2.0, 3.0], 2.0), vec![1.0, 1.5]);
         assert_eq!(pct(0.213), "+21.3%");
         assert_eq!(pct(-0.08), "-8.0%");
+    }
+
+    #[test]
+    fn try_geomean_reports_degenerate_inputs() {
+        assert_eq!(try_geomean(&[]), Err(ReportError::EmptyInput));
+        assert_eq!(try_geomean(&[1.0, 0.0]), Err(ReportError::NonPositive));
+        assert_eq!(try_geomean(&[2.0, -1.0]), Err(ReportError::NonPositive));
+        assert!((try_geomean(&[1.0, 4.0]).expect("valid") - 2.0).abs() < 1e-12);
+        assert!(ReportError::EmptyInput.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn try_row_rejects_ragged_rows_without_panicking() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        let err = t.try_row(vec!["only one"]).expect_err("ragged");
+        assert_eq!(
+            err,
+            ReportError::RowWidthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        // The failed row must not have been recorded.
+        t.try_row(vec!["x", "y"]).expect("valid row");
+        assert_eq!(t.render().lines().count(), 3);
+    }
+
+    #[test]
+    fn cpi_stack_table_lists_visited_levels_and_total() {
+        use mlpwin_ooo::CPI_BUCKETS;
+        let mut row0 = [0u64; CPI_BUCKETS];
+        row0[CpiBucket::Base as usize] = 75;
+        row0[CpiBucket::MemoryStall as usize] = 25;
+        let row1 = [0u64; CPI_BUCKETS]; // never visited
+        let stats = CoreStats {
+            cycles: 100,
+            level_cycles: vec![100, 0],
+            cpi_stack: vec![row0, row1],
+            ..CoreStats::default()
+        };
+        let s = cpi_stack_table(&stats);
+        assert!(s.contains("L1"), "{s}");
+        assert!(!s.contains("L2"), "unvisited level must be omitted: {s}");
+        assert!(s.contains("75.0%"), "{s}");
+        assert!(s.contains("all"), "{s}");
+        assert!(s.lines().next().expect("header").contains("mem"));
     }
 }

@@ -57,6 +57,8 @@ pub struct RunSpec {
     pub deadline_cycles: Option<u64>,
     /// Injected fault, test-only.
     pub fault: Option<FaultSpec>,
+    /// Interval time-series epoch (cycles); `None` collects no series.
+    pub interval_cycles: Option<u64>,
 }
 
 impl RunSpec {
@@ -73,6 +75,7 @@ impl RunSpec {
             watchdog_cycles: None,
             deadline_cycles: None,
             fault: None,
+            interval_cycles: None,
         }
     }
 
@@ -100,6 +103,13 @@ impl RunSpec {
     /// Injects a fault (test-only).
     pub fn with_fault(mut self, fault: FaultSpec) -> RunSpec {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Collects the interval time series (IPC, level, occupancies,
+    /// outstanding misses) every `epoch` cycles of measured time.
+    pub fn with_intervals(mut self, epoch: u64) -> RunSpec {
+        self.interval_cycles = Some(epoch);
         self
     }
 
@@ -274,6 +284,9 @@ pub fn run(spec: &RunSpec) -> Result<RunResult, SimError> {
         let mut fault = config.fault.unwrap_or_default();
         fault.freeze_commit_after = Some(at);
         config.fault = Some(fault);
+    }
+    if spec.interval_cycles.is_some() {
+        config.interval_cycles = spec.interval_cycles;
     }
     let workload = profiles::by_name(&spec.profile, spec.seed)?;
     if let Some(FaultSpec::PanicAt(at)) = spec.fault {

@@ -1,0 +1,117 @@
+//! End-to-end observability: interval collection through the runner,
+//! CPI-stack attribution surfaced in reports, Chrome-trace structural
+//! validity, and journal round-trips of the new fields.
+
+use mlpwin_sim::chrome_trace::{trace_document, write_trace};
+use mlpwin_sim::journal::{decode_line, encode_line, spec_hash};
+use mlpwin_sim::json::Json;
+use mlpwin_sim::report::cpi_stack_table;
+use mlpwin_sim::runner::run;
+use mlpwin_sim::{RunResult, RunSpec, SimModel};
+
+fn observed_run() -> (RunSpec, RunResult) {
+    let spec = RunSpec::new("libquantum", SimModel::Dynamic)
+        .with_budget(5_000, 10_000)
+        .with_intervals(1_000);
+    let result = run(&spec).expect("healthy run");
+    (spec, result)
+}
+
+#[test]
+fn runner_collects_the_interval_series() {
+    let (_, result) = observed_run();
+    let intervals = &result.stats.intervals;
+    assert!(
+        intervals.len() >= 5,
+        "a 10k-inst memory-bound run spans many 1k-cycle epochs"
+    );
+    // Epoch boundaries are exact multiples on the measured-cycle clock.
+    for (i, sample) in intervals.iter().enumerate() {
+        assert_eq!(sample.end_cycle, (i as u64 + 1) * 1_000);
+    }
+    // The per-epoch commits never exceed the whole run's commits.
+    let total: u64 = intervals.iter().map(|s| s.committed_insts).sum();
+    assert!(total <= result.stats.committed_insts);
+    assert!(
+        intervals.iter().any(|s| s.outstanding_misses > 0),
+        "libquantum must be caught with misses in flight"
+    );
+}
+
+#[test]
+fn specs_without_the_knob_collect_nothing() {
+    let spec = RunSpec::new("gcc", SimModel::Base).with_budget(2_000, 2_000);
+    let result = run(&spec).expect("healthy run");
+    assert!(result.stats.intervals.is_empty());
+}
+
+#[test]
+fn cpi_stack_survives_the_runner_and_renders() {
+    let (_, result) = observed_run();
+    assert_eq!(result.stats.cpi_stack_cycles(), result.stats.cycles);
+    let table = cpi_stack_table(&result.stats);
+    assert!(table.contains("mem"), "{table}");
+    assert!(table.contains("all"), "{table}");
+}
+
+#[test]
+fn chrome_trace_is_structurally_valid() {
+    let (_, result) = observed_run();
+    let text = write_trace(&result, &[]);
+    let doc = Json::parse(&text).expect("export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    // Every event carries the Chrome-required fields with sane types.
+    for e in events {
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ph").and_then(Json::as_str).is_some());
+        assert!(e.get("ts").and_then(Json::as_u64).is_some());
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+    }
+    // Counter timestamps are non-decreasing, as emitted.
+    let ts: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("ipc"))
+        .filter_map(|e| e.get("ts").and_then(Json::as_u64))
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn trace_document_matches_interval_count() {
+    let (_, result) = observed_run();
+    let doc = trace_document(&result, &[]);
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("arr");
+    // Four counter tracks per interval sample, no instants passed.
+    assert_eq!(events.len(), 4 * result.stats.intervals.len());
+}
+
+#[test]
+fn journal_round_trips_observability_fields() {
+    let (spec, result) = observed_run();
+    assert!(!result.stats.intervals.is_empty());
+    assert!(result.stats.cpi_stack_cycles() > 0);
+    let line = encode_line(&spec, &result);
+    let (dspec, dresult) = decode_line(&line).expect("decodes");
+    assert_eq!(dspec, spec);
+    assert_eq!(dresult, result, "intervals and cpi_stack must round-trip");
+}
+
+#[test]
+fn interval_epoch_is_part_of_the_spec_identity() {
+    let base = RunSpec::new("gcc", SimModel::Base);
+    let with_intervals = base.clone().with_intervals(1_000);
+    assert_ne!(
+        spec_hash(&base),
+        spec_hash(&with_intervals),
+        "a journal from a plain campaign must not satisfy an observed one"
+    );
+    assert_ne!(
+        spec_hash(&with_intervals),
+        spec_hash(&base.with_intervals(2_000))
+    );
+}

@@ -48,6 +48,39 @@ fn thread_count_cannot_change_results() {
 }
 
 #[test]
+fn interval_series_is_deterministic_across_threads_and_repeats() {
+    let specs: Vec<RunSpec> = ["libquantum", "gcc", "mcf"]
+        .iter()
+        .map(|p| spec(p, SimModel::Dynamic, 1).with_intervals(500))
+        .collect();
+    let serial = run_matrix(&specs, 1);
+    let parallel = run_matrix(&specs, 4);
+    let again = run_matrix(&specs, 4);
+    for ((s, p), a) in serial.iter().zip(&parallel).zip(&again) {
+        let s = s.result().expect("healthy spec");
+        let p = p.result().expect("healthy spec");
+        let a = a.result().expect("healthy spec");
+        assert!(
+            !s.stats.intervals.is_empty(),
+            "{}: series must be collected",
+            s.spec.profile
+        );
+        // The whole CoreStats — intervals and CPI stack included — must
+        // be bit-identical whatever the thread count, and across runs.
+        assert_eq!(
+            s.stats, p.stats,
+            "{}: thread-count sensitivity in observability data",
+            s.spec.profile
+        );
+        assert_eq!(
+            p.stats, a.stats,
+            "{}: repeat sensitivity in observability data",
+            p.spec.profile
+        );
+    }
+}
+
+#[test]
 fn different_seeds_diverge() {
     let a = run(&spec("soplex", SimModel::Base, 1)).expect("healthy run");
     let b = run(&spec("soplex", SimModel::Base, 2)).expect("healthy run");

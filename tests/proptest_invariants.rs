@@ -180,6 +180,98 @@ fn controller_level_always_in_range() {
     }
 }
 
+/// The tracer ring buffer honours its bounds for arbitrary event
+/// streams: length never exceeds capacity, buffered events stay in
+/// cycle order, and the drop counter accounts for every overflow
+/// (`recorded = len + dropped`).
+#[test]
+fn tracer_ring_buffer_bounds_and_accounting() {
+    use mlpwin::ooo::{TraceConfig, TraceEventKind, Tracer};
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0x7ACE + case);
+        let capacity = rng.range_between(1, 64) as usize;
+        let mut t = Tracer::new(TraceConfig {
+            capacity,
+            llc_sample: 1,
+        });
+        let n = rng.range_between(0, 300);
+        let mut cycle = 0u64;
+        for i in 0..n {
+            cycle += rng.range(5); // non-decreasing, repeats allowed
+            t.record(cycle, TraceEventKind::Squash { at_seq: i });
+            assert!(t.len() <= capacity, "case {case}: ring overflowed");
+            assert_eq!(
+                t.recorded(),
+                t.len() as u64 + t.dropped(),
+                "case {case}: drop accounting broken"
+            );
+        }
+        assert_eq!(t.recorded(), n, "case {case}: every record counted");
+        assert_eq!(t.dropped(), n.saturating_sub(capacity as u64));
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "case {case}: buffered events out of order"
+        );
+    }
+}
+
+/// LLC-miss sampling records exactly `ceil(n / k)` of `n` offered
+/// misses for any divisor `k`, while counting every observation.
+#[test]
+fn tracer_sampling_records_every_kth_miss() {
+    use mlpwin::ooo::{TraceConfig, Tracer};
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0x5A17 + case);
+        let k = rng.range_between(1, 32);
+        let n = rng.range_between(0, 500);
+        let mut t = Tracer::new(TraceConfig {
+            capacity: 1 << 16, // never overflows in this sweep
+            llc_sample: k,
+        });
+        for i in 0..n {
+            t.offer_llc_miss(i, 0x400, i * 64, 0);
+        }
+        assert_eq!(t.llc_misses_seen(), n, "case {case}");
+        assert_eq!(t.recorded(), n.div_ceil(k), "case {case}: k={k} n={n}");
+        assert_eq!(t.dropped(), 0, "case {case}: nothing overflowed");
+    }
+}
+
+/// Interval samples land exactly on epoch boundaries of the measured
+/// clock, with occupancies bounded by the provisioned window and
+/// per-epoch commits bounded by the machine's commit bandwidth.
+#[test]
+fn interval_samples_respect_epoch_boundaries_and_bounds() {
+    use mlpwin::sim::runner::{run, RunSpec};
+    use mlpwin::sim::SimModel;
+    let profiles = ["libquantum", "gcc", "omnetpp"];
+    for case in 0..6u64 {
+        let mut rng = Xoshiro256StarStar::seed_from(0xE90C + case);
+        let epoch = rng.range_between(100, 2_000);
+        let profile = profiles[rng.range(profiles.len() as u64) as usize];
+        let spec = RunSpec::new(profile, SimModel::Dynamic)
+            .with_budget(3_000, 3_000)
+            .with_intervals(epoch);
+        let r = run(&spec).expect("healthy run");
+        let max_rob = 512; // the dynamic ladder's largest level
+        let commit_width = 4;
+        for (i, sample) in r.stats.intervals.iter().enumerate() {
+            assert_eq!(
+                sample.end_cycle,
+                (i as u64 + 1) * epoch,
+                "case {case}: sample off the epoch grid (epoch {epoch})"
+            );
+            assert!(sample.rob_occ <= max_rob, "case {case}");
+            assert!(sample.level < 3, "case {case}: level out of ladder");
+            assert!(
+                sample.committed_insts <= epoch * commit_width,
+                "case {case}: more commits than bandwidth allows"
+            );
+        }
+    }
+}
+
 /// The branch predictor is self-consistent on arbitrary outcome
 /// sequences: speculative history repair never panics and stats add up.
 #[test]
