@@ -12,6 +12,9 @@ cargo test -q --workspace
 echo "==> cargo test -q --features trace (event-trace hooks)"
 cargo test -q -p mlpwin-ooo --features trace
 
+echo "==> mlpwin-bench --smoke (BENCH.json schema gate)"
+cargo run --release -q -p mlpwin-bench --bin mlpwin-bench -- --smoke --out results/BENCH_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

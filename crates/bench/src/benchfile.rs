@@ -1,0 +1,323 @@
+//! The `BENCH.json` schema: the machine-readable host-performance
+//! baseline the `mlpwin-bench` binary writes and regresses against.
+//!
+//! A report records one pinned suite run: per-entry wall-clock and
+//! simulated work (from which throughput derives), plus process-level
+//! peak RSS. The file is schema-versioned like the results journal —
+//! a reader rejects unknown schemas instead of misreading them — and
+//! uses the workspace's std-only [`Json`] module, so it round-trips
+//! byte-for-byte through [`BenchReport::encode`]/[`BenchReport::parse`].
+
+use mlpwin_sim::json::{num, s, Json};
+use std::collections::BTreeMap;
+
+/// The `BENCH.json` schema this build writes and reads.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// Fractional throughput drop that fails the regression gate: a current
+/// run below `1 - 0.15` of the baseline's aggregate throughput exits
+/// nonzero.
+pub const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// One suite entry: a `(profile, model)` run at a pinned budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Workload profile name.
+    pub profile: String,
+    /// Model tag (`SimModel::tag`).
+    pub model: String,
+    /// Warm-up instructions.
+    pub warmup: u64,
+    /// Measured instructions.
+    pub insts: u64,
+    /// Wall-clock seconds for the whole run (build + warm-up + measure).
+    pub wall_secs: f64,
+    /// Simulated cycles in the measured phase.
+    pub sim_cycles: u64,
+    /// Committed instructions in the measured phase.
+    pub sim_insts: u64,
+}
+
+impl BenchEntry {
+    /// Simulated kilocycles per wall-clock second.
+    pub fn kcps(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.sim_cycles as f64 / 1e3 / self.wall_secs
+    }
+
+    /// Million simulated instructions per wall-clock second.
+    pub fn mips(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.sim_insts as f64 / 1e6 / self.wall_secs
+    }
+}
+
+/// A complete `BENCH.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA`]).
+    pub schema: u64,
+    /// Peak resident set size in kB, when the platform exposes it.
+    pub peak_rss_kb: Option<u64>,
+    /// One entry per suite run, in suite order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Total wall-clock seconds across the suite.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_secs).sum()
+    }
+
+    /// Aggregate simulated kilocycles per wall-clock second: total
+    /// cycles over total wall time, the regression gate's headline
+    /// number.
+    pub fn total_kcps(&self) -> f64 {
+        let wall = self.total_wall_secs();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.sim_cycles).sum::<u64>() as f64 / 1e3 / wall
+    }
+
+    /// Aggregate million simulated instructions per wall-clock second.
+    pub fn total_mips(&self) -> f64 {
+        let wall = self.total_wall_secs();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.sim_insts).sum::<u64>() as f64 / 1e6 / wall
+    }
+
+    /// Serializes to the `BENCH.json` document (pretty enough to diff:
+    /// canonical key order, one line).
+    pub fn encode(&self) -> String {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut m = BTreeMap::new();
+                m.insert("profile".to_string(), s(&e.profile));
+                m.insert("model".to_string(), s(&e.model));
+                m.insert("warmup".to_string(), num(e.warmup));
+                m.insert("insts".to_string(), num(e.insts));
+                m.insert("wall_secs".to_string(), Json::Num(e.wall_secs));
+                m.insert("sim_cycles".to_string(), num(e.sim_cycles));
+                m.insert("sim_insts".to_string(), num(e.sim_insts));
+                m.insert("kcps".to_string(), Json::Num(e.kcps()));
+                m.insert("mips".to_string(), Json::Num(e.mips()));
+                Json::Obj(m)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("schema".to_string(), num(self.schema));
+        root.insert(
+            "peak_rss_kb".to_string(),
+            self.peak_rss_kb.map_or(Json::Null, num),
+        );
+        root.insert("entries".to_string(), Json::Arr(entries));
+        root.insert(
+            "total_wall_secs".to_string(),
+            Json::Num(self.total_wall_secs()),
+        );
+        root.insert("total_kcps".to_string(), Json::Num(self.total_kcps()));
+        root.insert("total_mips".to_string(), Json::Num(self.total_mips()));
+        Json::Obj(root).encode()
+    }
+
+    /// Parses and validates a `BENCH.json` document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem:
+    /// invalid JSON, unknown schema, or a malformed entry. The derived
+    /// `total_*`/`kcps`/`mips` fields are recomputed, not trusted.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema field")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "unknown BENCH.json schema {schema} (this build reads {BENCH_SCHEMA})"
+            ));
+        }
+        let peak_rss_kb = match doc.get("peak_rss_kb") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or("peak_rss_kb is not an integer")?),
+        };
+        let raw = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing entries array")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for (i, e) in raw.iter().enumerate() {
+            let field_u64 = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("entry {i}: bad field `{k}`"))
+            };
+            let wall_secs = e
+                .get("wall_secs")
+                .and_then(Json::as_f64)
+                .filter(|w| w.is_finite() && *w >= 0.0)
+                .ok_or_else(|| format!("entry {i}: bad field `wall_secs`"))?;
+            entries.push(BenchEntry {
+                profile: e
+                    .get("profile")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("entry {i}: bad field `profile`"))?
+                    .to_string(),
+                model: e
+                    .get("model")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("entry {i}: bad field `model`"))?
+                    .to_string(),
+                warmup: field_u64("warmup")?,
+                insts: field_u64("insts")?,
+                wall_secs,
+                sim_cycles: field_u64("sim_cycles")?,
+                sim_insts: field_u64("sim_insts")?,
+            });
+        }
+        if entries.is_empty() {
+            return Err("entries array is empty".to_string());
+        }
+        Ok(BenchReport {
+            schema,
+            peak_rss_kb,
+            entries,
+        })
+    }
+}
+
+/// The fractional aggregate-throughput drop of `current` against
+/// `baseline` (positive = slower, negative = faster); `None` when the
+/// baseline's throughput is degenerate (zero wall time or zero cycles).
+pub fn throughput_drop(baseline: &BenchReport, current: &BenchReport) -> Option<f64> {
+    let base = baseline.total_kcps();
+    if base <= 0.0 {
+        return None;
+    }
+    Some(1.0 - current.total_kcps() / base)
+}
+
+/// Peak resident set size of this process in kB, from
+/// `/proc/self/status` `VmHWM` — `None` on platforms without procfs.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA,
+            peak_rss_kb: Some(20_480),
+            entries: vec![
+                BenchEntry {
+                    profile: "libquantum".to_string(),
+                    model: "resizing".to_string(),
+                    warmup: 2_000,
+                    insts: 2_000,
+                    wall_secs: 0.5,
+                    sim_cycles: 10_000,
+                    sim_insts: 2_100,
+                },
+                BenchEntry {
+                    profile: "gcc".to_string(),
+                    model: "base".to_string(),
+                    warmup: 2_000,
+                    insts: 2_000,
+                    wall_secs: 1.5,
+                    sim_cycles: 6_000,
+                    sim_insts: 2_100,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_its_schema() {
+        let report = sample();
+        let text = report.encode();
+        let parsed = BenchReport::parse(&text).expect("round trip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = sample();
+        // 16k cycles over 2s = 8 kcyc/s; 4200 insts over 2s = 0.0021 M/s.
+        assert!((r.total_wall_secs() - 2.0).abs() < 1e-12);
+        assert!((r.total_kcps() - 8.0).abs() < 1e-9);
+        assert!((r.total_mips() - 0.0021).abs() < 1e-12);
+        assert!((r.entries[0].kcps() - 20.0).abs() < 1e-9);
+        let degenerate = BenchEntry {
+            wall_secs: 0.0,
+            ..r.entries[0].clone()
+        };
+        assert_eq!(degenerate.kcps(), 0.0);
+        assert_eq!(degenerate.mips(), 0.0);
+    }
+
+    #[test]
+    fn regression_gate_math() {
+        let baseline = sample();
+        let mut slower = sample();
+        for e in &mut slower.entries {
+            e.wall_secs *= 2.0; // half the throughput
+        }
+        let drop = throughput_drop(&baseline, &slower).expect("baseline is healthy");
+        assert!((drop - 0.5).abs() < 1e-9, "drop = {drop}");
+        assert!(drop > REGRESSION_THRESHOLD);
+        let same = throughput_drop(&baseline, &baseline).expect("healthy");
+        assert!(same.abs() < 1e-12);
+        let mut faster = sample();
+        for e in &mut faster.entries {
+            e.wall_secs /= 2.0;
+        }
+        assert!(throughput_drop(&baseline, &faster).expect("healthy") < 0.0);
+        // A degenerate baseline cannot gate anything.
+        let mut dead = sample();
+        for e in &mut dead.entries {
+            e.wall_secs = 0.0;
+        }
+        assert!(throughput_drop(&dead, &baseline).is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{}")
+            .expect_err("no schema")
+            .contains("schema"));
+        let future = sample().encode().replace("\"schema\":1", "\"schema\":9");
+        assert!(BenchReport::parse(&future)
+            .expect_err("unknown schema")
+            .contains("unknown"));
+        let empty = r#"{"schema":1,"peak_rss_kb":null,"entries":[]}"#;
+        assert!(BenchReport::parse(empty)
+            .expect_err("no entries")
+            .contains("empty"));
+        let bad_entry = r#"{"schema":1,"entries":[{"profile":"x"}]}"#;
+        assert!(BenchReport::parse(bad_entry).is_err());
+    }
+
+    #[test]
+    fn peak_rss_is_present_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_kb().expect("procfs available");
+            assert!(rss > 0);
+        }
+    }
+}

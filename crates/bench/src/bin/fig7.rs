@@ -12,8 +12,8 @@
 //! cargo run --release -p mlpwin-bench --bin fig7
 //! ```
 
-use mlpwin_bench::ExpArgs;
-use mlpwin_sim::report::{cpi_stack_table, pct, try_geomean, TextTable};
+use mlpwin_bench::{selected_profiles, try_category_geomean, ExpArgs, GM_GROUPS};
+use mlpwin_sim::report::{pct, TextTable};
 use mlpwin_sim::runner::{run_matrix, RunResult, RunSpec};
 use mlpwin_sim::SimModel;
 use mlpwin_workloads::{profiles, Category};
@@ -63,11 +63,7 @@ fn main() {
         "Ideal L3",
         "Res vs best-Fix",
     ]);
-    let selected: Vec<&str> = profiles::SELECTED_MEM
-        .iter()
-        .chain(profiles::SELECTED_COMP.iter())
-        .copied()
-        .collect();
+    let selected = selected_profiles();
     for p in &names {
         if !selected.contains(p) {
             continue;
@@ -92,24 +88,19 @@ fn main() {
         "Ideal L3",
         "Res speedup vs base",
     ]);
-    for (label, filter) in [
-        ("GM mem", Some(Category::MemoryIntensive)),
-        ("GM comp", Some(Category::ComputeIntensive)),
-        ("GM all", None),
-    ] {
-        let sel: Vec<&&str> = names
+    // Per-model `(category, ratio-to-base)` pairs feed the shared
+    // category-filtered geomean helper.
+    let ratios = |m: SimModel| -> Vec<(Category, f64)> {
+        names
             .iter()
-            .filter(|n| {
-                filter.is_none_or(|c| profiles::params_by_name(n).expect("known").category == c)
+            .map(|p| {
+                let cat = profiles::params_by_name(p).expect("known").category;
+                (cat, ipc(p, m) / ipc(p, SimModel::Fixed(1)))
             })
-            .collect();
-        let rel = |m: SimModel| {
-            try_geomean(
-                &sel.iter()
-                    .map(|p| ipc(p, m) / ipc(p, SimModel::Fixed(1)))
-                    .collect::<Vec<_>>(),
-            )
-        };
+            .collect()
+    };
+    for (label, filter) in GM_GROUPS {
+        let rel = |m: SimModel| try_category_geomean(&ratios(m), filter);
         let row = rel(SimModel::Dynamic).and_then(|res| {
             gm.try_row(vec![
                 label.to_string(),
@@ -130,11 +121,9 @@ fn main() {
 
     // Where the dynamic model's cycles went, per selected program.
     println!("\nCPI-stack attribution, dynamic resizing (% of each level's cycles):\n");
-    for p in &selected {
-        println!("{p}:");
-        println!(
-            "{}",
-            cpi_stack_table(&by_key[&(p.to_string(), SimModel::Dynamic)].stats)
-        );
-    }
+    mlpwin_bench::print_cpi_stacks(
+        selected
+            .iter()
+            .map(|&p| (p, &by_key[&(p.to_string(), SimModel::Dynamic)].stats)),
+    );
 }

@@ -9,19 +9,14 @@
 //! cargo run --release -p mlpwin-bench --bin fig8
 //! ```
 
-use mlpwin_bench::ExpArgs;
-use mlpwin_sim::report::{cpi_stack_table, TextTable};
+use mlpwin_bench::{selected_profiles, ExpArgs};
+use mlpwin_sim::report::TextTable;
 use mlpwin_sim::runner::{run_matrix, RunSpec};
 use mlpwin_sim::SimModel;
-use mlpwin_workloads::profiles;
 
 fn main() {
     let args = ExpArgs::parse(250_000, 60_000);
-    let selected: Vec<&str> = profiles::SELECTED_MEM
-        .iter()
-        .chain(profiles::SELECTED_COMP.iter())
-        .copied()
-        .collect();
+    let selected = selected_profiles();
     let specs: Vec<RunSpec> = selected
         .iter()
         .map(|p| RunSpec::new(p, SimModel::Dynamic).with_budget(args.warmup, args.insts))
@@ -56,8 +51,5 @@ fn main() {
 
     // Why each program sits where it does: the per-level CPI stacks.
     println!("\nCPI-stack attribution per level (% of each level's cycles):\n");
-    for r in &results {
-        println!("{}:", r.spec.profile);
-        println!("{}", cpi_stack_table(&r.stats));
-    }
+    mlpwin_bench::print_cpi_stacks(results.iter().map(|r| (r.spec.profile.as_str(), &r.stats)));
 }

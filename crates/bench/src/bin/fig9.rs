@@ -11,9 +11,9 @@
 //! cargo run --release -p mlpwin-bench --bin fig9
 //! ```
 
-use mlpwin_bench::ExpArgs;
+use mlpwin_bench::{print_geomean_summary, selected_profiles, ExpArgs};
 use mlpwin_energy::EnergyModel;
-use mlpwin_sim::report::{cpi_stack_table, pct, try_geomean, TextTable};
+use mlpwin_sim::report::TextTable;
 use mlpwin_sim::runner::{run_matrix, RunSpec};
 use mlpwin_sim::SimModel;
 use mlpwin_workloads::{profiles, Category};
@@ -38,11 +38,7 @@ fn main() {
         "1/EDP rel",
     ]);
     let mut per_cat: Vec<(Category, f64)> = Vec::new();
-    let selected: Vec<&str> = profiles::SELECTED_MEM
-        .iter()
-        .chain(profiles::SELECTED_COMP.iter())
-        .copied()
-        .collect();
+    let selected = selected_profiles();
     for p in &names {
         let base = results
             .iter()
@@ -71,32 +67,21 @@ fn main() {
     }
     println!("{}", t.render());
 
-    for (label, cat) in [
-        ("GM mem", Some(Category::MemoryIntensive)),
-        ("GM comp", Some(Category::ComputeIntensive)),
-        ("GM all", None),
-    ] {
-        let vals: Vec<f64> = per_cat
-            .iter()
-            .filter(|(c, _)| cat.is_none_or(|x| *c == x))
-            .map(|(_, v)| *v)
-            .collect();
-        match try_geomean(&vals) {
-            Ok(gm) => println!("{label}: {:.3} ({})", gm, pct(gm - 1.0)),
-            Err(e) => eprintln!("{label}: skipped ({e})"),
-        }
-    }
+    print_geomean_summary(&per_cat);
     println!("\npaper: GM mem +36%, GM comp -8%, GM all +8% (libquantum extreme ~+423%)");
 
     // The energy story's denominator: where the dynamic model's cycles
     // went on the extremes of each category.
     println!("\nCPI-stack attribution, dynamic resizing (% of each level's cycles):\n");
-    for p in [profiles::SELECTED_MEM[0], profiles::SELECTED_COMP[0]] {
-        let r = results
-            .iter()
-            .find(|r| r.spec.profile == p && r.spec.model == SimModel::Dynamic)
-            .expect("ran");
-        println!("{p}:");
-        println!("{}", cpi_stack_table(&r.stats));
-    }
+    mlpwin_bench::print_cpi_stacks(
+        [profiles::SELECTED_MEM[0], profiles::SELECTED_COMP[0]]
+            .into_iter()
+            .map(|p| {
+                let r = results
+                    .iter()
+                    .find(|r| r.spec.profile == p && r.spec.model == SimModel::Dynamic)
+                    .expect("ran");
+                (p, &r.stats)
+            }),
+    );
 }

@@ -1,0 +1,206 @@
+//! **mlpwin-bench** — the host-performance regression gate.
+//!
+//! Runs a pinned suite (the first three memory-intensive and first three
+//! compute-intensive selected programs, each under the baseline and the
+//! dynamic-resizing model, at a fixed budget), times every run, and
+//! writes a schema-versioned `BENCH.json` with per-run wall-clock,
+//! simulated throughput and process peak RSS. When a previous file
+//! exists it is the baseline: an aggregate-throughput drop beyond
+//! [`REGRESSION_THRESHOLD`](mlpwin_bench::benchfile::REGRESSION_THRESHOLD)
+//! exits nonzero, so CI catches a PR that slows the hot loop.
+//!
+//! ```text
+//! cargo run --release -p mlpwin-bench --bin mlpwin-bench
+//!     --out PATH     where to write the report  (default results/BENCH.json)
+//!     --baseline P   compare against P          (default: the previous --out file)
+//!     --insts N      measured insts per run     (default 30000; smoke 2000)
+//!     --warmup N     warm-up insts per run      (default 50000; smoke 2000)
+//!     --smoke        tiny budget, schema validation only, no threshold gate
+//! ```
+//!
+//! Runs execute serially on one thread: the gate measures simulator
+//! throughput, and sharing cores with sibling runs would fold scheduler
+//! noise into the number it regresses on.
+
+use mlpwin_bench::benchfile::{
+    peak_rss_kb, throughput_drop, BenchEntry, BenchReport, BENCH_SCHEMA, REGRESSION_THRESHOLD,
+};
+use mlpwin_sim::report::TextTable;
+use mlpwin_sim::runner::{run, RunSpec};
+use mlpwin_sim::SimModel;
+use mlpwin_workloads::profiles;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct BenchArgs {
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    warmup: u64,
+    insts: u64,
+    smoke: bool,
+}
+
+impl BenchArgs {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> BenchArgs {
+        let mut out = BenchArgs {
+            out: PathBuf::from("results/BENCH.json"),
+            baseline: None,
+            warmup: 0,
+            insts: 0,
+            smoke: false,
+        };
+        let (mut warmup, mut insts) = (None, None);
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--smoke" => out.smoke = true,
+                "--out" => out.out = PathBuf::from(value("--out")),
+                "--baseline" => out.baseline = Some(PathBuf::from(value("--baseline"))),
+                "--warmup" => {
+                    warmup = Some(value("--warmup").parse().expect("--warmup: not a number"))
+                }
+                "--insts" => insts = Some(value("--insts").parse().expect("--insts: not a number")),
+                other => panic!(
+                    "unknown flag {other}; expected --smoke/--out/--baseline/--warmup/--insts"
+                ),
+            }
+        }
+        let (dw, di) = if out.smoke {
+            (2_000, 2_000)
+        } else {
+            (50_000, 30_000)
+        };
+        out.warmup = warmup.unwrap_or(dw);
+        out.insts = insts.unwrap_or(di);
+        if out.smoke && out.out == Path::new("results/BENCH.json") {
+            // A smoke run must not overwrite (or gate against) the real
+            // baseline trajectory.
+            out.out = PathBuf::from("results/BENCH_smoke.json");
+        }
+        out
+    }
+}
+
+/// The pinned suite: 3 memory-bound + 3 compute-bound profiles, each
+/// under the base and the dynamic-resizing model.
+fn suite(warmup: u64, insts: u64) -> Vec<RunSpec> {
+    let programs = profiles::SELECTED_MEM[..3]
+        .iter()
+        .chain(profiles::SELECTED_COMP[..3].iter());
+    let mut specs = Vec::new();
+    for p in programs {
+        for model in [SimModel::Base, SimModel::Dynamic] {
+            specs.push(RunSpec::new(p, model).with_budget(warmup, insts));
+        }
+    }
+    specs
+}
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    let specs = suite(args.warmup, args.insts);
+
+    // Read the baseline before writing anything: the default baseline
+    // IS the previous --out file.
+    let baseline_path = args.baseline.clone().unwrap_or_else(|| args.out.clone());
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match BenchReport::parse(&text) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                eprintln!(
+                    "warning: ignoring baseline {}: {e}",
+                    baseline_path.display()
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    };
+
+    let mut entries = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let started = Instant::now();
+        let result = mlpwin_bench::expect_run(run(spec));
+        let wall_secs = started.elapsed().as_secs_f64();
+        entries.push(BenchEntry {
+            profile: spec.profile.clone(),
+            model: spec.model.tag(),
+            warmup: spec.warmup,
+            insts: spec.insts,
+            wall_secs,
+            sim_cycles: result.stats.cycles,
+            sim_insts: result.stats.committed_insts,
+        });
+    }
+    let report = BenchReport {
+        schema: BENCH_SCHEMA,
+        peak_rss_kb: peak_rss_kb(),
+        entries,
+    };
+
+    let mut t = TextTable::new(vec!["program", "model", "wall ms", "kcyc/s", "MIPS"]);
+    for e in &report.entries {
+        t.row(vec![
+            e.profile.clone(),
+            e.model.clone(),
+            format!("{:.1}", e.wall_secs * 1e3),
+            format!("{:.0}", e.kcps()),
+            format!("{:.3}", e.mips()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "total: {:.2}s wall, {:.0} kcyc/s, {:.3} MIPS, peak RSS {}",
+        report.total_wall_secs(),
+        report.total_kcps(),
+        report.total_mips(),
+        report
+            .peak_rss_kb
+            .map_or("n/a".to_string(), |kb| format!("{kb} kB")),
+    );
+
+    // Write, then re-read what landed on disk: the file CI archives must
+    // itself satisfy the schema.
+    if let Some(parent) = args.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    let mut text = report.encode();
+    text.push('\n');
+    std::fs::write(&args.out, text).expect("write BENCH.json");
+    let written = std::fs::read_to_string(&args.out).expect("re-read BENCH.json");
+    if let Err(e) = BenchReport::parse(&written) {
+        eprintln!("BENCH.json failed schema validation after write: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.out.display());
+
+    match &baseline {
+        None => println!("no baseline at {}; gate skipped", baseline_path.display()),
+        Some(baseline) => match throughput_drop(baseline, &report) {
+            None => println!("baseline throughput is degenerate; gate skipped"),
+            Some(drop) => {
+                println!(
+                    "vs baseline {}: {:+.1}% throughput",
+                    baseline_path.display(),
+                    -drop * 100.0
+                );
+                if args.smoke {
+                    println!("smoke mode: threshold gate skipped");
+                } else if drop > REGRESSION_THRESHOLD {
+                    eprintln!(
+                        "FAIL: throughput regressed {:.1}% (> {:.0}% threshold)",
+                        drop * 100.0,
+                        REGRESSION_THRESHOLD * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+        },
+    }
+}

@@ -19,7 +19,12 @@
 //! 100M-measure sampling; raising `--insts` tightens every number at
 //! linear cost.
 
+pub mod benchfile;
+
+use mlpwin_ooo::CoreStats;
+use mlpwin_sim::report::{cpi_stack_table, pct, try_geomean, ReportError};
 use mlpwin_sim::runner::{RunOutcome, RunResult, RunSpec};
+use mlpwin_workloads::{profiles, Category};
 use std::env;
 
 /// Command-line arguments shared by every experiment binary.
@@ -76,6 +81,67 @@ impl ExpArgs {
         assert!(out.insts > 0, "--insts must be positive");
         assert!(out.threads > 0, "--threads must be positive");
         out
+    }
+}
+
+/// The paper's selected programs, memory-intensive first — the row set
+/// every figure binary prints.
+pub fn selected_profiles() -> Vec<&'static str> {
+    profiles::SELECTED_MEM
+        .iter()
+        .chain(profiles::SELECTED_COMP.iter())
+        .copied()
+        .collect()
+}
+
+/// The three geometric-mean groups every figure summarizes: memory-
+/// intensive, compute-intensive, and everything.
+pub const GM_GROUPS: [(&str, Option<Category>); 3] = [
+    ("GM mem", Some(Category::MemoryIntensive)),
+    ("GM comp", Some(Category::ComputeIntensive)),
+    ("GM all", None),
+];
+
+/// Geometric mean of the values whose category matches `cat` (all of
+/// them for `None`), over `(category, value)` pairs.
+///
+/// # Errors
+///
+/// [`ReportError`] when the filtered set is empty or contains a
+/// non-positive value.
+pub fn try_category_geomean(
+    per_cat: &[(Category, f64)],
+    cat: Option<Category>,
+) -> Result<f64, ReportError> {
+    let values: Vec<f64> = per_cat
+        .iter()
+        .filter(|(c, _)| cat.is_none_or(|want| *c == want))
+        .map(|(_, v)| *v)
+        .collect();
+    try_geomean(&values)
+}
+
+/// Prints one `GM mem / GM comp / GM all` summary line per group from
+/// `(category, ratio)` pairs, skipping (with a stderr note) any group
+/// whose inputs are degenerate.
+pub fn print_geomean_summary(per_cat: &[(Category, f64)]) {
+    for (label, cat) in GM_GROUPS {
+        match try_category_geomean(per_cat, cat) {
+            Ok(gm) => println!("{label}: {gm:.3} ({})", pct(gm - 1.0)),
+            Err(e) => eprintln!("{label}: skipped ({e})"),
+        }
+    }
+}
+
+/// Prints each named run's per-level CPI-stack attribution table — the
+/// "where did the cycles go" footer the figure binaries share.
+pub fn print_cpi_stacks<'a, I>(entries: I)
+where
+    I: IntoIterator<Item = (&'a str, &'a CoreStats)>,
+{
+    for (name, stats) in entries {
+        println!("{name}:");
+        println!("{}", cpi_stack_table(stats));
     }
 }
 
@@ -151,5 +217,36 @@ mod tests {
     #[should_panic(expected = "requires a value")]
     fn rejects_missing_value() {
         let _ = ExpArgs::parse_from(argv("--insts"), 1, 1);
+    }
+
+    #[test]
+    fn selected_profiles_cover_both_categories() {
+        let sel = selected_profiles();
+        assert!(!sel.is_empty());
+        assert!(sel.starts_with(&profiles::SELECTED_MEM));
+        assert!(sel.ends_with(&profiles::SELECTED_COMP));
+    }
+
+    #[test]
+    fn category_geomean_filters_before_aggregating() {
+        let per_cat = [
+            (Category::MemoryIntensive, 2.0),
+            (Category::MemoryIntensive, 8.0),
+            (Category::ComputeIntensive, 1.0),
+        ];
+        let mem =
+            try_category_geomean(&per_cat, Some(Category::MemoryIntensive)).expect("mem group");
+        assert!((mem - 4.0).abs() < 1e-12);
+        let comp =
+            try_category_geomean(&per_cat, Some(Category::ComputeIntensive)).expect("comp group");
+        assert!((comp - 1.0).abs() < 1e-12);
+        let all = try_category_geomean(&per_cat, None).expect("all");
+        assert!((all - (2.0f64 * 8.0 * 1.0).powf(1.0 / 3.0)).abs() < 1e-9);
+        // An empty group is a typed error, not a NaN.
+        let only_comp = [(Category::ComputeIntensive, 1.0)];
+        assert_eq!(
+            try_category_geomean(&only_comp, Some(Category::MemoryIntensive)),
+            Err(ReportError::EmptyInput)
+        );
     }
 }

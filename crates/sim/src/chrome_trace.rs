@@ -205,6 +205,27 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_names_survive_encoding() {
+        // Control characters, quotes, backslashes and non-ASCII in a
+        // name must neither corrupt the document nor change on a round
+        // trip. (Profiles are registry-validated today, but the export
+        // format must not rely on that.)
+        let mut result = sample();
+        let adversarial = "naïve\u{7}\t\"trace\\\" 😀";
+        result.spec.profile = adversarial.to_string();
+        let text = write_trace(&result, &[]);
+        assert!(text.is_ascii(), "exported JSON must be pure ASCII");
+        assert!(!text.contains('\u{7}'), "raw control char leaked");
+        let doc = Json::parse(&text).expect("valid JSON despite the name");
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("profile"))
+                .and_then(Json::as_str),
+            Some(adversarial)
+        );
+    }
+
+    #[test]
     fn rendered_text_parses_back() {
         let result = sample();
         let text = write_trace(&result, &[]);

@@ -89,6 +89,9 @@ impl Journal {
     /// Loads every decodable entry. A missing file is an empty journal;
     /// corrupt or stale lines (a kill mid-append, a hand edit) are
     /// skipped — the worst outcome of a bad line is re-running its spec.
+    /// A line from an unknown schema (a journal written by a newer
+    /// build) is also skipped, with a warning on stderr so the re-run is
+    /// explicable.
     ///
     /// # Errors
     ///
@@ -100,13 +103,27 @@ impl Journal {
             Err(e) => return Err(self.io_error(format!("read failed: {e}"))),
         };
         let mut entries = Vec::new();
-        for line in text.lines() {
+        for (n, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
             }
-            if let Some(entry) = decode_line(line) {
-                entries.push(entry);
+            match decode_line(line) {
+                Some(entry) => entries.push(entry),
+                None => {
+                    if let Some(schema) = line_schema(line) {
+                        if !KNOWN_SCHEMAS.contains(&schema) {
+                            eprintln!(
+                                "warning: {}:{}: skipping record with unknown schema {} \
+                                 (this build reads {:?}); its spec will re-run",
+                                self.path.display(),
+                                n + 1,
+                                schema,
+                                KNOWN_SCHEMAS,
+                            );
+                        }
+                    }
+                }
             }
         }
         Ok(entries)
@@ -345,10 +362,20 @@ fn encode_result(result: &RunResult) -> Json {
     ])
 }
 
+/// The journal record schema this build writes. Bump it when the record
+/// layout changes incompatibly; [`decode_line`] keeps accepting every
+/// schema listed in [`KNOWN_SCHEMAS`].
+pub const JOURNAL_SCHEMA: u64 = 2;
+
+/// Record schemas this build can decode. Schema 1 is the legacy layout
+/// whose version lived in a `"v"` field; schema 2 renamed it to
+/// `"schema"` with an otherwise identical record body.
+pub const KNOWN_SCHEMAS: &[u64] = &[1, JOURNAL_SCHEMA];
+
 /// Encodes one journal line (no trailing newline).
 pub fn encode_line(spec: &RunSpec, result: &RunResult) -> String {
     obj(vec![
-        ("v", num(1)),
+        ("schema", num(JOURNAL_SCHEMA)),
         ("hash", s(format!("{:016x}", spec_hash(spec)))),
         ("spec", encode_spec(spec)),
         ("result", encode_result(result)),
@@ -519,11 +546,26 @@ fn decode_result(v: &Json, spec: RunSpec) -> Option<RunResult> {
     })
 }
 
-/// Decodes one journal line; `None` for anything malformed or with a
-/// hash that does not match its own spec (a hand-edit or corruption).
+/// The schema version a parseable journal line declares: the `"schema"`
+/// field, falling back to the legacy `"v"` field. `None` when the line
+/// is not JSON or carries neither.
+pub fn line_schema(line: &str) -> Option<u64> {
+    let v = Json::parse(line).ok()?;
+    v.get("schema")
+        .and_then(Json::as_u64)
+        .or_else(|| v.get("v").and_then(Json::as_u64))
+}
+
+/// Decodes one journal line; `None` for anything malformed, from an
+/// unknown schema, or with a hash that does not match its own spec (a
+/// hand-edit or corruption).
 pub fn decode_line(line: &str) -> Option<(RunSpec, RunResult)> {
     let v = Json::parse(line).ok()?;
-    if v.get("v")?.as_u64()? != 1 {
+    let schema = v
+        .get("schema")
+        .and_then(Json::as_u64)
+        .or_else(|| v.get("v").and_then(Json::as_u64))?;
+    if !KNOWN_SCHEMAS.contains(&schema) {
         return None;
     }
     let spec = decode_spec(v.get("spec")?)?;
@@ -588,6 +630,48 @@ mod tests {
         let journal = Journal::new(&path);
         let entries = journal.load().expect("load");
         assert_eq!(entries.len(), 1, "only the intact line survives");
+        assert_eq!(entries[0].0, spec);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lines_declare_the_current_schema() {
+        let (spec, result) = sample();
+        let line = encode_line(&spec, &result);
+        assert_eq!(line_schema(&line), Some(JOURNAL_SCHEMA));
+        assert!(line_schema("not json").is_none());
+        assert!(line_schema("{\"hash\":\"x\"}").is_none());
+    }
+
+    #[test]
+    fn legacy_v1_lines_still_decode() {
+        let (spec, result) = sample();
+        let legacy = encode_line(&spec, &result).replace("\"schema\":2", "\"v\":1");
+        assert_eq!(line_schema(&legacy), Some(1));
+        let (dspec, dresult) = decode_line(&legacy).expect("legacy decodes");
+        assert_eq!(dspec, spec);
+        assert_eq!(dresult, result);
+    }
+
+    #[test]
+    fn unknown_schema_records_are_skipped_on_resume() {
+        let (spec, result) = sample();
+        let good = encode_line(&spec, &result);
+        let future = good.replace("\"schema\":2", "\"schema\":99");
+        assert!(
+            decode_line(&future).is_none(),
+            "an unknown schema must not decode"
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "mlpwin-journal-schema-{}-{}",
+            std::process::id(),
+            spec_hash(&spec)
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("matrix.jsonl");
+        std::fs::write(&path, format!("{future}\n{good}\n")).expect("write");
+        let entries = Journal::new(&path).load().expect("load");
+        assert_eq!(entries.len(), 1, "only the known-schema line survives");
         assert_eq!(entries[0].0, spec);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -146,10 +146,17 @@ fn write_escaped(text: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if c.is_ascii() && (c as u32) >= 0x20 => out.push(c),
+            c => {
+                // Control characters and all non-ASCII become `\u`
+                // escapes (a surrogate pair beyond the BMP), keeping
+                // every encoded document pure ASCII — robust against
+                // consumers that mishandle raw UTF-8 in event names.
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
-            c => out.push(c),
         }
     }
     out.push('"');
@@ -232,13 +239,34 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'b' => out.push('\u{8}'),
                     b'f' => out.push('\u{c}'),
                     b'u' => {
-                        let hex = rest.get(2..6).ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        // Surrogate pairs never occur in our own output;
-                        // map them to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
+                        let hex4 = |at: usize| -> Result<u32, String> {
+                            let hex = rest.get(at..at + 4).ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".into())
+                        };
+                        let code = hex4(2)?;
+                        if (0xD800..0xDC00).contains(&code) && rest.get(6..8) == Some(b"\\u") {
+                            // A high surrogate followed by a `\u` escape:
+                            // combine the pair into one scalar value.
+                            let low = hex4(8)?;
+                            if (0xDC00..0xE000).contains(&low) {
+                                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
+                                *pos += 10;
+                            } else {
+                                // High surrogate with a non-surrogate
+                                // escape after it: replace the orphan,
+                                // leave the second escape for the loop.
+                                out.push('\u{fffd}');
+                                *pos += 4;
+                            }
+                        } else {
+                            // A BMP scalar, or a lone surrogate (which
+                            // has no scalar value) as the replacement
+                            // character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
                     }
                     other => return Err(format!("unknown escape \\{}", *other as char)),
                 }
@@ -343,6 +371,45 @@ mod tests {
         assert_eq!(v.get("d").and_then(Json::as_u64), None, "not an integer");
         assert_eq!(v.get("d").and_then(Json::as_f64), Some(2.5));
         assert_eq!(v.get("zz"), None);
+    }
+
+    #[test]
+    fn non_ascii_and_control_characters_round_trip_as_ascii() {
+        let adversarial = "naïve\u{7}\"q\\uote\"\tемул 😀\u{1F680}";
+        let encoded = s(adversarial).encode();
+        assert!(
+            encoded.is_ascii(),
+            "encoded strings must be pure ASCII: {encoded}"
+        );
+        assert!(!encoded.contains('\u{7}'), "raw control char leaked");
+        assert_eq!(
+            Json::parse(&encoded).expect("round trip"),
+            s(adversarial),
+            "escaped text must decode to the original"
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_on_parse() {
+        // U+1F600 encodes as the pair D83D DE00.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").expect("pair"),
+            s("\u{1F600}")
+        );
+        // Lone surrogates have no scalar value: replacement character.
+        assert_eq!(
+            Json::parse(r#""\ud83dx""#).expect("lone high"),
+            s("\u{fffd}x")
+        );
+        assert_eq!(Json::parse(r#""\ude00""#).expect("lone low"), s("\u{fffd}"));
+        // High surrogate followed by a non-surrogate escape: the orphan
+        // is replaced, the second escape decodes normally.
+        assert_eq!(
+            Json::parse(r#""\ud83dA""#).expect("orphan then BMP"),
+            s("\u{fffd}A")
+        );
+        // Truncated pairs are malformed, not panics.
+        assert!(Json::parse(r#""\ud83d\u12""#).is_err());
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! - [`chrome_trace`] exports a run's interval time series and
 //!   structured trace events as Chrome `trace_event` JSON for
 //!   `chrome://tracing` / Perfetto.
+//! - [`metrics`] is the *host-side* telemetry layer: per-thread metric
+//!   shards (counters, gauges, log2 histograms) merged into a global
+//!   registry with Prometheus text and JSON exposition, plus scoped
+//!   wall-clock timers around each run phase. Off by default; the
+//!   `MLPWIN_TELEMETRY=1` knob (or [`metrics::set_telemetry`]) turns it
+//!   on without perturbing any simulated statistic.
+//! - [`progress`] renders live matrix-campaign status lines
+//!   (completed/failed/retried, aggregate MIPS, rolling-window ETA)
+//!   that [`runner::run_matrix_with`] writes to stderr.
 //!
 //! ## Resilience
 //!
@@ -45,11 +54,15 @@ pub mod chrome_trace;
 pub mod error;
 pub mod journal;
 pub mod json;
+pub mod metrics;
 pub mod model;
+pub mod progress;
 pub mod report;
 pub mod runner;
 
 pub use error::SimError;
 pub use journal::{spec_hash, Journal};
+pub use metrics::{LocalMetrics, MetricsRegistry, ScopedTimer};
 pub use model::SimModel;
+pub use progress::Progress;
 pub use runner::{FaultSpec, MatrixConfig, RunOutcome, RunResult, RunSpec};

@@ -1,0 +1,553 @@
+//! Host-side performance telemetry: counters, gauges, log2 histograms.
+//!
+//! The *simulated* machine is observable through `CoreStats`, CPI stacks
+//! and the event tracer; this module makes the simulator *host*
+//! observable — how much wall-clock each run phase costs, how many
+//! simulated kilocycles/sec the hot loop sustains, how a matrix campaign
+//! spends its time. Design rules:
+//!
+//! - **Zero atomics on the hot path.** Every thread records into its own
+//!   [`LocalMetrics`] shard (a `thread_local!` `RefCell`); the shard is
+//!   merged into the global [`MetricsRegistry`] behind a mutex only at
+//!   [`flush`] points (end of a run, end of a matrix slice). The hot
+//!   path touches nothing shared.
+//! - **Associative merges.** Counters and histograms merge by addition,
+//!   so the registry total after any sequence of flushes is independent
+//!   of thread count and interleaving. Gauges are last-write-wins
+//!   samples (a throughput reading, not a total) and are exempt from
+//!   that guarantee.
+//! - **Off by default, bit-identical when off.** Every recording helper
+//!   is a no-op unless the telemetry knob is on (`MLPWIN_TELEMETRY=1`
+//!   or [`set_telemetry`]); simulated statistics never depend on the
+//!   knob either way — telemetry only *reads* the simulation.
+//!
+//! Scrape the registry with [`MetricsRegistry::render_prometheus`]
+//! (Prometheus text exposition format) or
+//! [`MetricsRegistry::to_json`].
+
+use crate::json::{num, Json};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ------------------------------------------------------------- the knob
+
+/// 0 = unread, 1 = off, 2 = on. A plain atomic (not `OnceLock`) so tests
+/// can flip it at runtime.
+static TELEMETRY: AtomicU8 = AtomicU8::new(0);
+
+/// Whether host telemetry is enabled. The first call reads the
+/// `MLPWIN_TELEMETRY` environment variable (`1`/`true`/`on` enable);
+/// [`set_telemetry`] overrides it at any time.
+pub fn telemetry_enabled() -> bool {
+    match TELEMETRY.load(Ordering::Relaxed) {
+        0 => {
+            let on = std::env::var("MLPWIN_TELEMETRY")
+                .map(|v| matches!(v.trim(), "1" | "true" | "on"))
+                .unwrap_or(false);
+            TELEMETRY.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        state => state == 2,
+    }
+}
+
+/// Turns host telemetry on or off for the whole process, overriding the
+/// environment. Flipping the knob never changes simulated statistics —
+/// only whether wall-clock instrumentation records anything.
+pub fn set_telemetry(on: bool) {
+    TELEMETRY.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+// --------------------------------------------------------- the histogram
+
+/// Bucket count of the fixed log2 histogram: one bucket per bit-length
+/// (0, 1, 2..3, 4..7, ...) plus the zero bucket.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` observations. Bucket `i`
+/// holds values of bit-length `i` (bucket 0 holds only zero), so the
+/// bucket layout never depends on the data and two histograms merge by
+/// element-wise addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts, indexed by bit-length.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket a value falls in: its bit-length.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `index` holds (`2^index - 1`).
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds another histogram's observations into this one. Addition is
+    /// associative and commutative, so any merge order yields the same
+    /// totals.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+// ------------------------------------------------------------ the shard
+
+/// One thread's (or one test's) private metric shard. All mutation is
+/// plain `&mut self` — no locks, no atomics; shards meet only in
+/// [`LocalMetrics::merge`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalMetrics {
+    /// Monotonic counters, by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time samples, by metric name (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Log2 histograms, by metric name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl LocalMetrics {
+    /// Adds `delta` to a counter (created at zero).
+    pub fn counter_add(&mut self, name: impl Into<String>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to its latest sample.
+    pub fn gauge_set(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: impl Into<String>, value: u64) {
+        self.histograms
+            .entry(name.into())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another shard into this one: counters and histograms add
+    /// (associatively — scrape totals cannot depend on which thread
+    /// flushed first), gauges take the incoming sample.
+    pub fn merge(&mut self, other: &LocalMetrics) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+// --------------------------------------------------------- the registry
+
+/// The merge point for every thread's shard, and the scrape surface.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    merged: Mutex<LocalMetrics>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (tests use private registries; production code
+    /// uses [`global`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Merges a shard in. The only lock in the subsystem, taken once per
+    /// flush — never per sample.
+    pub fn merge(&self, shard: &LocalMetrics) {
+        self.merged.lock().expect("metrics poisoned").merge(shard);
+    }
+
+    /// A copy of the current merged state.
+    pub fn snapshot(&self) -> LocalMetrics {
+        self.merged.lock().expect("metrics poisoned").clone()
+    }
+
+    /// Drops everything recorded so far.
+    pub fn clear(&self) {
+        *self.merged.lock().expect("metrics poisoned") = LocalMetrics::default();
+    }
+
+    /// Renders the Prometheus text exposition format: a `# TYPE` line
+    /// per metric family, one sample line per counter/gauge, and
+    /// cumulative `_bucket{le="..."}`/`_sum`/`_count` lines per
+    /// histogram. Counter and gauge names may carry a `{label="..."}`
+    /// suffix; histogram names must be bare.
+    pub fn render_prometheus(&self) -> String {
+        let m = self.merged.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last_family {
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                last_family = family.to_string();
+            }
+        };
+        for (name, value) in &m.counters {
+            type_line(&mut out, name, "counter");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, value) in &m.gauges {
+            type_line(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, hist) in &m.histograms {
+            type_line(&mut out, name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, &count) in hist.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                let le = Histogram::bucket_upper_bound(i);
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
+            out.push_str(&format!("{name}_sum {}\n", hist.sum));
+            out.push_str(&format!("{name}_count {}\n", hist.count));
+        }
+        out
+    }
+
+    /// The merged state as a JSON document: `counters` and `gauges` as
+    /// flat objects, each histogram as `{count, sum, buckets}` where
+    /// `buckets` lists `[upper_bound, count]` pairs for non-empty
+    /// buckets only.
+    pub fn to_json(&self) -> Json {
+        let m = self.merged.lock().expect("metrics poisoned");
+        let counters: BTreeMap<String, Json> = m
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), num(v)))
+            .collect();
+        let gauges: BTreeMap<String, Json> = m
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v)))
+            .collect();
+        let histograms: BTreeMap<String, Json> = m
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets: Vec<Json> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| Json::Arr(vec![num(Histogram::bucket_upper_bound(i)), num(c)]))
+                    .collect();
+                let mut obj = BTreeMap::new();
+                obj.insert("count".to_string(), num(h.count));
+                obj.insert("sum".to_string(), num(h.sum));
+                obj.insert("buckets".to_string(), Json::Arr(buckets));
+                (k.clone(), Json::Obj(obj))
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("counters".to_string(), Json::Obj(counters));
+        root.insert("gauges".to_string(), Json::Obj(gauges));
+        root.insert("histograms".to_string(), Json::Obj(histograms));
+        Json::Obj(root)
+    }
+}
+
+/// The process-wide registry the runner's instrumentation flushes into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+thread_local! {
+    static SHARD: RefCell<LocalMetrics> = RefCell::new(LocalMetrics::default());
+}
+
+/// Adds to a counter in this thread's shard. No-op with telemetry off.
+pub fn counter_add(name: impl Into<String>, delta: u64) {
+    if telemetry_enabled() {
+        SHARD.with(|s| s.borrow_mut().counter_add(name, delta));
+    }
+}
+
+/// Sets a gauge in this thread's shard. No-op with telemetry off.
+pub fn gauge_set(name: impl Into<String>, value: f64) {
+    if telemetry_enabled() {
+        SHARD.with(|s| s.borrow_mut().gauge_set(name, value));
+    }
+}
+
+/// Records a histogram observation in this thread's shard. No-op with
+/// telemetry off.
+pub fn observe(name: impl Into<String>, value: u64) {
+    if telemetry_enabled() {
+        SHARD.with(|s| s.borrow_mut().observe(name, value));
+    }
+}
+
+/// Merges this thread's shard into the [`global`] registry and empties
+/// it. Cheap when the shard is empty, so call sites need no knob check.
+pub fn flush() {
+    SHARD.with(|s| {
+        let mut shard = s.borrow_mut();
+        if !shard.is_empty() {
+            global().merge(&shard);
+            *shard = LocalMetrics::default();
+        }
+    });
+}
+
+// ------------------------------------------------------------ the timer
+
+/// A scoped wall-clock timer. [`start`](ScopedTimer::start) samples the
+/// clock only when telemetry is on; the elapsed time lands in the named
+/// histogram (in microseconds) on [`stop`](ScopedTimer::stop) or on
+/// drop — so an early `?` return still records the phase it abandoned.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl ScopedTimer {
+    /// Starts timing `name`. A no-op handle when telemetry is off.
+    pub fn start(name: &'static str) -> ScopedTimer {
+        ScopedTimer {
+            name,
+            start: telemetry_enabled().then(Instant::now),
+        }
+    }
+
+    /// Stops explicitly, returning the elapsed seconds (for derived
+    /// gauges); `None` when telemetry was off at start.
+    pub fn stop(mut self) -> Option<f64> {
+        self.record()
+    }
+
+    fn record(&mut self) -> Option<f64> {
+        let started = self.start.take()?;
+        let secs = started.elapsed().as_secs_f64();
+        SHARD.with(|s| s.borrow_mut().observe(self.name, (secs * 1e6) as u64));
+        Some(secs)
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        let _ = self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpwin_isa::Xoshiro256StarStar;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(3), 7);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        // Every value's bucket bound is >= the value.
+        for v in [0u64, 1, 2, 7, 8, 1023, 1024, u64::MAX] {
+            assert!(Histogram::bucket_upper_bound(Histogram::bucket_index(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn histogram_observe_and_merge() {
+        let mut a = Histogram::default();
+        a.observe(0);
+        a.observe(5);
+        let mut b = Histogram::default();
+        b.observe(5);
+        b.observe(1000);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 1010);
+        assert_eq!(a.buckets[Histogram::bucket_index(5)], 2);
+    }
+
+    /// Random op streams partitioned into shards merge to the same
+    /// totals regardless of how the stream was split or the shards were
+    /// combined — the property the thread-count independence of scrape
+    /// totals rests on.
+    #[test]
+    fn shard_merge_is_associative_and_partition_independent() {
+        for case in 0..32u64 {
+            let mut rng = Xoshiro256StarStar::seed_from(0xA11CE + case);
+            let ops: Vec<(u8, u64, u64)> = (0..200)
+                .map(|_| {
+                    let kind = (rng.next_u64() % 2) as u8; // counter or histogram
+                    let which = rng.next_u64() % 4;
+                    let value = rng.next_u64() % 10_000;
+                    (kind, which, value)
+                })
+                .collect();
+            let apply = |m: &mut LocalMetrics, op: &(u8, u64, u64)| match op.0 {
+                0 => m.counter_add(format!("c{}", op.1), op.2),
+                _ => m.observe(format!("h{}", op.1), op.2),
+            };
+
+            // Serial reference: one shard sees the whole stream.
+            let mut reference = LocalMetrics::default();
+            for op in &ops {
+                apply(&mut reference, op);
+            }
+
+            // Random partition into 1..=5 shards, merged in two
+            // different groupings: left fold and pairwise tree.
+            let shard_count = 1 + (rng.next_u64() % 5) as usize;
+            let mut shards = vec![LocalMetrics::default(); shard_count];
+            for op in &ops {
+                let k = (rng.next_u64() % shard_count as u64) as usize;
+                apply(&mut shards[k], op);
+            }
+            let mut left = LocalMetrics::default();
+            for shard in &shards {
+                left.merge(shard);
+            }
+            let mut tree = shards.clone();
+            while tree.len() > 1 {
+                let right = tree.pop().expect("len > 1");
+                let last = tree.len() - 1;
+                tree[last].merge(&right);
+            }
+            assert_eq!(left, reference, "case {case}: left fold diverged");
+            assert_eq!(tree[0], reference, "case {case}: tree merge diverged");
+        }
+    }
+
+    #[test]
+    fn registry_merges_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let mut a = LocalMetrics::default();
+        a.counter_add("runs", 2);
+        a.gauge_set("mips", 1.5);
+        let mut b = LocalMetrics::default();
+        b.counter_add("runs", 3);
+        b.gauge_set("mips", 2.5);
+        reg.merge(&a);
+        reg.merge(&b);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["runs"], 5);
+        assert_eq!(snap.gauges["mips"], 2.5, "gauges are last-write-wins");
+        reg.clear();
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn prometheus_rendering_is_structurally_valid() {
+        let reg = MetricsRegistry::new();
+        let mut m = LocalMetrics::default();
+        m.counter_add("mlpwin_specs_completed_total", 7);
+        m.counter_add("mlpwin_worker_mips{worker=\"0\"}", 1);
+        m.gauge_set("mlpwin_run_kcps", 1234.5);
+        m.observe("mlpwin_phase_measure_us", 900);
+        m.observe("mlpwin_phase_measure_us", 40_000);
+        reg.merge(&m);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE mlpwin_specs_completed_total counter"));
+        assert!(text.contains("# TYPE mlpwin_worker_mips counter"));
+        assert!(text.contains("# TYPE mlpwin_run_kcps gauge"));
+        assert!(text.contains("# TYPE mlpwin_phase_measure_us histogram"));
+        assert!(text.contains("mlpwin_phase_measure_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("mlpwin_phase_measure_us_sum 40900"));
+        assert!(text.contains("mlpwin_phase_measure_us_count 2"));
+        // Cumulative bucket counts must be monotone.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let count: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("bucket count");
+            assert!(count >= last, "non-monotone cumulative bucket: {line}");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn json_export_parses_and_carries_values() {
+        let reg = MetricsRegistry::new();
+        let mut m = LocalMetrics::default();
+        m.counter_add("a_total", 3);
+        m.observe("lat_us", 12);
+        reg.merge(&m);
+        let text = reg.to_json().encode();
+        let doc = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("a_total"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("lat_us"))
+            .expect("histogram present");
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(12));
+    }
+
+    #[test]
+    fn timer_records_nothing_when_disabled() {
+        set_telemetry(false);
+        let t = ScopedTimer::start("test_disabled_timer_us");
+        assert!(t.stop().is_none());
+        counter_add("test_disabled_counter", 1);
+        flush();
+        assert!(!global()
+            .snapshot()
+            .counters
+            .contains_key("test_disabled_counter"));
+    }
+}

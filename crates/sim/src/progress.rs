@@ -1,0 +1,234 @@
+//! Live matrix progress reporting.
+//!
+//! [`Progress`] tracks a matrix campaign — completed/failed/retried
+//! specs, aggregate simulated throughput, and an ETA extrapolated from a
+//! rolling window of recent completions — and renders a one-line status
+//! on an epoch (every N completions). The matrix runner feeds it wall
+//! time as plain seconds, so all of the arithmetic here is testable
+//! against a scripted clock; the runner writes the returned lines to
+//! stderr so they never pollute a binary's stdout tables.
+
+use std::collections::VecDeque;
+
+/// How many recent completion timestamps the ETA extrapolates from.
+const ETA_WINDOW: usize = 8;
+
+/// Progress state for one matrix campaign.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    total: usize,
+    completed: usize,
+    failed: usize,
+    retried: usize,
+    sim_insts: u64,
+    sim_cycles: u64,
+    epoch: usize,
+    window: VecDeque<f64>,
+}
+
+impl Progress {
+    /// Tracks `total` specs, reporting roughly twenty times per
+    /// campaign (at least on every spec for tiny matrices).
+    pub fn new(total: usize) -> Progress {
+        Progress::with_epoch(total, (total / 20).max(1))
+    }
+
+    /// Tracks `total` specs, reporting every `epoch` completions (and
+    /// always on the last one).
+    pub fn with_epoch(total: usize, epoch: usize) -> Progress {
+        Progress {
+            total,
+            completed: 0,
+            failed: 0,
+            retried: 0,
+            sim_insts: 0,
+            sim_cycles: 0,
+            epoch: epoch.max(1),
+            window: VecDeque::with_capacity(ETA_WINDOW),
+        }
+    }
+
+    /// Records one finished spec at `now` seconds since the campaign
+    /// started. `ok` is whether the spec succeeded; `attempts` counts
+    /// tries (a spec that needed more than one counts as retried);
+    /// `insts`/`cycles` are the simulated work it completed (zero for a
+    /// failed spec). Returns the status line to print when this
+    /// completion lands on an epoch boundary (or is the last one).
+    pub fn record(
+        &mut self,
+        now: f64,
+        ok: bool,
+        attempts: u32,
+        insts: u64,
+        cycles: u64,
+    ) -> Option<String> {
+        self.completed += 1;
+        if !ok {
+            self.failed += 1;
+        }
+        if attempts > 1 {
+            self.retried += 1;
+        }
+        self.sim_insts += insts;
+        self.sim_cycles += cycles;
+        if self.window.len() == ETA_WINDOW {
+            self.window.pop_front();
+        }
+        self.window.push_back(now);
+        let due = self.completed.is_multiple_of(self.epoch) || self.completed == self.total;
+        due.then(|| self.line(now))
+    }
+
+    /// Aggregate simulated throughput so far, in million instructions
+    /// per wall-clock second.
+    pub fn aggregate_mips(&self, now: f64) -> f64 {
+        if now <= 0.0 {
+            return 0.0;
+        }
+        self.sim_insts as f64 / 1e6 / now
+    }
+
+    /// Aggregate simulated throughput so far, in kilocycles per
+    /// wall-clock second.
+    pub fn aggregate_kcps(&self, now: f64) -> f64 {
+        if now <= 0.0 {
+            return 0.0;
+        }
+        self.sim_cycles as f64 / 1e3 / now
+    }
+
+    /// Seconds until the campaign finishes, extrapolated from the
+    /// completion rate inside the rolling window. `None` until two
+    /// completions have landed at distinct times (no rate to
+    /// extrapolate from).
+    pub fn eta_secs(&self, now: f64) -> Option<f64> {
+        let remaining = self.total.saturating_sub(self.completed);
+        if remaining == 0 {
+            return Some(0.0);
+        }
+        let (&first, &last) = (self.window.front()?, self.window.back()?);
+        if self.window.len() < 2 || last <= first {
+            return None;
+        }
+        let rate = (self.window.len() - 1) as f64 / (last - first);
+        let since_last = (now - last).max(0.0);
+        Some((remaining as f64 / rate - since_last).max(0.0))
+    }
+
+    fn line(&self, now: f64) -> String {
+        let eta = match self.eta_secs(now) {
+            Some(secs) => format!("ETA {secs:.0}s"),
+            None => "ETA --".to_string(),
+        };
+        format!(
+            "[mlpwin] {}/{} specs ({} failed, {} retried) | {:.1} kcyc/s | {:.3} MIPS | {eta}",
+            self.completed,
+            self.total,
+            self.failed,
+            self.retried,
+            self.aggregate_kcps(now),
+            self.aggregate_mips(now),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_gates_report_lines() {
+        let mut p = Progress::with_epoch(6, 3);
+        assert!(p.record(1.0, true, 1, 100, 200).is_none());
+        assert!(p.record(2.0, true, 1, 100, 200).is_none());
+        assert!(p.record(3.0, true, 1, 100, 200).is_some(), "epoch hit");
+        assert!(p.record(4.0, true, 1, 100, 200).is_none());
+        assert!(p.record(5.0, true, 1, 100, 200).is_none());
+        let last = p.record(6.0, true, 1, 100, 200).expect("final spec");
+        assert!(last.contains("6/6"), "{last}");
+    }
+
+    #[test]
+    fn final_spec_always_reports() {
+        let mut p = Progress::with_epoch(4, 3);
+        let _ = p.record(1.0, true, 1, 0, 0);
+        let _ = p.record(2.0, true, 1, 0, 0);
+        let _ = p.record(3.0, true, 1, 0, 0);
+        assert!(p.record(4.0, true, 1, 0, 0).is_some());
+    }
+
+    #[test]
+    fn eta_on_a_scripted_clock() {
+        // One completion per second, steady: after 4 of 10 specs the
+        // rate is exactly 1/s, so 6 remain => 6 seconds.
+        let mut p = Progress::with_epoch(10, 100);
+        for t in 1..=4 {
+            let _ = p.record(t as f64, true, 1, 0, 0);
+        }
+        let eta = p.eta_secs(4.0).expect("rate known");
+        assert!((eta - 6.0).abs() < 1e-9, "eta = {eta}");
+        // Querying later, mid-gap: the elapsed 0.5s since the last
+        // completion comes off the estimate.
+        let eta = p.eta_secs(4.5).expect("rate known");
+        assert!((eta - 5.5).abs() < 1e-9, "eta = {eta}");
+    }
+
+    #[test]
+    fn eta_uses_only_the_rolling_window() {
+        // A slow prefix must not drag the estimate once the window has
+        // rolled past it: 1 spec at t=100, then 8 specs 1s apart.
+        let mut p = Progress::with_epoch(20, 100);
+        let _ = p.record(100.0, true, 1, 0, 0);
+        for k in 0..8 {
+            let _ = p.record(101.0 + k as f64, true, 1, 0, 0);
+        }
+        // Window holds the last 8 timestamps: 101..=108, rate 1/s,
+        // 11 specs remaining.
+        let eta = p.eta_secs(108.0).expect("rate known");
+        assert!((eta - 11.0).abs() < 1e-9, "eta = {eta}");
+    }
+
+    #[test]
+    fn eta_is_none_until_a_rate_exists() {
+        let mut p = Progress::with_epoch(5, 100);
+        assert!(p.eta_secs(0.0).is_none(), "no completions yet");
+        let _ = p.record(1.0, true, 1, 0, 0);
+        assert!(p.eta_secs(1.0).is_none(), "one point has no rate");
+        // Two completions at the same instant: still no usable rate.
+        let _ = p.record(1.0, true, 1, 0, 0);
+        assert!(p.eta_secs(1.0).is_none(), "zero-width window");
+        let _ = p.record(2.0, true, 1, 0, 0);
+        assert!(p.eta_secs(2.0).is_some());
+    }
+
+    #[test]
+    fn eta_is_zero_when_done() {
+        let mut p = Progress::with_epoch(2, 1);
+        let _ = p.record(1.0, true, 1, 0, 0);
+        let _ = p.record(2.0, true, 1, 0, 0);
+        assert_eq!(p.eta_secs(2.0), Some(0.0));
+    }
+
+    #[test]
+    fn throughput_math_on_a_scripted_clock() {
+        let mut p = Progress::with_epoch(3, 100);
+        let _ = p.record(1.0, true, 1, 2_000_000, 4_000_000);
+        let _ = p.record(2.0, true, 1, 2_000_000, 4_000_000);
+        // 4M insts / 2s = 2 MIPS; 8M cycles / 2s = 4000 kcyc/s.
+        assert!((p.aggregate_mips(2.0) - 2.0).abs() < 1e-9);
+        assert!((p.aggregate_kcps(2.0) - 4000.0).abs() < 1e-9);
+        assert_eq!(p.aggregate_mips(0.0), 0.0, "degenerate clock");
+    }
+
+    #[test]
+    fn failures_and_retries_are_counted_in_the_line() {
+        let mut p = Progress::with_epoch(3, 1);
+        let line = p.record(1.0, false, 2, 0, 0).expect("epoch 1");
+        assert!(line.contains("1 failed, 1 retried"), "{line}");
+        let line = p.record(2.0, true, 3, 10, 20).expect("epoch 2");
+        assert!(line.contains("1 failed, 2 retried"), "{line}");
+        let line = p.record(3.0, true, 1, 10, 20).expect("epoch 3");
+        assert!(line.contains("3/3"), "{line}");
+        assert!(line.starts_with("[mlpwin]"), "{line}");
+    }
+}

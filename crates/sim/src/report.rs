@@ -321,6 +321,24 @@ mod tests {
     }
 
     #[test]
+    fn try_geomean_edge_cases() {
+        // A lone value is its own geomean.
+        assert!((try_geomean(&[7.5]).expect("singleton") - 7.5).abs() < 1e-12);
+        // All-negative and mixed-sign inputs are NonPositive, not NaN.
+        assert_eq!(try_geomean(&[-1.0, -2.0]), Err(ReportError::NonPositive));
+        assert_eq!(try_geomean(&[-0.0]), Err(ReportError::NonPositive));
+        // NaN fails the positivity check rather than poisoning the mean.
+        assert_eq!(try_geomean(&[1.0, f64::NAN]), Err(ReportError::NonPositive));
+        // Tiny and huge magnitudes: the log-domain sum stays finite.
+        let g = try_geomean(&[1e-300, 1e300]).expect("extreme magnitudes");
+        assert!((g - 1.0).abs() < 1e-9, "geomean = {g}");
+        // Scale invariance: geomean(k*x) == k * geomean(x).
+        let base = try_geomean(&[2.0, 8.0]).expect("base");
+        let scaled = try_geomean(&[6.0, 24.0]).expect("scaled");
+        assert!((scaled - 3.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
     fn try_row_rejects_ragged_rows_without_panicking() {
         let mut t = TextTable::new(vec!["a", "b"]);
         let err = t.try_row(vec!["only one"]).expect_err("ragged");

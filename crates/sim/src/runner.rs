@@ -12,7 +12,9 @@
 
 use crate::error::{panic_message, SimError};
 use crate::journal::Journal;
+use crate::metrics::{self, ScopedTimer};
 use crate::model::SimModel;
+use crate::progress::Progress;
 use mlpwin_branch::PredictorStats;
 use mlpwin_energy::RunCounters;
 use mlpwin_isa::Cycle;
@@ -24,6 +26,33 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Histogram of wall-clock microseconds spent building each core.
+pub const METRIC_PHASE_BUILD: &str = "mlpwin_phase_build_us";
+/// Histogram of wall-clock microseconds spent in warm-up.
+pub const METRIC_PHASE_WARMUP: &str = "mlpwin_phase_warmup_us";
+/// Histogram of wall-clock microseconds spent in measured simulation.
+pub const METRIC_PHASE_MEASURE: &str = "mlpwin_phase_measure_us";
+/// Histogram of wall-clock microseconds spent appending to the journal.
+pub const METRIC_PHASE_JOURNAL: &str = "mlpwin_phase_journal_us";
+/// Counter of specs that completed successfully.
+pub const METRIC_SPECS_COMPLETED: &str = "mlpwin_specs_completed_total";
+/// Counter of specs that exhausted their attempts and failed.
+pub const METRIC_SPECS_FAILED: &str = "mlpwin_specs_failed_total";
+/// Counter of extra attempts spent on retried specs.
+pub const METRIC_SPECS_RETRIED: &str = "mlpwin_specs_retried_total";
+/// Counter of simulated cycles across all measured phases.
+pub const METRIC_SIM_CYCLES: &str = "mlpwin_sim_cycles_total";
+/// Counter of simulated (committed) instructions across all measured
+/// phases.
+pub const METRIC_SIM_INSTS: &str = "mlpwin_sim_insts_total";
+/// Gauge: the latest run's measured phase in simulated kilocycles per
+/// wall-clock second.
+pub const METRIC_RUN_KCPS: &str = "mlpwin_run_kcps";
+/// Gauge: the latest run's measured phase in million simulated
+/// instructions per wall-clock second.
+pub const METRIC_RUN_MIPS: &str = "mlpwin_run_mips";
 
 /// A deliberately injected failure, for testing the harness's own
 /// recovery paths (see `DESIGN.md` §"Error handling").
@@ -249,6 +278,10 @@ pub struct MatrixConfig {
     /// are not re-run; freshly completed ones are appended, so a killed
     /// campaign resumes where it stopped.
     pub journal: Option<PathBuf>,
+    /// Live progress lines (completed/failed/retried, aggregate MIPS,
+    /// ETA) on stderr. Defaults to the telemetry knob, so
+    /// `MLPWIN_TELEMETRY=1` narrates campaigns without code changes.
+    pub progress: bool,
 }
 
 impl Default for MatrixConfig {
@@ -257,6 +290,7 @@ impl Default for MatrixConfig {
             threads: RunSpec::threads_from_env(),
             max_attempts: 2,
             journal: None,
+            progress: metrics::telemetry_enabled(),
         }
     }
 }
@@ -312,12 +346,27 @@ fn execute<W: Workload>(
     workload: W,
 ) -> Result<RunResult, SimError> {
     let levels = config.levels.clone();
+    let build_timer = ScopedTimer::start(METRIC_PHASE_BUILD);
     let mut core = Core::try_new(config, workload, policy)?;
+    build_timer.stop();
     if spec.warmup > 0 {
+        let warmup_timer = ScopedTimer::start(METRIC_PHASE_WARMUP);
         core.run_warmup(spec.warmup)?;
+        warmup_timer.stop();
     }
+    let measure_timer = ScopedTimer::start(METRIC_PHASE_MEASURE);
     let stats = core.run(spec.insts)?;
+    let measure_secs = measure_timer.stop();
+    metrics::counter_add(METRIC_SIM_CYCLES, stats.cycles);
+    metrics::counter_add(METRIC_SIM_INSTS, stats.committed_insts);
+    if let Some(secs) = measure_secs.filter(|&s| s > 0.0) {
+        metrics::gauge_set(METRIC_RUN_KCPS, stats.cycles as f64 / 1e3 / secs);
+        metrics::gauge_set(METRIC_RUN_MIPS, stats.committed_insts as f64 / 1e6 / secs);
+    }
     core.mem_mut().finalize();
+    // Publish this run's shard; with telemetry off the shard is empty
+    // and this is a single thread-local branch.
+    metrics::flush();
     let mem = core.mem();
     Ok(RunResult {
         spec: spec.clone(),
@@ -347,15 +396,18 @@ fn run_isolated(spec: &RunSpec) -> Result<RunResult, SimError> {
     })
 }
 
-fn run_with_retries(spec: &RunSpec, max_attempts: u32) -> RunOutcome {
+/// Runs one spec with retries; returns the outcome plus how many
+/// attempts it took (`RunOutcome::Ok` does not carry the count itself,
+/// but the progress reporter and retry counter need it).
+fn run_with_retries(spec: &RunSpec, max_attempts: u32) -> (RunOutcome, u32) {
     let max_attempts = max_attempts.max(1);
     let mut attempts = 0;
     loop {
         attempts += 1;
         match run_isolated(spec) {
-            Ok(r) => return RunOutcome::Ok(r),
+            Ok(r) => return (RunOutcome::Ok(r), attempts),
             Err(error) if error.is_transient() && attempts < max_attempts => continue,
-            Err(error) => return RunOutcome::Failed { error, attempts },
+            Err(error) => return (RunOutcome::Failed { error, attempts }, attempts),
         }
     }
 }
@@ -409,21 +461,67 @@ pub fn run_matrix_with(
 
     let next = AtomicUsize::new(0);
     let journal_error: Mutex<Option<SimError>> = Mutex::new(None);
+    let progress: Option<Mutex<Progress>> = config
+        .progress
+        .then(|| Mutex::new(Progress::new(remaining.len())));
+    let started = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(remaining.len()) {
-            scope.spawn(|| loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&i) = remaining.get(k) else { break };
-                let outcome = run_with_retries(&specs[i], config.max_attempts);
-                if let (Some(journal), RunOutcome::Ok(result)) = (&journal, &outcome) {
-                    if let Err(e) = journal.append(&specs[i], result) {
-                        journal_error
-                            .lock()
-                            .expect("journal error slot poisoned")
-                            .get_or_insert(e);
+        let (journal, slots, remaining) = (&journal, &slots, &remaining);
+        let (next, journal_error, progress) = (&next, &journal_error, &progress);
+        for worker in 0..threads.min(remaining.len()) {
+            scope.spawn(move || {
+                let worker_started = Instant::now();
+                let mut worker_insts: u64 = 0;
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = remaining.get(k) else { break };
+                    let (outcome, attempts) = run_with_retries(&specs[i], config.max_attempts);
+                    let (insts, cycles) = outcome
+                        .result()
+                        .map_or((0, 0), |r| (r.stats.committed_insts, r.stats.cycles));
+                    match &outcome {
+                        RunOutcome::Ok(_) => metrics::counter_add(METRIC_SPECS_COMPLETED, 1),
+                        RunOutcome::Failed { .. } => metrics::counter_add(METRIC_SPECS_FAILED, 1),
                     }
+                    if attempts > 1 {
+                        metrics::counter_add(METRIC_SPECS_RETRIED, (attempts - 1) as u64);
+                    }
+                    if metrics::telemetry_enabled() {
+                        worker_insts += insts;
+                        let elapsed = worker_started.elapsed().as_secs_f64();
+                        if elapsed > 0.0 {
+                            metrics::gauge_set(
+                                format!("mlpwin_worker_mips{{worker=\"{worker}\"}}"),
+                                worker_insts as f64 / 1e6 / elapsed,
+                            );
+                        }
+                    }
+                    if let (Some(journal), RunOutcome::Ok(result)) = (journal, &outcome) {
+                        let journal_timer = ScopedTimer::start(METRIC_PHASE_JOURNAL);
+                        let appended = journal.append(&specs[i], result);
+                        journal_timer.stop();
+                        if let Err(e) = appended {
+                            journal_error
+                                .lock()
+                                .expect("journal error slot poisoned")
+                                .get_or_insert(e);
+                        }
+                    }
+                    metrics::flush();
+                    if let Some(progress) = progress {
+                        let line = progress.lock().expect("progress poisoned").record(
+                            started.elapsed().as_secs_f64(),
+                            outcome.is_ok(),
+                            attempts,
+                            insts,
+                            cycles,
+                        );
+                        if let Some(line) = line {
+                            eprintln!("{line}");
+                        }
+                    }
+                    *slots[i].lock().expect("slot poisoned") = Some(outcome);
                 }
-                *slots[i].lock().expect("slot poisoned") = Some(outcome);
             });
         }
     });
@@ -511,5 +609,16 @@ mod tests {
     #[test]
     fn threads_from_env_is_positive() {
         assert!(RunSpec::threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn zero_interval_epoch_is_a_typed_config_error() {
+        use mlpwin_ooo::ConfigError;
+        let err = run(&quick("gcc", SimModel::Base).with_intervals(0))
+            .expect_err("a zero-cycle sampling epoch is degenerate");
+        match err {
+            SimError::Config(ConfigError::ZeroIntervalEpoch) => {}
+            other => panic!("expected Config(ZeroIntervalEpoch), got {other:?}"),
+        }
     }
 }
