@@ -3,8 +3,12 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+echo "==> cargo build --release (with --timings report)"
+cargo build --release --workspace --timings
+# Retain the compile-time report next to the run's other artifacts so a
+# build-speed regression is as visible as a runtime one.
+mkdir -p target/ci-artifacts
+cp target/cargo-timings/cargo-timing.html target/ci-artifacts/cargo-timing.html
 
 echo "==> cargo test -q"
 cargo test -q --workspace
@@ -14,6 +18,12 @@ cargo test -q -p mlpwin-ooo --features trace
 
 echo "==> mlpwin-bench --smoke (BENCH.json schema gate)"
 cargo run --release -q -p mlpwin-bench --bin mlpwin-bench -- --smoke --out results/BENCH_smoke.json
+
+echo "==> mlpwin-bench full suite (host-perf regression gate, >15% fails)"
+# Gate against the committed baseline; write the fresh report to target/
+# so CI never dirties results/BENCH.json.
+cargo run --release -q -p mlpwin-bench --bin mlpwin-bench -- \
+    --out target/ci-artifacts/BENCH_ci.json --baseline results/BENCH.json
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

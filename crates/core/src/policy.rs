@@ -88,6 +88,15 @@ impl WindowPolicy for DynamicResizingPolicy {
         }
     }
 
+    fn quiet_until(&self, _now: Cycle, _current_level: usize) -> Cycle {
+        // Absent a miss (which the fast-forward precondition rules out)
+        // the answer only changes when the armed shrink timer fires.
+        // With the timer disarmed the policy either keeps requesting the
+        // same shrink (do_shrink latched — a constant answer) or holds
+        // the level: quiet indefinitely.
+        self.shrink_timing.unwrap_or(Cycle::MAX)
+    }
+
     fn on_transition(&mut self, now: Cycle, old_level: usize, new_level: usize) {
         if new_level < old_level {
             // Line 18–19 of Fig. 5: after an actual shrink, re-arm the
@@ -194,5 +203,20 @@ mod tests {
     #[should_panic(expected = "memory latency must be positive")]
     fn rejects_zero_latency() {
         let _ = DynamicResizingPolicy::new(0);
+    }
+
+    #[test]
+    fn quiet_until_tracks_the_shrink_timer() {
+        let mut p = DynamicResizingPolicy::new(LAT);
+        // No timer armed: quiet forever.
+        assert_eq!(p.quiet_until(0, 0), Cycle::MAX);
+        // A miss arms the timer at now + latency.
+        let _ = p.target_level(100, 1, 0, 2);
+        assert_eq!(p.quiet_until(150, 1), 400);
+        // Once the timer fires the shrink request latches and the timer
+        // disarms: the (constant) answer can no longer change on its own.
+        let _ = p.target_level(400, 0, 1, 2);
+        assert!(p.shrink_armed());
+        assert_eq!(p.quiet_until(401, 1), Cycle::MAX);
     }
 }

@@ -261,10 +261,17 @@ impl Cache {
             return None;
         }
         self.stats.fills += 1;
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("set has at least one way");
+        // Victim choice is explicit about cold sets: any invalid way is
+        // taken before a valid line is evicted (first such way by index,
+        // so the choice is pinned and layout-independent), and only a
+        // full set falls back to true LRU over the valid lines.
+        let victim = match set.iter_mut().find(|l| !l.valid) {
+            Some(invalid) => invalid,
+            None => set
+                .iter_mut()
+                .min_by_key(|l| l.lru)
+                .expect("set has at least one way"),
+        };
         let evicted = if victim.valid {
             self.stats.evictions += 1;
             if victim.dirty {
@@ -397,6 +404,36 @@ mod tests {
         c.fill(0x000, meta(Provenance::DemandCorrect));
         c.fill(0x010, meta(Provenance::DemandCorrect));
         assert_eq!(c.resident_count(), 2);
+    }
+
+    #[test]
+    fn cold_set_fills_invalid_ways_before_evicting() {
+        let mut c = tiny();
+        // One valid line, recently touched; the other way is still cold.
+        c.fill(0x000, meta(Provenance::DemandCorrect));
+        assert_eq!(c.access(0x000, false, false), AccessOutcome::Hit);
+        // The next fill to the set must take the invalid way, not evict
+        // the valid line — even though the valid line's high LRU tick
+        // would never have won an "invalid beats valid" tie by accident.
+        c.fill(0x040, meta(Provenance::DemandCorrect));
+        assert!(c.contains(0x000), "valid line survives a cold-way fill");
+        assert!(c.contains(0x040));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn full_set_evicts_strictly_by_lru() {
+        let mut c = tiny();
+        c.fill(0x040, meta(Provenance::DemandCorrect));
+        c.fill(0x000, meta(Provenance::DemandCorrect));
+        // 0x040 was filled first and never re-touched: it is the LRU way
+        // even though it sits at a later way index than fill order alone
+        // would suggest.
+        c.fill(0x080, meta(Provenance::DemandCorrect));
+        assert!(!c.contains(0x040));
+        assert!(c.contains(0x000));
+        assert!(c.contains(0x080));
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]

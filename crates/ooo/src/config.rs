@@ -240,6 +240,14 @@ pub struct CoreConfig {
     /// [`PipelineError::DeadlineExceeded`](crate::PipelineError::DeadlineExceeded).
     /// `None` (the default) disables the limit.
     pub deadline_cycles: Option<u64>,
+    /// Stall-cycle fast-forward: when dispatch is blocked and the whole
+    /// pipeline is provably inert, jump `now` to the next event instead
+    /// of stepping cycle by cycle, bulk-charging the skipped cycles to
+    /// the same CPI bucket they would have accrued. Semantics-neutral by
+    /// construction (the fastpath equivalence suite asserts bit-identical
+    /// stats with it on and off); the knob exists for those A/B tests
+    /// and for debugging. Default `true`.
+    pub fast_forward: bool,
     /// Fault injection for harness tests; `None` (the default) disables.
     pub fault: Option<FaultInjection>,
     /// Interval time-series epoch length in cycles; `None` (the
@@ -273,6 +281,7 @@ impl Default for CoreConfig {
             wrongpath_seed: 0xBAD_C0DE,
             watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
             deadline_cycles: None,
+            fast_forward: true,
             fault: None,
             interval_cycles: None,
             trace: None,

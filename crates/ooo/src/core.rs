@@ -8,6 +8,16 @@
 //! order whose entries fuse ROB, issue-queue and LSQ state. Dynamic
 //! sequence numbers are assigned at dispatch, so they are contiguous
 //! within the ROB and `dyn_seq - head.dyn_seq` indexes it directly.
+//!
+//! The hot path is allocation-free: the ROB deque is pre-sized to the
+//! largest configured level (it never reallocates), the ready set is a
+//! packed bitmap over ROB slots ([`ReadyRing`]) walked in place by the
+//! select loop, and blocked loads rotate through a pre-sorted deque.
+//! When the pipeline is provably inert — dispatch blocked, nothing
+//! ready, commit frozen, front end quiescent, policy quiet — the
+//! stall-cycle fast-forward jumps `now` to the next event and
+//! bulk-charges the skipped cycles to the same CPI bucket they would
+//! have accrued one at a time (`DESIGN.md` §10).
 
 use crate::config::{ConfigError, CoreConfig};
 use crate::error::{PipelineError, StallSnapshot};
@@ -15,6 +25,7 @@ use crate::frontend::{FetchedInst, FrontEnd};
 use crate::fu::FuPool;
 use crate::lsq::{LoadCheck, Lsq};
 use crate::policy::WindowPolicy;
+use crate::ready::ReadyRing;
 use crate::rename::RenameMap;
 use crate::runahead::{CauseStatusTable, RaLookup, RunaheadCache};
 use crate::stats::{CoreStats, CpiBucket, IntervalSample, CPI_BUCKETS};
@@ -26,7 +37,7 @@ use mlpwin_isa::{Addr, Cycle, OpClass, SeqNum};
 use mlpwin_memsys::{AccessKind, MemSystem, PathKind};
 use mlpwin_workloads::Workload;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Why dispatch allocated nothing this cycle — the raw observation the
 /// CPI-stack accounting pass refines into a [`CpiBucket`]. The dispatch
@@ -79,10 +90,12 @@ pub struct Core<W> {
 
     /// (ready_time, seq) of instructions whose operands will be ready.
     pending_ready: BinaryHeap<Reverse<(Cycle, DynSeq)>>,
-    /// Instructions ready to issue now, oldest first.
-    ready: BTreeSet<DynSeq>,
-    /// Loads waiting behind an un-issued overlapping store.
-    blocked_loads: Vec<DynSeq>,
+    /// Instructions ready to issue now; the select loop walks the ring
+    /// in place, oldest first.
+    ready: ReadyRing,
+    /// Loads waiting behind an un-issued overlapping store, kept sorted
+    /// by age (oldest at the front).
+    blocked_loads: VecDeque<DynSeq>,
     /// (complete_at, seq) execution-completion events.
     completions: BinaryHeap<Reverse<(Cycle, DynSeq)>>,
 
@@ -102,6 +115,37 @@ pub struct Core<W> {
     /// first blocking condition) — consumed by the accounting pass.
     cycle_dispatched: usize,
     cycle_block: Option<DispatchBlock>,
+    /// No issue-side event this cycle could change a blocked load's
+    /// outcome next cycle (no store executed, no port-starved retry) —
+    /// part of the fast-forward legality check.
+    issue_quiesced: bool,
+    /// Bucket the accounting pass charged the cycle that just ran; the
+    /// fast-forward bulk-charges skipped cycles to the same bucket.
+    last_bucket: CpiBucket,
+    /// Absolute deadline of the current `run`/`run_warmup` call
+    /// (`Cycle::MAX` when unlimited). The fast-forward never skips past
+    /// it, so `DeadlineExceeded` fires on the same cycle either way.
+    deadline_at: Cycle,
+    /// `stats.committed_insts` threshold at which the current
+    /// `run`/`run_warmup` call stops. Once reached, the driver loop
+    /// exits after the current step, so the fast-forward must not tack
+    /// a skip onto that final step: a single-stepped run would never
+    /// execute those cycles, and the reported totals would diverge.
+    commit_stop: u64,
+    /// The level the policy asked for at the last resize call. A
+    /// pending shrink (`last_target < level`) re-fires every cycle, so
+    /// the fast-forward may only skip it while the doomed regions stay
+    /// occupied.
+    last_target: usize,
+    /// Whether the last resize call changed the level. A quiet policy's
+    /// answer is only guaranteed constant for a constant
+    /// `current_level` argument, so the fast-forward sits out the cycle
+    /// right after a transition (back-to-back shrinks chain this way).
+    level_changed: bool,
+    /// Cycles elided by the stall fast-forward — a host-performance
+    /// diagnostic, deliberately kept outside [`CoreStats`] so A/B runs
+    /// with the fast-forward on and off stay bit-identical.
+    ff_cycles: u64,
     /// Committed-instruction count at the last interval boundary.
     interval_last_insts: u64,
     #[cfg(feature = "trace")]
@@ -164,6 +208,10 @@ impl<W: Workload> Core<W> {
         let stats = fresh_stats(&config);
         #[cfg(feature = "trace")]
         let tracer = config.trace.map(Tracer::new);
+        // Size every hot-path container to the largest level up front:
+        // the ROB ring and the event heaps then never reallocate, even
+        // across enlarges.
+        let max_rob = config.max_level_spec().rob;
         Ok(Core {
             fu: FuPool::new(config.fu_counts),
             cfg: config,
@@ -174,14 +222,14 @@ impl<W: Workload> Core<W> {
             now: 0,
             level: 0,
             next_dyn: 1,
-            rob: VecDeque::new(),
+            rob: VecDeque::with_capacity(max_rob),
             iq_occ: 0,
             lsq: Lsq::new(),
             rename: RenameMap::new(),
-            pending_ready: BinaryHeap::new(),
-            ready: BTreeSet::new(),
-            blocked_loads: Vec::new(),
-            completions: BinaryHeap::new(),
+            pending_ready: BinaryHeap::with_capacity(max_rob),
+            ready: ReadyRing::with_capacity(max_rob),
+            blocked_loads: VecDeque::new(),
+            completions: BinaryHeap::with_capacity(max_rob),
             alloc_stall_until: 0,
             shrink_wait: false,
             l2_miss_events: 0,
@@ -192,6 +240,13 @@ impl<W: Workload> Core<W> {
             last_suppressed: None,
             cycle_dispatched: 0,
             cycle_block: None,
+            issue_quiesced: true,
+            last_bucket: CpiBucket::Base,
+            deadline_at: Cycle::MAX,
+            commit_stop: u64::MAX,
+            last_target: 0,
+            level_changed: false,
+            ff_cycles: 0,
             interval_last_insts: 0,
             #[cfg(feature = "trace")]
             tracer,
@@ -214,6 +269,8 @@ impl<W: Workload> Core<W> {
     /// state for post-mortem triage.
     pub fn run(&mut self, n_insts: u64) -> Result<CoreStats, PipelineError> {
         let start = self.now;
+        self.arm_deadline(start);
+        self.commit_stop = n_insts;
         while self.stats.committed_insts < n_insts {
             self.step();
             self.check_progress(start)?;
@@ -234,13 +291,24 @@ impl<W: Workload> Core<W> {
     /// any later diagnostics still see the stalled state.
     pub fn run_warmup(&mut self, n_insts: u64) -> Result<(), PipelineError> {
         let start = self.now;
+        self.arm_deadline(start);
         let target = self.stats.committed_insts + n_insts;
+        self.commit_stop = target;
         while self.stats.committed_insts < target {
             self.step();
             self.check_progress(start)?;
         }
         self.reset_counters();
         Ok(())
+    }
+
+    /// Converts the per-call relative deadline into the absolute cycle
+    /// the fast-forward must not skip past.
+    fn arm_deadline(&mut self, start: Cycle) {
+        self.deadline_at = match self.cfg.deadline_cycles {
+            Some(limit) => start + limit,
+            None => Cycle::MAX,
+        };
     }
 
     /// The watchdog: raises a typed error when the pipeline stops
@@ -320,6 +388,156 @@ impl<W: Workload> Core<W> {
         }
         self.account_cycle(now);
         self.collect_interval();
+        self.stall_fast_forward();
+    }
+
+    // ------------------------------------------------- stall fast-forward
+
+    /// Whether the commit stage is provably a no-op for every cycle
+    /// until the next pipeline event (writeback, promoted operand,
+    /// episode end, ...) — one leg of the fast-forward legality check.
+    fn commit_frozen(&self) -> bool {
+        let Some(head) = self.rob.front() else {
+            return true; // nothing to commit
+        };
+        if head.completed {
+            return false; // would retire next cycle
+        }
+        let head_blocked_l2_load = head.inst.op == OpClass::Load && head.issued && head.l2_miss;
+        if !head_blocked_l2_load {
+            return true; // an incomplete non-trigger head just stalls
+        }
+        if self.episode.is_some() {
+            return false; // runahead would pseudo-retire it next cycle
+        }
+        if self.cfg.runahead.is_none() || head.wrong_path {
+            return true; // no entry mechanism: a plain memory stall
+        }
+        // An un-entered runahead trigger is only inert once suppression
+        // has latched for this head: the guarded stat bump has already
+        // happened, and (the remaining-latency test being monotone, the
+        // cause-status table frozen between episodes) entry is ruled out
+        // until the head completes.
+        self.last_suppressed == Some(head.dyn_seq)
+    }
+
+    /// The stall-cycle fast-forward. When the cycle that just ran proves
+    /// the machine inert — dispatch blocked, nothing ready or issuable,
+    /// commit frozen, front end quiescent, policy quiet, no fresh L2
+    /// miss for the policy to see — every cycle up to the next event is
+    /// an exact replay of it, so `now` jumps there directly and the
+    /// skipped cycles are charged in bulk to the same counters single
+    /// stepping would have charged.
+    ///
+    /// The next-event bound is the `min` of every way the state can next
+    /// change or an observer could next look: pending-operand and
+    /// completion heap heads, the runahead episode end, the allocation
+    /// stall's expiry, fetch's own resume time, the policy's quiet
+    /// horizon, the interval-series epoch boundary, and the watchdog /
+    /// deadline trip points (so errors fire on the identical cycle).
+    /// The event cycle itself is always executed as a real step.
+    fn stall_fast_forward(&mut self) {
+        if !self.cfg.fast_forward
+            || self.cycle_dispatched > 0
+            || self.stats.committed_insts >= self.commit_stop
+            || self.l2_miss_events != 0
+            || !self.ready.is_empty()
+            || !(self.blocked_loads.is_empty() || self.issue_quiesced)
+            || !self.commit_frozen()
+        {
+            return;
+        }
+        let Some(block) = self.cycle_block else {
+            return;
+        };
+        // The resize stage is only inert if this cycle's call was a
+        // no-op (a transition chains: the new `current_level` argument
+        // voids the policy's quiet promise) and no pending shrink could
+        // complete (with occupancies frozen for the whole window, the
+        // vacancy check's answer now is its answer throughout).
+        if self.level_changed {
+            return;
+        }
+        if self.last_target < self.level {
+            let spec = self.cfg.levels[self.level - 1];
+            if self.rob.len() <= spec.rob
+                && self.iq_occ <= spec.iq
+                && self.lsq.occupancy() <= spec.lsq
+            {
+                return; // the shrink fires next cycle
+            }
+        }
+        let now = self.now;
+        let Some(front_quiet) = self.front.quiescent_until(now) else {
+            return; // fetch could make progress: never skip
+        };
+        let policy_quiet = self.policy.quiet_until(now, self.level);
+        if policy_quiet <= now + 1 {
+            return; // policy did not opt in (or changes next cycle)
+        }
+
+        let mut next = front_quiet
+            .min(policy_quiet)
+            .min(self.last_commit_cycle + self.cfg.watchdog_cycles)
+            .min(self.deadline_at);
+        if let Some(&Reverse((t, _))) = self.pending_ready.peek() {
+            next = next.min(t);
+        }
+        if let Some(&Reverse((t, _))) = self.completions.peek() {
+            next = next.min(t);
+        }
+        if let Some(ep) = &self.episode {
+            next = next.min(ep.end_at);
+        }
+        if self.alloc_stall_until > now {
+            // The block kind flips from Transition to whatever is behind
+            // it when the stall expires: re-evaluate there.
+            next = next.min(self.alloc_stall_until);
+        }
+        if block == DispatchBlock::FetchEmpty {
+            // A queued-but-undecoded head becoming ready, or recovery
+            // ending (which re-buckets FetchEmpty cycles), ends the
+            // replay.
+            if let Some(t) = self.front.head_ready_at() {
+                next = next.min(t);
+            }
+            let recovery = self.front.recovery_until();
+            if recovery > now {
+                next = next.min(recovery);
+            }
+        }
+        if let Some(epoch) = self.cfg.interval_cycles {
+            // Interval samples must be taken by a real step at the
+            // boundary (stats.cycles and now advance in lockstep).
+            next = next.min(now + (epoch - self.stats.cycles % epoch));
+        }
+        if next <= now + 1 {
+            return;
+        }
+
+        let skipped = next - now - 1;
+        self.now += skipped;
+        self.ff_cycles += skipped;
+        self.stats.cycles += skipped;
+        self.stats.level_cycles[self.level] += skipped;
+        if self.episode.is_some() {
+            self.stats.runahead_cycles += skipped;
+        }
+        self.stats.cpi_stack[self.level][self.last_bucket as usize] += skipped;
+        match block {
+            DispatchBlock::Transition => self.stats.stall_transition += skipped,
+            DispatchBlock::ShrinkWait => self.stats.stall_shrink_wait += skipped,
+            DispatchBlock::RobFull => self.stats.stall_rob_full += skipped,
+            DispatchBlock::IqFull => self.stats.stall_iq_full += skipped,
+            DispatchBlock::LsqFull => self.stats.stall_lsq_full += skipped,
+            DispatchBlock::FetchEmpty => self.stats.stall_fetch_empty += skipped,
+        }
+    }
+
+    /// Cycles elided by the stall fast-forward (0 when disabled) — a
+    /// host-performance diagnostic, not part of [`CoreStats`].
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.ff_cycles
     }
 
     // ------------------------------------------------------ observability
@@ -355,6 +573,7 @@ impl<W: Workload> Core<W> {
                     None => CpiBucket::Base,
                 }
             };
+        self.last_bucket = bucket;
         self.stats.cpi_stack[self.level][bucket as usize] += 1;
     }
 
@@ -497,31 +716,36 @@ impl<W: Workload> Core<W> {
         };
         let value_ready = self.rob[p_idx].value_ready_at;
         let inv = self.rob[p_idx].inv;
-        let waiters = self.rob[p_idx].waiters.clone();
-        for w in waiters {
+        // Take-then-restore instead of cloning: the loop never touches
+        // the producer's own waiter list (waiters are only appended at
+        // rename), and the list must survive for re-notification.
+        let waiters = std::mem::take(&mut self.rob[p_idx].waiters);
+        for w in waiters.iter() {
+            // One deque indexing per waiter: every field access below
+            // goes through this borrow.
             let Some(i) = self.rob_idx(w) else { continue };
-            if self.rob[i].issued {
+            let d = &mut self.rob[i];
+            if d.issued {
                 continue;
             }
             let mut changed = false;
             for s in 0..2 {
-                if self.rob[i].src_producers[s] == Some(producer) {
-                    if self.rob[i].src_ready[s] == Cycle::MAX {
-                        self.rob[i].unresolved_srcs -= 1;
+                if d.src_producers[s] == Some(producer) {
+                    if d.src_ready[s] == Cycle::MAX {
+                        d.unresolved_srcs -= 1;
                     }
-                    self.rob[i].src_ready[s] = value_ready;
-                    self.rob[i].src_inv[s] = inv;
+                    d.src_ready[s] = value_ready;
+                    d.src_inv[s] = inv;
                     changed = true;
                 }
             }
-            if changed && self.rob[i].unresolved_srcs == 0 {
-                let rt = self.rob[i].src_ready[0]
-                    .max(self.rob[i].src_ready[1])
-                    .max(self.rob[i].fetched_at + 1);
-                self.rob[i].ready_time = rt;
+            if changed && d.unresolved_srcs == 0 {
+                let rt = d.src_ready[0].max(d.src_ready[1]).max(d.fetched_at + 1);
+                d.ready_time = rt;
                 self.pending_ready.push(Reverse((rt, w)));
             }
         }
+        self.rob[p_idx].waiters = waiters;
     }
 
     // ---------------------------------------------------------- writeback
@@ -533,11 +757,12 @@ impl<W: Workload> Core<W> {
             }
             self.completions.pop();
             let Some(i) = self.rob_idx(seq) else { continue };
-            if self.rob[i].completed || self.rob[i].complete_at != t {
+            let d = &mut self.rob[i];
+            if d.completed || d.complete_at != t {
                 continue; // squash-then-reuse or stale event
             }
-            self.rob[i].completed = true;
-            if self.rob[i].is_branch() {
+            d.completed = true;
+            if d.is_branch() {
                 self.resolve_branch(i, now);
             }
         }
@@ -586,8 +811,16 @@ impl<W: Workload> Core<W> {
             }
         }
         self.lsq.squash_younger(seq);
-        self.blocked_loads.retain(|&s| s <= seq);
-        self.ready.retain(|&s| s <= seq);
+        while self.blocked_loads.back().is_some_and(|&s| s > seq) {
+            self.blocked_loads.pop_back();
+        }
+        // Clear ready bits above the squash point by walking the ring
+        // over the (about-to-be-recycled) younger window.
+        let mut s = seq + 1;
+        while let Some(r) = self.ready.next_at_or_after(s, self.next_dyn) {
+            self.ready.remove(r);
+            s = r + 1;
+        }
         // Reuse the squashed sequence numbers so ROB dyn_seqs stay
         // contiguous (rob_idx relies on it). Stale heap entries naming a
         // reused seq are filtered: completions check complete_at and
@@ -675,8 +908,12 @@ impl<W: Workload> Core<W> {
         if d.is_mem() {
             self.lsq.commit(d.dyn_seq);
         }
-        self.blocked_loads.retain(|&s| s != d.dyn_seq);
-        self.ready.remove(&d.dyn_seq);
+        // The head is the oldest live seq, so it can only sit at the
+        // front of the (age-sorted) blocked deque.
+        if self.blocked_loads.front() == Some(&d.dyn_seq) {
+            self.blocked_loads.pop_front();
+        }
+        self.ready.remove(d.dyn_seq);
 
         if in_runahead {
             // Pseudo-retirement: results go nowhere architectural; stores
@@ -821,12 +1058,14 @@ impl<W: Workload> Core<W> {
 
     fn resize(&mut self, now: Cycle) {
         self.shrink_wait = false;
+        let old_level = self.level;
         let misses = std::mem::take(&mut self.l2_miss_events);
         let max = self.cfg.levels.len() - 1;
         let target = self
             .policy
             .target_level(now, misses, self.level, max)
             .min(max);
+        self.last_target = target;
         if target > self.level {
             let old = self.level;
             self.level = target;
@@ -873,11 +1112,16 @@ impl<W: Workload> Core<W> {
                 self.shrink_wait = true;
             }
         }
+        self.level_changed = self.level != old_level;
     }
 
     // -------------------------------------------------------------- issue
 
     fn issue(&mut self, now: Cycle) {
+        // Until an event below proves otherwise, nothing this cycle
+        // could change a blocked load's outcome on the next retry.
+        self.issue_quiesced = true;
+
         // Promote instructions whose operands have arrived.
         while let Some(&Reverse((t, seq))) = self.pending_ready.peek() {
             if t > now {
@@ -885,47 +1129,55 @@ impl<W: Workload> Core<W> {
             }
             self.pending_ready.pop();
             if let Some(i) = self.rob_idx(seq) {
-                if !self.rob[i].issued
-                    && self.rob[i].unresolved_srcs == 0
-                    && self.rob[i].ready_time == t
-                {
+                let d = &self.rob[i];
+                if !d.issued && d.unresolved_srcs == 0 && d.ready_time == t {
                     self.ready.insert(seq);
                 }
             }
         }
 
         // Retry loads blocked behind stores (oldest first); they consume
-        // a cache port but not issue-queue bandwidth.
-        let blocked = std::mem::take(&mut self.blocked_loads);
-        for seq in blocked {
+        // a cache port but not issue-queue bandwidth. Rotating the deque
+        // once processes every entry and preserves the age order with no
+        // allocation or re-sort.
+        for _ in 0..self.blocked_loads.len() {
+            let seq = self.blocked_loads.pop_front().expect("len-bounded pop");
             let Some(i) = self.rob_idx(seq) else { continue };
             let m = self.rob[i].inst.mem.expect("blocked entry is a load");
             match self.lsq.check_load(seq, &m) {
-                LoadCheck::Blocked => self.blocked_loads.push(seq),
+                LoadCheck::Blocked => self.blocked_loads.push_back(seq),
                 check => {
                     if self.fu.can_issue(OpClass::Load) {
                         self.fu.issue(OpClass::Load, now, 1);
                         self.perform_load(seq, now, check);
                     } else {
-                        self.blocked_loads.push(seq);
+                        // Port-starved: the ports reset next cycle, so
+                        // this load is issuable then.
+                        self.blocked_loads.push_back(seq);
+                        self.issue_quiesced = false;
                     }
                 }
             }
         }
 
-        // Select up to issue_width ready instructions, oldest first.
+        // Select up to issue_width ready instructions, oldest first, by
+        // walking the ready ring in place from the ROB head. The loop
+        // body only ever clears bits at or behind the cursor, so the
+        // walk sees exactly the set as it stood at loop entry.
         let mut issued = 0;
-        let candidates: Vec<DynSeq> = self.ready.iter().copied().collect();
-        for seq in candidates {
-            if issued == self.cfg.issue_width {
+        let end = self.next_dyn;
+        let mut cursor = self.rob.front().map_or(end, |d| d.dyn_seq);
+        while issued < self.cfg.issue_width {
+            let Some(seq) = self.ready.next_at_or_after(cursor, end) else {
                 break;
-            }
+            };
+            cursor = seq + 1;
             let Some(i) = self.rob_idx(seq) else {
-                self.ready.remove(&seq);
+                self.ready.remove(seq);
                 continue;
             };
             if self.rob[i].issued {
-                self.ready.remove(&seq);
+                self.ready.remove(seq);
                 continue;
             }
             let op = self.rob[i].inst.op;
@@ -936,7 +1188,7 @@ impl<W: Workload> Core<W> {
                     if base_inv {
                         // INV address: the load produces INV without
                         // touching memory (runahead semantics).
-                        self.ready.remove(&seq);
+                        self.ready.remove(seq);
                         self.mark_issued(seq, now);
                         self.lsq.mark_issued(seq);
                         let depth = self.iq_depth();
@@ -953,11 +1205,15 @@ impl<W: Workload> Core<W> {
                     }
                     match self.lsq.check_load(seq, &m) {
                         LoadCheck::Blocked => {
-                            self.ready.remove(&seq);
+                            self.ready.remove(seq);
                             self.mark_issued(seq, now);
                             self.rob[i].mem_state = MemState::Blocked;
-                            self.blocked_loads.push(seq);
-                            self.blocked_loads.sort_unstable();
+                            // Sorted insert (usually at the back: the
+                            // walk hands out seqs oldest-first, but a
+                            // late-arriving operand can make an old load
+                            // ready after younger ones blocked).
+                            let pos = self.blocked_loads.partition_point(|&s| s < seq);
+                            self.blocked_loads.insert(pos, seq);
                             // No FU consumed; no issue-slot charged.
                         }
                         check => {
@@ -965,7 +1221,7 @@ impl<W: Workload> Core<W> {
                                 continue;
                             }
                             self.fu.issue(op, now, 1);
-                            self.ready.remove(&seq);
+                            self.ready.remove(seq);
                             self.perform_load(seq, now, check);
                             issued += 1;
                         }
@@ -976,9 +1232,12 @@ impl<W: Workload> Core<W> {
                         continue;
                     }
                     self.fu.issue(op, now, 1);
-                    self.ready.remove(&seq);
+                    self.ready.remove(seq);
                     self.mark_issued(seq, now);
                     self.lsq.mark_issued(seq);
+                    // An executed store can unblock a waiting load on
+                    // the very next retry.
+                    self.issue_quiesced = false;
                     let d = &mut self.rob[i];
                     d.inv = d.src_inv[0] || d.src_inv[1];
                     d.mem_state = MemState::Issued;
@@ -992,7 +1251,7 @@ impl<W: Workload> Core<W> {
                     }
                     let latency = op.exec_latency();
                     self.fu.issue(op, now, latency);
-                    self.ready.remove(&seq);
+                    self.ready.remove(seq);
                     self.mark_issued(seq, now);
                     let depth = self.iq_depth();
                     let d = &mut self.rob[i];

@@ -156,6 +156,37 @@ impl<W: Workload> FrontEnd<W> {
         self.window.retire_below(seq);
     }
 
+    /// Until when a [`fetch_cycle`](FrontEnd::fetch_cycle) call is
+    /// guaranteed to be a no-op (for the stall-cycle fast-forward):
+    ///
+    /// - `Some(Cycle::MAX)` — the queue is full; fetch cannot make
+    ///   progress until dispatch drains it (which is itself an event the
+    ///   fast-forward already bounds on);
+    /// - `Some(t)` — fetch is stalled on the I-cache or a redirect's
+    ///   resume delay until cycle `t`;
+    /// - `None` — fetch could make progress right now; never skip.
+    pub fn quiescent_until(&self, now: Cycle) -> Option<Cycle> {
+        if self.queue.len() >= self.queue_cap {
+            Some(Cycle::MAX)
+        } else if now < self.stall_until {
+            Some(self.stall_until)
+        } else {
+            None
+        }
+    }
+
+    /// When the oldest queued instruction clears the decode pipe (for
+    /// the fast-forward's next-event bound).
+    pub fn head_ready_at(&self) -> Option<Cycle> {
+        self.queue.front().map(|f| f.ready_at)
+    }
+
+    /// End of the current redirect-recovery interval (see
+    /// [`recovering`](FrontEnd::recovering)).
+    pub fn recovery_until(&self) -> Cycle {
+        self.recovery_until
+    }
+
     /// Runs one fetch cycle, filling the queue.
     pub fn fetch_cycle(&mut self, now: Cycle, bp: &mut BranchPredictor, mem: &mut MemSystem) {
         if now < self.stall_until {

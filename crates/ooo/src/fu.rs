@@ -12,6 +12,10 @@ pub struct FuPool {
     counts: [usize; 5],
     /// Completion times of in-flight unpipelined reservations, per pool.
     busy: [Vec<Cycle>; 5],
+    /// Total reservations across `busy` — lets [`FuPool::begin_cycle`]
+    /// skip the per-pool expiry scans entirely on the (overwhelmingly
+    /// common) cycles where no divide/sqrt is in flight.
+    busy_total: usize,
     /// Issues performed this cycle, per pool (reset by [`FuPool::begin_cycle`]).
     issued_this_cycle: [usize; 5],
 }
@@ -28,6 +32,7 @@ impl FuPool {
         FuPool {
             counts,
             busy: Default::default(),
+            busy_total: 0,
             issued_this_cycle: [0; 5],
         }
     }
@@ -36,8 +41,11 @@ impl FuPool {
     /// finished unpipelined reservations.
     pub fn begin_cycle(&mut self, now: Cycle) {
         self.issued_this_cycle = [0; 5];
-        for pool in &mut self.busy {
-            pool.retain(|&t| t > now);
+        if self.busy_total > 0 {
+            for pool in &mut self.busy {
+                pool.retain(|&t| t > now);
+            }
+            self.busy_total = self.busy.iter().map(Vec::len).sum();
         }
     }
 
@@ -61,6 +69,7 @@ impl FuPool {
             // this cycle and beyond; counting it in issued_this_cycle too
             // would double-book the unit.
             self.busy[k].push(now + latency as Cycle);
+            self.busy_total += 1;
         } else {
             self.issued_this_cycle[k] += 1;
         }
@@ -77,6 +86,7 @@ impl FuPool {
         for pool in &mut self.busy {
             pool.clear();
         }
+        self.busy_total = 0;
     }
 }
 

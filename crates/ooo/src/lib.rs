@@ -87,6 +87,7 @@ pub mod frontend;
 pub mod fu;
 pub mod lsq;
 pub mod policy;
+pub mod ready;
 pub mod rename;
 pub mod runahead;
 pub mod stats;
@@ -99,6 +100,7 @@ pub use config::{
 pub use core::Core;
 pub use error::{PipelineError, StallSnapshot};
 pub use policy::{FixedLevelPolicy, WindowPolicy};
+pub use ready::ReadyRing;
 pub use stats::{CoreStats, CpiBucket, IntervalSample, CPI_BUCKETS};
 pub use trace::{TraceConfig, TraceEvent, TraceEventKind, Tracer};
-pub use types::{DynInst, DynSeq, MemState};
+pub use types::{DynInst, DynSeq, MemState, SeqList};

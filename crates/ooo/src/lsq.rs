@@ -12,6 +12,14 @@
 //! Non-overlapping un-issued stores do not block — perfect memory
 //! disambiguation, the standard idealization for trace-driven simulation
 //! where every address is architecturally known (`DESIGN.md` §5).
+//!
+//! The scan is the per-load hot path, so two early-outs sit in front of
+//! it: a count of resident stores (loads in a store-free window never
+//! scan at all) and a small counting filter over 64-byte address
+//! granules (a load whose granules hold no store skips the scan even
+//! when stores are resident). Both are conservative — a filter hit only
+//! means "scan", never "forward" — so they cannot change the scan's
+//! answer, only avoid it.
 
 use crate::types::DynSeq;
 use mlpwin_isa::MemRef;
@@ -38,10 +46,48 @@ struct LsqEntry {
     issued: bool,
 }
 
+/// log2 of the address-filter granule (64 bytes: one cache line).
+const FILTER_SHIFT: u32 = 6;
+/// Number of counting-filter buckets (granule address, low 8 bits).
+const FILTER_BUCKETS: usize = 256;
+
 /// The load/store queue.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Lsq {
     entries: VecDeque<LsqEntry>,
+    /// Resident stores (issued or not); loads skip disambiguation
+    /// entirely while this is zero.
+    stores: usize,
+    /// Counting filter: for each resident store, every 64-byte granule
+    /// its reference touches increments one bucket. A load whose
+    /// granules all read zero provably overlaps no resident store.
+    store_filter: [u16; FILTER_BUCKETS],
+}
+
+impl Default for Lsq {
+    fn default() -> Lsq {
+        Lsq {
+            entries: VecDeque::new(),
+            stores: 0,
+            store_filter: [0; FILTER_BUCKETS],
+        }
+    }
+}
+
+/// Calls `f` with the filter bucket of every granule `mem` touches.
+/// References are at most a few bytes wide, so this is one bucket, or
+/// two when the access straddles a granule boundary.
+fn for_each_bucket(mem: &MemRef, mut f: impl FnMut(usize)) {
+    let first = mem.addr >> FILTER_SHIFT;
+    let last = mem.addr.wrapping_add(mem.size.max(1) as u64 - 1) >> FILTER_SHIFT;
+    let mut g = first;
+    loop {
+        f((g as usize) & (FILTER_BUCKETS - 1));
+        if g == last {
+            break;
+        }
+        g += 1;
+    }
 }
 
 impl Lsq {
@@ -55,6 +101,24 @@ impl Lsq {
         self.entries.len()
     }
 
+    fn filter_add(&mut self, mem: &MemRef) {
+        for_each_bucket(mem, |b| self.store_filter[b] += 1);
+    }
+
+    fn filter_remove(&mut self, mem: &MemRef) {
+        for_each_bucket(mem, |b| {
+            debug_assert!(self.store_filter[b] > 0, "filter underflow");
+            self.store_filter[b] -= 1;
+        });
+    }
+
+    /// Whether any filter bucket touched by `mem` holds a store.
+    fn filter_hit(&self, mem: &MemRef) -> bool {
+        let mut hit = false;
+        for_each_bucket(mem, |b| hit |= self.store_filter[b] != 0);
+        hit
+    }
+
     /// Appends a memory operation (program order).
     ///
     /// # Panics
@@ -63,6 +127,10 @@ impl Lsq {
     pub fn allocate(&mut self, dyn_seq: DynSeq, is_store: bool, mem: MemRef) {
         if let Some(back) = self.entries.back() {
             assert!(back.dyn_seq < dyn_seq, "LSQ allocation out of order");
+        }
+        if is_store {
+            self.stores += 1;
+            self.filter_add(&mem);
         }
         self.entries.push_back(LsqEntry {
             dyn_seq,
@@ -75,19 +143,23 @@ impl Lsq {
     /// Marks the entry's address/data as produced (store executed or load
     /// access performed).
     pub fn mark_issued(&mut self, dyn_seq: DynSeq) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.dyn_seq == dyn_seq) {
-            e.issued = true;
+        if let Ok(i) = self.entries.binary_search_by_key(&dyn_seq, |e| e.dyn_seq) {
+            self.entries[i].issued = true;
         }
     }
 
     /// Disambiguation scan for the load `dyn_seq` with reference `mem`.
     pub fn check_load(&self, dyn_seq: DynSeq, mem: &MemRef) -> LoadCheck {
-        // Scan older entries youngest-first so the nearest store wins.
-        for e in self.entries.iter().rev() {
-            if e.dyn_seq >= dyn_seq || !e.is_store {
-                continue;
-            }
-            if e.mem.overlaps(mem) {
+        // Early-outs: no resident store at all, or none in this load's
+        // address granules.
+        if self.stores == 0 || !self.filter_hit(mem) {
+            return LoadCheck::Access;
+        }
+        // Scan only the entries older than the load (entries are in
+        // program order), youngest-first so the nearest store wins.
+        let older = self.entries.partition_point(|e| e.dyn_seq < dyn_seq);
+        for e in self.entries.range(..older).rev() {
+            if e.is_store && e.mem.overlaps(mem) {
                 return if e.issued {
                     LoadCheck::Forward(e.dyn_seq)
                 } else {
@@ -106,13 +178,21 @@ impl Lsq {
     pub fn commit(&mut self, dyn_seq: DynSeq) {
         let head = self.entries.pop_front().expect("commit from empty LSQ");
         assert_eq!(head.dyn_seq, dyn_seq, "LSQ commit out of order");
+        if head.is_store {
+            self.stores -= 1;
+            self.filter_remove(&head.mem);
+        }
     }
 
     /// Drops every entry younger than `dyn_seq` (squash).
     pub fn squash_younger(&mut self, dyn_seq: DynSeq) {
         while let Some(back) = self.entries.back() {
             if back.dyn_seq > dyn_seq {
-                self.entries.pop_back();
+                let dropped = self.entries.pop_back().unwrap();
+                if dropped.is_store {
+                    self.stores -= 1;
+                    self.filter_remove(&dropped.mem);
+                }
             } else {
                 break;
             }
@@ -122,6 +202,8 @@ impl Lsq {
     /// Drops everything (runahead exit).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.stores = 0;
+        self.store_filter = [0; FILTER_BUCKETS];
     }
 }
 
@@ -222,5 +304,53 @@ mod tests {
         let mut q = Lsq::new();
         q.allocate(5, false, m(0x100));
         q.allocate(3, false, m(0x108));
+    }
+
+    #[test]
+    fn filter_stays_consistent_through_commit_squash_clear() {
+        let mut q = Lsq::new();
+        // Committing and squashing stores must re-open the fast path.
+        q.allocate(1, true, m(0x100));
+        q.allocate(2, true, m(0x300));
+        assert_eq!(q.check_load(3, &m(0x100)), LoadCheck::Blocked);
+        q.commit(1);
+        assert_eq!(
+            q.check_load(3, &m(0x100)),
+            LoadCheck::Access,
+            "committed store must leave the filter"
+        );
+        q.squash_younger(1);
+        assert_eq!(
+            q.check_load(3, &m(0x300)),
+            LoadCheck::Access,
+            "squashed store must leave the filter"
+        );
+        q.allocate(4, true, m(0x500));
+        q.clear();
+        assert_eq!(q.occupancy(), 0);
+        assert_eq!(q.check_load(9, &m(0x500)), LoadCheck::Access);
+    }
+
+    #[test]
+    fn filter_bucket_collision_still_scans_and_allows_access() {
+        // 0x100 and 0x100 + 256*64 granules collide in the 256-bucket
+        // filter; the scan behind the filter must still say Access.
+        let mut q = Lsq::new();
+        q.allocate(1, true, m(0x100 + 256 * 64));
+        assert_eq!(
+            q.check_load(2, &m(0x100)),
+            LoadCheck::Access,
+            "a filter collision may force the scan but not a false block"
+        );
+    }
+
+    #[test]
+    fn straddling_reference_touches_both_granules() {
+        // A store crossing a 64-byte boundary must be visible to loads
+        // in either granule.
+        let mut q = Lsq::new();
+        q.allocate(1, true, MemRef::new(0x13c, 8)); // spans 0x100 and 0x140 granules
+        assert_eq!(q.check_load(2, &MemRef::new(0x140, 4)), LoadCheck::Blocked);
+        assert_eq!(q.check_load(3, &MemRef::new(0x138, 8)), LoadCheck::Blocked);
     }
 }

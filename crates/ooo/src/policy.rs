@@ -32,6 +32,24 @@ pub trait WindowPolicy {
     /// Notification that a resize committed (shrinks may lag the request
     /// while the doomed region drains).
     fn on_transition(&mut self, _now: Cycle, _old_level: usize, _new_level: usize) {}
+
+    /// Earliest future cycle at which, *assuming no L2 miss and no
+    /// transition intervenes*, this policy's [`target_level`] answer
+    /// could differ from the answer it gives at `now`.
+    ///
+    /// The core's stall-cycle fast-forward uses this to skip cycles where
+    /// the whole pipeline is provably inert: it never skips past the
+    /// returned cycle. Policies whose answer only ever changes in
+    /// response to a miss or a transition may return [`Cycle::MAX`].
+    ///
+    /// The default — `now + 1`, i.e. "could change next cycle" —
+    /// disables fast-forwarding for policies that do not opt in, which
+    /// is always safe.
+    ///
+    /// [`target_level`]: WindowPolicy::target_level
+    fn quiet_until(&self, now: Cycle, _current_level: usize) -> Cycle {
+        now + 1
+    }
 }
 
 /// A policy pinning the window to one level forever — the paper's
@@ -58,6 +76,11 @@ impl WindowPolicy for FixedLevelPolicy {
     ) -> usize {
         self.level.min(max_level)
     }
+
+    fn quiet_until(&self, _now: Cycle, _current_level: usize) -> Cycle {
+        // The answer is a compile-time constant: never a reason to step.
+        Cycle::MAX
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +94,22 @@ mod tests {
         assert_eq!(p.target_level(100, 0, 2, 2), 2);
         // Clamped to the configured ladder.
         assert_eq!(p.target_level(0, 0, 0, 1), 1);
+    }
+
+    #[test]
+    fn fixed_policy_is_quiet_forever() {
+        let p = FixedLevelPolicy::new(1);
+        assert_eq!(p.quiet_until(123, 1), Cycle::MAX);
+    }
+
+    #[test]
+    fn default_quiet_until_disables_fast_forward() {
+        struct Opaque;
+        impl WindowPolicy for Opaque {
+            fn target_level(&mut self, _: Cycle, _: u32, l: usize, _: usize) -> usize {
+                l
+            }
+        }
+        assert_eq!(Opaque.quiet_until(50, 0), 51);
     }
 }

@@ -7,6 +7,52 @@ use mlpwin_isa::{Cycle, Instruction, SeqNum};
 /// counter over everything that enters the pipeline, wrong path included.
 pub type DynSeq = u64;
 
+/// A producer's dependent-waiter list, inlined into the ROB entry.
+///
+/// Most producers have only a couple of direct readers, so the first few
+/// sequence numbers live in the entry itself; only crowded lists (a
+/// long-latency load feeding a wide fan-out) spill to the heap. This
+/// keeps the rename stage allocation-free on the common path.
+#[derive(Debug, Clone, Default)]
+pub struct SeqList {
+    inline: [DynSeq; SeqList::INLINE],
+    inline_len: u8,
+    spill: Vec<DynSeq>,
+}
+
+impl SeqList {
+    const INLINE: usize = 4;
+
+    /// Appends a waiter.
+    pub fn push(&mut self, seq: DynSeq) {
+        let n = self.inline_len as usize;
+        if n < SeqList::INLINE {
+            self.inline[n] = seq;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(seq);
+        }
+    }
+
+    /// Number of waiters recorded.
+    pub fn len(&self) -> usize {
+        self.inline_len as usize + self.spill.len()
+    }
+
+    /// Whether no waiter is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inline_len == 0
+    }
+
+    /// Iterates the waiters in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = DynSeq> + '_ {
+        self.inline[..self.inline_len as usize]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+}
+
 /// Memory-operation progress of a load or store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemState {
@@ -65,7 +111,7 @@ pub struct DynInst {
     /// Execution finished.
     pub completed: bool,
     /// Dependents (by `dyn_seq`) waiting for this result.
-    pub waiters: Vec<DynSeq>,
+    pub waiters: SeqList,
 
     // ---- memory ----
     /// Load/store progress.
@@ -122,7 +168,7 @@ impl DynInst {
             value_ready_at: Cycle::MAX,
             complete_at: Cycle::MAX,
             completed: false,
-            waiters: Vec::new(),
+            waiters: SeqList::default(),
             mem_state,
             mem_latency: 0,
             l2_miss: false,
@@ -178,5 +224,23 @@ mod tests {
     fn branch_predicate() {
         let b = Instruction::cond_branch(0x100, ArchReg::int(1), true, 0x80);
         assert!(DynInst::new(0, Some(0), b, false, 0).is_branch());
+    }
+
+    #[test]
+    fn seq_list_spills_past_its_inline_capacity() {
+        let mut l = SeqList::default();
+        assert!(l.is_empty());
+        for s in 0..10u64 {
+            l.push(s);
+        }
+        assert_eq!(l.len(), 10);
+        assert!(!l.is_empty());
+        let collected: Vec<DynSeq> = l.iter().collect();
+        assert_eq!(collected, (0..10).collect::<Vec<_>>());
+        // A taken list is empty and reusable (the notify pass relies on
+        // take-then-restore).
+        let taken = std::mem::take(&mut l);
+        assert!(l.is_empty());
+        assert_eq!(taken.len(), 10);
     }
 }

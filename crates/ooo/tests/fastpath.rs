@@ -1,0 +1,189 @@
+//! Fast-forward equivalence: the stall-cycle fast-forward is a pure
+//! performance optimisation, so every observable statistic must be
+//! bit-identical with it on and off — on every workload profile, at
+//! every window shape, under the oscillating policy that thrashes the
+//! transition machinery, and with runahead enabled. The interval time
+//! series and CPI-stack conservation are part of the contract: a skip
+//! that crossed an epoch boundary or under-charged a bucket would show
+//! up here before it could corrupt a journal hash.
+
+use mlpwin_isa::Cycle;
+use mlpwin_ooo::{Core, CoreConfig, CoreStats, CpiBucket, FixedLevelPolicy, WindowPolicy};
+use mlpwin_workloads::profiles;
+
+/// Runs one profile to completion twice — fast-forward on and off —
+/// and returns both final stats plus the number of cycles the fast
+/// path skipped.
+fn run_pair(
+    name: &str,
+    cfg: &CoreConfig,
+    make_policy: &dyn Fn() -> Box<dyn WindowPolicy>,
+    warmup: u64,
+    insts: u64,
+) -> (CoreStats, CoreStats, u64) {
+    let run_one = |fast_forward: bool| {
+        let cfg = CoreConfig {
+            fast_forward,
+            ..cfg.clone()
+        };
+        let w = profiles::by_name(name, 7).expect("profile exists");
+        let mut core = Core::new(cfg, w, make_policy());
+        core.run_warmup(warmup).expect("warm-up must not stall");
+        let stats = core.run(insts).expect("healthy profile must not stall");
+        (stats, core.fast_forwarded_cycles())
+    };
+    let (fast, skipped) = run_one(true);
+    let (slow, slow_skipped) = run_one(false);
+    assert_eq!(slow_skipped, 0, "{name}: the knob must actually disable it");
+    (fast, slow, skipped)
+}
+
+/// The full bit-identity check, including the pieces `PartialEq` on the
+/// struct would already cover — spelled out so a mismatch names the
+/// first field that diverged instead of dumping two whole structs.
+fn assert_identical(name: &str, fast: &CoreStats, slow: &CoreStats) {
+    assert_eq!(fast.cycles, slow.cycles, "{name}: cycles");
+    assert_eq!(
+        fast.committed_insts, slow.committed_insts,
+        "{name}: committed_insts"
+    );
+    assert_eq!(fast.level_cycles, slow.level_cycles, "{name}: level_cycles");
+    assert_eq!(fast.cpi_stack, slow.cpi_stack, "{name}: cpi_stack");
+    assert_eq!(
+        fast.intervals.len(),
+        slow.intervals.len(),
+        "{name}: interval count"
+    );
+    for (i, (f, s)) in fast.intervals.iter().zip(&slow.intervals).enumerate() {
+        assert_eq!(f, s, "{name}: interval sample {i}");
+    }
+    assert_eq!(fast, slow, "{name}: full CoreStats");
+    // Conservation must hold on the fast-forwarded run in its own right:
+    // bulk-charged cycles land in exactly one bucket of one level.
+    let stack: u64 = fast.cpi_stack_cycles();
+    assert_eq!(stack, fast.cycles, "{name}: CPI stack covers cycles");
+    let levels: u64 = fast.level_cycles.iter().sum();
+    assert_eq!(levels, fast.cycles, "{name}: level residency covers cycles");
+}
+
+fn fixed(level: usize) -> Box<dyn Fn() -> Box<dyn WindowPolicy>> {
+    Box::new(move || Box::new(FixedLevelPolicy::new(level)))
+}
+
+#[test]
+fn every_profile_is_bit_identical_at_level_1() {
+    let cfg = CoreConfig {
+        interval_cycles: Some(512),
+        ..CoreConfig::default()
+    };
+    for name in profiles::names() {
+        let (fast, slow, _) = run_pair(name, &cfg, &fixed(0), 3_000, 4_000);
+        assert_identical(name, &fast, &slow);
+    }
+}
+
+#[test]
+fn every_profile_is_bit_identical_at_table2_level_3() {
+    let cfg = CoreConfig {
+        interval_cycles: Some(777),
+        ..CoreConfig::with_table2_levels()
+    };
+    for name in profiles::names() {
+        let (fast, slow, _) = run_pair(name, &cfg, &fixed(2), 2_000, 3_000);
+        assert_identical(name, &fast, &slow);
+    }
+}
+
+#[test]
+fn memory_bound_profiles_actually_fast_forward() {
+    // The optimisation must engage where it matters: a pointer-chasing
+    // profile at a fixed level spends most of its cycles with the window
+    // full behind an L2 miss, and a large fraction of those must be
+    // skipped rather than stepped.
+    for name in ["libquantum", "mcf", "omnetpp", "GemsFDTD"] {
+        let (fast, slow, skipped) = run_pair(name, &CoreConfig::default(), &fixed(0), 5_000, 8_000);
+        assert_identical(name, &fast, &slow);
+        assert!(
+            skipped > fast.cycles / 10,
+            "{name}: only {skipped} of {} cycles fast-forwarded",
+            fast.cycles
+        );
+        assert!(
+            fast.cpi_fraction(CpiBucket::MemoryStall) > 0.3,
+            "{name}: profile is not memory-bound enough to exercise the path"
+        );
+    }
+}
+
+/// A policy that requests the top level and level 0 alternately, forcing
+/// frequent transitions, and that opts into fast-forward by exposing the
+/// next period boundary as its quiet horizon.
+struct OscillatingPolicy {
+    period: Cycle,
+}
+
+impl WindowPolicy for OscillatingPolicy {
+    fn target_level(
+        &mut self,
+        now: Cycle,
+        _l2_demand_misses: u32,
+        _current_level: usize,
+        max_level: usize,
+    ) -> usize {
+        if (now / self.period).is_multiple_of(2) {
+            max_level
+        } else {
+            0
+        }
+    }
+
+    fn quiet_until(&self, now: Cycle, _current_level: usize) -> Cycle {
+        // The answer flips at the next multiple of `period`.
+        (now / self.period + 1) * self.period
+    }
+}
+
+#[test]
+fn oscillating_policy_is_bit_identical_through_transitions() {
+    let cfg = CoreConfig {
+        interval_cycles: Some(400),
+        ..CoreConfig::with_table2_levels()
+    };
+    let make =
+        |period: Cycle| move || Box::new(OscillatingPolicy { period }) as Box<dyn WindowPolicy>;
+    for (name, period) in [("libquantum", 200), ("mcf", 331), ("gcc", 250)] {
+        let (fast, slow, _) = run_pair(name, &cfg, &make(period), 4_000, 12_000);
+        assert_identical(name, &fast, &slow);
+        assert!(
+            fast.transitions_up > 0 && fast.transitions_down > 0,
+            "{name}: oscillation must exercise the transition machinery"
+        );
+    }
+}
+
+#[test]
+fn runahead_runs_are_bit_identical() {
+    let cfg = CoreConfig {
+        runahead: Some(mlpwin_ooo::RunaheadOpts::default()),
+        interval_cycles: Some(600),
+        ..CoreConfig::default()
+    };
+    for name in ["libquantum", "mcf", "milc"] {
+        let (fast, slow, _) = run_pair(name, &cfg, &fixed(0), 5_000, 8_000);
+        assert_identical(name, &fast, &slow);
+        assert!(
+            fast.runahead_episodes > 0,
+            "{name}: runahead must actually trigger"
+        );
+    }
+}
+
+#[test]
+fn compute_bound_profiles_are_identical_even_when_nothing_skips() {
+    // Profiles that rarely stall exercise the "decline to skip" guards;
+    // equivalence must hold regardless of how often the path fires.
+    for name in ["sjeng", "bwaves", "gobmk"] {
+        let (fast, slow, _) = run_pair(name, &CoreConfig::default(), &fixed(0), 3_000, 6_000);
+        assert_identical(name, &fast, &slow);
+    }
+}

@@ -308,6 +308,14 @@ impl Default for MatrixConfig {
 pub fn run(spec: &RunSpec) -> Result<RunResult, SimError> {
     let params = profiles::params_by_name(&spec.profile)?;
     let (mut config, policy) = spec.model.build();
+    // Debugging aid: rerun any spec with the core's stall fast-forward
+    // disabled. Results are bit-identical either way (the fastpath
+    // equivalence suites assert it), so this only trades speed for a
+    // single-stepped execution — deliberately not part of RunSpec, so
+    // journal lines and spec hashes are unaffected.
+    if std::env::var_os("MLPWIN_NO_FAST_FORWARD").is_some() {
+        config.fast_forward = false;
+    }
     if let Some(cycles) = spec.watchdog_cycles {
         config.watchdog_cycles = cycles;
     }

@@ -178,8 +178,22 @@ impl ProfileWorkload {
         match slot.kind {
             SlotKind::Alu(op) => {
                 self.slot_idx += 1;
-                let srcs: Vec<ArchReg> = slot.srcs.iter().flatten().copied().collect();
-                Instruction::alu(pc, op, slot.dest.expect("alu writes a register"), &srcs)
+                // Stack-packed source list: this runs once per generated
+                // ALU instruction, so a heap Vec here dominates the
+                // generator's cost.
+                let packed;
+                let srcs: &[ArchReg] = match (slot.srcs[0], slot.srcs[1]) {
+                    (Some(a), Some(b)) => {
+                        packed = [a, b];
+                        &packed
+                    }
+                    (Some(a), None) | (None, Some(a)) => {
+                        packed = [a, a];
+                        &packed[..1]
+                    }
+                    (None, None) => &[],
+                };
+                Instruction::alu(pc, op, slot.dest.expect("alu writes a register"), srcs)
             }
             SlotKind::Load { chase } => {
                 self.slot_idx += 1;
