@@ -16,19 +16,29 @@
 //!     --insts N      measured insts per run     (default 30000; smoke 2000)
 //!     --warmup N     warm-up insts per run      (default 50000; smoke 2000)
 //!     --smoke        tiny budget, schema validation only, no threshold gate
+//!     --snapshot-cycles N   run through the recoverable runner with this
+//!                           snapshot cadence (measures snapshot overhead)
+//!     --max-drop PCT override the regression threshold (percent)
 //! ```
 //!
 //! Runs execute serially on one thread: the gate measures simulator
 //! throughput, and sharing cores with sibling runs would fold scheduler
 //! noise into the number it regresses on.
+//!
+//! SIGINT/SIGTERM stop the suite at the next run boundary (or, with
+//! `--snapshot-cycles`, at the in-flight run's next snapshot point) and
+//! exit with the "interrupted, resumable" code instead of writing a
+//! partial report over the baseline trajectory.
 
 use mlpwin_bench::benchfile::{
     peak_rss_kb, throughput_drop, BenchEntry, BenchReport, BENCH_SCHEMA, REGRESSION_THRESHOLD,
 };
 use mlpwin_sim::report::TextTable;
-use mlpwin_sim::runner::{run, RunSpec};
-use mlpwin_sim::SimModel;
+use mlpwin_sim::runner::{run, run_recoverable, RunSpec};
+use mlpwin_sim::snapshot::SnapshotPolicy;
+use mlpwin_sim::{signals, SimModel};
 use mlpwin_workloads::profiles;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -38,6 +48,8 @@ struct BenchArgs {
     warmup: u64,
     insts: u64,
     smoke: bool,
+    snapshot_cycles: Option<u64>,
+    max_drop: Option<f64>,
 }
 
 impl BenchArgs {
@@ -48,6 +60,8 @@ impl BenchArgs {
             warmup: 0,
             insts: 0,
             smoke: false,
+            snapshot_cycles: None,
+            max_drop: None,
         };
         let (mut warmup, mut insts) = (None, None);
         let mut it = args.into_iter();
@@ -64,8 +78,23 @@ impl BenchArgs {
                     warmup = Some(value("--warmup").parse().expect("--warmup: not a number"))
                 }
                 "--insts" => insts = Some(value("--insts").parse().expect("--insts: not a number")),
+                "--snapshot-cycles" => {
+                    out.snapshot_cycles = Some(
+                        value("--snapshot-cycles")
+                            .parse()
+                            .expect("--snapshot-cycles: not a number"),
+                    )
+                }
+                "--max-drop" => {
+                    out.max_drop = Some(
+                        value("--max-drop")
+                            .parse()
+                            .expect("--max-drop: not a number"),
+                    )
+                }
                 other => panic!(
-                    "unknown flag {other}; expected --smoke/--out/--baseline/--warmup/--insts"
+                    "unknown flag {other}; expected --smoke/--out/--baseline/--warmup/--insts/\
+                     --snapshot-cycles/--max-drop"
                 ),
             }
         }
@@ -100,9 +129,24 @@ fn suite(warmup: u64, insts: u64) -> Vec<RunSpec> {
     specs
 }
 
+fn interrupted_exit() -> ! {
+    eprintln!("mlpwin-bench: interrupted; no report written — re-run to redo the suite");
+    std::process::exit(signals::EXIT_INTERRUPTED);
+}
+
 fn main() {
+    signals::install();
     let args = BenchArgs::parse(std::env::args().skip(1));
     let specs = suite(args.warmup, args.insts);
+    let snapshots = args.snapshot_cycles.map(|cadence| {
+        let dir = args
+            .out
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or(Path::new("."))
+            .join("bench-snapshots");
+        SnapshotPolicy::in_dir(dir).every(cadence)
+    });
 
     // Read the baseline before writing anything: the default baseline
     // IS the previous --out file.
@@ -123,8 +167,27 @@ fn main() {
 
     let mut entries = Vec::with_capacity(specs.len());
     for spec in &specs {
+        if signals::interrupted() {
+            interrupted_exit();
+        }
         let started = Instant::now();
-        let result = mlpwin_bench::expect_run(run(spec));
+        let attempt = match &snapshots {
+            // Overhead measurement: time the recoverable path, snapshot
+            // writes included — what the ≤5% CI gate regresses on.
+            Some(policy) => {
+                match catch_unwind(AssertUnwindSafe(|| run_recoverable(spec, policy))) {
+                    Ok(attempt) => attempt,
+                    Err(payload) => {
+                        if signals::is_interrupt_payload(payload.as_ref()) {
+                            interrupted_exit();
+                        }
+                        std::panic::resume_unwind(payload)
+                    }
+                }
+            }
+            None => run(spec),
+        };
+        let result = mlpwin_bench::expect_run(attempt);
         let wall_secs = started.elapsed().as_secs_f64();
         entries.push(BenchEntry {
             profile: spec.profile.clone(),
@@ -190,13 +253,16 @@ fn main() {
                     baseline_path.display(),
                     -drop * 100.0
                 );
+                let threshold = args
+                    .max_drop
+                    .map_or(REGRESSION_THRESHOLD, |pct| pct / 100.0);
                 if args.smoke {
                     println!("smoke mode: threshold gate skipped");
-                } else if drop > REGRESSION_THRESHOLD {
+                } else if drop > threshold {
                     eprintln!(
                         "FAIL: throughput regressed {:.1}% (> {:.0}% threshold)",
                         drop * 100.0,
-                        REGRESSION_THRESHOLD * 100.0
+                        threshold * 100.0
                     );
                     std::process::exit(1);
                 }

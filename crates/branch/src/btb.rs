@@ -114,6 +114,41 @@ impl Btb {
             valid: true,
         };
     }
+
+    /// Serializes the table contents and the LRU clock.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_u64(self.tick);
+        w.put_seq(self.entries.iter(), |w, e| {
+            w.put_u64(e.tag);
+            w.put_u64(e.target);
+            w.put_u64(e.lru);
+            w.put_bool(e.valid);
+        });
+    }
+
+    /// Restores the state written by [`Btb::save_state`]; geometry
+    /// (ways, set mask) stays as constructed.
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.tick = r.get_u64()?;
+        let entries = r.get_seq(|r| {
+            Ok(BtbEntry {
+                tag: r.get_u64()?,
+                target: r.get_u64()?,
+                lru: r.get_u64()?,
+                valid: r.get_bool()?,
+            })
+        })?;
+        if entries.len() != self.entries.len() {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch {
+                what: "BTB geometry",
+            });
+        }
+        self.entries = entries;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

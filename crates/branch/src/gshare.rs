@@ -103,6 +103,29 @@ impl Gshare {
     pub fn repair(&mut self, checkpoint: HistoryCheckpoint, actual_taken: bool) {
         self.history = ((checkpoint.0 << 1) | actual_taken as u32) & self.history_mask;
     }
+
+    /// Serializes the trained state (PHT counters + history register).
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_bytes(&self.pht);
+        w.put_u32(self.history);
+    }
+
+    /// Restores the state written by [`Gshare::save_state`]; masks are
+    /// geometry and stay as constructed.
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        let pht = r.get_bytes()?;
+        if pht.len() != self.pht.len() {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch {
+                what: "gshare PHT size",
+            });
+        }
+        self.pht.copy_from_slice(pht);
+        self.history = r.get_u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,29 @@ pub struct PredictionOutcome {
     pub checkpoint: HistoryCheckpoint,
 }
 
+impl PredictionOutcome {
+    /// Serializes the outcome record for a snapshot (in-flight branches
+    /// in the ROB and fetch queue carry one).
+    pub fn encode(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_bool(self.pred_taken);
+        w.put_opt_u64(self.pred_target);
+        w.put_bool(self.mispredicted);
+        w.put_u32(self.checkpoint.0);
+    }
+
+    /// Decodes an outcome record from a snapshot.
+    pub fn decode(
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<PredictionOutcome, mlpwin_isa::snap::SnapError> {
+        Ok(PredictionOutcome {
+            pred_taken: r.get_bool()?,
+            pred_target: r.get_opt_u64()?,
+            mispredicted: r.get_bool()?,
+            checkpoint: HistoryCheckpoint(r.get_u32()?),
+        })
+    }
+}
+
 /// Counters maintained by the prediction unit.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PredictorStats {
@@ -241,6 +264,38 @@ impl BranchPredictor {
     /// predictor tables trained.
     pub fn reset_stats(&mut self) {
         self.stats = PredictorStats::default();
+    }
+
+    /// Serializes the complete predictor state: trained tables, history,
+    /// RAS contents, and the statistics counters.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        self.gshare.save_state(w);
+        self.btb.save_state(w);
+        self.ras.save_state(w);
+        w.put_u64(self.stats.conditional_branches);
+        w.put_u64(self.stats.unconditional_branches);
+        w.put_u64(self.stats.direction_mispredicts);
+        w.put_u64(self.stats.target_mispredicts);
+        w.put_u64(self.stats.btb_hits);
+        w.put_u64(self.stats.btb_misses);
+    }
+
+    /// Restores the state written by [`BranchPredictor::save_state`] into
+    /// a predictor built from the same configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.gshare.load_state(r)?;
+        self.btb.load_state(r)?;
+        self.ras.load_state(r)?;
+        self.stats.conditional_branches = r.get_u64()?;
+        self.stats.unconditional_branches = r.get_u64()?;
+        self.stats.direction_mispredicts = r.get_u64()?;
+        self.stats.target_mispredicts = r.get_u64()?;
+        self.stats.btb_hits = r.get_u64()?;
+        self.stats.btb_misses = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -55,6 +55,33 @@ impl ReturnAddressStack {
     pub fn is_empty(&self) -> bool {
         self.depth == 0
     }
+
+    /// Serializes the stack contents and cursor.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_u64_slice(&self.slots);
+        w.put_usize(self.top);
+        w.put_usize(self.depth);
+    }
+
+    /// Restores the state written by [`ReturnAddressStack::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        let slots = r.get_u64_vec()?;
+        if slots.len() != self.slots.len() {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch { what: "RAS depth" });
+        }
+        let top = r.get_usize()?;
+        let depth = r.get_usize()?;
+        if top >= slots.len() || depth > slots.len() {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch { what: "RAS cursor" });
+        }
+        self.slots = slots;
+        self.top = top;
+        self.depth = depth;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

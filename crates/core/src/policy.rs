@@ -28,6 +28,7 @@
 //! which report completed shrinks back via
 //! [`WindowPolicy::on_transition`].
 
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::Cycle;
 use mlpwin_ooo::WindowPolicy;
 
@@ -104,6 +105,18 @@ impl WindowPolicy for DynamicResizingPolicy {
             self.shrink_timing = Some(now + self.memory_latency as Cycle);
             self.do_shrink = false;
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // memory_latency is construction-time configuration, not state.
+        w.put_opt_u64(self.shrink_timing);
+        w.put_bool(self.do_shrink);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.shrink_timing = r.get_opt_u64()?;
+        self.do_shrink = r.get_bool()?;
+        Ok(())
     }
 }
 
@@ -203,6 +216,29 @@ mod tests {
     #[should_panic(expected = "memory latency must be positive")]
     fn rejects_zero_latency() {
         let _ = DynamicResizingPolicy::new(0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_decision_state() {
+        let mut p = DynamicResizingPolicy::new(LAT);
+        let _ = p.target_level(100, 1, 0, 2); // arms the shrink timer
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut q = DynamicResizingPolicy::new(LAT);
+        let mut r = SnapReader::new(&bytes);
+        q.load_state(&mut r).expect("decode");
+        r.finish().expect("fully consumed");
+        // The restored policy makes identical future decisions.
+        for t in 101..=500 {
+            assert_eq!(
+                p.target_level(t, 0, 1, 2),
+                q.target_level(t, 0, 1, 2),
+                "cycle {t}"
+            );
+            assert_eq!(p.quiet_until(t, 1), q.quiet_until(t, 1));
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::op::OpClass;
 use crate::reg::ArchReg;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::Addr;
 use std::fmt;
 
@@ -222,6 +223,67 @@ impl Instruction {
         }
     }
 
+    /// Serializes the instruction record for a snapshot.
+    pub fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.pc);
+        w.put_u8(op_tag(self.op));
+        for s in &self.srcs {
+            w.put_opt(s.as_ref(), |w, r| w.put_u8(r.index() as u8));
+        }
+        w.put_opt(self.dest.as_ref(), |w, r| w.put_u8(r.index() as u8));
+        w.put_opt(self.mem.as_ref(), |w, m| {
+            w.put_u64(m.addr);
+            w.put_u8(m.size);
+        });
+        w.put_opt(self.branch.as_ref(), |w, b| {
+            w.put_bool(b.taken);
+            w.put_u64(b.target);
+            w.put_u8(branch_kind_tag(b.kind));
+        });
+    }
+
+    /// Decodes an instruction record from a snapshot.
+    pub fn decode(r: &mut SnapReader<'_>) -> Result<Instruction, SnapError> {
+        let pc = r.get_u64()?;
+        let op = op_from_tag(r)?;
+        let mut srcs = [None, None];
+        for s in &mut srcs {
+            *s = r.get_opt(decode_reg)?;
+        }
+        let dest = r.get_opt(decode_reg)?;
+        let mem = r.get_opt(|r| {
+            let addr = r.get_u64()?;
+            let offset = r.offset();
+            let size = r.get_u8()?;
+            if !matches!(size, 1 | 2 | 4 | 8) {
+                return Err(SnapError::BadTag {
+                    offset,
+                    tag: size,
+                    what: "mem size",
+                });
+            }
+            Ok(MemRef { addr, size })
+        })?;
+        let branch = r.get_opt(|r| {
+            let taken = r.get_bool()?;
+            let target = r.get_u64()?;
+            let kind = branch_kind_from_tag(r)?;
+            Ok(BranchInfo {
+                taken,
+                target,
+                kind,
+            })
+        })?;
+        Ok(Instruction {
+            pc,
+            op,
+            srcs,
+            dest,
+            mem,
+            branch,
+        })
+    }
+
     /// Checks internal consistency (memory ops have a `mem`, branches have
     /// a `branch`, and vice versa). Generators call this in debug builds.
     pub fn validate(&self) -> Result<(), String> {
@@ -239,6 +301,60 @@ impl Instruction {
         }
         Ok(())
     }
+}
+
+fn op_tag(op: OpClass) -> u8 {
+    OpClass::ALL.iter().position(|&o| o == op).unwrap() as u8
+}
+
+fn op_from_tag(r: &mut SnapReader<'_>) -> Result<OpClass, SnapError> {
+    let offset = r.offset();
+    let tag = r.get_u8()?;
+    OpClass::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(SnapError::BadTag {
+            offset,
+            tag,
+            what: "op class",
+        })
+}
+
+fn branch_kind_tag(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+    }
+}
+
+fn branch_kind_from_tag(r: &mut SnapReader<'_>) -> Result<BranchKind, SnapError> {
+    let offset = r.offset();
+    match r.get_u8()? {
+        0 => Ok(BranchKind::Conditional),
+        1 => Ok(BranchKind::Unconditional),
+        2 => Ok(BranchKind::Call),
+        3 => Ok(BranchKind::Return),
+        tag => Err(SnapError::BadTag {
+            offset,
+            tag,
+            what: "branch kind",
+        }),
+    }
+}
+
+fn decode_reg(r: &mut SnapReader<'_>) -> Result<ArchReg, SnapError> {
+    let offset = r.offset();
+    let n = r.get_u8()?;
+    if n >= crate::reg::NUM_ARCH_REGS {
+        return Err(SnapError::BadTag {
+            offset,
+            tag: n,
+            what: "register index",
+        });
+    }
+    Ok(ArchReg::from_index(n))
 }
 
 impl fmt::Display for Instruction {
@@ -348,6 +464,48 @@ mod tests {
         assert_eq!(srcs, vec![ArchReg::int(7), ArchReg::int(8)]);
         let n = Instruction::nop(0x104);
         assert_eq!(n.sources().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_every_shape() {
+        let insts = [
+            Instruction::alu(0x100, OpClass::IntAlu, ArchReg::int(1), &[ArchReg::int(2)]),
+            Instruction::load(
+                0x104,
+                ArchReg::fp(3),
+                ArchReg::int(1),
+                MemRef::new(0x8000, 8),
+            ),
+            Instruction::store(
+                0x108,
+                ArchReg::int(3),
+                ArchReg::int(1),
+                MemRef::new(0x8008, 4),
+            ),
+            Instruction::cond_branch(0x10c, ArchReg::int(3), true, 0x100),
+            Instruction::jump(0x110, BranchKind::Return, 0x4000),
+            Instruction::nop(0x114),
+        ];
+        let mut w = crate::snap::SnapWriter::new();
+        for i in &insts {
+            i.encode(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        for i in &insts {
+            assert_eq!(&Instruction::decode(&mut r).unwrap(), i);
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_codec_rejects_bad_op_tag() {
+        let mut w = crate::snap::SnapWriter::new();
+        Instruction::nop(0x100).encode(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[8] = 0xFF; // the op-class tag follows the 8-byte pc
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        assert!(Instruction::decode(&mut r).is_err());
     }
 
     #[test]

@@ -35,6 +35,20 @@ impl SplitMix64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+
+    /// Serializes the generator state for a snapshot.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_u64(self.state);
+    }
+
+    /// Restores the generator state from a snapshot.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.state = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// xoshiro256** — the workhorse generator (Blackman & Vigna). Fast, high
@@ -126,6 +140,24 @@ impl Xoshiro256StarStar {
             n += 1;
         }
         n
+    }
+
+    /// Serializes the generator state for a snapshot.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        for &s in &self.s {
+            w.put_u64(s);
+        }
+    }
+
+    /// Restores the generator state from a snapshot.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        for s in &mut self.s {
+            *s = r.get_u64()?;
+        }
+        Ok(())
     }
 
     /// Picks an index from a slice of non-negative weights.

@@ -301,6 +301,57 @@ impl Cache {
     pub fn resident_count(&self) -> usize {
         self.lines.iter().filter(|l| l.valid).count()
     }
+
+    /// Serializes the array contents, LRU clock and counters; geometry is
+    /// rebuilt from the configuration at restore time.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_u64(self.tick);
+        w.put_seq(self.lines.iter(), |w, l| {
+            w.put_u64(l.tag);
+            w.put_bool(l.valid);
+            w.put_bool(l.dirty);
+            w.put_u64(l.lru);
+            w.put_u8(l.meta.provenance.tag());
+            w.put_bool(l.meta.touched_by_correct_path);
+        });
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.fills);
+        w.put_u64(self.stats.evictions);
+        w.put_u64(self.stats.writebacks);
+    }
+
+    /// Restores the state written by [`Cache::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.tick = r.get_u64()?;
+        let lines = r.get_seq(|r| {
+            Ok(Line {
+                tag: r.get_u64()?,
+                valid: r.get_bool()?,
+                dirty: r.get_bool()?,
+                lru: r.get_u64()?,
+                meta: LineMeta {
+                    provenance: Provenance::from_tag(r)?,
+                    touched_by_correct_path: r.get_bool()?,
+                },
+            })
+        })?;
+        if lines.len() != self.lines.len() {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch {
+                what: "cache geometry",
+            });
+        }
+        self.lines = lines;
+        self.stats.hits = r.get_u64()?;
+        self.stats.misses = r.get_u64()?;
+        self.stats.fills = r.get_u64()?;
+        self.stats.evictions = r.get_u64()?;
+        self.stats.writebacks = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

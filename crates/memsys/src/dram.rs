@@ -98,6 +98,26 @@ impl Dram {
         (line_bytes as u64).div_ceil(self.config.bytes_per_cycle as u64)
     }
 
+    /// Serializes the bus state and counters.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_u64(self.bus_free);
+        w.put_u64(self.stats.requests);
+        w.put_u64(self.stats.total_latency);
+        w.put_u64(self.stats.total_queue_delay);
+    }
+
+    /// Restores the state written by [`Dram::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.bus_free = r.get_u64()?;
+        self.stats.requests = r.get_u64()?;
+        self.stats.total_latency = r.get_u64()?;
+        self.stats.total_queue_delay = r.get_u64()?;
+        Ok(())
+    }
+
     /// Requests the line of `line_bytes` bytes at cycle `now`; returns the
     /// completion cycle.
     pub fn request_line(&mut self, now: Cycle, line_bytes: usize) -> Cycle {

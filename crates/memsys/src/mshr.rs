@@ -128,6 +128,43 @@ impl MshrFile {
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.allocations, self.merges, self.rejections)
     }
+
+    /// Serializes the in-flight entries and counters.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_seq(self.entries.iter(), |w, e| {
+            w.put_u64(e.line_addr);
+            w.put_u64(e.complete_at);
+        });
+        w.put_usize(self.peak);
+        w.put_u64(self.merges);
+        w.put_u64(self.allocations);
+        w.put_u64(self.rejections);
+    }
+
+    /// Restores the state written by [`MshrFile::save_state`]; capacity
+    /// stays as constructed.
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        let entries = r.get_seq(|r| {
+            Ok(MshrEntry {
+                line_addr: r.get_u64()?,
+                complete_at: r.get_u64()?,
+            })
+        })?;
+        if entries.len() > self.capacity {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch {
+                what: "MSHR capacity",
+            });
+        }
+        self.entries = entries;
+        self.peak = r.get_usize()?;
+        self.merges = r.get_u64()?;
+        self.allocations = r.get_u64()?;
+        self.rejections = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,68 @@ impl StridePrefetcher {
         &self.stats
     }
 
+    /// Serializes the reference-prediction table, LRU clock and counters.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_u64(self.tick);
+        w.put_seq(self.table.iter(), |w, e| {
+            w.put_u64(e.tag);
+            w.put_u64(e.last_addr);
+            w.put_i64(e.stride);
+            w.put_u8(match e.state {
+                StrideState::Initial => 0,
+                StrideState::Transient => 1,
+                StrideState::Steady => 2,
+            });
+            w.put_u64(e.lru);
+            w.put_bool(e.valid);
+        });
+        w.put_u64(self.stats.trains);
+        w.put_u64(self.stats.proposed);
+        w.put_u64(self.stats.triggers);
+    }
+
+    /// Restores the state written by [`StridePrefetcher::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.tick = r.get_u64()?;
+        let table = r.get_seq(|r| {
+            Ok(RptEntry {
+                tag: r.get_u64()?,
+                last_addr: r.get_u64()?,
+                stride: r.get_i64()?,
+                state: {
+                    let offset = r.offset();
+                    match r.get_u8()? {
+                        0 => StrideState::Initial,
+                        1 => StrideState::Transient,
+                        2 => StrideState::Steady,
+                        tag => {
+                            return Err(mlpwin_isa::snap::SnapError::BadTag {
+                                offset,
+                                tag,
+                                what: "stride state",
+                            })
+                        }
+                    }
+                },
+                lru: r.get_u64()?,
+                valid: r.get_bool()?,
+            })
+        })?;
+        if table.len() != self.table.len() {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch {
+                what: "prefetch geometry",
+            });
+        }
+        self.table = table;
+        self.stats.trains = r.get_u64()?;
+        self.stats.proposed = r.get_u64()?;
+        self.stats.triggers = r.get_u64()?;
+        Ok(())
+    }
+
     fn set_range(&self, pc: Addr) -> std::ops::Range<usize> {
         let set = ((pc >> 2) as usize) & (self.sets - 1);
         let base = set * self.config.ways;

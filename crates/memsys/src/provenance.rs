@@ -36,6 +36,32 @@ impl Provenance {
             PathKind::Wrong => Provenance::DemandWrong,
         }
     }
+
+    /// Stable snapshot tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Provenance::DemandCorrect => 0,
+            Provenance::DemandWrong => 1,
+            Provenance::Prefetch => 2,
+        }
+    }
+
+    /// Decodes a snapshot tag written by [`Provenance::tag`].
+    pub fn from_tag(
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<Provenance, mlpwin_isa::snap::SnapError> {
+        let offset = r.offset();
+        match r.get_u8()? {
+            0 => Ok(Provenance::DemandCorrect),
+            1 => Ok(Provenance::DemandWrong),
+            2 => Ok(Provenance::Prefetch),
+            tag => Err(mlpwin_isa::snap::SnapError::BadTag {
+                offset,
+                tag,
+                what: "provenance",
+            }),
+        }
+    }
 }
 
 /// One of the six Fig. 11 classes.
@@ -99,6 +125,30 @@ impl ProvenanceStats {
     /// Lines never touched by a correct-path access.
     pub fn useless_total(&self) -> u64 {
         self.corrpath_useless + self.wrongpath_useless + self.prefetch_useless
+    }
+
+    /// Serializes the six class counters.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_u64(self.corrpath_useful);
+        w.put_u64(self.corrpath_useless);
+        w.put_u64(self.wrongpath_useful);
+        w.put_u64(self.wrongpath_useless);
+        w.put_u64(self.prefetch_useful);
+        w.put_u64(self.prefetch_useless);
+    }
+
+    /// Restores the counters written by [`ProvenanceStats::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.corrpath_useful = r.get_u64()?;
+        self.corrpath_useless = r.get_u64()?;
+        self.wrongpath_useful = r.get_u64()?;
+        self.wrongpath_useless = r.get_u64()?;
+        self.prefetch_useful = r.get_u64()?;
+        self.prefetch_useless = r.get_u64()?;
+        Ok(())
     }
 
     /// Merges another set of counters into this one.

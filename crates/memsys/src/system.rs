@@ -237,6 +237,53 @@ impl MemSystem {
         }
     }
 
+    /// Serializes the complete hierarchy state: all cache arrays, MSHR
+    /// files, the DRAM bus, the prefetcher table, provenance counters,
+    /// aggregate stats and the finalize latch.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l2.save_state(w);
+        self.dram.save_state(w);
+        self.prefetcher.save_state(w);
+        self.l1d_mshr.save_state(w);
+        self.l2_mshr.save_state(w);
+        self.provenance.save_state(w);
+        w.put_u64(self.stats.loads);
+        w.put_u64(self.stats.stores);
+        w.put_u64(self.stats.ifetches);
+        w.put_u64(self.stats.total_load_latency);
+        w.put_u64(self.stats.l2_demand_misses);
+        w.put_u64_slice(&self.stats.l2_demand_miss_cycles);
+        w.put_u64(self.stats.prefetch_fills);
+        w.put_bool(self.finalized);
+    }
+
+    /// Restores the state written by [`MemSystem::save_state`] into a
+    /// hierarchy built from the same configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.l1i.load_state(r)?;
+        self.l1d.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.dram.load_state(r)?;
+        self.prefetcher.load_state(r)?;
+        self.l1d_mshr.load_state(r)?;
+        self.l2_mshr.load_state(r)?;
+        self.provenance.load_state(r)?;
+        self.stats.loads = r.get_u64()?;
+        self.stats.stores = r.get_u64()?;
+        self.stats.ifetches = r.get_u64()?;
+        self.stats.total_load_latency = r.get_u64()?;
+        self.stats.l2_demand_misses = r.get_u64()?;
+        self.stats.l2_demand_miss_cycles = r.get_u64_vec()?;
+        self.stats.prefetch_fills = r.get_u64()?;
+        self.finalized = r.get_bool()?;
+        Ok(())
+    }
+
     /// Performs an access and returns its timing.
     ///
     /// `pc` is the program counter of the accessing instruction (used to

@@ -34,6 +34,8 @@ pub enum ConfigError {
     ZeroWatchdog,
     /// The interval collector's epoch length is zero.
     ZeroIntervalEpoch,
+    /// The snapshot cadence is zero cycles.
+    ZeroSnapshotCadence,
     /// The tracer's ring-buffer capacity is zero.
     ZeroTraceCapacity,
     /// The tracer's LLC-miss sampling divisor is zero.
@@ -57,6 +59,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroWatchdog => write!(f, "watchdog budget must be positive"),
             ConfigError::ZeroIntervalEpoch => {
                 write!(f, "interval epoch length must be positive")
+            }
+            ConfigError::ZeroSnapshotCadence => {
+                write!(f, "snapshot cadence must be positive")
             }
             ConfigError::ZeroTraceCapacity => {
                 write!(f, "trace ring capacity must be positive")
@@ -260,6 +265,13 @@ pub struct CoreConfig {
     /// is built with the `trace` cargo feature; without it the field is
     /// validated and otherwise inert.
     pub trace: Option<TraceConfig>,
+    /// Mid-run snapshot cadence in cycles; `None` (the default)
+    /// disables periodic snapshots. When set, the core offers a full
+    /// state snapshot to its installed sink every `snapshot_cycles`
+    /// measured cycles, and the stall fast-forward never skips across a
+    /// cadence boundary — so snapshots land on the identical cycles
+    /// with the fast-forward on and off.
+    pub snapshot_cycles: Option<u64>,
 }
 
 impl Default for CoreConfig {
@@ -285,6 +297,7 @@ impl Default for CoreConfig {
             fault: None,
             interval_cycles: None,
             trace: None,
+            snapshot_cycles: None,
         }
     }
 }
@@ -335,6 +348,9 @@ impl CoreConfig {
         }
         if self.interval_cycles == Some(0) {
             return Err(ConfigError::ZeroIntervalEpoch);
+        }
+        if self.snapshot_cycles == Some(0) {
+            return Err(ConfigError::ZeroSnapshotCadence);
         }
         if let Some(trace) = &self.trace {
             if trace.capacity == 0 {
@@ -448,9 +464,16 @@ mod tests {
         };
         assert_eq!(c3.validate(), Err(ConfigError::ZeroTraceSample));
 
+        let c4 = CoreConfig {
+            snapshot_cycles: Some(0),
+            ..CoreConfig::default()
+        };
+        assert_eq!(c4.validate(), Err(ConfigError::ZeroSnapshotCadence));
+
         let ok = CoreConfig {
             interval_cycles: Some(1_000),
             trace: Some(TraceConfig::default()),
+            snapshot_cycles: Some(50_000),
             ..CoreConfig::default()
         };
         ok.validate().expect("well-formed observability knobs");

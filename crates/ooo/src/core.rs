@@ -33,6 +33,7 @@ use crate::stats::{CoreStats, CpiBucket, IntervalSample, CPI_BUCKETS};
 use crate::trace::{TraceEventKind, Tracer};
 use crate::types::{DynInst, DynSeq, MemState};
 use mlpwin_branch::BranchPredictor;
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::{Addr, Cycle, OpClass, SeqNum};
 use mlpwin_memsys::{AccessKind, MemSystem, PathKind};
 use mlpwin_workloads::Workload;
@@ -53,6 +54,37 @@ enum DispatchBlock {
     FetchEmpty,
 }
 
+impl DispatchBlock {
+    fn tag(self) -> u8 {
+        match self {
+            DispatchBlock::Transition => 0,
+            DispatchBlock::ShrinkWait => 1,
+            DispatchBlock::RobFull => 2,
+            DispatchBlock::IqFull => 3,
+            DispatchBlock::LsqFull => 4,
+            DispatchBlock::FetchEmpty => 5,
+        }
+    }
+
+    fn from_tag(r: &mut SnapReader<'_>) -> Result<DispatchBlock, SnapError> {
+        let offset = r.offset();
+        let tag = r.get_u8()?;
+        match tag {
+            0 => Ok(DispatchBlock::Transition),
+            1 => Ok(DispatchBlock::ShrinkWait),
+            2 => Ok(DispatchBlock::RobFull),
+            3 => Ok(DispatchBlock::IqFull),
+            4 => Ok(DispatchBlock::LsqFull),
+            5 => Ok(DispatchBlock::FetchEmpty),
+            tag => Err(SnapError::BadTag {
+                offset,
+                tag,
+                what: "dispatch block",
+            }),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Episode {
     resume_seq: SeqNum,
@@ -69,6 +101,10 @@ fn fresh_stats(config: &CoreConfig) -> CoreStats {
         ..CoreStats::default()
     }
 }
+
+/// A periodic snapshot consumer: called with the current cycle and the
+/// serialized core image at every snapshot-cadence point.
+pub type SnapshotSink = Box<dyn FnMut(Cycle, &[u8])>;
 
 /// The simulated processor: front end, window resources, execution
 /// engine, memory hierarchy, and the window-resizing policy.
@@ -158,6 +194,13 @@ pub struct Core<W> {
     /// [`reset_counters`](Core::reset_counters), so fault-injection
     /// triggers count warm-up and measurement alike.
     total_committed: u64,
+
+    /// Receiver for the periodic snapshots taken every
+    /// `snapshot_cycles` measured cycles; the driver loop calls it with
+    /// the current cycle and the encoded image. Not part of the
+    /// simulated state: presence or absence never changes what the
+    /// pipeline does.
+    snapshot_sink: Option<SnapshotSink>,
 }
 
 impl<W: Workload> Core<W> {
@@ -253,6 +296,7 @@ impl<W: Workload> Core<W> {
             stats,
             last_commit_cycle: 0,
             total_committed: 0,
+            snapshot_sink: None,
         })
     }
 
@@ -268,13 +312,9 @@ impl<W: Workload> Core<W> {
     /// making progress. Both carry a [`StallSnapshot`] of the machine
     /// state for post-mortem triage.
     pub fn run(&mut self, n_insts: u64) -> Result<CoreStats, PipelineError> {
-        let start = self.now;
-        self.arm_deadline(start);
+        self.arm_deadline(self.now);
         self.commit_stop = n_insts;
-        while self.stats.committed_insts < n_insts {
-            self.step();
-            self.check_progress(start)?;
-        }
+        self.drive()?;
         self.mem.finalize();
         Ok(self.stats.clone())
     }
@@ -290,30 +330,94 @@ impl<W: Workload> Core<W> {
     /// are left un-cleared when the warm-up fails, so the snapshot and
     /// any later diagnostics still see the stalled state.
     pub fn run_warmup(&mut self, n_insts: u64) -> Result<(), PipelineError> {
-        let start = self.now;
-        self.arm_deadline(start);
-        let target = self.stats.committed_insts + n_insts;
-        self.commit_stop = target;
-        while self.stats.committed_insts < target {
-            self.step();
-            self.check_progress(start)?;
-        }
+        self.arm_deadline(self.now);
+        self.commit_stop = self.stats.committed_insts + n_insts;
+        self.drive()?;
         self.reset_counters();
         Ok(())
+    }
+
+    /// Continues an interrupted measurement run restored via
+    /// [`restore`](Core::restore): same contract as [`run`](Core::run),
+    /// but the commit target and the deadline come from the snapshot
+    /// instead of being re-armed, so the resumed run stops — and times
+    /// out — on exactly the cycle the uninterrupted run would have.
+    ///
+    /// # Errors
+    ///
+    /// Same watchdog/deadline contract as [`run`](Core::run).
+    pub fn resume_run(&mut self) -> Result<CoreStats, PipelineError> {
+        self.drive()?;
+        self.mem.finalize();
+        Ok(self.stats.clone())
+    }
+
+    /// Continues an interrupted warm-up restored via
+    /// [`restore`](Core::restore); counterpart of
+    /// [`resume_run`](Core::resume_run) for the
+    /// [`run_warmup`](Core::run_warmup) phase.
+    ///
+    /// # Errors
+    ///
+    /// Same watchdog/deadline contract as [`run`](Core::run).
+    pub fn resume_warmup(&mut self) -> Result<(), PipelineError> {
+        self.drive()?;
+        self.reset_counters();
+        Ok(())
+    }
+
+    /// The shared driver loop: steps until the armed commit target is
+    /// reached, taking periodic snapshots along the way. The snapshot is
+    /// taken *before* the progress check so that a run dying to the
+    /// watchdog or the deadline still leaves its latest image behind.
+    fn drive(&mut self) -> Result<(), PipelineError> {
+        while self.stats.committed_insts < self.commit_stop {
+            self.step();
+            self.maybe_snapshot();
+            self.check_progress()?;
+        }
+        Ok(())
+    }
+
+    /// Installs the receiver for periodic snapshots (see
+    /// [`CoreConfig::snapshot_cycles`]); replaces any previous sink.
+    /// The sink is host-side plumbing, not simulated state: installing
+    /// one never changes the simulated outcome.
+    pub fn set_snapshot_sink(&mut self, sink: SnapshotSink) {
+        self.snapshot_sink = Some(sink);
+    }
+
+    /// Hands the current encoded image to the sink when the measured
+    /// cycle counter sits on a `snapshot_cycles` boundary. The cadence
+    /// is keyed on `stats.cycles` (not `now`) so warm-up resets do not
+    /// shift the measurement-phase snapshot points.
+    fn maybe_snapshot(&mut self) {
+        let Some(cadence) = self.cfg.snapshot_cycles else {
+            return;
+        };
+        if self.snapshot_sink.is_none() || !self.stats.cycles.is_multiple_of(cadence) {
+            return;
+        }
+        let bytes = self.snapshot();
+        let now = self.now;
+        if let Some(mut sink) = self.snapshot_sink.take() {
+            sink(now, &bytes);
+            self.snapshot_sink = Some(sink);
+        }
     }
 
     /// Converts the per-call relative deadline into the absolute cycle
     /// the fast-forward must not skip past.
     fn arm_deadline(&mut self, start: Cycle) {
         self.deadline_at = match self.cfg.deadline_cycles {
-            Some(limit) => start + limit,
+            Some(limit) => start.saturating_add(limit),
             None => Cycle::MAX,
         };
     }
 
     /// The watchdog: raises a typed error when the pipeline stops
-    /// committing or overruns the per-call cycle deadline.
-    fn check_progress(&self, start: Cycle) -> Result<(), PipelineError> {
+    /// committing or overruns the armed absolute deadline.
+    fn check_progress(&self) -> Result<(), PipelineError> {
         let stalled_for = self.now - self.last_commit_cycle;
         if stalled_for >= self.cfg.watchdog_cycles {
             return Err(PipelineError::Stall {
@@ -321,13 +425,11 @@ impl<W: Workload> Core<W> {
                 snapshot: self.stall_snapshot(stalled_for),
             });
         }
-        if let Some(limit) = self.cfg.deadline_cycles {
-            if self.now - start >= limit {
-                return Err(PipelineError::DeadlineExceeded {
-                    limit,
-                    snapshot: self.stall_snapshot(stalled_for),
-                });
-            }
+        if self.now >= self.deadline_at {
+            return Err(PipelineError::DeadlineExceeded {
+                limit: self.cfg.deadline_cycles.unwrap_or(Cycle::MAX),
+                snapshot: self.stall_snapshot(stalled_for),
+            });
         }
         Ok(())
     }
@@ -511,6 +613,13 @@ impl<W: Workload> Core<W> {
             // boundary (stats.cycles and now advance in lockstep).
             next = next.min(now + (epoch - self.stats.cycles % epoch));
         }
+        if let Some(cadence) = self.cfg.snapshot_cycles {
+            // Snapshot points must land on step boundaries. Keyed on the
+            // config alone — not on whether a sink is installed — so a
+            // snapshotting run and a plain run of the same spec take
+            // identical steps.
+            next = next.min(now + (cadence - self.stats.cycles % cadence));
+        }
         if next <= now + 1 {
             return;
         }
@@ -682,6 +791,196 @@ impl<W: Workload> Core<W> {
     /// occupancy-triggered analyses.
     pub fn occupancy(&self) -> (usize, usize, usize) {
         (self.rob.len(), self.iq_occ, self.lsq.occupancy())
+    }
+
+    // ----------------------------------------------------------- snapshot
+
+    /// Encodes the complete dynamic state — architectural and
+    /// microarchitectural — into a flat byte image.
+    ///
+    /// Captured: the cycle clock, ROB/IQ/LSQ contents, rename map, FU
+    /// pools, scheduler event heaps, runahead episode and tables, the
+    /// front end (including the workload generator's RNG and phase
+    /// cursor), branch predictor, memory hierarchy (caches, MSHRs, DRAM
+    /// queues), window-policy state, every statistics accumulator, and
+    /// the armed deadline/commit-stop of an in-flight `run` call, so a
+    /// restored core replays the remaining cycles bit-identically.
+    ///
+    /// Deliberately *not* captured: the configuration (the restoring
+    /// side must rebuild the core from the identical [`CoreConfig`] —
+    /// geometry is validated, not transported), the snapshot sink, the
+    /// `ff_cycles` host diagnostic, and the `trace`-feature event ring
+    /// (observability, not simulated state).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::with_capacity(4096);
+        self.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores the state written by [`snapshot`](Core::snapshot) into a
+    /// core freshly built from the identical configuration and workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the bytes are truncated, corrupt, or
+    /// encode a core of different geometry. The core's state is
+    /// unspecified after an error: discard it and rebuild.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.load_state(&mut r)?;
+        r.finish()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.now);
+        w.put_usize(self.level);
+        w.put_u64(self.next_dyn);
+        w.put_seq(self.rob.iter(), |w, d| d.encode(w));
+        w.put_usize(self.iq_occ);
+        self.lsq.save_state(w);
+        self.rename.save_state(w);
+        self.fu.save_state(w);
+        // Heaps travel as sorted (time, seq) pairs: heap iteration order
+        // is arbitrary, and the image must be deterministic.
+        let mut pending: Vec<(Cycle, DynSeq)> =
+            self.pending_ready.iter().map(|Reverse(p)| *p).collect();
+        pending.sort_unstable();
+        w.put_seq(pending.iter(), |w, &(t, s)| {
+            w.put_u64(t);
+            w.put_u64(s);
+        });
+        self.ready.save_state(w);
+        w.put_seq(self.blocked_loads.iter(), |w, &s| w.put_u64(s));
+        let mut completions: Vec<(Cycle, DynSeq)> =
+            self.completions.iter().map(|Reverse(p)| *p).collect();
+        completions.sort_unstable();
+        w.put_seq(completions.iter(), |w, &(t, s)| {
+            w.put_u64(t);
+            w.put_u64(s);
+        });
+        w.put_u64(self.alloc_stall_until);
+        w.put_bool(self.shrink_wait);
+        w.put_u32(self.l2_miss_events);
+        w.put_bool(self.ra_cache.is_some());
+        if let Some(c) = &self.ra_cache {
+            c.save_state(w);
+        }
+        w.put_bool(self.cst.is_some());
+        if let Some(c) = &self.cst {
+            c.save_state(w);
+        }
+        w.put_opt(self.episode.as_ref(), |w, e| {
+            w.put_u64(e.resume_seq);
+            w.put_u64(e.end_at);
+            w.put_u64(e.trigger_pc);
+            w.put_u32(e.l2_misses);
+        });
+        for &b in &self.arch_inv {
+            w.put_bool(b);
+        }
+        w.put_opt_u64(self.last_suppressed);
+        w.put_usize(self.cycle_dispatched);
+        w.put_opt(self.cycle_block.as_ref(), |w, b| w.put_u8(b.tag()));
+        w.put_bool(self.issue_quiesced);
+        w.put_u8(self.last_bucket as u8);
+        w.put_u64(self.deadline_at);
+        w.put_u64(self.commit_stop);
+        w.put_usize(self.last_target);
+        w.put_bool(self.level_changed);
+        w.put_u64(self.interval_last_insts);
+        self.stats.save_state(w);
+        w.put_u64(self.last_commit_cycle);
+        w.put_u64(self.total_committed);
+        self.mem.save_state(w);
+        self.bp.save_state(w);
+        self.front.save_state(w);
+        self.policy.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = r.get_u64()?;
+        self.level = r.get_usize()?;
+        if self.level >= self.cfg.levels.len() {
+            return Err(SnapError::Mismatch {
+                what: "window level ladder",
+            });
+        }
+        self.next_dyn = r.get_u64()?;
+        let rob = r.get_seq(DynInst::decode)?;
+        if rob.len() > self.cfg.max_level_spec().rob {
+            return Err(SnapError::Mismatch {
+                what: "ROB occupancy vs capacity",
+            });
+        }
+        self.rob.clear();
+        self.rob.extend(rob);
+        self.iq_occ = r.get_usize()?;
+        self.lsq.load_state(r)?;
+        self.rename.load_state(r)?;
+        self.fu.load_state(r)?;
+        let pending = r.get_seq(|r| Ok((r.get_u64()?, r.get_u64()?)))?;
+        self.pending_ready.clear();
+        self.pending_ready.extend(pending.into_iter().map(Reverse));
+        self.ready.load_state(r)?;
+        let blocked = r.get_u64_vec()?;
+        self.blocked_loads.clear();
+        self.blocked_loads.extend(blocked);
+        let completions = r.get_seq(|r| Ok((r.get_u64()?, r.get_u64()?)))?;
+        self.completions.clear();
+        self.completions
+            .extend(completions.into_iter().map(Reverse));
+        self.alloc_stall_until = r.get_u64()?;
+        self.shrink_wait = r.get_bool()?;
+        self.l2_miss_events = r.get_u32()?;
+        let has_ra = r.get_bool()?;
+        match (&mut self.ra_cache, has_ra) {
+            (Some(c), true) => c.load_state(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(SnapError::Mismatch {
+                    what: "runahead-cache presence",
+                })
+            }
+        }
+        let has_cst = r.get_bool()?;
+        match (&mut self.cst, has_cst) {
+            (Some(c), true) => c.load_state(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(SnapError::Mismatch {
+                    what: "cause-status-table presence",
+                })
+            }
+        }
+        self.episode = r.get_opt(|r| {
+            Ok(Episode {
+                resume_seq: r.get_u64()?,
+                end_at: r.get_u64()?,
+                trigger_pc: r.get_u64()?,
+                l2_misses: r.get_u32()?,
+            })
+        })?;
+        for b in &mut self.arch_inv {
+            *b = r.get_bool()?;
+        }
+        self.last_suppressed = r.get_opt_u64()?;
+        self.cycle_dispatched = r.get_usize()?;
+        self.cycle_block = r.get_opt(DispatchBlock::from_tag)?;
+        self.issue_quiesced = r.get_bool()?;
+        self.last_bucket = CpiBucket::from_tag(r)?;
+        self.deadline_at = r.get_u64()?;
+        self.commit_stop = r.get_u64()?;
+        self.last_target = r.get_usize()?;
+        self.level_changed = r.get_bool()?;
+        self.interval_last_insts = r.get_u64()?;
+        self.stats.load_state(r)?;
+        self.last_commit_cycle = r.get_u64()?;
+        self.total_committed = r.get_u64()?;
+        self.mem.load_state(r)?;
+        self.bp.load_state(r)?;
+        self.front.load_state(r)?;
+        self.policy.load_state(r)?;
+        Ok(())
     }
 
     // ------------------------------------------------------------ helpers
@@ -1700,6 +1999,156 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<String>().expect("string payload");
         assert!(msg.contains("injected core fault"), "{msg}");
+    }
+
+    type TakenSnapshots = std::rc::Rc<std::cell::RefCell<Vec<(Cycle, Vec<u8>)>>>;
+
+    fn capture_snapshots(
+        cfg: &CoreConfig,
+        profile: &str,
+        level: usize,
+        insts: u64,
+    ) -> (CoreStats, TakenSnapshots) {
+        let w = profiles::by_name(profile, 7).expect("profile");
+        let mut core = Core::new(cfg.clone(), w, Box::new(FixedLevelPolicy::new(level)));
+        let taken = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = std::rc::Rc::clone(&taken);
+        core.set_snapshot_sink(Box::new(move |cycle, bytes| {
+            sink.borrow_mut().push((cycle, bytes.to_vec()));
+        }));
+        let stats = core.run(insts).expect("healthy profile must not stall");
+        (stats, taken)
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_mid_measurement() {
+        let cfg = CoreConfig {
+            snapshot_cycles: Some(1_000),
+            interval_cycles: Some(500),
+            ..CoreConfig::default()
+        };
+        let (reference, taken) = capture_snapshots(&cfg, "mcf", 0, 6_000);
+        let taken = taken.borrow();
+        assert!(
+            taken.len() >= 2,
+            "cadence must fire: {} snapshots",
+            taken.len()
+        );
+        // Resume from a mid-run image (not the last): a real crash loses
+        // the tail of the run.
+        let (at, bytes) = &taken[taken.len() / 2];
+        let w = profiles::by_name("mcf", 7).expect("profile");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(0)));
+        core.restore(bytes).expect("restore must succeed");
+        assert_eq!(core.cycle(), *at);
+        let resumed = core.resume_run().expect("resumed run must finish");
+        assert_eq!(resumed, reference, "resume must be bit-identical");
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_with_runahead_and_dynamic_state() {
+        let cfg = CoreConfig {
+            runahead: Some(crate::config::RunaheadOpts::default()),
+            snapshot_cycles: Some(1_500),
+            interval_cycles: Some(1_000),
+            ..CoreConfig::with_table2_levels()
+        };
+        let (reference, taken) = capture_snapshots(&cfg, "libquantum", 2, 8_000);
+        let taken = taken.borrow();
+        assert!(!taken.is_empty(), "cadence must fire");
+        let (_, bytes) = taken.last().expect("non-empty");
+        let w = profiles::by_name("libquantum", 7).expect("profile");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(2)));
+        core.restore(bytes).expect("restore must succeed");
+        let resumed = core.resume_run().expect("resumed run must finish");
+        assert_eq!(resumed, reference, "resume must be bit-identical");
+    }
+
+    #[test]
+    fn snapshot_resume_spans_warmup_reset() {
+        let cfg = CoreConfig {
+            snapshot_cycles: Some(700),
+            ..CoreConfig::default()
+        };
+        let w = profiles::by_name("gcc", 7).expect("profile");
+        let mut core = Core::new(cfg.clone(), w, Box::new(FixedLevelPolicy::new(0)));
+        let taken = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = std::rc::Rc::clone(&taken);
+        core.set_snapshot_sink(Box::new(move |cycle, bytes| {
+            sink.borrow_mut().push((cycle, bytes.to_vec()));
+        }));
+        core.run_warmup(3_000).expect("warm-up must not stall");
+        let warmup_images = taken.borrow().len();
+        assert!(warmup_images >= 1, "cadence must fire inside warm-up");
+        let reference = core.run(4_000).expect("measurement must not stall");
+
+        // Die inside warm-up, come back, finish warm-up, then measure.
+        let (_, bytes) = taken.borrow()[warmup_images - 1].clone();
+        let w = profiles::by_name("gcc", 7).expect("profile");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(0)));
+        core.restore(&bytes).expect("restore must succeed");
+        core.resume_warmup().expect("resumed warm-up must finish");
+        let resumed = core.run(4_000).expect("measurement must not stall");
+        assert_eq!(resumed, reference, "warm-up resume must be bit-identical");
+    }
+
+    #[test]
+    fn snapshot_cadence_does_not_perturb_the_simulation() {
+        // Same spec with and without a sink installed (and with the
+        // cadence knob off entirely): identical results. The FF pin is
+        // keyed on the config, so the knob itself may legally shift
+        // nothing but host-side work.
+        let cfg = CoreConfig {
+            snapshot_cycles: Some(1_000),
+            ..CoreConfig::default()
+        };
+        let (with_sink, _) = capture_snapshots(&cfg, "soplex", 0, 5_000);
+        let w = profiles::by_name("soplex", 7).expect("profile");
+        let mut plain = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(0)));
+        let without_sink = plain.run(5_000).expect("healthy profile must not stall");
+        assert_eq!(with_sink, without_sink);
+    }
+
+    #[test]
+    fn restore_rejects_truncated_trailing_and_mismatched_images() {
+        let cfg = CoreConfig {
+            snapshot_cycles: Some(1_000),
+            ..CoreConfig::default()
+        };
+        let (_, taken) = capture_snapshots(&cfg, "gcc", 0, 4_000);
+        let bytes = taken.borrow().last().expect("non-empty").1.clone();
+
+        let w = profiles::by_name("gcc", 7).expect("profile");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(0)));
+        core.restore(&bytes[..bytes.len() / 2])
+            .expect_err("truncated image must fail");
+
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let w = profiles::by_name("gcc", 7).expect("profile");
+        let mut core2 = Core::new(
+            CoreConfig {
+                snapshot_cycles: Some(1_000),
+                ..CoreConfig::default()
+            },
+            w,
+            Box::new(FixedLevelPolicy::new(0)),
+        );
+        assert_eq!(
+            core2.restore(&padded).expect_err("trailing byte must fail"),
+            SnapError::TrailingBytes { trailing: 1 }
+        );
+
+        // A core of different geometry must refuse the image.
+        let w = profiles::by_name("gcc", 7).expect("profile");
+        let mut other = Core::new(
+            CoreConfig::with_table2_levels(),
+            w,
+            Box::new(FixedLevelPolicy::new(0)),
+        );
+        other
+            .restore(&bytes)
+            .expect_err("geometry mismatch must fail");
     }
 
     #[test]

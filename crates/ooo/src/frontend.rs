@@ -13,6 +13,7 @@
 //! [`FrontEnd::redirect`].
 
 use mlpwin_branch::{BranchPredictor, PredictionOutcome};
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::{Addr, Cycle, Instruction, SeqNum};
 use mlpwin_memsys::{AccessKind, MemSystem, PathKind};
 use mlpwin_workloads::{TraceWindow, Workload, WrongPathGen};
@@ -185,6 +186,90 @@ impl<W: Workload> FrontEnd<W> {
     /// [`recovering`](FrontEnd::recovering)).
     pub fn recovery_until(&self) -> Cycle {
         self.recovery_until
+    }
+
+    /// Serializes the fetch state: the trace window (including the
+    /// workload generator's own state), the fetch source, the decode
+    /// queue, stall/recovery horizons and counters. The wrong-path
+    /// synthesizer is a pure function of its seed and carries no state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.window.save_state(w);
+        match self.source {
+            Source::Trace(seq) => {
+                w.put_u8(0);
+                w.put_u64(seq);
+            }
+            Source::Wrong { start_pc, offset } => {
+                w.put_u8(1);
+                w.put_u64(start_pc);
+                w.put_u64(offset);
+            }
+        }
+        w.put_seq(self.queue.iter(), |w, f| {
+            f.inst.encode(w);
+            w.put_opt_u64(f.trace_seq);
+            w.put_bool(f.wrong_path);
+            w.put_opt(f.bp_outcome.as_ref(), |w, o| o.encode(w));
+            w.put_u64(f.fetched_at);
+            w.put_u64(f.ready_at);
+        });
+        w.put_u64(self.stall_until);
+        w.put_u64(self.recovery_until);
+        w.put_opt_u64(self.last_line);
+        w.put_u64(self.stats.trace_fetched);
+        w.put_u64(self.stats.wrongpath_fetched);
+        w.put_u64(self.stats.icache_stall_cycles);
+        w.put_u64(self.stats.redirects);
+    }
+
+    /// Restores the state written by [`FrontEnd::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.window.load_state(r)?;
+        let offset = r.offset();
+        self.source = match r.get_u8()? {
+            0 => Source::Trace(r.get_u64()?),
+            1 => Source::Wrong {
+                start_pc: r.get_u64()?,
+                offset: r.get_u64()?,
+            },
+            tag => {
+                return Err(SnapError::BadTag {
+                    offset,
+                    tag,
+                    what: "fetch source",
+                })
+            }
+        };
+        let queue = r.get_seq(|r| {
+            let inst = Instruction::decode(r)?;
+            let trace_seq = r.get_opt_u64()?;
+            let wrong_path = r.get_bool()?;
+            let bp_outcome = r.get_opt(PredictionOutcome::decode)?;
+            let fetched_at = r.get_u64()?;
+            let ready_at = r.get_u64()?;
+            Ok(FetchedInst {
+                inst,
+                trace_seq,
+                wrong_path,
+                bp_outcome,
+                fetched_at,
+                ready_at,
+            })
+        })?;
+        if queue.len() > self.queue_cap {
+            return Err(SnapError::Mismatch {
+                what: "fetch-queue capacity",
+            });
+        }
+        self.queue = queue.into();
+        self.stall_until = r.get_u64()?;
+        self.recovery_until = r.get_u64()?;
+        self.last_line = r.get_opt_u64()?;
+        self.stats.trace_fetched = r.get_u64()?;
+        self.stats.wrongpath_fetched = r.get_u64()?;
+        self.stats.icache_stall_cycles = r.get_u64()?;
+        self.stats.redirects = r.get_u64()?;
+        Ok(())
     }
 
     /// Runs one fetch cycle, filling the queue.

@@ -22,6 +22,7 @@
 //! answer, only avoid it.
 
 use crate::types::DynSeq;
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::MemRef;
 use std::collections::VecDeque;
 
@@ -204,6 +205,54 @@ impl Lsq {
         self.entries.clear();
         self.stores = 0;
         self.store_filter = [0; FILTER_BUCKETS];
+    }
+
+    /// Serializes the queue entries; the store count and address filter
+    /// are derived state and are rebuilt on restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_seq(self.entries.iter(), |w, e| {
+            w.put_u64(e.dyn_seq);
+            w.put_bool(e.is_store);
+            w.put_u64(e.mem.addr);
+            w.put_u8(e.mem.size);
+            w.put_bool(e.issued);
+        });
+    }
+
+    /// Restores the queue written by [`Lsq::save_state`], replaying each
+    /// store into the counting filter.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let entries = r.get_seq(|r| {
+            let dyn_seq = r.get_u64()?;
+            let is_store = r.get_bool()?;
+            let addr = r.get_u64()?;
+            let offset = r.offset();
+            let size = r.get_u8()?;
+            if !matches!(size, 1 | 2 | 4 | 8) {
+                return Err(SnapError::BadTag {
+                    offset,
+                    tag: size,
+                    what: "LSQ mem size",
+                });
+            }
+            let issued = r.get_bool()?;
+            Ok(LsqEntry {
+                dyn_seq,
+                is_store,
+                mem: MemRef { addr, size },
+                issued,
+            })
+        })?;
+        self.clear();
+        for e in entries {
+            if e.is_store {
+                self.stores += 1;
+                let mem = e.mem;
+                self.filter_add(&mem);
+            }
+            self.entries.push_back(e);
+        }
+        Ok(())
     }
 }
 

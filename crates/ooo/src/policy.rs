@@ -12,6 +12,7 @@
 //! This crate ships only the trivial [`FixedLevelPolicy`]; the paper's
 //! MLP-aware dynamic policy lives in `mlpwin-core`.
 
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::Cycle;
 
 /// Per-cycle window-level decision maker.
@@ -49,6 +50,25 @@ pub trait WindowPolicy {
     /// [`target_level`]: WindowPolicy::target_level
     fn quiet_until(&self, now: Cycle, _current_level: usize) -> Cycle {
         now + 1
+    }
+
+    /// Serializes the policy's mutable state into a core snapshot.
+    ///
+    /// Stateless policies (the default) write nothing; stateful ones
+    /// must write every field whose value affects a future
+    /// [`target_level`](WindowPolicy::target_level) answer, in the same
+    /// order [`load_state`](WindowPolicy::load_state) reads it back.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores the state written by
+    /// [`save_state`](WindowPolicy::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the snapshot bytes do not decode to
+    /// this policy's state.
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@
 //! insert/remove and no per-cycle allocation.
 
 use crate::types::DynSeq;
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 
 /// A fixed-capacity ready set over a contiguous `DynSeq` window,
 /// iterated oldest-first in place.
@@ -74,6 +75,25 @@ impl ReadyRing {
     pub fn contains(&self, seq: DynSeq) -> bool {
         let (w, bit) = self.locate(seq);
         self.words[w] & bit != 0
+    }
+
+    /// Serializes the raw bitmap words.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64_slice(&self.words);
+    }
+
+    /// Restores the bitmap written by [`ReadyRing::save_state`] into a
+    /// ring of the same geometry; the population count is recomputed.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let words = r.get_u64_vec()?;
+        if words.len() != self.words.len() {
+            return Err(SnapError::Mismatch {
+                what: "ready-ring geometry",
+            });
+        }
+        self.len = words.iter().map(|w| w.count_ones() as usize).sum();
+        self.words = words.into_boxed_slice();
+        Ok(())
     }
 
     /// Clears the whole set.

@@ -8,6 +8,7 @@
 //! recorded at rename.
 
 use crate::types::DynSeq;
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::ArchReg;
 
 /// The rename map table.
@@ -57,6 +58,21 @@ impl RenameMap {
     /// Number of registers currently mapped to in-flight producers.
     pub fn live_mappings(&self) -> usize {
         self.map.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Serializes all 64 map-table entries.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for m in &self.map {
+            w.put_opt_u64(*m);
+        }
+    }
+
+    /// Restores the map written by [`RenameMap::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for m in &mut self.map {
+            *m = r.get_opt_u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -18,6 +18,7 @@
 //! exit squash) is woven into [`crate::core::Core`]'s commit stage; see
 //! the crate docs for why.
 
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::Addr;
 
 /// Outcome of a runahead-cache load lookup.
@@ -138,6 +139,38 @@ impl RunaheadCache {
             l.valid = false;
         }
     }
+
+    /// Serializes the line array and LRU clock.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.tick);
+        w.put_seq(self.lines.iter(), |w, l| {
+            w.put_u64(l.tag);
+            w.put_bool(l.inv);
+            w.put_bool(l.valid);
+            w.put_u64(l.lru);
+        });
+    }
+
+    /// Restores the state written by [`RunaheadCache::save_state`] into
+    /// a cache of the same geometry.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.tick = r.get_u64()?;
+        let lines = r.get_seq(|r| {
+            Ok(RaLine {
+                tag: r.get_u64()?,
+                inv: r.get_bool()?,
+                valid: r.get_bool()?,
+                lru: r.get_u64()?,
+            })
+        })?;
+        if lines.len() != self.lines.len() {
+            return Err(SnapError::Mismatch {
+                what: "runahead-cache geometry",
+            });
+        }
+        self.lines = lines;
+        Ok(())
+    }
 }
 
 /// Per-load-PC usefulness predictor for runahead entry (2-bit counters,
@@ -183,6 +216,24 @@ impl CauseStatusTable {
         } else {
             *c = c.saturating_sub(1);
         }
+    }
+
+    /// Serializes the counter array.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_bytes(&self.counters);
+    }
+
+    /// Restores the counters written by
+    /// [`CauseStatusTable::save_state`] into a same-sized table.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let counters = r.get_bytes()?;
+        if counters.len() != self.counters.len() {
+            return Err(SnapError::Mismatch {
+                what: "cause-status-table size",
+            });
+        }
+        self.counters.copy_from_slice(counters);
+        Ok(())
     }
 }
 

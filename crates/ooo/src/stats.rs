@@ -1,5 +1,6 @@
 //! Core simulation statistics.
 
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::Cycle;
 
 /// Where one cycle of execution went. Every simulated cycle is charged
@@ -56,6 +57,20 @@ impl CpiBucket {
         CpiBucket::FetchEmpty,
     ];
 
+    /// Decodes a bucket from its discriminant (snapshot restore).
+    pub fn from_tag(r: &mut SnapReader<'_>) -> Result<CpiBucket, SnapError> {
+        let offset = r.offset();
+        let tag = r.get_u8()?;
+        CpiBucket::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(SnapError::BadTag {
+                offset,
+                tag,
+                what: "CPI bucket",
+            })
+    }
+
     /// Stable short label for tables and exports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -93,6 +108,32 @@ pub struct IntervalSample {
     pub lsq_occ: u32,
     /// Outstanding cache misses (MSHR occupancy) at the sample point.
     pub outstanding_misses: u32,
+}
+
+impl IntervalSample {
+    /// Serializes one sample.
+    pub fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.end_cycle);
+        w.put_u64(self.committed_insts);
+        w.put_u32(self.level);
+        w.put_u32(self.rob_occ);
+        w.put_u32(self.iq_occ);
+        w.put_u32(self.lsq_occ);
+        w.put_u32(self.outstanding_misses);
+    }
+
+    /// Decodes a sample written by [`IntervalSample::encode`].
+    pub fn decode(r: &mut SnapReader<'_>) -> Result<IntervalSample, SnapError> {
+        Ok(IntervalSample {
+            end_cycle: r.get_u64()?,
+            committed_insts: r.get_u64()?,
+            level: r.get_u32()?,
+            rob_occ: r.get_u32()?,
+            iq_occ: r.get_u32()?,
+            lsq_occ: r.get_u32()?,
+            outstanding_misses: r.get_u32()?,
+        })
+    }
 }
 
 /// Counters accumulated over a simulation run.
@@ -221,6 +262,95 @@ impl CoreStats {
         } else {
             self.cpi_bucket_cycles(bucket) as f64 / self.cycles as f64
         }
+    }
+
+    /// Serializes every counter, the per-level CPI stack and the
+    /// interval time series.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.cycles);
+        w.put_u64(self.committed_insts);
+        w.put_u64(self.committed_loads);
+        w.put_u64(self.committed_stores);
+        w.put_u64(self.committed_branches);
+        w.put_u64(self.committed_cond_branches);
+        w.put_u64(self.committed_mispredicts);
+        w.put_u64(self.load_latency_sum);
+        w.put_u64_slice(&self.level_cycles);
+        w.put_seq(self.cpi_stack.iter(), |w, row| {
+            for c in row {
+                w.put_u64(*c);
+            }
+        });
+        w.put_seq(self.intervals.iter(), |w, s| s.encode(w));
+        w.put_u64(self.transitions_up);
+        w.put_u64(self.transitions_down);
+        w.put_u64(self.stall_transition);
+        w.put_u64(self.stall_shrink_wait);
+        w.put_u64(self.stall_rob_full);
+        w.put_u64(self.stall_iq_full);
+        w.put_u64(self.stall_lsq_full);
+        w.put_u64(self.stall_fetch_empty);
+        w.put_u64(self.dispatched_total);
+        w.put_u64(self.issued_total);
+        w.put_u64(self.squashes);
+        w.put_u64(self.wrongpath_dispatched);
+        w.put_u64(self.runahead_episodes);
+        w.put_u64(self.runahead_cycles);
+        w.put_u64(self.runahead_suppressed);
+        w.put_u64(self.runahead_short_skips);
+        w.put_u64(self.runahead_useful_episodes);
+    }
+
+    /// Restores the counters written by [`CoreStats::save_state`] into
+    /// stats shaped for the same level ladder.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cycles = r.get_u64()?;
+        self.committed_insts = r.get_u64()?;
+        self.committed_loads = r.get_u64()?;
+        self.committed_stores = r.get_u64()?;
+        self.committed_branches = r.get_u64()?;
+        self.committed_cond_branches = r.get_u64()?;
+        self.committed_mispredicts = r.get_u64()?;
+        self.load_latency_sum = r.get_u64()?;
+        let level_cycles = r.get_u64_vec()?;
+        if level_cycles.len() != self.level_cycles.len() {
+            return Err(SnapError::Mismatch {
+                what: "level-cycle ladder",
+            });
+        }
+        self.level_cycles = level_cycles;
+        let cpi_stack = r.get_seq(|r| {
+            let mut row = [0u64; CPI_BUCKETS];
+            for c in &mut row {
+                *c = r.get_u64()?;
+            }
+            Ok(row)
+        })?;
+        if cpi_stack.len() != self.cpi_stack.len() {
+            return Err(SnapError::Mismatch {
+                what: "CPI-stack ladder",
+            });
+        }
+        self.cpi_stack = cpi_stack;
+        self.intervals = r.get_seq(IntervalSample::decode)?;
+        self.transitions_up = r.get_u64()?;
+        self.transitions_down = r.get_u64()?;
+        self.stall_transition = r.get_u64()?;
+        self.stall_shrink_wait = r.get_u64()?;
+        self.stall_rob_full = r.get_u64()?;
+        self.stall_iq_full = r.get_u64()?;
+        self.stall_lsq_full = r.get_u64()?;
+        self.stall_fetch_empty = r.get_u64()?;
+        self.dispatched_total = r.get_u64()?;
+        self.issued_total = r.get_u64()?;
+        self.squashes = r.get_u64()?;
+        self.wrongpath_dispatched = r.get_u64()?;
+        self.runahead_episodes = r.get_u64()?;
+        self.runahead_cycles = r.get_u64()?;
+        self.runahead_suppressed = r.get_u64()?;
+        self.runahead_short_skips = r.get_u64()?;
+        self.runahead_useful_episodes = r.get_u64()?;
+        Ok(())
     }
 }
 

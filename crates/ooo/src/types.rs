@@ -1,6 +1,7 @@
 //! Dynamic-instruction state carried through the pipeline.
 
 use mlpwin_branch::PredictionOutcome;
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::{Cycle, Instruction, SeqNum};
 
 /// Identifier of a dynamic instruction: a monotonically increasing
@@ -50,6 +51,24 @@ impl SeqList {
             .iter()
             .copied()
             .chain(self.spill.iter().copied())
+    }
+
+    /// Serializes the waiter list in insertion order.
+    pub fn encode(&self, w: &mut SnapWriter) {
+        w.put_usize(self.len());
+        for s in self.iter() {
+            w.put_u64(s);
+        }
+    }
+
+    /// Decodes a waiter list written by [`SeqList::encode`].
+    pub fn decode(r: &mut SnapReader<'_>) -> Result<SeqList, SnapError> {
+        let seqs = r.get_u64_vec()?;
+        let mut list = SeqList::default();
+        for s in seqs {
+            list.push(s);
+        }
+        Ok(list)
     }
 }
 
@@ -187,6 +206,109 @@ impl DynInst {
     /// True for control transfers.
     pub fn is_branch(&self) -> bool {
         self.inst.op.is_branch()
+    }
+
+    /// Serializes the full dynamic state for a snapshot.
+    pub fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.dyn_seq);
+        w.put_opt_u64(self.trace_seq);
+        self.inst.encode(w);
+        w.put_bool(self.wrong_path);
+        w.put_u64(self.fetched_at);
+        for p in &self.src_producers {
+            w.put_opt_u64(*p);
+        }
+        for t in &self.src_ready {
+            w.put_u64(*t);
+        }
+        for i in &self.src_inv {
+            w.put_bool(*i);
+        }
+        w.put_u8(self.unresolved_srcs);
+        w.put_u64(self.ready_time);
+        w.put_bool(self.in_iq);
+        w.put_bool(self.issued);
+        w.put_u64(self.issued_at);
+        w.put_u64(self.value_ready_at);
+        w.put_u64(self.complete_at);
+        w.put_bool(self.completed);
+        self.waiters.encode(w);
+        w.put_u8(match self.mem_state {
+            MemState::None => 0,
+            MemState::Waiting => 1,
+            MemState::Blocked => 2,
+            MemState::Issued => 3,
+        });
+        w.put_u32(self.mem_latency);
+        w.put_bool(self.l2_miss);
+        w.put_opt(self.bp_outcome.as_ref(), |w, o| o.encode(w));
+        w.put_bool(self.mispredicted);
+        w.put_opt(self.prev_map.as_ref(), |w, (reg, prev)| {
+            w.put_usize(*reg);
+            w.put_opt_u64(*prev);
+        });
+        w.put_bool(self.inv);
+    }
+
+    /// Decodes the record written by [`DynInst::encode`].
+    pub fn decode(r: &mut SnapReader<'_>) -> Result<DynInst, SnapError> {
+        let dyn_seq = r.get_u64()?;
+        let trace_seq = r.get_opt_u64()?;
+        let inst = Instruction::decode(r)?;
+        let wrong_path = r.get_bool()?;
+        let fetched_at = r.get_u64()?;
+        let mut d = DynInst::new(dyn_seq, trace_seq, inst, wrong_path, fetched_at);
+        for p in &mut d.src_producers {
+            *p = r.get_opt_u64()?;
+        }
+        for t in &mut d.src_ready {
+            *t = r.get_u64()?;
+        }
+        for i in &mut d.src_inv {
+            *i = r.get_bool()?;
+        }
+        d.unresolved_srcs = r.get_u8()?;
+        d.ready_time = r.get_u64()?;
+        d.in_iq = r.get_bool()?;
+        d.issued = r.get_bool()?;
+        d.issued_at = r.get_u64()?;
+        d.value_ready_at = r.get_u64()?;
+        d.complete_at = r.get_u64()?;
+        d.completed = r.get_bool()?;
+        d.waiters = SeqList::decode(r)?;
+        let offset = r.offset();
+        d.mem_state = match r.get_u8()? {
+            0 => MemState::None,
+            1 => MemState::Waiting,
+            2 => MemState::Blocked,
+            3 => MemState::Issued,
+            tag => {
+                return Err(SnapError::BadTag {
+                    offset,
+                    tag,
+                    what: "mem state",
+                })
+            }
+        };
+        d.mem_latency = r.get_u32()?;
+        d.l2_miss = r.get_bool()?;
+        d.bp_outcome = r.get_opt(PredictionOutcome::decode)?;
+        d.mispredicted = r.get_bool()?;
+        d.prev_map = r.get_opt(|r| {
+            let offset = r.offset();
+            let reg = r.get_usize()?;
+            if reg >= 64 {
+                return Err(SnapError::BadLength {
+                    offset,
+                    len: reg as u64,
+                    what: "rename rollback register",
+                });
+            }
+            let prev = r.get_opt_u64()?;
+            Ok((reg, prev))
+        })?;
+        d.inv = r.get_bool()?;
+        Ok(d)
     }
 }
 

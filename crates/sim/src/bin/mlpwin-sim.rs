@@ -1,0 +1,160 @@
+//! Single-spec simulation worker with crash recovery.
+//!
+//! Runs one `(profile, model)` spec through the recoverable runner:
+//! periodic snapshots, resume-from-latest on start, graceful
+//! SIGINT/SIGTERM (final snapshot already on disk, exit code 75 =
+//! "interrupted, resumable"). The [`Supervisor`](mlpwin_sim::Supervisor)
+//! launches this binary per spec and reads the `hb <cycle>` heartbeat
+//! lines it prints with `--heartbeat`; re-running the exact same command
+//! after any kind of death resumes the run bit-identically.
+//!
+//! ```text
+//! mlpwin-sim --profile mcf --model dynamic [--warmup N] [--insts N]
+//!            [--seed N] [--watchdog N] [--deadline N] [--intervals N]
+//!            [--fault panic@N|livelock@N]
+//!            [--snapshot-dir DIR] [--snapshot-cycles N] [--keep N]
+//!            [--journal PATH] [--heartbeat] [--chaos-kill-at N]
+//! ```
+
+use mlpwin_sim::runner::{run_recoverable, FaultSpec, RunSpec};
+use mlpwin_sim::snapshot::{hooks, SnapshotPolicy};
+use mlpwin_sim::{signals, Journal, SimModel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    spec: RunSpec,
+    snapshots: SnapshotPolicy,
+    journal: Option<PathBuf>,
+    heartbeat: bool,
+    chaos_kill_at: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec = RunSpec::new("gcc", SimModel::Base);
+    let mut profile_seen = false;
+    let mut snapshots = SnapshotPolicy::default();
+    let mut journal = None;
+    let mut heartbeat = false;
+    let mut chaos_kill_at = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| it.next().ok_or_else(|| format!("{flag} needs a {what}"));
+        match flag.as_str() {
+            "--profile" => {
+                spec.profile = value("profile name")?;
+                profile_seen = true;
+            }
+            "--model" => {
+                let tag = value("model tag")?;
+                spec.model =
+                    SimModel::from_tag(&tag).ok_or_else(|| format!("unknown model tag `{tag}`"))?;
+            }
+            "--warmup" => spec.warmup = parse_u64(&value("count")?)?,
+            "--insts" => spec.insts = parse_u64(&value("count")?)?,
+            "--seed" => spec.seed = parse_u64(&value("seed")?)?,
+            "--watchdog" => spec.watchdog_cycles = Some(parse_u64(&value("cycles")?)?),
+            "--deadline" => spec.deadline_cycles = Some(parse_u64(&value("cycles")?)?),
+            "--intervals" => spec.interval_cycles = Some(parse_u64(&value("cycles")?)?),
+            "--fault" => spec.fault = Some(parse_fault(&value("fault spec")?)?),
+            "--snapshot-dir" => snapshots.dir = PathBuf::from(value("directory")?),
+            "--snapshot-cycles" => snapshots.cadence_cycles = parse_u64(&value("cycles")?)?,
+            "--keep" => snapshots.keep = parse_u64(&value("count")?)? as usize,
+            "--journal" => journal = Some(PathBuf::from(value("path")?)),
+            "--heartbeat" => heartbeat = true,
+            "--chaos-kill-at" => chaos_kill_at = Some(parse_u64(&value("cycle")?)?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: mlpwin-sim --profile NAME --model TAG [--warmup N] [--insts N] \
+                     [--seed N] [--watchdog N] [--deadline N] [--intervals N] \
+                     [--fault panic@N|livelock@N] [--snapshot-dir DIR] \
+                     [--snapshot-cycles N] [--keep N] [--journal PATH] [--heartbeat] \
+                     [--chaos-kill-at N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !profile_seen {
+        return Err("--profile is required".to_string());
+    }
+    Ok(Args {
+        spec,
+        snapshots,
+        journal,
+        heartbeat,
+        chaos_kill_at,
+    })
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn parse_fault(s: &str) -> Result<FaultSpec, String> {
+    let (kind, at) = s
+        .split_once('@')
+        .ok_or_else(|| format!("fault `{s}` is not kind@count"))?;
+    let at = parse_u64(at)?;
+    match kind {
+        "panic" => Ok(FaultSpec::PanicAt(at)),
+        "livelock" => Ok(FaultSpec::LivelockAt(at)),
+        other => Err(format!("unknown fault kind `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mlpwin-sim: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    signals::install();
+    hooks::set_heartbeat(args.heartbeat);
+    hooks::set_chaos_kill_at(args.chaos_kill_at);
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_recoverable(&args.spec, &args.snapshots)
+    }));
+    mlpwin_sim::metrics::flush();
+    match outcome {
+        Ok(Ok(result)) => {
+            if let Some(path) = &args.journal {
+                if let Err(e) = Journal::new(path).append(&args.spec, &result) {
+                    eprintln!("mlpwin-sim: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!(
+                "done profile={} model={} cycles={} insts={} ipc={:.4}",
+                args.spec.profile,
+                args.spec.model.tag(),
+                result.stats.cycles,
+                result.stats.committed_insts,
+                result.ipc()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(Err(e)) => {
+            eprintln!("mlpwin-sim: {e}");
+            ExitCode::FAILURE
+        }
+        Err(payload) => {
+            if signals::is_interrupt_payload(payload.as_ref()) {
+                eprintln!(
+                    "mlpwin-sim: interrupted; latest snapshot is on disk — \
+                     re-run the same command to resume"
+                );
+                // BSD EX_TEMPFAIL: the caller can distinguish "try me
+                // again" from a real failure.
+                return ExitCode::from(signals::EXIT_INTERRUPTED as u8);
+            }
+            eprintln!("mlpwin-sim: worker panicked");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -31,6 +31,17 @@ pub enum SimError {
         /// What went wrong (I/O or format detail).
         detail: String,
     },
+    /// A recovery snapshot could not be used or persisted fatally.
+    ///
+    /// Ordinary snapshot trouble is self-healing (corrupt files are
+    /// quarantined, saves degrade to warnings); this variant is reserved
+    /// for failures with no fallback left.
+    Snapshot {
+        /// The snapshot file or directory involved.
+        path: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -53,6 +64,7 @@ impl SimError {
             SimError::Pipeline(PipelineError::DeadlineExceeded { .. }) => "deadline",
             SimError::Panic { .. } => "panic",
             SimError::Journal { .. } => "journal",
+            SimError::Snapshot { .. } => "snapshot",
         }
     }
 }
@@ -66,6 +78,9 @@ impl fmt::Display for SimError {
             SimError::Panic { message } => write!(f, "run panicked: {message}"),
             SimError::Journal { path, detail } => {
                 write!(f, "journal {}: {detail}", path.display())
+            }
+            SimError::Snapshot { path, detail } => {
+                write!(f, "snapshot {}: {detail}", path.display())
             }
         }
     }

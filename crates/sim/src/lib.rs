@@ -36,6 +36,22 @@
 //! completed results to a JSON-lines [`journal`] so a killed campaign
 //! resumes without re-running finished specs.
 //!
+//! ## Crash recovery
+//!
+//! The journal bounds lost work to whole specs; [`snapshot`] bounds it
+//! to a *fraction of one run*. With a [`SnapshotPolicy`] (via
+//! [`MatrixConfig::snapshots`] or [`runner::run_recoverable`]) the core
+//! serializes its complete state every `cadence_cycles` into
+//! CRC-guarded, atomically-rotated files keyed by [`spec_hash`]; a
+//! killed process resumes from the latest valid image with bit-identical
+//! results. Corrupt snapshots are quarantined and older generations (or
+//! a fresh start) take over. [`signals`] gives the binaries graceful
+//! SIGINT/SIGTERM: stop at the next snapshot point, flush everything,
+//! exit [`signals::EXIT_INTERRUPTED`]. [`supervisor`] runs specs in
+//! child processes with heartbeat, memory and wall-clock budgets,
+//! restarting crashed workers with exponential backoff so they resume
+//! where they died.
+//!
 //! ## Example
 //!
 //! ```
@@ -59,6 +75,9 @@ pub mod model;
 pub mod progress;
 pub mod report;
 pub mod runner;
+pub mod signals;
+pub mod snapshot;
+pub mod supervisor;
 
 pub use error::SimError;
 pub use journal::{spec_hash, Journal};
@@ -66,3 +85,5 @@ pub use metrics::{LocalMetrics, MetricsRegistry, ScopedTimer};
 pub use model::SimModel;
 pub use progress::Progress;
 pub use runner::{FaultSpec, MatrixConfig, RunOutcome, RunResult, RunSpec};
+pub use snapshot::{SnapshotPolicy, SnapshotStore, SNAPSHOT_SCHEMA};
+pub use supervisor::{SuperviseOutcome, Supervisor};

@@ -11,19 +11,23 @@
 //! retries and a crash-safe results journal for resumable campaigns.
 
 use crate::error::{panic_message, SimError};
-use crate::journal::Journal;
+use crate::journal::{spec_hash, Journal};
 use crate::metrics::{self, ScopedTimer};
 use crate::model::SimModel;
 use crate::progress::Progress;
+use crate::signals;
+use crate::snapshot::{self, LoadedSnapshot, SnapshotPhase, SnapshotPolicy, SnapshotStore};
 use mlpwin_branch::PredictorStats;
 use mlpwin_energy::RunCounters;
 use mlpwin_isa::Cycle;
 use mlpwin_memsys::ProvenanceStats;
 use mlpwin_ooo::{Core, CoreConfig, CoreStats, LevelSpec, WindowPolicy};
 use mlpwin_workloads::{profiles, Category, FaultyWorkload, Workload};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -282,6 +286,13 @@ pub struct MatrixConfig {
     /// ETA) on stderr. Defaults to the telemetry knob, so
     /// `MLPWIN_TELEMETRY=1` narrates campaigns without code changes.
     pub progress: bool,
+    /// Mid-run crash-recovery snapshots. When set, every spec runs
+    /// through [`run_recoverable`]: it resumes from the latest valid
+    /// snapshot (including retries after a transient failure — a
+    /// panicking spec re-pays only the cycles since its last snapshot,
+    /// not the whole run) and snapshots periodically while running.
+    /// `None` (the default) runs snapshot-free, from cycle zero always.
+    pub snapshots: Option<SnapshotPolicy>,
 }
 
 impl Default for MatrixConfig {
@@ -291,6 +302,7 @@ impl Default for MatrixConfig {
             max_attempts: 2,
             journal: None,
             progress: metrics::telemetry_enabled(),
+            snapshots: None,
         }
     }
 }
@@ -308,6 +320,25 @@ impl Default for MatrixConfig {
 pub fn run(spec: &RunSpec) -> Result<RunResult, SimError> {
     let params = profiles::params_by_name(&spec.profile)?;
     let (mut config, policy) = spec.model.build();
+    apply_spec_overrides(&mut config, spec);
+    let workload = profiles::by_name(&spec.profile, spec.seed)?;
+    if let Some(FaultSpec::PanicAt(at)) = spec.fault {
+        execute(
+            spec,
+            params.category,
+            config,
+            policy,
+            FaultyWorkload::panic_at(workload, at),
+        )
+    } else {
+        execute(spec, params.category, config, policy, workload)
+    }
+}
+
+/// Applies the spec's per-run configuration overrides to a model-built
+/// config — shared by the plain and recoverable paths so both run the
+/// exact same machine.
+fn apply_spec_overrides(config: &mut CoreConfig, spec: &RunSpec) {
     // Debugging aid: rerun any spec with the core's stall fast-forward
     // disabled. Results are bit-identical either way (the fastpath
     // equivalence suites assert it), so this only trades speed for a
@@ -329,18 +360,6 @@ pub fn run(spec: &RunSpec) -> Result<RunResult, SimError> {
     }
     if spec.interval_cycles.is_some() {
         config.interval_cycles = spec.interval_cycles;
-    }
-    let workload = profiles::by_name(&spec.profile, spec.seed)?;
-    if let Some(FaultSpec::PanicAt(at)) = spec.fault {
-        execute(
-            spec,
-            params.category,
-            config,
-            policy,
-            FaultyWorkload::panic_at(workload, at),
-        )
-    } else {
-        execute(spec, params.category, config, policy, workload)
     }
 }
 
@@ -365,6 +384,26 @@ fn execute<W: Workload>(
     let measure_timer = ScopedTimer::start(METRIC_PHASE_MEASURE);
     let stats = core.run(spec.insts)?;
     let measure_secs = measure_timer.stop();
+    Ok(collect_result(
+        spec,
+        category,
+        levels,
+        &mut core,
+        stats,
+        measure_secs,
+    ))
+}
+
+/// The shared run epilogue: throughput metrics, memory-system
+/// finalization, and the [`RunResult`] assembly.
+fn collect_result<W: Workload>(
+    spec: &RunSpec,
+    category: Category,
+    levels: Vec<LevelSpec>,
+    core: &mut Core<W>,
+    stats: CoreStats,
+    measure_secs: Option<f64>,
+) -> RunResult {
     metrics::counter_add(METRIC_SIM_CYCLES, stats.cycles);
     metrics::counter_add(METRIC_SIM_INSTS, stats.committed_insts);
     if let Some(secs) = measure_secs.filter(|&s| s > 0.0) {
@@ -376,7 +415,7 @@ fn execute<W: Workload>(
     // and this is a single thread-local branch.
     metrics::flush();
     let mem = core.mem();
-    Ok(RunResult {
+    RunResult {
         spec: spec.clone(),
         category,
         predictor: core.predictor().stats().clone(),
@@ -391,13 +430,195 @@ fn execute<W: Workload>(
         avg_load_latency: stats.avg_load_latency(),
         levels,
         stats,
-    })
+    }
+}
+
+/// How one recoverable attempt failed: a snapshot that would not
+/// restore (quarantine it and fall back to an older one) versus an
+/// ordinary simulation error (final).
+enum ExecError {
+    Restore(String),
+    Sim(SimError),
+}
+
+/// Runs one experiment with crash recovery: resume from the latest
+/// valid snapshot when one exists, and snapshot periodically while
+/// running.
+///
+/// Snapshots are keyed by the campaign journal's
+/// [`spec_hash`](crate::journal::spec_hash), so a re-invocation with the
+/// same spec finds its own images and nobody else's. A snapshot that
+/// fails to decode or restore is quarantined and the previous rotation
+/// (or a fresh start) takes over — corruption costs re-simulated cycles,
+/// never the run. On success the spec's snapshots are deleted: a
+/// finished run must not resume from a stale image.
+///
+/// Results are bit-identical to [`run`] for the same spec: the snapshot
+/// cadence only adds step-boundary save points and never changes what
+/// the pipeline does (the core's fast-forward pins cadence points
+/// whether or not a sink is installed).
+///
+/// # Errors
+///
+/// The same taxonomy as [`run`].
+pub fn run_recoverable(spec: &RunSpec, snapshots: &SnapshotPolicy) -> Result<RunResult, SimError> {
+    let params = profiles::params_by_name(&spec.profile)?;
+    let store = SnapshotStore::new(&snapshots.dir, spec_hash(spec), snapshots.keep);
+    let mut resume = store.load_latest();
+    loop {
+        let (mut config, policy) = spec.model.build();
+        apply_spec_overrides(&mut config, spec);
+        config.snapshot_cycles = Some(snapshots.cadence_cycles.max(1));
+        let workload = profiles::by_name(&spec.profile, spec.seed)?;
+        let attempt = if let Some(FaultSpec::PanicAt(at)) = spec.fault {
+            execute_recoverable(
+                spec,
+                params.category,
+                config,
+                policy,
+                FaultyWorkload::panic_at(workload, at),
+                &store,
+                resume.as_ref(),
+            )
+        } else {
+            execute_recoverable(
+                spec,
+                params.category,
+                config,
+                policy,
+                workload,
+                &store,
+                resume.as_ref(),
+            )
+        };
+        match attempt {
+            Ok(result) => {
+                store.discard();
+                return Ok(result);
+            }
+            Err(ExecError::Sim(error)) => return Err(error),
+            Err(ExecError::Restore(detail)) => {
+                // Each failed restore quarantines exactly one file, so
+                // this loop terminates: eventually `resume` is `None`
+                // and the run starts fresh.
+                let snap = resume.take().expect("restore errors imply a snapshot");
+                eprintln!(
+                    "warning: snapshot {}: {detail}; quarantined, falling back",
+                    snap.path.display()
+                );
+                store.quarantine(&snap.path);
+                resume = store.load_latest();
+            }
+        }
+    }
+}
+
+/// The recoverable counterpart of [`execute`]: installs the snapshot
+/// sink, restores a resume image when given one, and re-enters the
+/// driver phase the image was taken in.
+fn execute_recoverable<W: Workload>(
+    spec: &RunSpec,
+    category: Category,
+    config: CoreConfig,
+    policy: Box<dyn WindowPolicy>,
+    workload: W,
+    store: &SnapshotStore,
+    resume: Option<&LoadedSnapshot>,
+) -> Result<RunResult, ExecError> {
+    let levels = config.levels.clone();
+    let build_timer = ScopedTimer::start(METRIC_PHASE_BUILD);
+    let mut core = Core::try_new(config, workload, policy).map_err(|e| ExecError::Sim(e.into()))?;
+    build_timer.stop();
+
+    // The sink must label each image with the driver phase it was taken
+    // in; the shared cell is how the phase transitions reach the
+    // closure.
+    let phase = Rc::new(Cell::new(SnapshotPhase::Warmup));
+    let fresh_start = resume.is_none();
+    {
+        let phase = Rc::clone(&phase);
+        let store = store.clone();
+        core.set_snapshot_sink(Box::new(move |cycle, bytes| {
+            // A failed save is a warning, not an error: the simulation
+            // is unharmed, only the recovery point is older.
+            if let Err(detail) = store.save(phase.get(), cycle, bytes) {
+                eprintln!("warning: {detail}; continuing without this snapshot");
+            }
+            snapshot::hooks::on_snapshot(cycle, fresh_start);
+            if signals::interrupted() {
+                // The image for this very cycle is on disk: unwind now
+                // and the next invocation resumes from here.
+                std::panic::panic_any(signals::INTERRUPT_PANIC);
+            }
+        }));
+    }
+
+    let sim = |e: mlpwin_ooo::PipelineError| ExecError::Sim(e.into());
+    match resume {
+        None => {
+            if spec.warmup > 0 {
+                let warmup_timer = ScopedTimer::start(METRIC_PHASE_WARMUP);
+                core.run_warmup(spec.warmup).map_err(sim)?;
+                warmup_timer.stop();
+            }
+            phase.set(SnapshotPhase::Measure);
+            let measure_timer = ScopedTimer::start(METRIC_PHASE_MEASURE);
+            let stats = core.run(spec.insts).map_err(sim)?;
+            let secs = measure_timer.stop();
+            Ok(collect_result(
+                spec, category, levels, &mut core, stats, secs,
+            ))
+        }
+        Some(snap) => {
+            core.restore(&snap.payload)
+                .map_err(|e| ExecError::Restore(e.to_string()))?;
+            if core.cycle() != snap.cycle {
+                return Err(ExecError::Restore(format!(
+                    "restored cycle {} does not match the frame's {}",
+                    core.cycle(),
+                    snap.cycle
+                )));
+            }
+            match snap.phase {
+                SnapshotPhase::Warmup => {
+                    let warmup_timer = ScopedTimer::start(METRIC_PHASE_WARMUP);
+                    core.resume_warmup().map_err(sim)?;
+                    warmup_timer.stop();
+                    phase.set(SnapshotPhase::Measure);
+                    let measure_timer = ScopedTimer::start(METRIC_PHASE_MEASURE);
+                    let stats = core.run(spec.insts).map_err(sim)?;
+                    let secs = measure_timer.stop();
+                    Ok(collect_result(
+                        spec, category, levels, &mut core, stats, secs,
+                    ))
+                }
+                SnapshotPhase::Measure => {
+                    phase.set(SnapshotPhase::Measure);
+                    let measure_timer = ScopedTimer::start(METRIC_PHASE_MEASURE);
+                    let stats = core.resume_run().map_err(sim)?;
+                    let secs = measure_timer.stop();
+                    Ok(collect_result(
+                        spec, category, levels, &mut core, stats, secs,
+                    ))
+                }
+            }
+        }
+    }
 }
 
 /// Runs one spec with panic isolation: a panic anywhere inside the run
-/// becomes [`SimError::Panic`] instead of unwinding the caller.
-fn run_isolated(spec: &RunSpec) -> Result<RunResult, SimError> {
-    catch_unwind(AssertUnwindSafe(|| run(spec))).unwrap_or_else(|payload| {
+/// becomes [`SimError::Panic`] instead of unwinding the caller. With a
+/// snapshot policy the run goes through [`run_recoverable`], so a
+/// retried spec resumes from its last snapshot instead of cycle zero.
+fn run_isolated_with(
+    spec: &RunSpec,
+    snapshots: Option<&SnapshotPolicy>,
+) -> Result<RunResult, SimError> {
+    catch_unwind(AssertUnwindSafe(|| match snapshots {
+        Some(policy) => run_recoverable(spec, policy),
+        None => run(spec),
+    }))
+    .unwrap_or_else(|payload| {
         Err(SimError::Panic {
             message: panic_message(payload),
         })
@@ -406,15 +627,25 @@ fn run_isolated(spec: &RunSpec) -> Result<RunResult, SimError> {
 
 /// Runs one spec with retries; returns the outcome plus how many
 /// attempts it took (`RunOutcome::Ok` does not carry the count itself,
-/// but the progress reporter and retry counter need it).
-fn run_with_retries(spec: &RunSpec, max_attempts: u32) -> (RunOutcome, u32) {
+/// but the progress reporter and retry counter need it). An interrupt
+/// request stops the retry loop — a signal must never be answered with
+/// another attempt.
+fn run_with_retries(
+    spec: &RunSpec,
+    max_attempts: u32,
+    snapshots: Option<&SnapshotPolicy>,
+) -> (RunOutcome, u32) {
     let max_attempts = max_attempts.max(1);
     let mut attempts = 0;
     loop {
         attempts += 1;
-        match run_isolated(spec) {
+        match run_isolated_with(spec, snapshots) {
             Ok(r) => return (RunOutcome::Ok(r), attempts),
-            Err(error) if error.is_transient() && attempts < max_attempts => continue,
+            Err(error)
+                if error.is_transient() && attempts < max_attempts && !signals::interrupted() =>
+            {
+                continue
+            }
             Err(error) => return (RunOutcome::Failed { error, attempts }, attempts),
         }
     }
@@ -481,9 +712,16 @@ pub fn run_matrix_with(
                 let worker_started = Instant::now();
                 let mut worker_insts: u64 = 0;
                 loop {
+                    // Stop claiming work once an interrupt is requested;
+                    // in-flight runs stop themselves at their next
+                    // snapshot point.
+                    if signals::interrupted() {
+                        break;
+                    }
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = remaining.get(k) else { break };
-                    let (outcome, attempts) = run_with_retries(&specs[i], config.max_attempts);
+                    let (outcome, attempts) =
+                        run_with_retries(&specs[i], config.max_attempts, config.snapshots.as_ref());
                     let (insts, cycles) = outcome
                         .result()
                         .map_or((0, 0), |r| (r.stats.committed_insts, r.stats.cycles));
@@ -542,9 +780,18 @@ pub fn run_matrix_with(
     Ok(slots
         .into_iter()
         .map(|slot| {
+            // An interrupt drains the queue early: specs never claimed
+            // (or abandoned mid-flight) report as interrupted failures.
+            // Their journal entries are absent, so a re-run resumes
+            // exactly these.
             slot.into_inner()
                 .expect("slot poisoned")
-                .expect("every spec produces an outcome")
+                .unwrap_or_else(|| RunOutcome::Failed {
+                    error: SimError::Panic {
+                        message: signals::INTERRUPT_PANIC.to_string(),
+                    },
+                    attempts: 0,
+                })
         })
         .collect())
 }

@@ -1,0 +1,97 @@
+//! Graceful SIGINT/SIGTERM handling for the simulator binaries.
+//!
+//! Std-only (no signal-handling crate): a raw `signal(2)` FFI binding
+//! installs an async-signal-safe handler whose only action is storing an
+//! [`AtomicBool`]. The snapshot sink polls [`interrupted`] at every
+//! cadence point — a step boundary where the latest image is already on
+//! disk — and unwinds with the [`INTERRUPT_PANIC`] sentinel, which the
+//! binaries translate into a flush-everything exit with
+//! [`EXIT_INTERRUPTED`] so wrappers can tell "re-run me" from "failed".
+//!
+//! The library never installs handlers on its own; binaries opt in via
+//! [`install`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Exit code for "interrupted but resumable" (BSD `EX_TEMPFAIL`): the
+/// run stopped cleanly at a snapshot and re-running the same command
+/// resumes it.
+pub const EXIT_INTERRUPTED: i32 = 75;
+
+/// Panic payload used to unwind out of a run after a signal. Carried as
+/// a `&'static str` so `catch_unwind` sites can match it exactly.
+pub const INTERRUPT_PANIC: &str = "mlpwin: interrupted by signal";
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    // POSIX signal(2). The handler is an address; registering with the
+    // raw binding avoids libc-crate surface the workspace doesn't have.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only an atomic store: the handler must stay async-signal-safe.
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM flag-setting handlers. Call once at
+/// binary start-up; idempotent.
+pub fn install() {
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Whether a SIGINT/SIGTERM has arrived since [`reset`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Raises the flag directly — what the signal handler does, callable
+/// from tests and in-process shutdown paths.
+pub fn request_interrupt() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (start of a fresh command, or between tests).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+/// Whether a caught panic payload is the interrupt sentinel.
+pub fn is_interrupt_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<&'static str>()
+        .is_some_and(|s| *s == INTERRUPT_PANIC)
+        || payload
+            .downcast_ref::<String>()
+            .is_some_and(|s| s == INTERRUPT_PANIC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset();
+        assert!(!interrupted());
+        request_interrupt();
+        assert!(interrupted());
+        reset();
+        assert!(!interrupted());
+    }
+
+    #[test]
+    fn sentinel_payload_is_recognized() {
+        let err = std::panic::catch_unwind(|| panic!("{}", INTERRUPT_PANIC)).unwrap_err();
+        assert!(is_interrupt_payload(err.as_ref()));
+        let other = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        assert!(!is_interrupt_payload(other.as_ref()));
+    }
+}

@@ -1,0 +1,482 @@
+//! Intra-run crash recovery: framed snapshot files with rotation.
+//!
+//! A [`SnapshotStore`] persists the byte images produced by
+//! `Core::snapshot()` so a killed run resumes mid-flight instead of
+//! repaying every cycle from zero. Files live under one directory
+//! (conventionally [`DEFAULT_SNAPSHOT_DIR`]), are keyed by the campaign
+//! journal's FNV-1a [`spec_hash`](crate::journal::spec_hash), and rotate
+//! `keep` deep so one torn write never strands a run.
+//!
+//! Robustness rules mirror the journal's:
+//! - every file is framed (magic, `SNAPSHOT_SCHEMA`, spec hash, phase,
+//!   cycle, payload length) and CRC-32-guarded end to end;
+//! - writes are atomic: temp file in the same directory, `fsync`, then
+//!   rename — a kill mid-write leaves only a temp file nobody reads;
+//! - a file that fails any check is *quarantined* (renamed with a
+//!   `.corrupt` suffix) with a warning, and the previous rotation — or a
+//!   fresh start — takes over; corruption is never fatal.
+
+use mlpwin_isa::snap::crc32;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The snapshot file schema this build writes and reads. Bump on any
+/// incompatible frame or core-image layout change; an unknown schema is
+/// treated as corruption (quarantine + fall back), never a crash.
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+/// Leading magic of every snapshot file.
+const MAGIC: [u8; 8] = *b"MLPWSNAP";
+
+/// Conventional directory for snapshot files, next to the journal's
+/// `results/` artifacts.
+pub const DEFAULT_SNAPSHOT_DIR: &str = "results/snapshots";
+
+/// Default snapshot cadence in measured cycles. At the simulator's
+/// typical multi-hundred-kcyc/s throughput this costs well under one
+/// save per wall-second while bounding lost work to a fraction of a
+/// second of simulation.
+pub const DEFAULT_SNAPSHOT_CADENCE: u64 = 100_000;
+
+/// Default rotation depth: how many snapshot generations to keep.
+pub const DEFAULT_SNAPSHOT_KEEP: usize = 3;
+
+/// Which driver phase a snapshot was taken in — the restore side must
+/// re-enter the matching driver (`resume_warmup` vs `resume_run`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotPhase {
+    /// Taken during `run_warmup` (counters still to be reset).
+    Warmup,
+    /// Taken during the measured `run`.
+    Measure,
+}
+
+impl SnapshotPhase {
+    fn tag(self) -> u8 {
+        match self {
+            SnapshotPhase::Warmup => 0,
+            SnapshotPhase::Measure => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<SnapshotPhase> {
+        match tag {
+            0 => Some(SnapshotPhase::Warmup),
+            1 => Some(SnapshotPhase::Measure),
+            _ => None,
+        }
+    }
+}
+
+/// How the recoverable runner snapshots: where, how often, how deep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Directory holding the snapshot files.
+    pub dir: PathBuf,
+    /// Snapshot cadence in measured cycles (clamped to at least 1).
+    pub cadence_cycles: u64,
+    /// Rotation depth (how many generations survive pruning).
+    pub keep: usize,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> SnapshotPolicy {
+        SnapshotPolicy {
+            dir: PathBuf::from(DEFAULT_SNAPSHOT_DIR),
+            cadence_cycles: DEFAULT_SNAPSHOT_CADENCE,
+            keep: DEFAULT_SNAPSHOT_KEEP,
+        }
+    }
+}
+
+impl SnapshotPolicy {
+    /// A policy rooted at `dir` with the default cadence and depth.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> SnapshotPolicy {
+        SnapshotPolicy {
+            dir: dir.into(),
+            ..SnapshotPolicy::default()
+        }
+    }
+
+    /// Replaces the cadence.
+    pub fn every(mut self, cadence_cycles: u64) -> SnapshotPolicy {
+        self.cadence_cycles = cadence_cycles;
+        self
+    }
+}
+
+/// A decoded, CRC-verified snapshot ready to hand to `Core::restore`.
+#[derive(Debug, Clone)]
+pub struct LoadedSnapshot {
+    /// Driver phase the image was taken in.
+    pub phase: SnapshotPhase,
+    /// Absolute core cycle of the image.
+    pub cycle: u64,
+    /// The `Core::snapshot()` byte image.
+    pub payload: Vec<u8>,
+    /// File the image came from (for quarantine on a failed restore).
+    pub path: PathBuf,
+}
+
+/// One spec's rotated snapshot files under a directory.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    spec_hash: u64,
+    keep: usize,
+}
+
+impl SnapshotStore {
+    /// A store for the spec identified by `spec_hash`, keeping at most
+    /// `keep` generations (clamped to at least 1).
+    pub fn new(dir: impl Into<PathBuf>, spec_hash: u64, keep: usize) -> SnapshotStore {
+        SnapshotStore {
+            dir: dir.into(),
+            spec_hash,
+            keep: keep.max(1),
+        }
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_path(&self, cycle: u64) -> PathBuf {
+        // Zero-padded cycle: lexicographic order == numeric order.
+        self.dir
+            .join(format!("{:016x}-{:020}.snap", self.spec_hash, cycle))
+    }
+
+    /// Persists one image atomically (temp + fsync + rename), then
+    /// prunes generations beyond the rotation depth.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the I/O failure; the caller
+    /// decides whether a missed snapshot is fatal (the periodic sink
+    /// treats it as a warning — the simulation itself is unharmed).
+    pub fn save(
+        &self,
+        phase: SnapshotPhase,
+        cycle: u64,
+        payload: &[u8],
+    ) -> Result<PathBuf, String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("snapshot dir {} mkdir failed: {e}", self.dir.display()))?;
+        let path = self.file_path(cycle);
+        let tmp = path.with_extension("tmp");
+        let frame = encode_frame(self.spec_hash, phase, cycle, payload);
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("snapshot {} create failed: {e}", tmp.display()))?;
+        file.write_all(&frame)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| format!("snapshot {} write failed: {e}", tmp.display()))?;
+        drop(file);
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("snapshot {} rename failed: {e}", path.display()))?;
+        self.prune();
+        Ok(path)
+    }
+
+    /// The newest snapshot that passes every integrity check, or `None`
+    /// when no usable snapshot exists. Files that fail a check are
+    /// quarantined with a warning and the next-older generation is
+    /// tried — corruption degrades to a fresh start, never an error.
+    pub fn load_latest(&self) -> Option<LoadedSnapshot> {
+        for path in self.candidates() {
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    self.quarantine_with_warning(&path, &format!("read failed: {e}"));
+                    continue;
+                }
+            };
+            match decode_frame(self.spec_hash, &bytes) {
+                Ok((phase, cycle, payload)) => {
+                    return Some(LoadedSnapshot {
+                        phase,
+                        cycle,
+                        payload,
+                        path,
+                    })
+                }
+                Err(detail) => self.quarantine_with_warning(&path, &detail),
+            }
+        }
+        None
+    }
+
+    /// Moves a bad snapshot aside (`<name>.corrupt`) so it is never
+    /// retried; falls back to deleting it when the rename fails.
+    pub fn quarantine(&self, path: &Path) {
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        if std::fs::rename(path, PathBuf::from(&corrupt)).is_err() {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    fn quarantine_with_warning(&self, path: &Path, detail: &str) {
+        eprintln!(
+            "warning: snapshot {}: {detail}; quarantined, falling back",
+            path.display()
+        );
+        self.quarantine(path);
+    }
+
+    /// Deletes every (non-quarantined) snapshot of this spec — called
+    /// after a successful run so a finished spec never resumes from a
+    /// stale image.
+    pub fn discard(&self) {
+        for path in self.candidates() {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    /// This spec's snapshot files, newest first.
+    fn candidates(&self) -> Vec<PathBuf> {
+        let prefix = format!("{:016x}-", self.spec_hash);
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".snap"))
+            })
+            .collect();
+        // Zero-padded cycles make name order == age order.
+        files.sort();
+        files.reverse();
+        files
+    }
+
+    fn prune(&self) {
+        for stale in self.candidates().into_iter().skip(self.keep) {
+            std::fs::remove_file(stale).ok();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Frame layout (all integers little-endian):
+/// `magic[8] | schema u32 | spec_hash u64 | phase u8 | cycle u64 |
+/// payload_len u64 | payload | crc32 u32` — the CRC covers every byte
+/// before it.
+pub fn encode_frame(spec_hash: u64, phase: SnapshotPhase, cycle: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 33 + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SNAPSHOT_SCHEMA.to_le_bytes());
+    out.extend_from_slice(&spec_hash.to_le_bytes());
+    out.push(phase.tag());
+    out.extend_from_slice(&cycle.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates and unpacks a frame written by [`encode_frame`]. The error
+/// is a human-readable description of the first failed check.
+pub fn decode_frame(
+    expect_hash: u64,
+    bytes: &[u8],
+) -> Result<(SnapshotPhase, u64, Vec<u8>), String> {
+    let header = MAGIC.len() + 4 + 8 + 1 + 8 + 8;
+    if bytes.len() < header + 4 {
+        return Err(format!("short file ({} bytes)", bytes.len()));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let recorded = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != recorded {
+        return Err("CRC mismatch".to_string());
+    }
+    if body[..MAGIC.len()] != MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let mut at = MAGIC.len();
+    let mut take = |n: usize| {
+        let s = &body[at..at + n];
+        at += n;
+        s
+    };
+    let schema = u32::from_le_bytes(take(4).try_into().expect("4 bytes"));
+    if schema != SNAPSHOT_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema} (this build reads {SNAPSHOT_SCHEMA})"
+        ));
+    }
+    let hash = u64::from_le_bytes(take(8).try_into().expect("8 bytes"));
+    if hash != expect_hash {
+        return Err(format!("spec hash {hash:016x} is not {expect_hash:016x}"));
+    }
+    let phase = SnapshotPhase::from_tag(take(1)[0]).ok_or("bad phase tag")?;
+    let cycle = u64::from_le_bytes(take(8).try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(take(8).try_into().expect("8 bytes"));
+    let payload = &body[at..];
+    if payload.len() as u64 != len {
+        return Err(format!("payload length {} is not {len}", payload.len()));
+    }
+    Ok((phase, cycle, payload.to_vec()))
+}
+
+// ------------------------------------------------------------------ hooks
+
+/// Process-global observation/chaos hooks fired at every snapshot-cadence
+/// event — plumbing for the `mlpwin-sim` worker binary (heartbeat lines,
+/// deterministic crash injection for the recovery tests). Defaults are
+/// all-off; library users never see them fire.
+pub mod hooks {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static HEARTBEAT: AtomicBool = AtomicBool::new(false);
+    static CHAOS_KILL_AT: AtomicU64 = AtomicU64::new(u64::MAX);
+
+    /// Emit a `hb <cycle>` line on stdout at every snapshot (the
+    /// supervisor's liveness signal).
+    pub fn set_heartbeat(on: bool) {
+        HEARTBEAT.store(on, Ordering::SeqCst);
+    }
+
+    /// Abort the process at the first snapshot at or past `cycle` — but
+    /// only on a fresh (non-resumed) run, so the post-crash resume
+    /// completes. Test-only chaos injection.
+    pub fn set_chaos_kill_at(cycle: Option<u64>) {
+        CHAOS_KILL_AT.store(cycle.unwrap_or(u64::MAX), Ordering::SeqCst);
+    }
+
+    pub(crate) fn on_snapshot(cycle: u64, fresh_start: bool) {
+        if HEARTBEAT.load(Ordering::SeqCst) {
+            use std::io::Write as _;
+            let mut out = std::io::stdout().lock();
+            writeln!(out, "hb {cycle}").ok();
+            out.flush().ok();
+        }
+        if fresh_start && cycle >= CHAOS_KILL_AT.load(Ordering::SeqCst) {
+            eprintln!("chaos: aborting at cycle {cycle} (injected crash)");
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mlpwin-snapstore-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = b"core image bytes".to_vec();
+        let frame = encode_frame(0xABCD, SnapshotPhase::Measure, 12_345, &payload);
+        let (phase, cycle, body) = decode_frame(0xABCD, &frame).expect("decodes");
+        assert_eq!(phase, SnapshotPhase::Measure);
+        assert_eq!(cycle, 12_345);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn every_corruption_mode_is_detected() {
+        let frame = encode_frame(7, SnapshotPhase::Warmup, 99, b"payload");
+        // Truncation at any point.
+        for cut in [0, 5, frame.len() / 2, frame.len() - 1] {
+            assert!(decode_frame(7, &frame[..cut]).is_err(), "cut at {cut}");
+        }
+        // A single flipped bit anywhere trips the CRC (or a field check).
+        for i in (0..frame.len()).step_by(7) {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_frame(7, &bad).is_err(), "flip at {i}");
+        }
+        // The wrong spec refuses the image.
+        assert!(decode_frame(8, &frame).unwrap_err().contains("spec hash"));
+    }
+
+    #[test]
+    fn store_rotates_and_returns_newest() {
+        let dir = scratch("rotate");
+        let store = SnapshotStore::new(&dir, 0x11, 2);
+        for cycle in [100, 200, 300, 400] {
+            store
+                .save(SnapshotPhase::Measure, cycle, &cycle.to_le_bytes())
+                .expect("save");
+        }
+        let latest = store.load_latest().expect("has snapshots");
+        assert_eq!(latest.cycle, 400);
+        // Depth 2: only 300 and 400 survive.
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 2, "{names:?}");
+        store.discard();
+        assert!(store.load_latest().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous_generation() {
+        let dir = scratch("heal");
+        let store = SnapshotStore::new(&dir, 0x22, 3);
+        store
+            .save(SnapshotPhase::Measure, 100, b"older, intact")
+            .expect("save");
+        let newest = store
+            .save(SnapshotPhase::Measure, 200, b"newer, doomed")
+            .expect("save");
+        // Bit-flip the newest file in place.
+        let mut bytes = std::fs::read(&newest).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).expect("rewrite");
+
+        let loaded = store.load_latest().expect("older generation survives");
+        assert_eq!(loaded.cycle, 100);
+        assert_eq!(loaded.payload, b"older, intact");
+        assert!(
+            !newest.exists(),
+            "corrupt file must be moved aside, not retried"
+        );
+        let quarantined = PathBuf::from(format!("{}.corrupt", newest.display()));
+        assert!(quarantined.exists(), "quarantine keeps the evidence");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_files_at_random_offsets_never_load() {
+        let dir = scratch("truncate");
+        let store = SnapshotStore::new(&dir, 0x33, 4);
+        let payload: Vec<u8> = (0..=255).collect();
+        let path = store
+            .save(SnapshotPhase::Warmup, 500, &payload)
+            .expect("save");
+        let full = std::fs::read(&path).expect("read");
+        // A deterministic pseudo-random walk over truncation points.
+        let mut x = 0x9E37_79B9_u64;
+        for _ in 0..16 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let cut = (x % full.len() as u64) as usize;
+            std::fs::write(&path, &full[..cut]).expect("truncate");
+            assert!(store.load_latest().is_none(), "cut at {cut} must not load");
+            // load_latest quarantined it; restore the original for the
+            // next iteration.
+            std::fs::remove_file(PathBuf::from(format!("{}.corrupt", path.display()))).ok();
+            std::fs::write(&path, &full).expect("restore file");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,372 @@
+//! Process-level supervision of simulation workers.
+//!
+//! In-process isolation (`catch_unwind` in the matrix runner) cannot
+//! survive an aborting worker, a runaway allocation, or an OOM kill. The
+//! [`Supervisor`] closes that gap: it runs each spec in a **child
+//! process** (the `mlpwin-sim` worker binary), watches a heartbeat the
+//! worker prints at every snapshot, enforces memory and wall-clock
+//! budgets by killing the child, and restarts dead workers with
+//! exponential backoff. Restarted workers resume from the latest valid
+//! snapshot on disk, so a crash costs at most one snapshot cadence of
+//! re-simulation — and the final result is bit-identical to an
+//! uninterrupted run (the chaos suite in `tests/recovery.rs` asserts
+//! exactly that).
+
+use crate::journal::spec_hash;
+use crate::runner::{FaultSpec, RunSpec};
+use crate::signals::EXIT_INTERRUPTED;
+use crate::snapshot::SnapshotPolicy;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a supervised spec ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuperviseOutcome {
+    /// The worker exited cleanly (possibly after restarts).
+    Completed {
+        /// Worker launches it took, including the successful one.
+        attempts: u32,
+    },
+    /// The worker reported a graceful interrupt
+    /// ([`EXIT_INTERRUPTED`]); re-supervising the same spec resumes it.
+    Interrupted {
+        /// Worker launches before the interrupt.
+        attempts: u32,
+    },
+    /// The restart budget ran out (or the worker could not launch).
+    Failed {
+        /// Worker launches attempted.
+        attempts: u32,
+        /// The final failure, human-readable.
+        detail: String,
+    },
+}
+
+/// Runs specs in supervised child processes.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    /// The `mlpwin-sim` worker executable.
+    pub worker_exe: PathBuf,
+    /// Snapshot policy forwarded to every worker (and the place
+    /// restarted workers resume from).
+    pub snapshots: SnapshotPolicy,
+    /// Results journal forwarded to every worker.
+    pub journal: Option<PathBuf>,
+    /// Restarts after the first launch (total launches = 1 + restarts).
+    pub max_restarts: u32,
+    /// First-restart delay; doubles per restart.
+    pub backoff_base: Duration,
+    /// Kill a worker whose last heartbeat is older than this; `None`
+    /// disables the liveness check.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Kill a worker whose resident set exceeds this many kilobytes.
+    pub memory_budget_kb: Option<u64>,
+    /// Kill a worker running longer than this wall-clock budget.
+    pub time_budget: Option<Duration>,
+    /// Test-only chaos injection forwarded to the worker
+    /// (`--chaos-kill-at`): abort at the first snapshot at or past this
+    /// cycle, on fresh starts only — so the supervised restart resumes
+    /// and completes.
+    pub chaos_kill_at: Option<u64>,
+}
+
+impl Supervisor {
+    /// A supervisor with lenient defaults: three restarts, 100 ms base
+    /// backoff, no heartbeat/memory/time budgets.
+    pub fn new(worker_exe: impl Into<PathBuf>, snapshots: SnapshotPolicy) -> Supervisor {
+        Supervisor {
+            worker_exe: worker_exe.into(),
+            snapshots,
+            journal: None,
+            max_restarts: 3,
+            backoff_base: Duration::from_millis(100),
+            heartbeat_timeout: None,
+            memory_budget_kb: None,
+            time_budget: None,
+            chaos_kill_at: None,
+        }
+    }
+
+    /// The worker command line for `spec` — the exact inverse of the
+    /// `mlpwin-sim` binary's argument parser.
+    pub fn spec_args(&self, spec: &RunSpec) -> Vec<String> {
+        let mut args = vec![
+            "--profile".into(),
+            spec.profile.clone(),
+            "--model".into(),
+            spec.model.tag().to_string(),
+            "--warmup".into(),
+            spec.warmup.to_string(),
+            "--insts".into(),
+            spec.insts.to_string(),
+            "--seed".into(),
+            spec.seed.to_string(),
+            "--snapshot-dir".into(),
+            self.snapshots.dir.display().to_string(),
+            "--snapshot-cycles".into(),
+            self.snapshots.cadence_cycles.to_string(),
+            "--keep".into(),
+            self.snapshots.keep.to_string(),
+            "--heartbeat".into(),
+        ];
+        if let Some(cycles) = spec.watchdog_cycles {
+            args.push("--watchdog".into());
+            args.push(cycles.to_string());
+        }
+        if let Some(cycles) = spec.deadline_cycles {
+            args.push("--deadline".into());
+            args.push(cycles.to_string());
+        }
+        if let Some(epoch) = spec.interval_cycles {
+            args.push("--intervals".into());
+            args.push(epoch.to_string());
+        }
+        match spec.fault {
+            Some(FaultSpec::PanicAt(at)) => {
+                args.push("--fault".into());
+                args.push(format!("panic@{at}"));
+            }
+            Some(FaultSpec::LivelockAt(at)) => {
+                args.push("--fault".into());
+                args.push(format!("livelock@{at}"));
+            }
+            None => {}
+        }
+        if let Some(journal) = &self.journal {
+            args.push("--journal".into());
+            args.push(journal.display().to_string());
+        }
+        if let Some(at) = self.chaos_kill_at {
+            args.push("--chaos-kill-at".into());
+            args.push(at.to_string());
+        }
+        args
+    }
+
+    /// Runs `spec` to completion under supervision: launch the worker,
+    /// watch heartbeat/memory/time, kill on a blown budget, restart with
+    /// exponential backoff. Restarted workers find the previous
+    /// incarnation's snapshots (same directory, same
+    /// [`spec_hash`]) and resume mid-run.
+    pub fn supervise(&self, spec: &RunSpec) -> SuperviseOutcome {
+        let max_attempts = 1 + self.max_restarts;
+        let mut attempts = 0;
+        let mut last_detail = String::new();
+        while attempts < max_attempts {
+            if attempts > 0 {
+                // Exponential backoff between restarts.
+                let delay = self.backoff_base * 2_u32.saturating_pow(attempts - 1);
+                std::thread::sleep(delay);
+            }
+            attempts += 1;
+            let mut child = match Command::new(&self.worker_exe)
+                .args(self.spec_args(spec))
+                .stdout(Stdio::piped())
+                .spawn()
+            {
+                Ok(child) => child,
+                Err(e) => {
+                    return SuperviseOutcome::Failed {
+                        attempts,
+                        detail: format!(
+                            "worker {} failed to launch: {e}",
+                            self.worker_exe.display()
+                        ),
+                    }
+                }
+            };
+            let last_beat = Arc::new(Mutex::new(Instant::now()));
+            let reader = child.stdout.take().map(|stdout| {
+                let last_beat = Arc::clone(&last_beat);
+                std::thread::spawn(move || {
+                    use std::io::BufRead as _;
+                    for line in std::io::BufReader::new(stdout).lines() {
+                        let Ok(line) = line else { break };
+                        if line.starts_with("hb ") {
+                            *last_beat.lock().expect("heartbeat clock poisoned") = Instant::now();
+                        }
+                    }
+                })
+            });
+            let verdict = self.watch(&mut child, &last_beat);
+            if let Some(reader) = reader {
+                reader.join().ok();
+            }
+            match verdict {
+                Verdict::Exited(0) => return SuperviseOutcome::Completed { attempts },
+                Verdict::Exited(code) if code == EXIT_INTERRUPTED => {
+                    return SuperviseOutcome::Interrupted { attempts }
+                }
+                Verdict::Exited(code) => {
+                    last_detail = format!("worker exited with code {code}");
+                }
+                Verdict::Killed(reason) => last_detail = reason,
+                Verdict::Died => last_detail = "worker died (killed by signal or crash)".into(),
+            }
+            eprintln!(
+                "supervisor: spec {:016x} attempt {attempts}: {last_detail}; will resume from latest snapshot",
+                spec_hash(spec)
+            );
+        }
+        SuperviseOutcome::Failed {
+            attempts,
+            detail: format!("restart budget exhausted: {last_detail}"),
+        }
+    }
+
+    /// Polls the child against every budget until it exits or is killed.
+    fn watch(&self, child: &mut Child, last_beat: &Arc<Mutex<Instant>>) -> Verdict {
+        let started = Instant::now();
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    return match status.code() {
+                        Some(code) => Verdict::Exited(code),
+                        None => Verdict::Died,
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => return Verdict::Died,
+            }
+            let kill_reason = self.blown_budget(child.id(), started, last_beat);
+            if let Some(reason) = kill_reason {
+                child.kill().ok();
+                child.wait().ok();
+                return Verdict::Killed(reason);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn blown_budget(
+        &self,
+        pid: u32,
+        started: Instant,
+        last_beat: &Arc<Mutex<Instant>>,
+    ) -> Option<String> {
+        if let Some(timeout) = self.heartbeat_timeout {
+            let age = last_beat
+                .lock()
+                .expect("heartbeat clock poisoned")
+                .elapsed();
+            if age > timeout {
+                return Some(format!(
+                    "heartbeat stale for {age:.1?} (budget {timeout:.1?})"
+                ));
+            }
+        }
+        if let Some(budget_kb) = self.memory_budget_kb {
+            if let Some(rss_kb) = resident_kb(pid) {
+                if rss_kb > budget_kb {
+                    return Some(format!(
+                        "resident set {rss_kb} kB over budget {budget_kb} kB"
+                    ));
+                }
+            }
+        }
+        if let Some(budget) = self.time_budget {
+            let elapsed = started.elapsed();
+            if elapsed > budget {
+                return Some(format!("running for {elapsed:.1?} (budget {budget:.1?})"));
+            }
+        }
+        None
+    }
+}
+
+enum Verdict {
+    Exited(i32),
+    Killed(String),
+    Died,
+}
+
+/// The process's resident set in kilobytes, from `/proc/<pid>/status`;
+/// `None` off Linux or when the process is gone.
+fn resident_kb(pid: u32) -> Option<u64> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    parse_vmrss_kb(&status)
+}
+
+fn parse_vmrss_kb(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimModel;
+
+    #[test]
+    fn spec_args_round_trip_every_field() {
+        let sup = Supervisor::new(
+            "/bin/true",
+            SnapshotPolicy::in_dir("/tmp/snaps").every(5_000),
+        );
+        let spec = RunSpec::new("mcf", SimModel::Dynamic)
+            .with_budget(1_000, 2_000)
+            .with_watchdog(9_999)
+            .with_deadline(88_888)
+            .with_intervals(250)
+            .with_fault(FaultSpec::PanicAt(500));
+        let args = sup.spec_args(&spec);
+        for expected in [
+            "--profile",
+            "mcf",
+            "--model",
+            "dynamic",
+            "--warmup",
+            "1000",
+            "--insts",
+            "2000",
+            "--watchdog",
+            "9999",
+            "--deadline",
+            "88888",
+            "--intervals",
+            "250",
+            "--fault",
+            "panic@500",
+            "--snapshot-dir",
+            "/tmp/snaps",
+            "--snapshot-cycles",
+            "5000",
+            "--heartbeat",
+        ] {
+            assert!(
+                args.iter().any(|a| a == expected),
+                "missing {expected}: {args:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vmrss_parses_the_proc_status_format() {
+        let status = "Name:\tmlpwin-sim\nVmPeak:\t  123 kB\nVmRSS:\t    4567 kB\n";
+        assert_eq!(parse_vmrss_kb(status), Some(4567));
+        assert_eq!(parse_vmrss_kb("Name: x\n"), None);
+    }
+
+    #[test]
+    fn missing_worker_binary_fails_without_restarts_burning_time() {
+        let mut sup = Supervisor::new(
+            "/nonexistent/mlpwin-sim",
+            SnapshotPolicy::in_dir("/tmp/never-used"),
+        );
+        sup.backoff_base = Duration::from_millis(1);
+        let out = sup.supervise(&RunSpec::new("gcc", SimModel::Base));
+        match out {
+            SuperviseOutcome::Failed { detail, .. } => {
+                assert!(detail.contains("failed to launch"), "{detail}")
+            }
+            other => panic!("expected launch failure, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Crash-recovery chaos suite.
+//!
+//! Kills real worker processes (SIGKILL-equivalent aborts, SIGTERM
+//! interrupts, supervisor budget kills) at pseudo-random cycles across
+//! memory- and compute-intensive profiles, base and dynamic policies,
+//! and runahead — then asserts the resumed runs are **bit-identical** to
+//! uninterrupted ones: same stats, same journal bytes, same spec hash.
+//! Also exercises snapshot-corruption healing and the in-process
+//! interrupt/retry paths end to end.
+
+use mlpwin_sim::runner::{run_matrix_with, run_recoverable, FaultSpec, RunSpec};
+use mlpwin_sim::snapshot::{SnapshotPolicy, SnapshotStore};
+use mlpwin_sim::supervisor::SuperviseOutcome;
+use mlpwin_sim::{signals, spec_hash, Journal, MatrixConfig, SimModel, Supervisor};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const WORKER: &str = env!("CARGO_BIN_EXE_mlpwin-sim");
+
+/// The in-process interrupt flag is process-global; tests that touch it
+/// serialize on this lock (worker-process tests don't need it).
+static SIGNAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlpwin-recovery-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The worker command line for `spec` in `dir`, with a snapshot cadence
+/// of `cadence` cycles and the journal at `dir/journal.jsonl`.
+fn worker_cmd(spec: &RunSpec, dir: &Path, cadence: u64) -> Command {
+    let mut cmd = Command::new(WORKER);
+    cmd.args([
+        "--profile".to_string(),
+        spec.profile.clone(),
+        "--model".to_string(),
+        spec.model.tag(),
+        "--warmup".to_string(),
+        spec.warmup.to_string(),
+        "--insts".to_string(),
+        spec.insts.to_string(),
+        "--seed".to_string(),
+        spec.seed.to_string(),
+        "--snapshot-dir".to_string(),
+        dir.join("snaps").display().to_string(),
+        "--snapshot-cycles".to_string(),
+        cadence.to_string(),
+        "--journal".to_string(),
+        dir.join("journal.jsonl").display().to_string(),
+    ]);
+    cmd
+}
+
+fn journal_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("journal.jsonl")).expect("journal written")
+}
+
+/// Kill a worker at `kill_cycle` via the chaos hook, resume it with the
+/// identical command, run an uninterrupted control in a second
+/// directory, and demand byte-identical journals (which embed the full
+/// stats and the spec). `env` is applied to every invocation.
+fn chaos_round(spec: &RunSpec, kill_cycle: u64, tag: &str, env: &[(&str, &str)]) {
+    let cadence = 400;
+    let dir = scratch(&format!("chaos-{tag}"));
+    let clean_dir = scratch(&format!("chaos-{tag}-clean"));
+
+    let mut doomed = worker_cmd(spec, &dir, cadence);
+    doomed.arg("--chaos-kill-at").arg(kill_cycle.to_string());
+    for (k, v) in env {
+        doomed.env(k, v);
+    }
+    let status = doomed.status().expect("spawn worker");
+    assert!(
+        !status.success(),
+        "{tag}: the chaos-killed worker must not exit cleanly"
+    );
+    let snaps = std::fs::read_dir(dir.join("snaps"))
+        .expect("snapshot dir")
+        .count();
+    assert!(snaps > 0, "{tag}: the dying worker left no snapshot");
+
+    // Same command, same chaos flag: resumed runs never re-fire it.
+    let mut resume = worker_cmd(spec, &dir, cadence);
+    resume.arg("--chaos-kill-at").arg(kill_cycle.to_string());
+    for (k, v) in env {
+        resume.env(k, v);
+    }
+    let status = resume.status().expect("spawn worker");
+    assert!(status.success(), "{tag}: the resumed worker must complete");
+
+    let mut clean = worker_cmd(spec, &clean_dir, cadence);
+    for (k, v) in env {
+        clean.env(k, v);
+    }
+    let status = clean.status().expect("spawn worker");
+    assert!(status.success(), "{tag}: the control worker must complete");
+
+    assert_eq!(
+        journal_bytes(&dir),
+        journal_bytes(&clean_dir),
+        "{tag}: kill at cycle {kill_cycle} + resume must be bit-identical \
+         to an uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}
+
+#[test]
+fn chaos_killed_workers_resume_bit_identically() {
+    let combos: &[(&str, SimModel)] = &[
+        ("mcf", SimModel::Base),
+        ("mcf", SimModel::Dynamic),
+        ("gcc", SimModel::Base),
+        ("gcc", SimModel::Dynamic),
+        ("libquantum", SimModel::Runahead),
+    ];
+    // Deterministic pseudo-random kill cycles (no clock, no RNG crate).
+    let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+    for (i, (profile, model)) in combos.iter().enumerate() {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let kill_cycle = 300 + x % 2200;
+        let spec = RunSpec::new(profile, *model).with_budget(2_000, 4_000);
+        chaos_round(
+            &spec,
+            kill_cycle,
+            &format!("{i}-{profile}-{}", model.tag()),
+            &[],
+        );
+    }
+}
+
+#[test]
+fn chaos_resume_is_bit_identical_with_fast_forward_on_either_setting() {
+    let spec = RunSpec::new("mcf", SimModel::Dynamic).with_budget(2_000, 4_000);
+    // Fast-forward disabled end to end.
+    chaos_round(&spec, 1_100, "noff", &[("MLPWIN_NO_FAST_FORWARD", "1")]);
+    // And the default fast-forwarding build again, for the same kill
+    // cycle — the fastpath must not perturb recovery.
+    chaos_round(&spec, 1_100, "ff", &[]);
+}
+
+#[test]
+fn sigterm_exits_resumable_and_the_rerun_completes() {
+    let spec = RunSpec::new("gcc", SimModel::Base).with_budget(1_000, 400_000);
+    let dir = scratch("sigterm");
+    let clean_dir = scratch("sigterm-clean");
+
+    let mut cmd = worker_cmd(&spec, &dir, 200);
+    cmd.arg("--heartbeat").stdout(std::process::Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn worker");
+    // Wait for the first heartbeat so the signal lands mid-run with at
+    // least one snapshot on disk.
+    {
+        use std::io::BufRead as _;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let first = lines.next().expect("one line").expect("readable");
+        assert!(
+            first.starts_with("hb "),
+            "expected a heartbeat, got {first:?}"
+        );
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        let rc = unsafe { kill(child.id() as i32, 15) };
+        assert_eq!(rc, 0, "kill(SIGTERM) failed");
+        // Drain the pipe so the worker never blocks on a full buffer.
+        for _ in lines {}
+    }
+    let status = child.wait().expect("wait worker");
+    assert_eq!(
+        status.code(),
+        Some(signals::EXIT_INTERRUPTED),
+        "a signalled worker must exit with the resumable code"
+    );
+    assert!(
+        !std::fs::read_to_string(dir.join("journal.jsonl"))
+            .map(|s| s.contains("gcc"))
+            .unwrap_or(false),
+        "an interrupted run must not be journaled as complete"
+    );
+
+    let status = worker_cmd(&spec, &dir, 200).status().expect("spawn worker");
+    assert!(status.success(), "the rerun must resume and complete");
+    let status = worker_cmd(&spec, &clean_dir, 200)
+        .status()
+        .expect("spawn worker");
+    assert!(status.success());
+    assert_eq!(
+        journal_bytes(&dir),
+        journal_bytes(&clean_dir),
+        "SIGTERM + resume must be bit-identical to an uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}
+
+#[test]
+fn in_process_interrupt_leaves_a_resumable_snapshot() {
+    let _guard = SIGNAL_LOCK.lock().expect("signal lock");
+    let dir = scratch("inproc");
+    let policy = SnapshotPolicy::in_dir(dir.join("snaps")).every(300);
+    let spec = RunSpec::new("milc", SimModel::Dynamic).with_budget(2_000, 3_000);
+
+    signals::reset();
+    signals::request_interrupt();
+    let err = std::panic::catch_unwind(|| run_recoverable(&spec, &policy))
+        .expect_err("an interrupted run unwinds");
+    assert!(signals::is_interrupt_payload(err.as_ref()));
+
+    let store = SnapshotStore::new(dir.join("snaps"), spec_hash(&spec), 3);
+    let snap = store.load_latest().expect("interrupt leaves a snapshot");
+    assert!(snap.cycle > 0);
+
+    signals::reset();
+    let resumed = run_recoverable(&spec, &policy).expect("resume completes");
+    let reference = mlpwin_sim::runner::run(&spec).expect("reference run");
+    assert_eq!(resumed, reference, "resumed run must be bit-identical");
+    assert!(
+        store.load_latest().is_none(),
+        "a completed spec must not keep stale snapshots"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_snapshot_heals_to_an_older_generation_or_fresh_start() {
+    let _guard = SIGNAL_LOCK.lock().expect("signal lock");
+    let dir = scratch("heal");
+    let policy = SnapshotPolicy::in_dir(dir.join("snaps")).every(250);
+    let spec = RunSpec::new("soplex", SimModel::Base).with_budget(1_500, 2_500);
+
+    signals::reset();
+    signals::request_interrupt();
+    let _ = std::panic::catch_unwind(|| run_recoverable(&spec, &policy));
+    signals::reset();
+
+    // Bit-flip the newest snapshot mid-file.
+    let store = SnapshotStore::new(dir.join("snaps"), spec_hash(&spec), 3);
+    let newest = store.load_latest().expect("snapshot present").path;
+    let mut bytes = std::fs::read(&newest).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&newest, &bytes).expect("corrupt snapshot");
+
+    let resumed = run_recoverable(&spec, &policy).expect("healed run completes");
+    let reference = mlpwin_sim::runner::run(&spec).expect("reference run");
+    assert_eq!(resumed, reference, "healed run must be bit-identical");
+    assert!(
+        std::fs::read_dir(dir.join("snaps"))
+            .expect("snapshot dir")
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".corrupt")),
+        "the corrupt file must be quarantined"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_matrix_reports_and_resumes() {
+    let _guard = SIGNAL_LOCK.lock().expect("signal lock");
+    let dir = scratch("matrix");
+    let specs = vec![
+        RunSpec::new("gcc", SimModel::Base).with_budget(1_000, 1_000),
+        RunSpec::new("milc", SimModel::Base).with_budget(1_000, 1_000),
+    ];
+    let config = MatrixConfig {
+        threads: 1,
+        journal: Some(dir.join("journal.jsonl")),
+        snapshots: Some(SnapshotPolicy::in_dir(dir.join("snaps")).every(200)),
+        ..MatrixConfig::default()
+    };
+
+    signals::reset();
+    signals::request_interrupt();
+    let outcomes = run_matrix_with(&specs, &config).expect("no journal I/O error");
+    assert!(
+        outcomes.iter().all(|o| !o.is_ok()),
+        "an interrupt before the matrix starts must complete nothing"
+    );
+
+    signals::reset();
+    let outcomes = run_matrix_with(&specs, &config).expect("no journal I/O error");
+    assert!(
+        outcomes.iter().all(|o| o.is_ok()),
+        "the rerun completes all"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panicking_spec_with_snapshots_keeps_the_retry_contract() {
+    let dir = scratch("retry");
+    let specs = vec![
+        RunSpec::new("gcc", SimModel::Base)
+            .with_budget(1_000, 1_000)
+            .with_fault(FaultSpec::PanicAt(1_500)),
+        RunSpec::new("gcc", SimModel::Base).with_budget(1_000, 1_000),
+    ];
+    let config = MatrixConfig {
+        threads: 1,
+        snapshots: Some(SnapshotPolicy::in_dir(dir.join("snaps")).every(200)),
+        ..MatrixConfig::default()
+    };
+    let outcomes = run_matrix_with(&specs, &config).expect("no journal");
+    match &outcomes[0] {
+        mlpwin_sim::RunOutcome::Failed { attempts, .. } => {
+            assert_eq!(*attempts, 2, "panics stay transient: retried once")
+        }
+        other => panic!("the deterministic panic must still fail: {other:?}"),
+    }
+    let healthy = outcomes[1].result().expect("sibling unharmed");
+    let reference = mlpwin_sim::runner::run(&specs[1]).expect("reference");
+    assert_eq!(healthy.stats, reference.stats);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervisor_restarts_a_crashed_worker_which_resumes_to_the_same_result() {
+    let dir = scratch("supervised");
+    let mut sup = Supervisor::new(WORKER, SnapshotPolicy::in_dir(dir.join("snaps")).every(400));
+    sup.journal = Some(dir.join("journal.jsonl"));
+    sup.backoff_base = Duration::from_millis(10);
+    sup.chaos_kill_at = Some(1_200);
+    let spec = RunSpec::new("mcf", SimModel::Dynamic).with_budget(2_000, 4_000);
+
+    let outcome = sup.supervise(&spec);
+    assert_eq!(
+        outcome,
+        SuperviseOutcome::Completed { attempts: 2 },
+        "one chaos crash, one resumed completion"
+    );
+    let journaled = Journal::new(dir.join("journal.jsonl"))
+        .load()
+        .expect("journal reads");
+    assert_eq!(journaled.len(), 1);
+    let reference = mlpwin_sim::runner::run(&spec).expect("reference run");
+    assert_eq!(journaled[0].0, spec, "spec identity survives the crash");
+    assert_eq!(
+        journaled[0].1, reference,
+        "the supervised, crashed, resumed run is bit-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervisor_kills_a_worker_with_a_stale_heartbeat() {
+    let dir = scratch("stale");
+    // A cadence the run never reaches: no snapshots, hence no heartbeats.
+    let mut sup = Supervisor::new(
+        WORKER,
+        SnapshotPolicy::in_dir(dir.join("snaps")).every(1_000_000_000_000),
+    );
+    sup.heartbeat_timeout = Some(Duration::from_millis(300));
+    sup.max_restarts = 0;
+    let spec = RunSpec::new("mcf", SimModel::Base).with_budget(0, 50_000_000);
+
+    match sup.supervise(&spec) {
+        SuperviseOutcome::Failed { attempts, detail } => {
+            assert_eq!(attempts, 1);
+            assert!(detail.contains("heartbeat"), "{detail}");
+        }
+        other => panic!("expected a heartbeat kill, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervisor_enforces_the_wall_clock_budget() {
+    let dir = scratch("timebudget");
+    let mut sup = Supervisor::new(
+        WORKER,
+        SnapshotPolicy::in_dir(dir.join("snaps")).every(1_000_000_000_000),
+    );
+    sup.time_budget = Some(Duration::from_millis(200));
+    sup.max_restarts = 0;
+    let spec = RunSpec::new("mcf", SimModel::Base).with_budget(0, 50_000_000);
+
+    match sup.supervise(&spec) {
+        SuperviseOutcome::Failed { attempts, detail } => {
+            assert_eq!(attempts, 1);
+            assert!(detail.contains("budget"), "{detail}");
+        }
+        other => panic!("expected a time-budget kill, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -59,6 +59,21 @@ impl<W: Workload> Workload for FaultyWorkload<W> {
         self.produced += 1;
         self.inner.next_inst()
     }
+
+    fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        // `produced` travels so the countdown resumes where it left off
+        // and an injected fault re-fires at the same instruction.
+        w.put_u64(self.produced);
+        self.inner.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.produced = r.get_u64()?;
+        self.inner.load_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 use crate::body::{SlotKind, StaticBody, StaticSlot};
 use crate::params::{MemPattern, ProfileParams};
 use crate::Workload;
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::{Addr, ArchReg, BranchKind, Instruction, MemRef, Xoshiro256StarStar};
 
 /// Base address of the synthetic code region.
@@ -251,6 +252,59 @@ impl Workload for ProfileWorkload {
         self.phase_insts_left = self.phase_insts_left.saturating_sub(1);
         let slot = self.phases[self.phase_idx].body.slots[self.slot_idx].clone();
         self.emit_slot(slot, pc)
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // Compiled bodies and code/data bases are pure functions of the
+        // construction parameters; only cursors and the RNG travel.
+        w.put_usize(self.phases.len());
+        for p in &self.phases {
+            w.put_u64(p.load_cursor);
+            w.put_u64(p.store_cursor);
+            w.put_u32(p.burst_left);
+            w.put_u64(p.burst_base);
+            w.put_u64(p.load_chunk.0);
+            w.put_u32(p.load_chunk.1);
+            w.put_u64(p.store_chunk.0);
+            w.put_u32(p.store_chunk.1);
+        }
+        w.put_usize(self.phase_idx);
+        w.put_u64(self.phase_insts_left);
+        w.put_usize(self.slot_idx);
+        self.rng.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.phases.len() {
+            return Err(SnapError::Mismatch {
+                what: "profile phase count",
+            });
+        }
+        for p in &mut self.phases {
+            p.load_cursor = r.get_u64()?;
+            p.store_cursor = r.get_u64()?;
+            p.burst_left = r.get_u32()?;
+            p.burst_base = r.get_u64()?;
+            p.load_chunk = (r.get_u64()?, r.get_u32()?);
+            p.store_chunk = (r.get_u64()?, r.get_u32()?);
+        }
+        let phase_idx = r.get_usize()?;
+        if phase_idx >= self.phases.len() {
+            return Err(SnapError::Mismatch {
+                what: "profile phase index",
+            });
+        }
+        self.phase_idx = phase_idx;
+        self.phase_insts_left = r.get_u64()?;
+        let slot_idx = r.get_usize()?;
+        if slot_idx >= self.phases[self.phase_idx].body.len() {
+            return Err(SnapError::Mismatch {
+                what: "profile slot index",
+            });
+        }
+        self.slot_idx = slot_idx;
+        self.rng.load_state(r)
     }
 }
 

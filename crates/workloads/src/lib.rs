@@ -44,6 +44,7 @@ pub use scripted::ScriptedWorkload;
 pub use window::TraceWindow;
 pub use wrongpath::WrongPathGen;
 
+use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::Instruction;
 
 /// An infinite, deterministic committed-path instruction stream.
@@ -59,6 +60,19 @@ pub trait Workload {
     /// Consecutive instructions are PC-consistent:
     /// `previous.successor_pc() == next.pc`.
     fn next_inst(&mut self) -> Instruction;
+
+    /// Serializes the workload's *dynamic* state (cursors, RNG, phase
+    /// position) for a mid-run snapshot. Static structure (compiled
+    /// bodies, parameters) is rebuilt from construction arguments at
+    /// restore time, so stateless workloads keep the empty default.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores the dynamic state written by [`Workload::save_state`]
+    /// into a freshly constructed workload built from the same
+    /// parameters.
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
@@ -68,5 +82,13 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
     fn next_inst(&mut self) -> Instruction {
         (**self).next_inst()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        (**self).save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        (**self).load_state(r)
     }
 }

@@ -84,6 +84,24 @@ impl Workload for ScriptedWorkload {
         self.next = (self.next + 1) % self.body.len();
         inst
     }
+
+    fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_usize(self.next);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        let next = r.get_usize()?;
+        if next >= self.body.len() {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch {
+                what: "scripted cursor",
+            });
+        }
+        self.next = next;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

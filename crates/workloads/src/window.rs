@@ -75,6 +75,33 @@ impl<W: Workload> TraceWindow<W> {
     pub fn buffered(&self) -> usize {
         self.buf.len()
     }
+
+    /// Serializes the window's dynamic state: the buffered instructions
+    /// must travel raw because the underlying source has already
+    /// advanced past them and cannot regenerate backwards.
+    pub fn save_state(&self, w: &mut mlpwin_isa::snap::SnapWriter) {
+        w.put_u64(self.base);
+        w.put_u64(self.generated);
+        w.put_seq(self.buf.iter(), |w, inst| inst.encode(w));
+        self.source.save_state(w);
+    }
+
+    /// Restores the state written by [`TraceWindow::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut mlpwin_isa::snap::SnapReader<'_>,
+    ) -> Result<(), mlpwin_isa::snap::SnapError> {
+        self.base = r.get_u64()?;
+        self.generated = r.get_u64()?;
+        let buf = r.get_seq(Instruction::decode)?;
+        if self.generated - self.base != buf.len() as u64 {
+            return Err(mlpwin_isa::snap::SnapError::Mismatch {
+                what: "trace-window buffer length",
+            });
+        }
+        self.buf = buf.into();
+        self.source.load_state(r)
+    }
 }
 
 #[cfg(test)]
