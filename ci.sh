@@ -63,6 +63,28 @@ diff target/ci-artifacts/recovery/crashed/journal.jsonl \
      target/ci-artifacts/recovery/clean/journal.jsonl
 echo "    resumed journal is bit-identical to the clean run"
 
+echo "==> campaign smoke (kill a worker mid-campaign, then a cached rerun)"
+# A three-spec campaign whose workers all chaos-abort once mid-run: the
+# control plane must charge the deaths, resume from snapshots, and
+# complete. Then resubmit the same jobs into a fresh campaign warmed
+# from the finished journal: every job must be a verified cache hit
+# with zero cycles simulated.
+rm -rf target/ci-artifacts/campaign
+mkdir -p target/ci-artifacts/campaign
+controller="target/release/mlpwin-serve"
+jobs=(--job gcc,base,2000,4000,1 --job mcf,dynamic,2000,4000,1 --job milc,base,2000,4000,1)
+"$controller" --campaign target/ci-artifacts/campaign/first "${jobs[@]}" \
+    --workers 2 --backoff-ms 30 --snapshot-cycles 400 --chaos-kill-at 1200 \
+    --worker-exe "$worker" | tee target/ci-artifacts/campaign/first.out
+grep -q 'done=3' target/ci-artifacts/campaign/first.out
+"$controller" --campaign target/ci-artifacts/campaign/rerun "${jobs[@]}" \
+    --workers 2 --cache target/ci-artifacts/campaign/first/journal.jsonl \
+    --worker-exe "$worker" | tee target/ci-artifacts/campaign/rerun.out
+grep -q 'simulated=0' target/ci-artifacts/campaign/rerun.out
+diff target/ci-artifacts/campaign/first/journal.jsonl \
+     target/ci-artifacts/campaign/rerun/journal.jsonl
+echo "    campaign survived worker kills; cached rerun simulated nothing"
+
 echo "==> mlpwin-bench snapshot-overhead gate (default cadence, >5% fails)"
 # The full suite twice more: once snapshot-free for a reference, then
 # through the recoverable runner at the default snapshot cadence. Each

@@ -1,0 +1,163 @@
+//! Campaign controller: durable queue + leased workers + dedup cache.
+//!
+//! Runs a spec matrix as a fault-tolerant campaign (see
+//! [`mlpwin_sim::serve`]): every job transition is WAL-logged under the
+//! campaign directory, workers are `mlpwin-sim` child processes owned
+//! through heartbeat-renewed leases, poison jobs quarantine after a
+//! bounded number of kills, and already-computed results are served
+//! from the content-addressed cache with full-spec verification.
+//!
+//! ```text
+//! mlpwin-serve --campaign DIR --job PROFILE,MODEL[,WARMUP,INSTS,SEED[,LANE]] ...
+//!              [--workers N] [--lease-ms N] [--max-kills N] [--backoff-ms N]
+//!              [--snapshot-cycles N] [--keep N] [--time-budget-ms N]
+//!              [--cache PATH] [--worker-exe PATH] [--chaos-kill-at N]
+//! ```
+//!
+//! Exit codes: 0 — every job done; 1 — finished but some jobs failed or
+//! were quarantined (or a fatal control-plane error); 75 — gracefully
+//! drained on SIGINT/SIGTERM with work remaining (re-run the same
+//! command to resume); 2 — CLI error.
+
+use mlpwin_sim::queue::Lane;
+use mlpwin_sim::runner::RunSpec;
+use mlpwin_sim::serve::{run_campaign, CampaignConfig, CampaignOutcome};
+use mlpwin_sim::{signals, SimModel};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    jobs: Vec<(RunSpec, Lane)>,
+    cfg: CampaignConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut campaign: Option<PathBuf> = None;
+    let mut worker_exe: Option<PathBuf> = None;
+    let mut jobs = Vec::new();
+    let mut workers = 2usize;
+    let mut lease = Duration::from_secs(5);
+    let mut max_kills = 3u32;
+    let mut backoff = Duration::from_millis(100);
+    let mut snapshot_cycles = 25_000u64;
+    let mut keep = 3usize;
+    let mut time_budget = None;
+    let mut cache = None;
+    let mut chaos_kill_at = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| it.next().ok_or_else(|| format!("{flag} needs a {what}"));
+        match flag.as_str() {
+            "--campaign" => campaign = Some(PathBuf::from(value("directory")?)),
+            "--job" => jobs.push(parse_job(&value("job spec")?)?),
+            "--workers" => workers = parse_u64(&value("count")?)? as usize,
+            "--lease-ms" => lease = Duration::from_millis(parse_u64(&value("ms")?)?),
+            "--max-kills" => max_kills = parse_u64(&value("count")?)? as u32,
+            "--backoff-ms" => backoff = Duration::from_millis(parse_u64(&value("ms")?)?),
+            "--snapshot-cycles" => snapshot_cycles = parse_u64(&value("cycles")?)?,
+            "--keep" => keep = parse_u64(&value("count")?)? as usize,
+            "--time-budget-ms" => {
+                time_budget = Some(Duration::from_millis(parse_u64(&value("ms")?)?))
+            }
+            "--cache" => cache = Some(PathBuf::from(value("path")?)),
+            "--worker-exe" => worker_exe = Some(PathBuf::from(value("path")?)),
+            "--chaos-kill-at" => chaos_kill_at = Some(parse_u64(&value("cycle")?)?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: mlpwin-serve --campaign DIR \
+                     --job PROFILE,MODEL[,WARMUP,INSTS,SEED[,LANE]] ... \
+                     [--workers N] [--lease-ms N] [--max-kills N] [--backoff-ms N] \
+                     [--snapshot-cycles N] [--keep N] [--time-budget-ms N] \
+                     [--cache PATH] [--worker-exe PATH] [--chaos-kill-at N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let campaign = campaign.ok_or("--campaign is required")?;
+    if jobs.is_empty() {
+        return Err("at least one --job is required".to_string());
+    }
+    // The worker ships next to the controller unless pointed elsewhere.
+    let worker_exe = match worker_exe {
+        Some(path) => path,
+        None => std::env::current_exe()
+            .map_err(|e| format!("cannot locate own executable: {e}"))?
+            .with_file_name("mlpwin-sim"),
+    };
+    let mut cfg = CampaignConfig::new(campaign, worker_exe);
+    cfg.workers = workers.max(1);
+    cfg.lease = lease;
+    cfg.max_kills = max_kills.max(1);
+    cfg.backoff_base = backoff;
+    cfg.snapshot_cycles = snapshot_cycles;
+    cfg.keep = keep;
+    cfg.job_time_budget = time_budget;
+    cfg.cache = cache;
+    cfg.chaos_kill_at = chaos_kill_at;
+    Ok(Args { jobs, cfg })
+}
+
+/// `PROFILE,MODEL[,WARMUP,INSTS,SEED[,LANE]]` — e.g. `mcf,dynamic` or
+/// `gcc,base,1000,50000,7,high`.
+fn parse_job(text: &str) -> Result<(RunSpec, Lane), String> {
+    let fields: Vec<&str> = text.split(',').collect();
+    let err = || format!("job `{text}` is not PROFILE,MODEL[,WARMUP,INSTS,SEED[,LANE]]");
+    if fields.len() < 2 || fields.len() > 6 {
+        return Err(err());
+    }
+    let model = SimModel::from_tag(fields[1])
+        .ok_or_else(|| format!("unknown model tag `{}`", fields[1]))?;
+    let mut spec = RunSpec::new(fields[0], model);
+    if fields.len() >= 5 {
+        spec.warmup = parse_u64(fields[2])?;
+        spec.insts = parse_u64(fields[3])?;
+        spec.seed = parse_u64(fields[4])?;
+    } else if fields.len() != 2 {
+        return Err(err());
+    }
+    let lane = match fields.get(5) {
+        None => Lane::Normal,
+        Some(tag) => Lane::from_tag(tag).ok_or_else(|| format!("unknown lane `{tag}`"))?,
+    };
+    Ok((spec, lane))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mlpwin-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    signals::install();
+    match run_campaign(&args.jobs, &args.cfg) {
+        Ok(CampaignOutcome::Complete(report)) => {
+            println!("{}", report.render());
+            if report.failed > 0 || report.quarantined > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Ok(CampaignOutcome::Interrupted(report)) => {
+            println!("{}", report.render());
+            eprintln!(
+                "mlpwin-serve: campaign drained; state is in the WAL — \
+                 re-run the same command to resume"
+            );
+            ExitCode::from(signals::EXIT_INTERRUPTED as u8)
+        }
+        Err(e) => {
+            eprintln!("mlpwin-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

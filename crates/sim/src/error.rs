@@ -42,6 +42,32 @@ pub enum SimError {
         /// What went wrong.
         detail: String,
     },
+    /// Another process holds the advisory lock on a campaign artifact
+    /// (WAL, controller lock file) — two controllers/workers pointed at
+    /// the same `results/` directory fail fast here instead of
+    /// interleaving writes.
+    Locked {
+        /// The locked file.
+        path: PathBuf,
+        /// What was attempted and why it could not proceed.
+        detail: String,
+    },
+    /// Two *different* specs produced the same FNV-1a hash: the cache
+    /// or WAL refused to serve one spec's result for the other. The
+    /// entry is never trusted on hash alone — full-spec verification
+    /// turns a silent wrong answer into this typed error.
+    HashCollision {
+        /// The colliding 64-bit spec hash.
+        hash: u64,
+        /// The two canonical spec renderings that collided.
+        detail: String,
+    },
+    /// The campaign control plane failed fatally: an unusable WAL, an
+    /// impossible state transition, or a finalize that could not write.
+    Campaign {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -65,6 +91,9 @@ impl SimError {
             SimError::Panic { .. } => "panic",
             SimError::Journal { .. } => "journal",
             SimError::Snapshot { .. } => "snapshot",
+            SimError::Locked { .. } => "locked",
+            SimError::HashCollision { .. } => "hash-collision",
+            SimError::Campaign { .. } => "campaign",
         }
     }
 }
@@ -82,6 +111,13 @@ impl fmt::Display for SimError {
             SimError::Snapshot { path, detail } => {
                 write!(f, "snapshot {}: {detail}", path.display())
             }
+            SimError::Locked { path, detail } => {
+                write!(f, "lock {}: {detail}", path.display())
+            }
+            SimError::HashCollision { hash, detail } => {
+                write!(f, "spec-hash collision on {hash:016x}: {detail}")
+            }
+            SimError::Campaign { detail } => write!(f, "campaign: {detail}"),
         }
     }
 }

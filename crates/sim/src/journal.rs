@@ -40,7 +40,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// The canonical one-line rendering of a spec that the journal hash
 /// covers. Every field participates: two specs differing anywhere get
 /// different strings (and almost surely different hashes).
-fn canonical_spec(spec: &RunSpec) -> String {
+pub(crate) fn canonical_spec(spec: &RunSpec) -> String {
     let fault = match spec.fault {
         None => "-".to_string(),
         Some(FaultSpec::PanicAt(n)) => format!("panic@{n}"),
@@ -155,6 +155,11 @@ impl Journal {
             .append(true)
             .open(&self.path)
             .map_err(|e| self.io_error(format!("open failed: {e}")))?;
+        // Serialize concurrent appenders (many campaign workers share
+        // one journal): the advisory lock rides the handle and releases
+        // on close, so each entry lands as one uninterleaved line.
+        crate::lock::lock_exclusive_blocking(&file)
+            .map_err(|e| self.io_error(format!("flock failed: {e}")))?;
         file.write_all(line.as_bytes())
             .map_err(|e| self.io_error(format!("write failed: {e}")))?;
         Ok(())
@@ -196,7 +201,7 @@ fn opt_num(v: Option<u64>) -> Json {
     v.map_or(Json::Null, num)
 }
 
-fn encode_spec(spec: &RunSpec) -> Json {
+pub(crate) fn encode_spec(spec: &RunSpec) -> Json {
     let fault = match spec.fault {
         None => Json::Null,
         Some(FaultSpec::PanicAt(n)) => obj(vec![("panic_at", num(n))]),
@@ -389,7 +394,7 @@ fn get_u64(v: &Json, key: &str) -> Option<u64> {
     v.get(key)?.as_u64()
 }
 
-fn decode_spec(v: &Json) -> Option<RunSpec> {
+pub(crate) fn decode_spec(v: &Json) -> Option<RunSpec> {
     let fault = match v.get("fault")? {
         Json::Null => None,
         f => {

@@ -52,6 +52,24 @@
 //! restarting crashed workers with exponential backoff so they resume
 //! where they died.
 //!
+//! ## Campaign control plane
+//!
+//! [`serve`] scales that resilience from one spec to a whole matrix
+//! run as a service: a durable [`queue`] records every job transition
+//! in a CRC-guarded WAL (replayed after a controller SIGKILL with zero
+//! lost or double-counted jobs), workers own jobs through
+//! heartbeat-renewed leases, poison jobs are quarantined after a
+//! bounded number of worker kills, and the content-addressed
+//! [`cachestore`] serves already-computed results — keyed by
+//! [`spec_hash`] but verified against the full spec on every hit, so a
+//! hash collision is a typed error, never a wrong answer. Campaign
+//! artifacts are guarded by [`lock`]'s advisory `flock(2)` wrappers:
+//! two controllers (or appending workers) on one `results/` directory
+//! fail fast with [`SimError::Locked`]. The `mlpwin-serve` binary is
+//! the CLI; the chaos suite in `tests/campaign.rs` proves the final
+//! journal is bit-identical to a serial run under random worker and
+//! controller kills.
+//!
 //! ## Example
 //!
 //! ```
@@ -66,24 +84,32 @@
 //! assert!(err.unwrap_err().to_string().contains("did you mean `libquantum`?"));
 //! ```
 
+pub mod cachestore;
 pub mod chrome_trace;
 pub mod error;
 pub mod journal;
 pub mod json;
+pub mod lock;
 pub mod metrics;
 pub mod model;
 pub mod progress;
+pub mod queue;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod signals;
 pub mod snapshot;
 pub mod supervisor;
 
+pub use cachestore::CacheStore;
 pub use error::SimError;
 pub use journal::{spec_hash, Journal};
+pub use lock::LockedFile;
 pub use metrics::{LocalMetrics, MetricsRegistry, ScopedTimer};
 pub use model::SimModel;
 pub use progress::Progress;
+pub use queue::{JobQueue, JobState, Lane, QueuePolicy};
 pub use runner::{FaultSpec, MatrixConfig, RunOutcome, RunResult, RunSpec};
+pub use serve::{run_campaign, CampaignConfig, CampaignOutcome, CampaignReport};
 pub use snapshot::{SnapshotPolicy, SnapshotStore, SNAPSHOT_SCHEMA};
-pub use supervisor::{SuperviseOutcome, Supervisor};
+pub use supervisor::{SuperviseOutcome, Supervisor, WorkerEnd};

@@ -1,0 +1,1088 @@
+//! The campaign control plane's durable job queue.
+//!
+//! A [`JobQueue`] shards a spec matrix across lease-holding workers and
+//! records **every state transition** in an append-only, CRC-guarded
+//! write-ahead log (the campaign WAL). Replaying the WAL rebuilds the
+//! exact queue state, so a SIGKILL'd controller resumes its campaign
+//! with zero lost and zero double-counted jobs — the durability story
+//! the matrix runner's results journal gives *finished* specs, extended
+//! to in-flight ones.
+//!
+//! State machine (every arrow is one WAL record):
+//!
+//! ```text
+//!            submit                lease
+//! (absent) ─────────▶ Pending ─────────────▶ Leased
+//!                        ▲                     │
+//!                        │ release             │ complete / fail
+//!                        │ (kill or drain)     ▼
+//!                        └──────────────── Done | Failed
+//!                                              │
+//!                     kills ≥ max_kills        ▼
+//!                     ─────────────────▶ Quarantined
+//! ```
+//!
+//! Robustness rules:
+//! - **Leases, not assignments.** A worker owns a job only while its
+//!   time-bounded lease is fresh; heartbeats renew it, and a stale lease
+//!   returns the job to the queue — a hung or vaporized worker can delay
+//!   a job but never strand it.
+//! - **Poison quarantine.** A job whose worker dies `max_kills` times in
+//!   a row is quarantined with its last stderr/diagnostic attached
+//!   instead of crash-looping the whole campaign.
+//! - **Deterministic backoff + jitter.** Retried jobs wait
+//!   `base · 2^(kills−1)` plus an FNV-derived jitter, so a flaky host
+//!   neither hot-loops nor synchronizes its retries.
+//! - **Trust nothing on hash alone.** WAL records carry the full spec
+//!   *and* its FNV-1a hash; replay verifies one against the other and
+//!   skips (with a warning) anything that disagrees.
+//! - **Single writer.** The WAL file is exclusively flock'd for the
+//!   queue's lifetime; a second controller on the same campaign
+//!   directory gets the typed [`SimError::Locked`] and exits instead of
+//!   interleaving records.
+
+use crate::error::SimError;
+use crate::journal::{canonical_spec, decode_spec, encode_spec, spec_hash};
+use crate::json::{num, s, Json};
+use crate::lock::LockedFile;
+use crate::metrics;
+use crate::runner::RunSpec;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// The WAL record schema this build writes and replays.
+pub const WAL_SCHEMA: u64 = 1;
+
+/// Gauge: jobs currently waiting (pending, possibly in backoff).
+pub const METRIC_QUEUE_DEPTH: &str = "mlpwin_queue_depth";
+/// Gauge: jobs currently leased to workers.
+pub const METRIC_QUEUE_LEASED: &str = "mlpwin_queue_leased";
+/// Counter of leases granted (first attempts and retries alike).
+pub const METRIC_LEASES_GRANTED: &str = "mlpwin_leases_granted_total";
+/// Counter of leases that went stale and returned their job.
+pub const METRIC_LEASES_EXPIRED: &str = "mlpwin_leases_expired_total";
+/// Counter of jobs re-queued after a worker death.
+pub const METRIC_JOBS_RETRIED: &str = "mlpwin_jobs_retried_total";
+/// Counter of jobs quarantined as poison.
+pub const METRIC_JOBS_QUARANTINED: &str = "mlpwin_jobs_quarantined_total";
+
+/// Queue identity of one job.
+pub type JobId = u64;
+
+/// Scheduling priority. Lanes drain strictly in order: every pending
+/// high-lane job goes out before any normal-lane one, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Served first — interactive/resubmitted traffic.
+    High,
+    /// The default lane.
+    Normal,
+    /// Bulk/backfill sweeps.
+    Low,
+}
+
+impl Lane {
+    /// All lanes, in service order.
+    pub const ALL: [Lane; 3] = [Lane::High, Lane::Normal, Lane::Low];
+
+    /// Stable tag for the WAL and CLIs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Lane::High => "high",
+            Lane::Normal => "normal",
+            Lane::Low => "low",
+        }
+    }
+
+    /// Parses [`tag`](Lane::tag)'s output.
+    pub fn from_tag(tag: &str) -> Option<Lane> {
+        match tag {
+            "high" => Some(Lane::High),
+            "normal" => Some(Lane::Normal),
+            "low" => Some(Lane::Low),
+            _ => None,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Waiting for a worker; not schedulable before `not_before_ms`
+    /// (retry backoff; zero for fresh jobs).
+    Pending {
+        /// Earliest schedulable clock reading, in campaign-clock ms.
+        not_before_ms: u64,
+    },
+    /// Owned by a worker until the lease expires or is renewed.
+    Leased {
+        /// The owning worker's name.
+        worker: String,
+        /// Campaign-clock ms at which the lease goes stale.
+        expires_ms: u64,
+    },
+    /// Finished with a journaled result.
+    Done {
+        /// Served from the dedup cache (no simulation this campaign).
+        cached: bool,
+    },
+    /// Finished with a deterministic, typed failure — retrying cannot
+    /// help, and the campaign keeps going.
+    Failed {
+        /// The failure rendering.
+        detail: String,
+    },
+    /// Poison: killed `max_kills` successive workers. Carries the last
+    /// death's diagnostics (stderr tail, including any StallSnapshot
+    /// the worker printed).
+    Quarantined {
+        /// The last death's rendering.
+        detail: String,
+    },
+}
+
+impl JobState {
+    /// Whether the job needs no further scheduling.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done { .. } | JobState::Failed { .. } | JobState::Quarantined { .. }
+        )
+    }
+}
+
+/// One job: a spec, its lane, and its current state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Queue identity (dense, in submission order).
+    pub id: JobId,
+    /// What to simulate.
+    pub spec: RunSpec,
+    /// The spec's FNV-1a hash (cache key; verified, never trusted).
+    pub hash: u64,
+    /// Priority lane.
+    pub lane: Lane,
+    /// Successive worker deaths charged to this job.
+    pub kills: u32,
+    /// Lifecycle state.
+    pub state: JobState,
+}
+
+/// Queue tuning: lease length, poison threshold, retry backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Lease duration in campaign-clock ms; a heartbeat renews it.
+    pub lease_ms: u64,
+    /// Worker deaths before a job is quarantined as poison.
+    pub max_kills: u32,
+    /// Base retry backoff in ms (doubles per kill, plus jitter).
+    pub backoff_base_ms: u64,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> QueuePolicy {
+        QueuePolicy {
+            lease_ms: 5_000,
+            max_kills: 3,
+            backoff_base_ms: 100,
+        }
+    }
+}
+
+/// What [`JobQueue::worker_died`] decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeathVerdict {
+    /// The job went back to the queue; schedulable at `not_before_ms`.
+    Requeued {
+        /// Earliest retry, in campaign-clock ms.
+        not_before_ms: u64,
+    },
+    /// The job crossed the poison threshold and is quarantined.
+    Quarantined,
+}
+
+/// FNV-1a over a little-endian id/attempt pair: the deterministic
+/// jitter source (no clock, no RNG crate).
+fn jitter(id: JobId, kills: u32, modulus: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id
+        .to_le_bytes()
+        .into_iter()
+        .chain((kills as u64).to_le_bytes())
+    {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash % modulus.max(1)
+}
+
+// ------------------------------------------------------------------ WAL
+
+/// One WAL record — exactly one state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A job entered the queue.
+    Enqueue {
+        /// The new job's id.
+        job: JobId,
+        /// Full spec (hash is derived and verified, never stored alone).
+        spec: RunSpec,
+        /// Priority lane.
+        lane: Lane,
+    },
+    /// A worker took the job's lease.
+    Lease {
+        /// The leased job.
+        job: JobId,
+        /// The owning worker.
+        worker: String,
+    },
+    /// The job returned to pending.
+    Release {
+        /// The released job.
+        job: JobId,
+        /// Why (lease expiry, worker death, graceful drain).
+        reason: String,
+        /// Whether this release charges a worker death to the job.
+        kill: bool,
+    },
+    /// The job finished with a journaled result.
+    Done {
+        /// The finished job.
+        job: JobId,
+        /// Served from the dedup cache.
+        cached: bool,
+    },
+    /// The job failed deterministically (typed error).
+    Failed {
+        /// The failed job.
+        job: JobId,
+        /// The failure rendering.
+        detail: String,
+    },
+    /// The job was quarantined as poison.
+    Quarantine {
+        /// The quarantined job.
+        job: JobId,
+        /// Last death's diagnostics.
+        detail: String,
+    },
+}
+
+impl WalRecord {
+    fn encode(&self) -> Json {
+        let obj = |pairs: Vec<(&str, Json)>| {
+            Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        match self {
+            WalRecord::Enqueue { job, spec, lane } => obj(vec![
+                ("op", s("enqueue")),
+                ("job", num(*job)),
+                ("lane", s(lane.tag())),
+                ("hash", s(format!("{:016x}", spec_hash(spec)))),
+                ("spec", encode_spec(spec)),
+            ]),
+            WalRecord::Lease { job, worker } => obj(vec![
+                ("op", s("lease")),
+                ("job", num(*job)),
+                ("worker", s(worker.clone())),
+            ]),
+            WalRecord::Release { job, reason, kill } => obj(vec![
+                ("op", s("release")),
+                ("job", num(*job)),
+                ("reason", s(reason.clone())),
+                ("kill", Json::Bool(*kill)),
+            ]),
+            WalRecord::Done { job, cached } => obj(vec![
+                ("op", s("done")),
+                ("job", num(*job)),
+                ("cached", Json::Bool(*cached)),
+            ]),
+            WalRecord::Failed { job, detail } => obj(vec![
+                ("op", s("failed")),
+                ("job", num(*job)),
+                ("detail", s(detail.clone())),
+            ]),
+            WalRecord::Quarantine { job, detail } => obj(vec![
+                ("op", s("quarantine")),
+                ("job", num(*job)),
+                ("detail", s(detail.clone())),
+            ]),
+        }
+    }
+
+    fn decode(v: &Json) -> Option<WalRecord> {
+        let job = v.get("job")?.as_u64()?;
+        match v.get("op")?.as_str()? {
+            "enqueue" => {
+                let spec = decode_spec(v.get("spec")?)?;
+                // Full-spec verification of the stored hash: a record
+                // whose hash and spec disagree is corruption (or a
+                // hand-edit) and must not be replayed.
+                let recorded = v.get("hash")?.as_str()?;
+                if recorded != format!("{:016x}", spec_hash(&spec)) {
+                    return None;
+                }
+                Some(WalRecord::Enqueue {
+                    job,
+                    spec,
+                    lane: Lane::from_tag(v.get("lane")?.as_str()?)?,
+                })
+            }
+            "lease" => Some(WalRecord::Lease {
+                job,
+                worker: v.get("worker")?.as_str()?.to_string(),
+            }),
+            "release" => Some(WalRecord::Release {
+                job,
+                reason: v.get("reason")?.as_str()?.to_string(),
+                kill: matches!(v.get("kill")?, Json::Bool(true)),
+            }),
+            "done" => Some(WalRecord::Done {
+                job,
+                cached: matches!(v.get("cached")?, Json::Bool(true)),
+            }),
+            "failed" => Some(WalRecord::Failed {
+                job,
+                detail: v.get("detail")?.as_str()?.to_string(),
+            }),
+            "quarantine" => Some(WalRecord::Quarantine {
+                job,
+                detail: v.get("detail")?.as_str()?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes one WAL line (no trailing newline): schema, sequence number,
+/// CRC-32 of the record body, and the body itself.
+pub fn encode_wal_line(seq: u64, rec: &WalRecord) -> String {
+    let body = rec.encode();
+    let crc = mlpwin_isa::snap::crc32(body.encode().as_bytes());
+    Json::Obj(
+        [
+            ("schema".to_string(), num(WAL_SCHEMA)),
+            ("seq".to_string(), num(seq)),
+            ("crc".to_string(), s(format!("{crc:08x}"))),
+            ("rec".to_string(), body),
+        ]
+        .into_iter()
+        .collect(),
+    )
+    .encode()
+}
+
+/// Decodes one WAL line: schema and CRC are verified (the CRC covers
+/// the canonical re-encoding of the record body, which is stable
+/// because objects encode with sorted keys). `None` for anything
+/// malformed — a torn tail line from a SIGKILL merely vanishes.
+pub fn decode_wal_line(line: &str) -> Option<(u64, WalRecord)> {
+    let v = Json::parse(line).ok()?;
+    if v.get("schema")?.as_u64()? != WAL_SCHEMA {
+        return None;
+    }
+    let seq = v.get("seq")?.as_u64()?;
+    let body = v.get("rec")?;
+    let recorded = v.get("crc")?.as_str()?;
+    let crc = mlpwin_isa::snap::crc32(body.encode().as_bytes());
+    if recorded != format!("{crc:08x}") {
+        return None;
+    }
+    Some((seq, WalRecord::decode(body)?))
+}
+
+/// The exclusively-locked append handle of a campaign WAL.
+#[derive(Debug)]
+struct Wal {
+    locked: LockedFile,
+    seq: u64,
+}
+
+impl Wal {
+    fn append(&mut self, rec: &WalRecord) -> Result<(), SimError> {
+        self.seq += 1;
+        let mut line = encode_wal_line(self.seq, rec);
+        line.push('\n');
+        let path = self.locked.path().to_path_buf();
+        let file = self.locked.file_mut();
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| SimError::Campaign {
+                detail: format!("WAL {} append failed: {e}", path.display()),
+            })
+    }
+}
+
+// ---------------------------------------------------------------- queue
+
+/// The durable, lease-based job queue (see the module docs for the
+/// state machine). All methods take the campaign clock as a plain
+/// `now_ms` reading, so tests drive time deterministically.
+#[derive(Debug)]
+pub struct JobQueue {
+    policy: QueuePolicy,
+    jobs: Vec<Job>,
+    by_spec: HashMap<RunSpec, JobId>,
+    wal: Option<Wal>,
+}
+
+impl JobQueue {
+    /// A purely in-memory queue (tests, dry runs) — same state machine,
+    /// no durability.
+    pub fn in_memory(policy: QueuePolicy) -> JobQueue {
+        JobQueue {
+            policy,
+            jobs: Vec::new(),
+            by_spec: HashMap::new(),
+            wal: None,
+        }
+    }
+
+    /// Opens (or creates) the WAL at `path`, takes its exclusive lock,
+    /// and replays every intact record into a fresh queue. Jobs that
+    /// were `Leased` at the crash are released back to pending — their
+    /// workers died with the previous controller — without charging a
+    /// kill.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Locked`] when another controller holds the WAL, or
+    /// I/O failures reading/appending it.
+    pub fn open(path: &Path, policy: QueuePolicy) -> Result<JobQueue, SimError> {
+        let locked = LockedFile::try_exclusive(path)?;
+        let text = std::fs::read_to_string(path).map_err(|e| SimError::Campaign {
+            detail: format!("WAL {} read failed: {e}", path.display()),
+        })?;
+        let mut queue = JobQueue::in_memory(policy);
+        let mut seq = 0;
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match decode_wal_line(line) {
+                Some((line_seq, rec)) => {
+                    seq = seq.max(line_seq);
+                    if let Err(detail) = queue.apply(&rec) {
+                        eprintln!(
+                            "warning: WAL {}:{}: impossible transition ({detail}); skipped",
+                            path.display(),
+                            n + 1
+                        );
+                    }
+                }
+                None => eprintln!(
+                    "warning: WAL {}:{}: corrupt or unknown-schema record skipped",
+                    path.display(),
+                    n + 1
+                ),
+            }
+        }
+        queue.wal = Some(Wal { locked, seq });
+        // Orphaned leases: the old controller's workers are gone. Put
+        // the jobs back (logged, so the next replay agrees) without
+        // counting a kill — the worker may have been perfectly healthy.
+        let orphaned: Vec<JobId> = queue
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Leased { .. }))
+            .map(|j| j.id)
+            .collect();
+        for id in orphaned {
+            queue.transition(
+                id,
+                JobState::Pending { not_before_ms: 0 },
+                &WalRecord::Release {
+                    job: id,
+                    reason: "controller restart".to_string(),
+                    kill: false,
+                },
+            )?;
+        }
+        Ok(queue)
+    }
+
+    /// Applies a replayed record to in-memory state (no re-logging).
+    fn apply(&mut self, rec: &WalRecord) -> Result<(), String> {
+        match rec {
+            WalRecord::Enqueue { job, spec, lane } => {
+                if *job != self.jobs.len() as u64 {
+                    return Err(format!(
+                        "enqueue of job {job} but next id is {}",
+                        self.jobs.len()
+                    ));
+                }
+                self.by_spec.insert(spec.clone(), *job);
+                self.jobs.push(Job {
+                    id: *job,
+                    spec: spec.clone(),
+                    hash: spec_hash(spec),
+                    lane: *lane,
+                    kills: 0,
+                    state: JobState::Pending { not_before_ms: 0 },
+                });
+                Ok(())
+            }
+            WalRecord::Lease { job, worker } => self.replay_transition(*job, |j| {
+                j.state = JobState::Leased {
+                    worker: worker.clone(),
+                    expires_ms: 0,
+                }
+            }),
+            WalRecord::Release { job, kill, .. } => {
+                let kill = *kill;
+                self.replay_transition(*job, |j| {
+                    if kill {
+                        j.kills += 1;
+                    }
+                    j.state = JobState::Pending { not_before_ms: 0 };
+                })
+            }
+            WalRecord::Done { job, cached } => {
+                let cached = *cached;
+                self.replay_transition(*job, |j| j.state = JobState::Done { cached })
+            }
+            WalRecord::Failed { job, detail } => self.replay_transition(*job, |j| {
+                j.state = JobState::Failed {
+                    detail: detail.clone(),
+                }
+            }),
+            WalRecord::Quarantine { job, detail } => self.replay_transition(*job, |j| {
+                // A quarantine IS the job's final worker death: the live
+                // path counts the kill before logging this record, so
+                // replay must too.
+                j.kills += 1;
+                j.state = JobState::Quarantined {
+                    detail: detail.clone(),
+                }
+            }),
+        }
+    }
+
+    fn replay_transition(&mut self, id: JobId, f: impl FnOnce(&mut Job)) -> Result<(), String> {
+        match self.jobs.get_mut(id as usize) {
+            Some(job) => {
+                f(job);
+                Ok(())
+            }
+            None => Err(format!("record for unknown job {id}")),
+        }
+    }
+
+    /// Logs (when durable) and applies one transition.
+    fn transition(&mut self, id: JobId, state: JobState, rec: &WalRecord) -> Result<(), SimError> {
+        if let Some(wal) = &mut self.wal {
+            wal.append(rec)?;
+        }
+        self.jobs[id as usize].state = state;
+        Ok(())
+    }
+
+    /// Submits one spec. Identical specs coalesce into one job (the
+    /// existing id comes back); the dedup *result* cache is the
+    /// [`CacheStore`](crate::cachestore::CacheStore)'s business.
+    ///
+    /// # Errors
+    ///
+    /// WAL append failures.
+    pub fn submit(&mut self, spec: &RunSpec, lane: Lane) -> Result<JobId, SimError> {
+        if let Some(&id) = self.by_spec.get(spec) {
+            return Ok(id);
+        }
+        let id = self.jobs.len() as JobId;
+        let rec = WalRecord::Enqueue {
+            job: id,
+            spec: spec.clone(),
+            lane,
+        };
+        if let Some(wal) = &mut self.wal {
+            wal.append(&rec)?;
+        }
+        self.by_spec.insert(spec.clone(), id);
+        self.jobs.push(Job {
+            id,
+            spec: spec.clone(),
+            hash: spec_hash(spec),
+            lane,
+            kills: 0,
+            state: JobState::Pending { not_before_ms: 0 },
+        });
+        Ok(id)
+    }
+
+    /// Grants the next lease: highest lane first, FIFO within a lane,
+    /// skipping jobs still in backoff. `None` when nothing is ready.
+    ///
+    /// # Errors
+    ///
+    /// WAL append failures.
+    pub fn lease(&mut self, worker: &str, now_ms: u64) -> Result<Option<Job>, SimError> {
+        let mut pick: Option<JobId> = None;
+        for lane in Lane::ALL {
+            let candidate = self.jobs.iter().find(|j| {
+                j.lane == lane
+                    && matches!(&j.state, JobState::Pending { not_before_ms } if *not_before_ms <= now_ms)
+            });
+            if let Some(job) = candidate {
+                pick = Some(job.id);
+                break;
+            }
+        }
+        let Some(id) = pick else { return Ok(None) };
+        self.transition(
+            id,
+            JobState::Leased {
+                worker: worker.to_string(),
+                expires_ms: now_ms + self.policy.lease_ms,
+            },
+            &WalRecord::Lease {
+                job: id,
+                worker: worker.to_string(),
+            },
+        )?;
+        metrics::counter_add(METRIC_LEASES_GRANTED, 1);
+        Ok(Some(self.jobs[id as usize].clone()))
+    }
+
+    /// Renews a lease (a worker heartbeat arrived). A no-op for jobs
+    /// not currently leased — a late heartbeat from a worker whose
+    /// lease already expired must not resurrect ownership.
+    pub fn renew(&mut self, id: JobId, now_ms: u64) {
+        if let Some(job) = self.jobs.get_mut(id as usize) {
+            if let JobState::Leased { expires_ms, .. } = &mut job.state {
+                *expires_ms = now_ms + self.policy.lease_ms;
+            }
+        }
+    }
+
+    /// Returns every job whose lease has gone stale to the queue,
+    /// charging a kill to each (a worker that stops heartbeating is
+    /// indistinguishable from a dead one). Quarantines jobs that cross
+    /// the poison threshold. Returns the affected ids.
+    ///
+    /// # Errors
+    ///
+    /// WAL append failures.
+    pub fn expire_stale(&mut self, now_ms: u64) -> Result<Vec<JobId>, SimError> {
+        let stale: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(
+                |j| matches!(&j.state, JobState::Leased { expires_ms, .. } if *expires_ms < now_ms),
+            )
+            .map(|j| j.id)
+            .collect();
+        for &id in &stale {
+            metrics::counter_add(METRIC_LEASES_EXPIRED, 1);
+            self.death(id, "lease expired (heartbeat lost)", now_ms)?;
+        }
+        Ok(stale)
+    }
+
+    /// Records a worker death against a leased (or pending-after-expiry)
+    /// job: requeue with backoff, or quarantine past the threshold.
+    ///
+    /// # Errors
+    ///
+    /// WAL append failures.
+    pub fn worker_died(
+        &mut self,
+        id: JobId,
+        detail: &str,
+        now_ms: u64,
+    ) -> Result<DeathVerdict, SimError> {
+        self.death(id, detail, now_ms)
+    }
+
+    fn death(&mut self, id: JobId, detail: &str, now_ms: u64) -> Result<DeathVerdict, SimError> {
+        let kills = self.jobs[id as usize].kills + 1;
+        self.jobs[id as usize].kills = kills;
+        if kills >= self.policy.max_kills {
+            self.transition(
+                id,
+                JobState::Quarantined {
+                    detail: detail.to_string(),
+                },
+                &WalRecord::Quarantine {
+                    job: id,
+                    detail: detail.to_string(),
+                },
+            )?;
+            metrics::counter_add(METRIC_JOBS_QUARANTINED, 1);
+            return Ok(DeathVerdict::Quarantined);
+        }
+        let exp = kills.saturating_sub(1).min(10);
+        let base = self.policy.backoff_base_ms;
+        let not_before_ms = now_ms + base * (1u64 << exp) + jitter(id, kills, base.max(1));
+        self.transition(
+            id,
+            JobState::Pending { not_before_ms },
+            &WalRecord::Release {
+                job: id,
+                reason: detail.to_string(),
+                // The replayed `kills` count comes from this flag, so
+                // it must stay in lock-step with the +1 above.
+                kill: true,
+            },
+        )?;
+        metrics::counter_add(METRIC_JOBS_RETRIED, 1);
+        Ok(DeathVerdict::Requeued { not_before_ms })
+    }
+
+    /// Returns a leased job to pending without charging a kill — the
+    /// graceful-drain path (worker interrupted by SIGINT/SIGTERM).
+    ///
+    /// # Errors
+    ///
+    /// WAL append failures.
+    pub fn release(&mut self, id: JobId, reason: &str) -> Result<(), SimError> {
+        self.transition(
+            id,
+            JobState::Pending { not_before_ms: 0 },
+            &WalRecord::Release {
+                job: id,
+                reason: reason.to_string(),
+                kill: false,
+            },
+        )
+    }
+
+    /// Marks a job done (result journaled). `cached` records whether the
+    /// dedup cache, rather than a simulation, served it.
+    ///
+    /// # Errors
+    ///
+    /// WAL append failures.
+    pub fn complete(&mut self, id: JobId, cached: bool) -> Result<(), SimError> {
+        self.transition(
+            id,
+            JobState::Done { cached },
+            &WalRecord::Done { job: id, cached },
+        )
+    }
+
+    /// Marks a job failed with a deterministic, typed error.
+    ///
+    /// # Errors
+    ///
+    /// WAL append failures.
+    pub fn fail(&mut self, id: JobId, detail: &str) -> Result<(), SimError> {
+        self.transition(
+            id,
+            JobState::Failed {
+                detail: detail.to_string(),
+            },
+            &WalRecord::Failed {
+                job: id,
+                detail: detail.to_string(),
+            },
+        )
+    }
+
+    /// The job table, in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// One job by id.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id as usize]
+    }
+
+    /// The queue policy in force.
+    pub fn policy(&self) -> &QueuePolicy {
+        &self.policy
+    }
+
+    /// Whether every job is done, failed, or quarantined.
+    pub fn all_terminal(&self) -> bool {
+        self.jobs.iter().all(|j| j.state.is_terminal())
+    }
+
+    /// Whether any job still waits or runs.
+    pub fn has_open_work(&self) -> bool {
+        !self.all_terminal()
+    }
+
+    /// The earliest campaign-clock ms at which a pending job becomes
+    /// schedulable; `None` when nothing is pending.
+    pub fn next_ready_ms(&self) -> Option<u64> {
+        self.jobs
+            .iter()
+            .filter_map(|j| match &j.state {
+                JobState::Pending { not_before_ms } => Some(*not_before_ms),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Publishes queue-shape gauges into the metrics shard (no-op with
+    /// telemetry off).
+    pub fn publish_metrics(&self) {
+        let pending = self
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Pending { .. }))
+            .count();
+        let leased = self
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Leased { .. }))
+            .count();
+        metrics::gauge_set(METRIC_QUEUE_DEPTH, pending as f64);
+        metrics::gauge_set(METRIC_QUEUE_LEASED, leased as f64);
+    }
+
+    /// A collision probe used by the serve layer: the job holding
+    /// `spec`'s hash, if any, with full-spec verification — two
+    /// different specs on one hash is the typed
+    /// [`SimError::HashCollision`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::HashCollision`] as described.
+    pub fn job_for_spec(&self, spec: &RunSpec) -> Result<Option<&Job>, SimError> {
+        match self.by_spec.get(spec) {
+            Some(&id) => Ok(Some(&self.jobs[id as usize])),
+            None => {
+                let hash = spec_hash(spec);
+                if let Some(other) = self.jobs.iter().find(|j| j.hash == hash) {
+                    return Err(SimError::HashCollision {
+                        hash,
+                        detail: format!(
+                            "queued `{}` vs requested `{}`",
+                            canonical_spec(&other.spec),
+                            canonical_spec(spec)
+                        ),
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimModel;
+    use std::path::PathBuf;
+
+    fn spec(profile: &str, seed: u64) -> RunSpec {
+        let mut s = RunSpec::new(profile, SimModel::Base).with_budget(1_000, 1_000);
+        s.seed = seed;
+        s
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mlpwin-queue-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn lanes_drain_in_priority_order_fifo_within() {
+        let mut q = JobQueue::in_memory(QueuePolicy::default());
+        let low = q.submit(&spec("gcc", 1), Lane::Low).expect("submit");
+        let n1 = q.submit(&spec("gcc", 2), Lane::Normal).expect("submit");
+        let hi = q.submit(&spec("gcc", 3), Lane::High).expect("submit");
+        let n2 = q.submit(&spec("gcc", 4), Lane::Normal).expect("submit");
+        let order: Vec<JobId> = std::iter::from_fn(|| {
+            q.lease("w", 0).expect("lease").map(|j| {
+                q.complete(j.id, false).expect("complete");
+                j.id
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![hi, n1, n2, low]);
+        assert!(q.all_terminal());
+    }
+
+    #[test]
+    fn identical_specs_coalesce() {
+        let mut q = JobQueue::in_memory(QueuePolicy::default());
+        let a = q.submit(&spec("mcf", 1), Lane::Normal).expect("submit");
+        let b = q.submit(&spec("mcf", 1), Lane::Normal).expect("submit");
+        assert_eq!(a, b);
+        assert_eq!(q.jobs().len(), 1);
+    }
+
+    #[test]
+    fn stale_leases_return_with_backoff_then_quarantine() {
+        let policy = QueuePolicy {
+            lease_ms: 100,
+            max_kills: 2,
+            backoff_base_ms: 50,
+        };
+        let mut q = JobQueue::in_memory(policy);
+        let id = q.submit(&spec("milc", 1), Lane::Normal).expect("submit");
+        let j = q.lease("w0", 0).expect("lease").expect("granted");
+        assert_eq!(j.id, id);
+        // Renewal keeps it alive past the nominal expiry...
+        q.renew(id, 90);
+        assert!(q.expire_stale(150).expect("expire").is_empty());
+        // ...but silence past the renewed lease does not.
+        let stale = q.expire_stale(250).expect("expire");
+        assert_eq!(stale, vec![id]);
+        match &q.job(id).state {
+            JobState::Pending { not_before_ms } => assert!(*not_before_ms > 250),
+            other => panic!("expected backoff pending, got {other:?}"),
+        }
+        // Not schedulable during backoff; schedulable after.
+        assert!(q.lease("w1", 251).expect("lease").is_none());
+        let j = q.lease("w1", 10_000).expect("lease").expect("granted");
+        assert_eq!(j.id, id);
+        // Second death crosses max_kills = 2: quarantined.
+        let verdict = q.worker_died(id, "abort (chaos)", 10_001).expect("death");
+        assert_eq!(verdict, DeathVerdict::Quarantined);
+        assert!(matches!(
+            &q.job(id).state,
+            JobState::Quarantined { detail } if detail.contains("chaos")
+        ));
+        assert!(q.all_terminal());
+    }
+
+    #[test]
+    fn late_heartbeat_does_not_resurrect_an_expired_lease() {
+        let mut q = JobQueue::in_memory(QueuePolicy {
+            lease_ms: 10,
+            max_kills: 5,
+            backoff_base_ms: 1,
+        });
+        let id = q.submit(&spec("gcc", 1), Lane::Normal).expect("submit");
+        q.lease("w0", 0).expect("lease").expect("granted");
+        q.expire_stale(100).expect("expire");
+        q.renew(id, 101); // the zombie worker's heartbeat
+        assert!(
+            matches!(q.job(id).state, JobState::Pending { .. }),
+            "a dead lease must stay dead"
+        );
+    }
+
+    #[test]
+    fn wal_replay_rebuilds_the_exact_state() {
+        let dir = scratch("replay");
+        let wal = dir.join("campaign.wal");
+        let (jobs_before, kills_before);
+        {
+            let mut q = JobQueue::open(&wal, QueuePolicy::default()).expect("open");
+            q.submit(&spec("gcc", 1), Lane::Normal).expect("submit");
+            q.submit(&spec("mcf", 2), Lane::High).expect("submit");
+            q.submit(&spec("milc", 3), Lane::Low).expect("submit");
+            let j = q.lease("w0", 0).expect("lease").expect("granted");
+            q.complete(j.id, false).expect("complete");
+            let j = q.lease("w0", 1).expect("lease").expect("granted");
+            q.worker_died(j.id, "killed", 2).expect("death");
+            let j = q.lease("w1", 10_000).expect("lease").expect("granted");
+            jobs_before = j.id;
+            kills_before = q.job(j.id).kills;
+            // Queue dropped here with one job still leased: the
+            // controller "crashed".
+        }
+        let q = JobQueue::open(&wal, QueuePolicy::default()).expect("reopen");
+        assert_eq!(q.jobs().len(), 3);
+        // The done job stays done, never re-runnable.
+        assert!(matches!(
+            q.jobs()[1].state,
+            JobState::Done { cached: false }
+        ));
+        // The leased-at-crash job is pending again, kill count intact.
+        let j = q.job(jobs_before);
+        assert!(matches!(j.state, JobState::Pending { .. }));
+        assert_eq!(j.kills, kills_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_controller_on_the_same_wal_fails_fast() {
+        let dir = scratch("locked");
+        let wal = dir.join("campaign.wal");
+        let _held = JobQueue::open(&wal, QueuePolicy::default()).expect("first controller");
+        match JobQueue::open(&wal, QueuePolicy::default()) {
+            Err(SimError::Locked { .. }) => {}
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_records_are_skipped_not_fatal() {
+        let dir = scratch("torn");
+        let wal = dir.join("campaign.wal");
+        {
+            let mut q = JobQueue::open(&wal, QueuePolicy::default()).expect("open");
+            q.submit(&spec("gcc", 1), Lane::Normal).expect("submit");
+            q.submit(&spec("mcf", 2), Lane::Normal).expect("submit");
+        }
+        // Simulate a SIGKILL mid-append: truncate the last line.
+        let text = std::fs::read_to_string(&wal).expect("read");
+        let cut = text.len() - text.len() / 4;
+        std::fs::write(&wal, &text[..cut]).expect("truncate");
+        let q = JobQueue::open(&wal, QueuePolicy::default()).expect("reopen");
+        assert_eq!(q.jobs().len(), 1, "the torn enqueue re-runs, nothing dies");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_hash_invalidates_an_enqueue_record() {
+        let good = encode_wal_line(
+            1,
+            &WalRecord::Enqueue {
+                job: 0,
+                spec: spec("gcc", 1),
+                lane: Lane::Normal,
+            },
+        );
+        assert!(decode_wal_line(&good).is_some());
+        // Hand-build a record body whose stored hash disagrees with its
+        // spec, then sign it with a *valid* CRC: the CRC guards bytes,
+        // but replay must still reject the hash/spec mismatch.
+        let mut v = match Json::parse(&good).expect("json") {
+            Json::Obj(m) => m,
+            other => panic!("line is an object, got {other:?}"),
+        };
+        let body = match v.remove("rec").expect("rec") {
+            Json::Obj(mut m) => {
+                m.insert("hash".to_string(), s("00000000deadbeef"));
+                Json::Obj(m)
+            }
+            other => panic!("rec is an object, got {other:?}"),
+        };
+        let crc = mlpwin_isa::snap::crc32(body.encode().as_bytes());
+        v.insert("crc".to_string(), s(format!("{crc:08x}")));
+        v.insert("rec".to_string(), body);
+        let bad = Json::Obj(v).encode();
+        assert!(
+            decode_wal_line(&bad).is_none(),
+            "hash/spec disagreement must not replay: {bad}"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_jitter_is_deterministic() {
+        let policy = QueuePolicy {
+            lease_ms: 10,
+            max_kills: 10,
+            backoff_base_ms: 100,
+        };
+        let mut q = JobQueue::in_memory(policy);
+        let id = q.submit(&spec("gcc", 1), Lane::Normal).expect("submit");
+        let mut delays = Vec::new();
+        for round in 0..4 {
+            let now = round * 1_000_000;
+            q.lease("w", now).expect("lease").expect("granted");
+            match q.worker_died(id, "boom", now).expect("death") {
+                DeathVerdict::Requeued { not_before_ms } => delays.push(not_before_ms - now),
+                DeathVerdict::Quarantined => panic!("threshold is 10"),
+            }
+        }
+        for pair in delays.windows(2) {
+            assert!(pair[1] > pair[0], "backoff must grow: {delays:?}");
+        }
+        assert_eq!(jitter(7, 3, 100), jitter(7, 3, 100), "jitter is a pure fn");
+        assert!(jitter(7, 3, 100) < 100);
+    }
+}

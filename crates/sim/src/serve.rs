@@ -1,0 +1,574 @@
+//! The fault-tolerant campaign control plane (`mlpwin-serve`).
+//!
+//! [`run_campaign`] drives a spec matrix to completion across a pool of
+//! supervised worker processes, surviving any combination of worker
+//! SIGKILLs and controller SIGKILLs:
+//!
+//! - every job transition lands in the [`queue`](crate::queue) WAL
+//!   before it takes effect, so a killed controller replays back to the
+//!   exact pre-crash state — no job lost, none double-counted;
+//! - workers hold time-bounded leases renewed by their snapshot
+//!   heartbeats; a vaporized worker's lease expires and the job
+//!   re-runs, resuming from its latest snapshot;
+//! - a job that kills [`QueuePolicy::max_kills`] successive workers is
+//!   quarantined as poison, with the last worker's stderr tail (stall
+//!   snapshot, panic message) attached, and the rest of the campaign
+//!   proceeds;
+//! - finished results are served from the content-addressed
+//!   [`CacheStore`] — resubmitting a completed campaign simulates
+//!   nothing and still produces the identical journal.
+//!
+//! The finalized `journal.jsonl` is written in submission order from
+//! deterministic per-spec results, so it is **bit-identical** to the
+//! journal a serial, uninterrupted run would have produced — the chaos
+//! suite in `tests/campaign.rs` asserts exactly that.
+//!
+//! Graceful drain: on SIGINT/SIGTERM workers finish their in-flight
+//! jobs (journaling the results), lease nothing new, and the controller
+//! reports [`CampaignOutcome::Interrupted`]; the binary exits
+//! [`EXIT_INTERRUPTED`](crate::signals::EXIT_INTERRUPTED) (75) and
+//! rerunning the same command resumes the campaign.
+
+use crate::cachestore::CacheStore;
+use crate::error::SimError;
+use crate::journal::{encode_line, Journal};
+use crate::lock::LockedFile;
+use crate::queue::{JobId, JobQueue, JobState, Lane, QueuePolicy};
+use crate::runner::{RunResult, RunSpec};
+use crate::signals;
+use crate::snapshot::SnapshotPolicy;
+use crate::supervisor::{HeartbeatHook, Supervisor, WorkerEnd};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything a campaign needs to run.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The campaign directory: WAL, worker journal, snapshots, lock
+    /// file and the finalized `journal.jsonl` all live here.
+    pub dir: PathBuf,
+    /// The `mlpwin-sim` worker executable.
+    pub worker_exe: PathBuf,
+    /// Concurrent worker slots.
+    pub workers: usize,
+    /// Lease length; a worker heartbeat (one per snapshot) renews it,
+    /// and a worker silent for this long is presumed dead.
+    pub lease: Duration,
+    /// Worker deaths before a job is quarantined as poison.
+    pub max_kills: u32,
+    /// Base retry backoff (doubles per death, plus deterministic
+    /// jitter).
+    pub backoff_base: Duration,
+    /// Snapshot cadence forwarded to workers (also the heartbeat
+    /// cadence — keep it comfortably under `lease`).
+    pub snapshot_cycles: u64,
+    /// Snapshot rotation depth forwarded to workers.
+    pub keep: usize,
+    /// Per-job wall-clock deadline; the supervisor kills a worker that
+    /// exceeds it (counts as a death).
+    pub job_time_budget: Option<Duration>,
+    /// An external results journal to warm the dedup cache from (e.g. a
+    /// previous campaign's `journal.jsonl`).
+    pub cache: Option<PathBuf>,
+    /// Test-only chaos: workers abort at the first snapshot at or past
+    /// this cycle on fresh (non-resumed) starts.
+    pub chaos_kill_at: Option<u64>,
+}
+
+impl CampaignConfig {
+    /// A campaign in `dir` running `worker_exe`, with defaults sized
+    /// for the bundled profiles: 2 workers, 5 s leases, 3 kills to
+    /// quarantine, 100 ms backoff, 25k-cycle snapshots.
+    pub fn new(dir: impl Into<PathBuf>, worker_exe: impl Into<PathBuf>) -> CampaignConfig {
+        CampaignConfig {
+            dir: dir.into(),
+            worker_exe: worker_exe.into(),
+            workers: 2,
+            lease: Duration::from_secs(5),
+            max_kills: 3,
+            backoff_base: Duration::from_millis(100),
+            snapshot_cycles: 25_000,
+            keep: 3,
+            job_time_budget: None,
+            cache: None,
+            chaos_kill_at: None,
+        }
+    }
+
+    /// The campaign WAL path.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("campaign.wal")
+    }
+
+    /// The worker-append journal (raw, completion-ordered).
+    pub fn done_path(&self) -> PathBuf {
+        self.dir.join("done.jsonl")
+    }
+
+    /// The finalized, submission-ordered journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    /// The controller lock file.
+    pub fn lock_path(&self) -> PathBuf {
+        self.dir.join("LOCK")
+    }
+}
+
+/// Campaign tallies, for the summary line and exit-code decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignReport {
+    /// Distinct jobs (submitted specs after dedup).
+    pub jobs: usize,
+    /// Jobs finished with a journaled result.
+    pub done: usize,
+    /// Done jobs served from the dedup cache (no simulation).
+    pub cache_hits: usize,
+    /// Done jobs that ran a worker this campaign.
+    pub simulated: usize,
+    /// Jobs with a deterministic, typed failure.
+    pub failed: usize,
+    /// Jobs quarantined as poison.
+    pub quarantined: usize,
+}
+
+impl CampaignReport {
+    fn tally(queue: &JobQueue) -> CampaignReport {
+        let mut r = CampaignReport {
+            jobs: queue.jobs().len(),
+            ..CampaignReport::default()
+        };
+        for job in queue.jobs() {
+            match &job.state {
+                JobState::Done { cached: true } => {
+                    r.done += 1;
+                    r.cache_hits += 1;
+                }
+                JobState::Done { cached: false } => {
+                    r.done += 1;
+                    r.simulated += 1;
+                }
+                JobState::Failed { .. } => r.failed += 1,
+                JobState::Quarantined { .. } => r.quarantined += 1,
+                JobState::Pending { .. } | JobState::Leased { .. } => {}
+            }
+        }
+        r
+    }
+
+    /// The one-line summary the binary prints.
+    pub fn render(&self) -> String {
+        format!(
+            "campaign: jobs={} done={} cache_hits={} simulated={} failed={} quarantined={}",
+            self.jobs, self.done, self.cache_hits, self.simulated, self.failed, self.quarantined
+        )
+    }
+}
+
+/// How a campaign ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignOutcome {
+    /// Every job reached a terminal state; `journal.jsonl` is written
+    /// (there may still be failed/quarantined jobs — check the report).
+    Complete(CampaignReport),
+    /// Gracefully drained on SIGINT/SIGTERM with work remaining;
+    /// rerunning the same command resumes. The finalized journal is
+    /// *not* written.
+    Interrupted(CampaignReport),
+}
+
+/// The shared mutable state one campaign's worker threads drive.
+struct Campaign {
+    queue: Mutex<JobQueue>,
+    cache: Mutex<CacheStore>,
+    /// First fatal control-plane error any worker hit (WAL append
+    /// failure); stops the campaign.
+    fatal: Mutex<Option<SimError>>,
+    started: Instant,
+}
+
+impl Campaign {
+    /// Campaign-clock reading in ms (monotonic, starts at 0).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn abort(&self, err: SimError) {
+        let mut slot = self.fatal.lock().expect("fatal slot poisoned");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        signals::request_interrupt();
+    }
+}
+
+/// Runs `jobs` to completion under `cfg`. See the module docs for the
+/// fault-tolerance contract.
+///
+/// # Errors
+///
+/// [`SimError::Locked`] when another controller already owns the
+/// campaign directory, [`SimError::Campaign`] on fatal control-plane
+/// I/O, journal/WAL errors as typed.
+pub fn run_campaign(
+    jobs: &[(RunSpec, Lane)],
+    cfg: &CampaignConfig,
+) -> Result<CampaignOutcome, SimError> {
+    // One controller per campaign directory — fail fast, don't
+    // interleave. The lock rides the process: a SIGKILL releases it.
+    let _lock = LockedFile::try_exclusive(cfg.lock_path())?;
+    let policy = QueuePolicy {
+        lease_ms: cfg.lease.as_millis() as u64,
+        max_kills: cfg.max_kills,
+        backoff_base_ms: cfg.backoff_base.as_millis().max(1) as u64,
+    };
+    let mut queue = JobQueue::open(&cfg.wal_path(), policy)?;
+
+    // Warm the dedup cache: this campaign's own completions (restart
+    // path) first, then any external journal.
+    let mut cache = CacheStore::load(&cfg.done_path())?;
+    let mut in_done_journal: Vec<RunSpec> = Journal::new(cfg.done_path())
+        .load()?
+        .into_iter()
+        .map(|(spec, _)| spec)
+        .collect();
+    if let Some(external) = &cfg.cache {
+        cache.absorb_file(external)?;
+    }
+
+    // Submit everything; verified cache hits complete immediately.
+    for (spec, lane) in jobs {
+        let id = queue.submit(spec, *lane)?;
+        if queue.job(id).state.is_terminal() {
+            continue; // replayed from the WAL
+        }
+        match cache.lookup(spec) {
+            Ok(Some(result)) => {
+                // The finalize step (and any restarted controller)
+                // recovers results from done.jsonl, so an external
+                // cache hit must land there before the WAL says Done.
+                if !in_done_journal.contains(spec) {
+                    Journal::new(cfg.done_path()).append(spec, result)?;
+                    in_done_journal.push(spec.clone());
+                }
+                queue.complete(id, true)?;
+            }
+            Ok(None) => {}
+            Err(SimError::HashCollision { hash, detail }) => {
+                // Loud, typed, and safe: simulate fresh instead of
+                // serving the wrong spec's result.
+                eprintln!(
+                    "warning: cache hit rejected (spec-hash collision on {hash:016x}: \
+                     {detail}); simulating fresh"
+                );
+            }
+            Err(other) => return Err(other),
+        }
+    }
+
+    let campaign = Campaign {
+        queue: Mutex::new(queue),
+        cache: Mutex::new(cache),
+        fatal: Mutex::new(None),
+        started: Instant::now(),
+    };
+    let campaign = Arc::new(campaign);
+
+    let handles: Vec<_> = (0..cfg.workers.max(1))
+        .map(|i| {
+            let campaign = Arc::clone(&campaign);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name(format!("campaign-w{i}"))
+                .spawn(move || worker_loop(&format!("w{i}"), &campaign, &cfg))
+                .expect("spawn campaign worker")
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("campaign worker panicked");
+    }
+
+    if let Some(err) = campaign.fatal.lock().expect("fatal slot poisoned").take() {
+        return Err(err);
+    }
+    let queue = campaign.queue.lock().expect("queue poisoned");
+    let cache = campaign.cache.lock().expect("cache poisoned");
+    let report = CampaignReport::tally(&queue);
+    if signals::interrupted() && !queue.all_terminal() {
+        return Ok(CampaignOutcome::Interrupted(report));
+    }
+    finalize(&queue, &cache, cfg)?;
+    Ok(CampaignOutcome::Complete(report))
+}
+
+/// One worker slot: lease → supervise → record, until the queue drains
+/// or an interrupt lands.
+fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
+    loop {
+        if signals::interrupted() {
+            return;
+        }
+        let leased = {
+            let mut queue = campaign.queue.lock().expect("queue poisoned");
+            let now = campaign.now_ms();
+            if let Err(e) = queue.expire_stale(now) {
+                drop(queue);
+                campaign.abort(e);
+                return;
+            }
+            match queue.lease(me, now) {
+                Ok(job) => {
+                    queue.publish_metrics();
+                    job
+                }
+                Err(e) => {
+                    drop(queue);
+                    campaign.abort(e);
+                    return;
+                }
+            }
+        };
+        let Some(job) = leased else {
+            let done = campaign
+                .queue
+                .lock()
+                .expect("queue poisoned")
+                .all_terminal();
+            if done {
+                return;
+            }
+            // Backoff windows and other workers' leases drain on their
+            // own clock; poll gently.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+
+        // A re-leased job whose earlier worker journaled before its
+        // lease expired: serve the verified cached result, run nothing.
+        let cached = {
+            let cache = campaign.cache.lock().expect("cache poisoned");
+            cache.lookup(&job.spec).ok().flatten().cloned()
+        };
+        if cached.is_some() {
+            let mut queue = campaign.queue.lock().expect("queue poisoned");
+            if let Err(e) = complete_if_mine(&mut queue, job.id, me, true) {
+                drop(queue);
+                campaign.abort(e);
+                return;
+            }
+            continue;
+        }
+
+        let end = supervisor_for(campaign, cfg, job.id).supervise_once(&job.spec);
+        let mut queue = campaign.queue.lock().expect("queue poisoned");
+        let settled: Result<(), SimError> = match end {
+            WorkerEnd::Clean => {
+                // The worker's contract: exit 0 only after appending
+                // (spec, result) to done.jsonl.
+                match find_journaled(&cfg.done_path(), &job.spec) {
+                    Ok(Some(result)) => {
+                        campaign
+                            .cache
+                            .lock()
+                            .expect("cache poisoned")
+                            .insert(&job.spec, &result);
+                        complete_if_mine(&mut queue, job.id, me, false)
+                    }
+                    Ok(None) => record_death_if_mine(
+                        &mut queue,
+                        job.id,
+                        me,
+                        "worker exited clean but journaled no result",
+                        campaign.now_ms(),
+                    ),
+                    Err(e) => Err(e),
+                }
+            }
+            WorkerEnd::Interrupted => {
+                let r = if owns(&queue, job.id, me) {
+                    queue.release(job.id, "graceful drain")
+                } else {
+                    Ok(())
+                };
+                drop(queue);
+                if let Err(e) = r {
+                    campaign.abort(e);
+                }
+                return;
+            }
+            WorkerEnd::TypedFailure { code, stderr_tail } => {
+                let detail = with_tail(&format!("worker exit code {code}"), &stderr_tail);
+                if owns(&queue, job.id, me) {
+                    queue.fail(job.id, &detail)
+                } else {
+                    Ok(())
+                }
+            }
+            WorkerEnd::Death {
+                detail,
+                stderr_tail,
+            } => record_death_if_mine(
+                &mut queue,
+                job.id,
+                me,
+                &with_tail(&detail, &stderr_tail),
+                campaign.now_ms(),
+            ),
+            WorkerEnd::LaunchFailed { detail } => {
+                record_death_if_mine(&mut queue, job.id, me, &detail, campaign.now_ms())
+            }
+        };
+        if let Err(e) = settled {
+            drop(queue);
+            campaign.abort(e);
+            return;
+        }
+    }
+}
+
+/// Whether `me` still holds `id`'s lease. False once `expire_stale`
+/// reclaimed it — the job is someone else's (or pending) and this
+/// worker must not record anything against it.
+fn owns(queue: &JobQueue, id: JobId, me: &str) -> bool {
+    matches!(&queue.job(id).state, JobState::Leased { worker, .. } if worker == me)
+}
+
+fn complete_if_mine(
+    queue: &mut JobQueue,
+    id: JobId,
+    me: &str,
+    cached: bool,
+) -> Result<(), SimError> {
+    if owns(queue, id, me) {
+        queue.complete(id, cached)?;
+    }
+    Ok(())
+}
+
+fn record_death_if_mine(
+    queue: &mut JobQueue,
+    id: JobId,
+    me: &str,
+    detail: &str,
+    now_ms: u64,
+) -> Result<(), SimError> {
+    if owns(queue, id, me) {
+        queue.worker_died(id, detail, now_ms)?;
+    }
+    Ok(())
+}
+
+fn with_tail(detail: &str, stderr_tail: &str) -> String {
+    let tail = stderr_tail.trim();
+    if tail.is_empty() {
+        detail.to_string()
+    } else {
+        format!("{detail}; stderr tail: {tail}")
+    }
+}
+
+/// The per-job supervisor: single launch (the queue owns retry policy),
+/// heartbeat-renewed lease, stderr capture for quarantine diagnostics.
+fn supervisor_for(campaign: &Arc<Campaign>, cfg: &CampaignConfig, id: JobId) -> Supervisor {
+    let mut sup = Supervisor::new(
+        &cfg.worker_exe,
+        SnapshotPolicy {
+            dir: cfg.dir.join("snapshots"),
+            cadence_cycles: cfg.snapshot_cycles,
+            keep: cfg.keep,
+        },
+    );
+    sup.journal = Some(cfg.done_path());
+    sup.heartbeat_timeout = Some(cfg.lease);
+    sup.time_budget = cfg.job_time_budget;
+    sup.chaos_kill_at = cfg.chaos_kill_at;
+    sup.capture_stderr = true;
+    let renewer = Arc::clone(campaign);
+    sup.heartbeat_hook = Some(HeartbeatHook(Arc::new(move |_cycle| {
+        let now = renewer.now_ms();
+        renewer.queue.lock().expect("queue poisoned").renew(id, now);
+    })));
+    sup
+}
+
+/// The journaled result for `spec`, if the worker appended one.
+fn find_journaled(path: &Path, spec: &RunSpec) -> Result<Option<RunResult>, SimError> {
+    Ok(Journal::new(path)
+        .load()?
+        .into_iter()
+        .find(|(s, _)| s == spec)
+        .map(|(_, result)| result))
+}
+
+/// Writes the finalized `journal.jsonl`: one line per Done job, in
+/// submission order, from verified cached results — byte-identical to
+/// the journal a serial uninterrupted run produces, regardless of how
+/// many workers died along the way or which order they finished in.
+fn finalize(queue: &JobQueue, cache: &CacheStore, cfg: &CampaignConfig) -> Result<(), SimError> {
+    let mut text = String::new();
+    for job in queue.jobs() {
+        if !matches!(job.state, JobState::Done { .. }) {
+            continue;
+        }
+        let result = cache.lookup(&job.spec)?.ok_or_else(|| SimError::Campaign {
+            detail: format!(
+                "job {} is Done but its result is missing from done.jsonl",
+                job.id
+            ),
+        })?;
+        text.push_str(&encode_line(&job.spec, result));
+        text.push('\n');
+    }
+    let path = cfg.journal_path();
+    let tmp = path.with_extension("jsonl.tmp");
+    let io = |detail: String| SimError::Campaign { detail };
+    let mut file =
+        std::fs::File::create(&tmp).map_err(|e| io(format!("create {}: {e}", tmp.display())))?;
+    file.write_all(text.as_bytes())
+        .and_then(|()| file.sync_all())
+        .map_err(|e| io(format!("write {}: {e}", tmp.display())))?;
+    drop(file);
+    std::fs::rename(&tmp, &path).map_err(|e| {
+        io(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_tallies_every_terminal_state() {
+        let mut queue = JobQueue::in_memory(QueuePolicy::default());
+        let spec_n = |n: u64| {
+            let mut s = RunSpec::new("gcc", crate::SimModel::Base).with_budget(100, 100);
+            s.seed = n;
+            s
+        };
+        for n in 0..5 {
+            queue.submit(&spec_n(n), Lane::Normal).expect("submit");
+        }
+        queue.lease("w", 0).expect("lease").expect("granted");
+        queue.complete(0, true).expect("complete");
+        queue.lease("w", 0).expect("lease").expect("granted");
+        queue.complete(1, false).expect("complete");
+        queue.lease("w", 0).expect("lease").expect("granted");
+        queue.fail(2, "typo").expect("fail");
+        let report = CampaignReport::tally(&queue);
+        assert_eq!(report.jobs, 5);
+        assert_eq!(report.done, 2);
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.simulated, 1);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.quarantined, 0);
+        assert!(report.render().contains("done=2"), "{}", report.render());
+    }
+}

@@ -16,9 +16,15 @@
 //!   `.corrupt` suffix) with a warning, and the previous rotation — or a
 //!   fresh start — takes over; corruption is never fatal.
 
+use crate::metrics;
 use mlpwin_isa::snap::crc32;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Counter of snapshot files quarantined as `*.corrupt` (failed CRC,
+/// framing, or restore). With telemetry on, a fleet that starts eating
+/// its own snapshots shows up here before anyone reads stderr.
+pub const METRIC_SNAPSHOT_CORRUPT: &str = "mlpwin_snapshot_corrupt_total";
 
 /// The snapshot file schema this build writes and reads. Bump on any
 /// incompatible frame or core-image layout change; an unknown schema is
@@ -208,8 +214,11 @@ impl SnapshotStore {
     }
 
     /// Moves a bad snapshot aside (`<name>.corrupt`) so it is never
-    /// retried; falls back to deleting it when the rename fails.
+    /// retried; falls back to deleting it when the rename fails. Every
+    /// quarantine — from load, restore, or replay — counts into
+    /// [`METRIC_SNAPSHOT_CORRUPT`].
     pub fn quarantine(&self, path: &Path) {
+        metrics::counter_add(METRIC_SNAPSHOT_CORRUPT, 1);
         let mut corrupt = path.as_os_str().to_owned();
         corrupt.push(".corrupt");
         if std::fs::rename(path, PathBuf::from(&corrupt)).is_err() {

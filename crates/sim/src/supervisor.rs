@@ -21,6 +21,52 @@ use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// A callback invoked with the cycle count of every `hb <cycle>` line a
+/// worker prints. The campaign control plane uses it to renew the
+/// worker's job lease — liveness and ownership ride the same signal.
+#[derive(Clone)]
+pub struct HeartbeatHook(pub Arc<dyn Fn(u64) + Send + Sync>);
+
+impl std::fmt::Debug for HeartbeatHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<heartbeat hook>")
+    }
+}
+
+/// How a single worker launch ended — the one-attempt verdict behind
+/// [`Supervisor::supervise`]'s retrying loop, exposed for callers (the
+/// campaign control plane) that do their own retry accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerEnd {
+    /// Exit 0: the spec finished and (when configured) journaled.
+    Clean,
+    /// [`EXIT_INTERRUPTED`]: graceful drain; resuming later continues
+    /// from the latest snapshot.
+    Interrupted,
+    /// A deterministic, typed failure (the worker's exit 1 = simulation
+    /// error, 2 = CLI error) — retrying cannot change it.
+    TypedFailure {
+        /// The worker's exit code.
+        code: i32,
+        /// The tail of the worker's stderr, when captured.
+        stderr_tail: String,
+    },
+    /// The worker died: panic abort, signal, OOM kill, or a blown
+    /// supervision budget. Retrying resumes from the latest snapshot.
+    Death {
+        /// What happened, human-readable.
+        detail: String,
+        /// The tail of the worker's stderr, when captured — for a
+        /// stalled core this includes the StallSnapshot it printed.
+        stderr_tail: String,
+    },
+    /// The worker binary could not even start.
+    LaunchFailed {
+        /// The spawn error.
+        detail: String,
+    },
+}
+
 /// How a supervised spec ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SuperviseOutcome {
@@ -70,6 +116,13 @@ pub struct Supervisor {
     /// cycle, on fresh starts only — so the supervised restart resumes
     /// and completes.
     pub chaos_kill_at: Option<u64>,
+    /// Called with the cycle of every worker heartbeat (lease renewal).
+    pub heartbeat_hook: Option<HeartbeatHook>,
+    /// Pipe and keep the tail of worker stderr — attached to
+    /// [`WorkerEnd::Death`] so a quarantined job carries its last
+    /// diagnostics (StallSnapshot, panic message). Off by default:
+    /// inherited stderr streams to the operator live.
+    pub capture_stderr: bool,
 }
 
 impl Supervisor {
@@ -86,6 +139,8 @@ impl Supervisor {
             memory_budget_kb: None,
             time_budget: None,
             chaos_kill_at: None,
+            heartbeat_hook: None,
+            capture_stderr: false,
         }
     }
 
@@ -145,6 +200,90 @@ impl Supervisor {
         args
     }
 
+    /// Launches `spec`'s worker exactly once, watches it against every
+    /// budget, and classifies how it ended. No restarts, no backoff —
+    /// that policy lives in [`supervise`](Supervisor::supervise) (local
+    /// retrying) and in the campaign queue's lease/quarantine machinery
+    /// (distributed retrying), both built on this primitive.
+    pub fn supervise_once(&self, spec: &RunSpec) -> WorkerEnd {
+        let mut command = Command::new(&self.worker_exe);
+        command.args(self.spec_args(spec)).stdout(Stdio::piped());
+        if self.capture_stderr {
+            command.stderr(Stdio::piped());
+        }
+        let mut child = match command.spawn() {
+            Ok(child) => child,
+            Err(e) => {
+                return WorkerEnd::LaunchFailed {
+                    detail: format!("worker {} failed to launch: {e}", self.worker_exe.display()),
+                }
+            }
+        };
+        let last_beat = Arc::new(Mutex::new(Instant::now()));
+        let reader = child.stdout.take().map(|stdout| {
+            let last_beat = Arc::clone(&last_beat);
+            let hook = self.heartbeat_hook.clone();
+            std::thread::spawn(move || {
+                use std::io::BufRead as _;
+                for line in std::io::BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    if let Some(rest) = line.strip_prefix("hb ") {
+                        *last_beat.lock().expect("heartbeat clock poisoned") = Instant::now();
+                        if let (Some(hook), Ok(cycle)) = (&hook, rest.trim().parse::<u64>()) {
+                            (hook.0)(cycle);
+                        }
+                    }
+                }
+            })
+        });
+        let stderr_reader = child.stderr.take().map(|stderr| {
+            std::thread::spawn(move || {
+                use std::io::Read as _;
+                let mut text = String::new();
+                std::io::BufReader::new(stderr)
+                    .read_to_string(&mut text)
+                    .ok();
+                // Keep the tail: the StallSnapshot / panic message is
+                // the last thing a dying worker prints.
+                const TAIL: usize = 4096;
+                if text.len() > TAIL {
+                    let cut = text.len() - TAIL;
+                    let cut = (cut..text.len())
+                        .find(|&i| text.is_char_boundary(i))
+                        .unwrap_or(text.len());
+                    text = text[cut..].to_string();
+                }
+                text
+            })
+        });
+        let verdict = self.watch(&mut child, &last_beat);
+        if let Some(reader) = reader {
+            reader.join().ok();
+        }
+        let stderr_tail = stderr_reader
+            .and_then(|r| r.join().ok())
+            .unwrap_or_default();
+        match verdict {
+            Verdict::Exited(0) => WorkerEnd::Clean,
+            Verdict::Exited(code) if code == EXIT_INTERRUPTED => WorkerEnd::Interrupted,
+            // The worker binary's contract: 1 = typed simulation error,
+            // 2 = CLI error — deterministic either way.
+            Verdict::Exited(code @ (1 | 2)) => WorkerEnd::TypedFailure { code, stderr_tail },
+            Verdict::Exited(code) => WorkerEnd::Death {
+                detail: format!("worker exited with code {code}"),
+                stderr_tail,
+            },
+            Verdict::Killed(reason) => WorkerEnd::Death {
+                detail: reason,
+                stderr_tail,
+            },
+            Verdict::Died => WorkerEnd::Death {
+                detail: "worker died (killed by signal or crash)".into(),
+                stderr_tail,
+            },
+        }
+    }
+
     /// Runs `spec` to completion under supervision: launch the worker,
     /// watch heartbeat/memory/time, kill on a blown budget, restart with
     /// exponential backoff. Restarted workers find the previous
@@ -161,49 +300,19 @@ impl Supervisor {
                 std::thread::sleep(delay);
             }
             attempts += 1;
-            let mut child = match Command::new(&self.worker_exe)
-                .args(self.spec_args(spec))
-                .stdout(Stdio::piped())
-                .spawn()
-            {
-                Ok(child) => child,
-                Err(e) => {
-                    return SuperviseOutcome::Failed {
-                        attempts,
-                        detail: format!(
-                            "worker {} failed to launch: {e}",
-                            self.worker_exe.display()
-                        ),
-                    }
+            match self.supervise_once(spec) {
+                WorkerEnd::Clean => return SuperviseOutcome::Completed { attempts },
+                WorkerEnd::Interrupted => return SuperviseOutcome::Interrupted { attempts },
+                WorkerEnd::LaunchFailed { detail } => {
+                    return SuperviseOutcome::Failed { attempts, detail }
                 }
-            };
-            let last_beat = Arc::new(Mutex::new(Instant::now()));
-            let reader = child.stdout.take().map(|stdout| {
-                let last_beat = Arc::clone(&last_beat);
-                std::thread::spawn(move || {
-                    use std::io::BufRead as _;
-                    for line in std::io::BufReader::new(stdout).lines() {
-                        let Ok(line) = line else { break };
-                        if line.starts_with("hb ") {
-                            *last_beat.lock().expect("heartbeat clock poisoned") = Instant::now();
-                        }
-                    }
-                })
-            });
-            let verdict = self.watch(&mut child, &last_beat);
-            if let Some(reader) = reader {
-                reader.join().ok();
-            }
-            match verdict {
-                Verdict::Exited(0) => return SuperviseOutcome::Completed { attempts },
-                Verdict::Exited(code) if code == EXIT_INTERRUPTED => {
-                    return SuperviseOutcome::Interrupted { attempts }
-                }
-                Verdict::Exited(code) => {
+                // Local supervision predates the typed/death split and
+                // retries both: a restart is cheap, and a worker that
+                // fails the same way again exhausts the budget quickly.
+                WorkerEnd::TypedFailure { code, .. } => {
                     last_detail = format!("worker exited with code {code}");
                 }
-                Verdict::Killed(reason) => last_detail = reason,
-                Verdict::Died => last_detail = "worker died (killed by signal or crash)".into(),
+                WorkerEnd::Death { detail, .. } => last_detail = detail,
             }
             eprintln!(
                 "supervisor: spec {:016x} attempt {attempts}: {last_detail}; will resume from latest snapshot",
@@ -352,6 +461,16 @@ mod tests {
         let status = "Name:\tmlpwin-sim\nVmPeak:\t  123 kB\nVmRSS:\t    4567 kB\n";
         assert_eq!(parse_vmrss_kb(status), Some(4567));
         assert_eq!(parse_vmrss_kb("Name: x\n"), None);
+    }
+
+    #[test]
+    fn supervise_once_classifies_exit_one_as_typed_failure() {
+        let mut sup = Supervisor::new("/bin/false", SnapshotPolicy::in_dir("/tmp/never-used"));
+        sup.capture_stderr = true;
+        match sup.supervise_once(&RunSpec::new("gcc", SimModel::Base)) {
+            WorkerEnd::TypedFailure { code: 1, .. } => {}
+            other => panic!("expected TypedFailure(1), got {other:?}"),
+        }
     }
 
     #[test]

@@ -249,7 +249,29 @@ fn corrupt_snapshot_heals_to_an_older_generation_or_fresh_start() {
     bytes[mid] ^= 0x01;
     std::fs::write(&newest, &bytes).expect("corrupt snapshot");
 
+    // The quarantine must also be visible in telemetry.
+    mlpwin_sim::metrics::set_telemetry(true);
+    let corrupt_before = mlpwin_sim::metrics::global()
+        .snapshot()
+        .counters
+        .get(mlpwin_sim::snapshot::METRIC_SNAPSHOT_CORRUPT)
+        .copied()
+        .unwrap_or(0);
+
     let resumed = run_recoverable(&spec, &policy).expect("healed run completes");
+    mlpwin_sim::metrics::flush();
+    let corrupt_after = mlpwin_sim::metrics::global()
+        .snapshot()
+        .counters
+        .get(mlpwin_sim::snapshot::METRIC_SNAPSHOT_CORRUPT)
+        .copied()
+        .unwrap_or(0);
+    mlpwin_sim::metrics::set_telemetry(false);
+    assert_eq!(
+        corrupt_after,
+        corrupt_before + 1,
+        "exactly one quarantined snapshot must be counted"
+    );
     let reference = mlpwin_sim::runner::run(&spec).expect("reference run");
     assert_eq!(resumed, reference, "healed run must be bit-identical");
     assert!(
