@@ -27,7 +27,8 @@ echo "==> mlpwin-bench full suite (host-perf regression gate, >15% fails)"
 # pause in between: a genuine regression fails every one of them.
 bench_gate() {
     cargo run --release -q -p mlpwin-bench --bin mlpwin-bench -- \
-        --out target/ci-artifacts/BENCH_ci.json --baseline results/BENCH.json
+        --out target/ci-artifacts/BENCH_ci.json --baseline results/BENCH.json \
+        --split 4
 }
 for attempt in 1 2 3 4 5; do
     if bench_gate; then
@@ -62,6 +63,26 @@ run_worker clean                          # uninterrupted control
 diff target/ci-artifacts/recovery/crashed/journal.jsonl \
      target/ci-artifacts/recovery/clean/journal.jsonl
 echo "    resumed journal is bit-identical to the clean run"
+
+echo "==> split-equivalence smoke (4-interval split of a memory-bound run vs serial)"
+# Exact-mode interval-parallel run of one memory-bound profile: the
+# stitched journal must be byte-identical to the serial worker's.
+rm -rf target/ci-artifacts/split
+mkdir -p target/ci-artifacts/split
+splitter="target/release/mlpwin-split"
+"$worker" --profile mcf --model dynamic --warmup 2000 --insts 6000 \
+    --snapshot-dir target/ci-artifacts/split/snaps --snapshot-cycles 1000000000 \
+    --journal target/ci-artifacts/split/serial.jsonl
+# mcf at this budget runs ~174k measured cycles: 44000-cycle intervals
+# make a 4-interval split (three full intervals plus the tail).
+"$splitter" --profile mcf --model dynamic --warmup 2000 --insts 6000 \
+    --interval-cycles 44000 --workers 4 \
+    --dir target/ci-artifacts/split/store \
+    --journal target/ci-artifacts/split/split.jsonl \
+    | tee target/ci-artifacts/split/split.out
+grep -q 'intervals=4 ' target/ci-artifacts/split/split.out
+diff target/ci-artifacts/split/serial.jsonl target/ci-artifacts/split/split.jsonl
+echo "    4-interval stitched journal is bit-identical to the serial run"
 
 echo "==> campaign smoke (kill a worker mid-campaign, then a cached rerun)"
 # A three-spec campaign whose workers all chaos-abort once mid-run: the

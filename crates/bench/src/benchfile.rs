@@ -36,6 +36,32 @@ pub struct BenchEntry {
     pub sim_cycles: u64,
     /// Committed instructions in the measured phase.
     pub sim_insts: u64,
+    /// The interval-parallel leg (`mlpwin-bench --split N`), when run.
+    pub split: Option<BenchSplit>,
+}
+
+/// The `--split N` rider on a suite entry: the same spec re-analyzed
+/// through the sampled interval-parallel runner against a fresh sweep.
+/// `speedup` compares the serial row's full wall clock to phase 2 alone
+/// — the cost of *re-analyzing* a run whose snapshot sweep is already
+/// on disk, which is the workflow the split runner exists for (the
+/// one-time sweep cost is `sweep_secs`, amortized across analyses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSplit {
+    /// Sampling stride / phase-2 worker count (the `--split` value).
+    pub stride: u64,
+    /// Interval length in measured cycles.
+    pub interval_cycles: u64,
+    /// Total intervals the run split into.
+    pub intervals: u64,
+    /// Intervals phase 2 actually simulated.
+    pub simulated: u64,
+    /// Wall seconds of the one-time serial snapshot sweep.
+    pub sweep_secs: f64,
+    /// Wall seconds of phase 2 (restore + simulate sampled intervals).
+    pub phase2_secs: f64,
+    /// Serial `wall_secs` over `phase2_secs`.
+    pub speedup: f64,
 }
 
 impl BenchEntry {
@@ -110,6 +136,17 @@ impl BenchReport {
                 m.insert("sim_insts".to_string(), num(e.sim_insts));
                 m.insert("kcps".to_string(), Json::Num(e.kcps()));
                 m.insert("mips".to_string(), Json::Num(e.mips()));
+                if let Some(sp) = &e.split {
+                    let mut sm = BTreeMap::new();
+                    sm.insert("stride".to_string(), num(sp.stride));
+                    sm.insert("interval_cycles".to_string(), num(sp.interval_cycles));
+                    sm.insert("intervals".to_string(), num(sp.intervals));
+                    sm.insert("simulated".to_string(), num(sp.simulated));
+                    sm.insert("sweep_secs".to_string(), Json::Num(sp.sweep_secs));
+                    sm.insert("phase2_secs".to_string(), Json::Num(sp.phase2_secs));
+                    sm.insert("speedup".to_string(), Json::Num(sp.speedup));
+                    m.insert("split".to_string(), Json::Obj(sm));
+                }
                 Json::Obj(m)
             })
             .collect();
@@ -167,6 +204,31 @@ impl BenchReport {
                 .and_then(Json::as_f64)
                 .filter(|w| w.is_finite() && *w >= 0.0)
                 .ok_or_else(|| format!("entry {i}: bad field `wall_secs`"))?;
+            let split = match e.get("split") {
+                None | Some(Json::Null) => None,
+                Some(sp) => {
+                    let sp_u64 = |k: &str| {
+                        sp.get(k)
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| format!("entry {i}: bad split field `{k}`"))
+                    };
+                    let sp_f64 = |k: &str| {
+                        sp.get(k)
+                            .and_then(Json::as_f64)
+                            .filter(|v| v.is_finite() && *v >= 0.0)
+                            .ok_or_else(|| format!("entry {i}: bad split field `{k}`"))
+                    };
+                    Some(BenchSplit {
+                        stride: sp_u64("stride")?,
+                        interval_cycles: sp_u64("interval_cycles")?,
+                        intervals: sp_u64("intervals")?,
+                        simulated: sp_u64("simulated")?,
+                        sweep_secs: sp_f64("sweep_secs")?,
+                        phase2_secs: sp_f64("phase2_secs")?,
+                        speedup: sp_f64("speedup")?,
+                    })
+                }
+            };
             entries.push(BenchEntry {
                 profile: e
                     .get("profile")
@@ -183,6 +245,7 @@ impl BenchReport {
                 wall_secs,
                 sim_cycles: field_u64("sim_cycles")?,
                 sim_insts: field_u64("sim_insts")?,
+                split,
             });
         }
         if entries.is_empty() {
@@ -232,6 +295,15 @@ mod tests {
                     wall_secs: 0.5,
                     sim_cycles: 10_000,
                     sim_insts: 2_100,
+                    split: Some(BenchSplit {
+                        stride: 4,
+                        interval_cycles: 4_096,
+                        intervals: 12,
+                        simulated: 4,
+                        sweep_secs: 0.6,
+                        phase2_secs: 0.1,
+                        speedup: 5.0,
+                    }),
                 },
                 BenchEntry {
                     profile: "gcc".to_string(),
@@ -241,6 +313,7 @@ mod tests {
                     wall_secs: 1.5,
                     sim_cycles: 6_000,
                     sim_insts: 2_100,
+                    split: None,
                 },
             ],
         }
@@ -311,6 +384,22 @@ mod tests {
             .contains("empty"));
         let bad_entry = r#"{"schema":1,"entries":[{"profile":"x"}]}"#;
         assert!(BenchReport::parse(bad_entry).is_err());
+        // A split rider missing a field is rejected, not silently None.
+        let bad_split = sample().encode().replace("\"stride\":4,", "\"stride\":-4,");
+        assert!(BenchReport::parse(&bad_split)
+            .expect_err("bad split stride")
+            .contains("split"));
+    }
+
+    #[test]
+    fn entries_without_split_riders_still_parse() {
+        // The committed baselines written before the --split leg carry
+        // no `split` key at all.
+        let legacy = r#"{"schema":1,"peak_rss_kb":null,"entries":[{"profile":"mcf",
+            "model":"base","warmup":1,"insts":2,"wall_secs":0.5,
+            "sim_cycles":100,"sim_insts":2}]}"#;
+        let report = BenchReport::parse(legacy).expect("legacy entries parse");
+        assert_eq!(report.entries[0].split, None);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!     --snapshot-cycles N   run through the recoverable runner with this
 //!                           snapshot cadence (measures snapshot overhead)
 //!     --max-drop PCT override the regression threshold (percent)
+//!     --split N      also time an interval-parallel re-analysis of every
+//!                    run: sampled split (stride N, N workers) against a
+//!                    fresh snapshot sweep; records a speedup rider per
+//!                    entry (serial wall over phase-2 wall)
 //! ```
 //!
 //! Runs execute serially on one thread: the gate measures simulator
@@ -31,11 +35,13 @@
 //! partial report over the baseline trajectory.
 
 use mlpwin_bench::benchfile::{
-    peak_rss_kb, throughput_drop, BenchEntry, BenchReport, BENCH_SCHEMA, REGRESSION_THRESHOLD,
+    peak_rss_kb, throughput_drop, BenchEntry, BenchReport, BenchSplit, BENCH_SCHEMA,
+    REGRESSION_THRESHOLD,
 };
 use mlpwin_sim::report::TextTable;
 use mlpwin_sim::runner::{run, run_recoverable, RunSpec};
 use mlpwin_sim::snapshot::SnapshotPolicy;
+use mlpwin_sim::split::{run_split, SplitConfig};
 use mlpwin_sim::{signals, SimModel};
 use mlpwin_workloads::profiles;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -50,6 +56,7 @@ struct BenchArgs {
     smoke: bool,
     snapshot_cycles: Option<u64>,
     max_drop: Option<f64>,
+    split: Option<u64>,
 }
 
 impl BenchArgs {
@@ -62,6 +69,7 @@ impl BenchArgs {
             smoke: false,
             snapshot_cycles: None,
             max_drop: None,
+            split: None,
         };
         let (mut warmup, mut insts) = (None, None);
         let mut it = args.into_iter();
@@ -85,6 +93,9 @@ impl BenchArgs {
                             .expect("--snapshot-cycles: not a number"),
                     )
                 }
+                "--split" => {
+                    out.split = Some(value("--split").parse().expect("--split: not a number"))
+                }
                 "--max-drop" => {
                     out.max_drop = Some(
                         value("--max-drop")
@@ -94,7 +105,7 @@ impl BenchArgs {
                 }
                 other => panic!(
                     "unknown flag {other}; expected --smoke/--out/--baseline/--warmup/--insts/\
-                     --snapshot-cycles/--max-drop"
+                     --snapshot-cycles/--max-drop/--split"
                 ),
             }
         }
@@ -127,6 +138,50 @@ fn suite(warmup: u64, insts: u64) -> Vec<RunSpec> {
         }
     }
     specs
+}
+
+/// Times the `--split N` rider for one spec: a sampled (stride `n`,
+/// `n` workers) interval-parallel run against a fresh store. The
+/// store is wiped first — a cached interval journal would fake the
+/// phase-2 number — and the speedup is serial wall over phase 2 wall:
+/// the sweep is the one-time cost a re-analysis no longer pays.
+///
+/// The interval length targets `2n` intervals of the serial row's
+/// measured cycles (floored at 1024): every restore carries a fixed
+/// megabyte-scale cost, so slicing a short run into many thin
+/// intervals would measure restore overhead, not simulation.
+///
+/// Worker threads are capped at the host's available parallelism:
+/// phase 2 is pure CPU, so threads beyond physical cores only add
+/// scheduler churn to the wall clock being reported.
+fn split_leg(
+    spec: &RunSpec,
+    n: u64,
+    serial_wall_secs: f64,
+    serial_cycles: u64,
+    dir: &Path,
+) -> BenchSplit {
+    let n = n.max(1);
+    let interval_cycles = (serial_cycles / (2 * n).max(1)).max(1_024);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let cfg = SplitConfig::new(interval_cycles)
+        .with_workers((n as usize).min(cores))
+        .with_sampling(n);
+    mlpwin_sim::split::discard_store(spec, interval_cycles, dir);
+    let outcome = run_split(spec, &cfg, dir).unwrap_or_else(|error| {
+        eprintln!("split leg failed: {error}");
+        std::process::exit(1);
+    });
+    let phase2 = outcome.phase2_secs.max(1e-9);
+    BenchSplit {
+        stride: n,
+        interval_cycles,
+        intervals: outcome.n_intervals,
+        simulated: outcome.simulated,
+        sweep_secs: outcome.sweep_secs,
+        phase2_secs: outcome.phase2_secs,
+        speedup: serial_wall_secs / phase2,
+    }
 }
 
 fn interrupted_exit() -> ! {
@@ -165,6 +220,13 @@ fn main() {
         Err(_) => None,
     };
 
+    let split_dir = args
+        .out
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."))
+        .join("bench-splits");
+
     let mut entries = Vec::with_capacity(specs.len());
     for spec in &specs {
         if signals::interrupted() {
@@ -189,7 +251,7 @@ fn main() {
         };
         let result = mlpwin_bench::expect_run(attempt);
         let wall_secs = started.elapsed().as_secs_f64();
-        entries.push(BenchEntry {
+        let mut entry = BenchEntry {
             profile: spec.profile.clone(),
             model: spec.model.tag(),
             warmup: spec.warmup,
@@ -197,7 +259,18 @@ fn main() {
             wall_secs,
             sim_cycles: result.stats.cycles,
             sim_insts: result.stats.committed_insts,
-        });
+            split: None,
+        };
+        if let Some(n) = args.split {
+            entry.split = Some(split_leg(
+                spec,
+                n,
+                wall_secs,
+                result.stats.cycles,
+                &split_dir,
+            ));
+        }
+        entries.push(entry);
     }
     let report = BenchReport {
         schema: BENCH_SCHEMA,
@@ -216,6 +289,31 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    if args.split.is_some() {
+        let mut t = TextTable::new(vec![
+            "program",
+            "model",
+            "intervals",
+            "simulated",
+            "sweep ms",
+            "phase2 ms",
+            "speedup",
+        ]);
+        for e in &report.entries {
+            let Some(sp) = &e.split else { continue };
+            t.row(vec![
+                e.profile.clone(),
+                e.model.clone(),
+                sp.intervals.to_string(),
+                sp.simulated.to_string(),
+                format!("{:.1}", sp.sweep_secs * 1e3),
+                format!("{:.1}", sp.phase2_secs * 1e3),
+                format!("{:.2}x", sp.speedup),
+            ]);
+        }
+        println!("split re-analysis (serial wall vs phase 2):");
+        println!("{}", t.render());
+    }
     println!(
         "total: {:.2}s wall, {:.0} kcyc/s, {:.3} MIPS, peak RSS {}",
         report.total_wall_secs(),

@@ -312,11 +312,53 @@ impl<W: Workload> Core<W> {
     /// making progress. Both carry a [`StallSnapshot`] of the machine
     /// state for post-mortem triage.
     pub fn run(&mut self, n_insts: u64) -> Result<CoreStats, PipelineError> {
-        self.arm_deadline(self.now);
-        self.commit_stop = n_insts;
+        self.arm_run(n_insts);
         self.drive()?;
         self.mem.finalize();
         Ok(self.stats.clone())
+    }
+
+    /// Arms the commit target and deadline of a measurement run without
+    /// stepping: [`run`](Core::run) is `arm_run` + drive + finalize.
+    ///
+    /// The interval-parallel sweep uses the split form so it can
+    /// snapshot the *armed* pre-measurement state as interval 0's start
+    /// boundary — a worker restoring that image then replays the exact
+    /// run, commit target and deadline included, without re-arming.
+    pub fn arm_run(&mut self, n_insts: u64) {
+        self.arm_deadline(self.now);
+        self.commit_stop = n_insts;
+    }
+
+    /// Drives an armed (or snapshot-restored) measurement run until the
+    /// measured-cycle counter reaches `until`, or the commit target
+    /// lands first. Returns `true` when the run completed (commit
+    /// target reached) and `false` when it paused at the cycle bound;
+    /// unlike [`run`](Core::run) nothing is finalized or cloned — the
+    /// caller reads [`stats`](Core::stats) at each pause point.
+    ///
+    /// `until` must be a cadence point the fast-forward pins
+    /// ([`CoreConfig::snapshot_cycles`] or
+    /// [`CoreConfig::interval_cycles`] multiples), or the fast-forward
+    /// may legitimately skip straight over it, leaving `stats.cycles`
+    /// past `until` — callers stitching intervals must verify
+    /// `stats.cycles == until` on a `false` return and treat an
+    /// overshoot as a hard error rather than difference the mismatched
+    /// boundary (see `StatsDelta`).
+    ///
+    /// # Errors
+    ///
+    /// Same watchdog/deadline contract as [`run`](Core::run).
+    pub fn run_to_cycle(&mut self, until: Cycle) -> Result<bool, PipelineError> {
+        while self.stats.committed_insts < self.commit_stop {
+            if self.stats.cycles >= until {
+                return Ok(false);
+            }
+            self.step();
+            self.maybe_snapshot();
+            self.check_progress()?;
+        }
+        Ok(true)
     }
 
     /// Runs `n_insts` committed instructions as warm-up, then clears all
@@ -618,6 +660,17 @@ impl<W: Workload> Core<W> {
             // config alone — not on whether a sink is installed — so a
             // snapshotting run and a plain run of the same spec take
             // identical steps.
+            if self.stats.cycles.is_multiple_of(cadence) {
+                // This very step landed on a cadence point whose
+                // snapshot is still pending in `maybe_snapshot` (which
+                // runs after the step returns): coasting onward now
+                // would leave the boundary unobservable, losing the
+                // snapshot and breaking interval-paused execution
+                // (`run_to_cycle`). Results are unaffected either way —
+                // skips never change what the machine computes — so
+                // declining costs only the one coast opportunity.
+                return;
+            }
             next = next.min(now + (cadence - self.stats.cycles % cadence));
         }
         if next <= now + 1 {

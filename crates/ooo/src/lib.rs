@@ -101,6 +101,6 @@ pub use core::Core;
 pub use error::{PipelineError, StallSnapshot};
 pub use policy::{FixedLevelPolicy, WindowPolicy};
 pub use ready::ReadyRing;
-pub use stats::{CoreStats, CpiBucket, IntervalSample, CPI_BUCKETS};
+pub use stats::{CoreStats, CpiBucket, DeltaError, IntervalSample, StatsDelta, CPI_BUCKETS};
 pub use trace::{TraceConfig, TraceEvent, TraceEventKind, Tracer};
 pub use types::{DynInst, DynSeq, MemState, SeqList};

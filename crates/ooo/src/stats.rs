@@ -354,6 +354,318 @@ impl CoreStats {
     }
 }
 
+/// How a [`StatsDelta`] subtraction can fail.
+///
+/// Interval stitching subtracts boundary statistics captured by two
+/// different executions of the same run. Every counter is monotone
+/// within a phase, so a well-formed `(start, end)` pair never
+/// underflows — but a malformed pair (reversed boundaries, stats from
+/// different specs, a boundary that landed past its cadence point
+/// because a misaligned fast-forward skip jumped over it) would wrap
+/// `u64` arithmetic into ~2^64 garbage that silently corrupts every
+/// stitched total downstream. The checked subtraction turns each of
+/// those into a typed, attributable error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `end` is smaller than `start` on the named counter — the
+    /// boundaries are reversed or come from different executions.
+    Underflow {
+        /// The counter that would have wrapped.
+        counter: &'static str,
+    },
+    /// The two boundaries disagree on a vector shape (level ladder or
+    /// CPI-stack rows) — they were measured on different machines.
+    ShapeMismatch {
+        /// Which vector disagreed.
+        what: &'static str,
+    },
+    /// `end`'s interval time series does not extend `start`'s — the
+    /// samples already taken by `start` must be a bit-identical prefix
+    /// of `end`'s, or the two captures are not points on one run.
+    SeriesMismatch,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Underflow { counter } => write!(
+                f,
+                "stats delta underflow on `{counter}`: end precedes start \
+                 (reversed, mismatched, or fast-forward-overshot boundaries)"
+            ),
+            DeltaError::ShapeMismatch { what } => {
+                write!(f, "stats delta shape mismatch on {what}")
+            }
+            DeltaError::SeriesMismatch => write!(
+                f,
+                "stats delta interval series mismatch: end does not extend start"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The statistics accumulated between two boundary states of one run:
+/// `end − start`, computed counter-by-counter with checked arithmetic.
+///
+/// This is the unit the interval-parallel stitcher works in. Each
+/// worker simulates one snapshot-delimited interval and reports its
+/// delta; summing the deltas onto the interval-0 base reconstructs the
+/// serial run's totals bit-for-bit (the CPI-stack conservation
+/// invariant survives because it holds for both boundaries, hence for
+/// their difference). The wrapped counters are deliberately private:
+/// a delta is constructed by [`StatsDelta::between`] (which validates)
+/// or [`StatsDelta::from_raw`] (decode paths), never field-by-field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsDelta {
+    stats: CoreStats,
+}
+
+/// Subtracts one scalar counter, naming it on underflow.
+fn sub_counter(counter: &'static str, end: u64, start: u64) -> Result<u64, DeltaError> {
+    end.checked_sub(start)
+        .ok_or(DeltaError::Underflow { counter })
+}
+
+impl StatsDelta {
+    /// Computes `end − start` with checked subtraction on every
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::Underflow`] when any counter decreased,
+    /// [`DeltaError::ShapeMismatch`] when the level ladders differ, and
+    /// [`DeltaError::SeriesMismatch`] when `end`'s interval series is
+    /// not an extension of `start`'s.
+    pub fn between(start: &CoreStats, end: &CoreStats) -> Result<StatsDelta, DeltaError> {
+        if start.level_cycles.len() != end.level_cycles.len() {
+            return Err(DeltaError::ShapeMismatch {
+                what: "level-cycle ladder",
+            });
+        }
+        if start.cpi_stack.len() != end.cpi_stack.len() {
+            return Err(DeltaError::ShapeMismatch {
+                what: "CPI-stack ladder",
+            });
+        }
+        if end.intervals.len() < start.intervals.len()
+            || end.intervals[..start.intervals.len()] != start.intervals[..]
+        {
+            return Err(DeltaError::SeriesMismatch);
+        }
+        let mut level_cycles = Vec::with_capacity(end.level_cycles.len());
+        for (e, s) in end.level_cycles.iter().zip(&start.level_cycles) {
+            level_cycles.push(sub_counter("level_cycles", *e, *s)?);
+        }
+        let mut cpi_stack = Vec::with_capacity(end.cpi_stack.len());
+        for (erow, srow) in end.cpi_stack.iter().zip(&start.cpi_stack) {
+            let mut row = [0u64; CPI_BUCKETS];
+            for (d, (e, s)) in row.iter_mut().zip(erow.iter().zip(srow.iter())) {
+                *d = sub_counter("cpi_stack", *e, *s)?;
+            }
+            cpi_stack.push(row);
+        }
+        Ok(StatsDelta {
+            stats: CoreStats {
+                cycles: sub_counter("cycles", end.cycles, start.cycles)?,
+                committed_insts: sub_counter(
+                    "committed_insts",
+                    end.committed_insts,
+                    start.committed_insts,
+                )?,
+                committed_loads: sub_counter(
+                    "committed_loads",
+                    end.committed_loads,
+                    start.committed_loads,
+                )?,
+                committed_stores: sub_counter(
+                    "committed_stores",
+                    end.committed_stores,
+                    start.committed_stores,
+                )?,
+                committed_branches: sub_counter(
+                    "committed_branches",
+                    end.committed_branches,
+                    start.committed_branches,
+                )?,
+                committed_cond_branches: sub_counter(
+                    "committed_cond_branches",
+                    end.committed_cond_branches,
+                    start.committed_cond_branches,
+                )?,
+                committed_mispredicts: sub_counter(
+                    "committed_mispredicts",
+                    end.committed_mispredicts,
+                    start.committed_mispredicts,
+                )?,
+                load_latency_sum: sub_counter(
+                    "load_latency_sum",
+                    end.load_latency_sum,
+                    start.load_latency_sum,
+                )?,
+                level_cycles,
+                cpi_stack,
+                intervals: end.intervals[start.intervals.len()..].to_vec(),
+                transitions_up: sub_counter(
+                    "transitions_up",
+                    end.transitions_up,
+                    start.transitions_up,
+                )?,
+                transitions_down: sub_counter(
+                    "transitions_down",
+                    end.transitions_down,
+                    start.transitions_down,
+                )?,
+                stall_transition: sub_counter(
+                    "stall_transition",
+                    end.stall_transition,
+                    start.stall_transition,
+                )?,
+                stall_shrink_wait: sub_counter(
+                    "stall_shrink_wait",
+                    end.stall_shrink_wait,
+                    start.stall_shrink_wait,
+                )?,
+                stall_rob_full: sub_counter(
+                    "stall_rob_full",
+                    end.stall_rob_full,
+                    start.stall_rob_full,
+                )?,
+                stall_iq_full: sub_counter(
+                    "stall_iq_full",
+                    end.stall_iq_full,
+                    start.stall_iq_full,
+                )?,
+                stall_lsq_full: sub_counter(
+                    "stall_lsq_full",
+                    end.stall_lsq_full,
+                    start.stall_lsq_full,
+                )?,
+                stall_fetch_empty: sub_counter(
+                    "stall_fetch_empty",
+                    end.stall_fetch_empty,
+                    start.stall_fetch_empty,
+                )?,
+                dispatched_total: sub_counter(
+                    "dispatched_total",
+                    end.dispatched_total,
+                    start.dispatched_total,
+                )?,
+                issued_total: sub_counter("issued_total", end.issued_total, start.issued_total)?,
+                squashes: sub_counter("squashes", end.squashes, start.squashes)?,
+                wrongpath_dispatched: sub_counter(
+                    "wrongpath_dispatched",
+                    end.wrongpath_dispatched,
+                    start.wrongpath_dispatched,
+                )?,
+                runahead_episodes: sub_counter(
+                    "runahead_episodes",
+                    end.runahead_episodes,
+                    start.runahead_episodes,
+                )?,
+                runahead_cycles: sub_counter(
+                    "runahead_cycles",
+                    end.runahead_cycles,
+                    start.runahead_cycles,
+                )?,
+                runahead_suppressed: sub_counter(
+                    "runahead_suppressed",
+                    end.runahead_suppressed,
+                    start.runahead_suppressed,
+                )?,
+                runahead_short_skips: sub_counter(
+                    "runahead_short_skips",
+                    end.runahead_short_skips,
+                    start.runahead_short_skips,
+                )?,
+                runahead_useful_episodes: sub_counter(
+                    "runahead_useful_episodes",
+                    end.runahead_useful_episodes,
+                    start.runahead_useful_episodes,
+                )?,
+            },
+        })
+    }
+
+    /// Wraps already-validated per-interval counters (journal decode);
+    /// the caller vouches that they came from [`StatsDelta::between`].
+    pub fn from_raw(stats: CoreStats) -> StatsDelta {
+        StatsDelta { stats }
+    }
+
+    /// The per-interval counters, shaped exactly like [`CoreStats`].
+    pub fn as_stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Cycles covered by this delta.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Instructions committed within this delta.
+    pub fn committed_insts(&self) -> u64 {
+        self.stats.committed_insts
+    }
+
+    /// Adds this delta onto accumulated totals: the stitcher's merge
+    /// step. Scalars add, vectors add element-wise, and the interval
+    /// series appends — so `base + Σ deltas` rebuilds the serial stats.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::ShapeMismatch`] when the ladders disagree.
+    pub fn apply_to(&self, total: &mut CoreStats) -> Result<(), DeltaError> {
+        let d = &self.stats;
+        if total.level_cycles.len() != d.level_cycles.len() {
+            return Err(DeltaError::ShapeMismatch {
+                what: "level-cycle ladder",
+            });
+        }
+        if total.cpi_stack.len() != d.cpi_stack.len() {
+            return Err(DeltaError::ShapeMismatch {
+                what: "CPI-stack ladder",
+            });
+        }
+        total.cycles += d.cycles;
+        total.committed_insts += d.committed_insts;
+        total.committed_loads += d.committed_loads;
+        total.committed_stores += d.committed_stores;
+        total.committed_branches += d.committed_branches;
+        total.committed_cond_branches += d.committed_cond_branches;
+        total.committed_mispredicts += d.committed_mispredicts;
+        total.load_latency_sum += d.load_latency_sum;
+        for (t, v) in total.level_cycles.iter_mut().zip(&d.level_cycles) {
+            *t += v;
+        }
+        for (trow, drow) in total.cpi_stack.iter_mut().zip(&d.cpi_stack) {
+            for (t, v) in trow.iter_mut().zip(drow.iter()) {
+                *t += v;
+            }
+        }
+        total.intervals.extend(d.intervals.iter().copied());
+        total.transitions_up += d.transitions_up;
+        total.transitions_down += d.transitions_down;
+        total.stall_transition += d.stall_transition;
+        total.stall_shrink_wait += d.stall_shrink_wait;
+        total.stall_rob_full += d.stall_rob_full;
+        total.stall_iq_full += d.stall_iq_full;
+        total.stall_lsq_full += d.stall_lsq_full;
+        total.stall_fetch_empty += d.stall_fetch_empty;
+        total.dispatched_total += d.dispatched_total;
+        total.issued_total += d.issued_total;
+        total.squashes += d.squashes;
+        total.wrongpath_dispatched += d.wrongpath_dispatched;
+        total.runahead_episodes += d.runahead_episodes;
+        total.runahead_cycles += d.runahead_cycles;
+        total.runahead_suppressed += d.runahead_suppressed;
+        total.runahead_short_skips += d.runahead_short_skips;
+        total.runahead_useful_episodes += d.runahead_useful_episodes;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +718,76 @@ mod tests {
         assert_eq!(s.cpi_stack_cycles(), 100);
         assert!((s.cpi_fraction(CpiBucket::MemoryStall) - 0.2).abs() < 1e-12);
         assert_eq!(s.cpi_bucket_cycles(CpiBucket::RobFull), 0);
+    }
+
+    fn boundary_pair() -> (CoreStats, CoreStats) {
+        let start = CoreStats {
+            cycles: 100,
+            committed_insts: 40,
+            level_cycles: vec![60, 40],
+            cpi_stack: vec![[10; CPI_BUCKETS], [0; CPI_BUCKETS]],
+            intervals: vec![IntervalSample {
+                end_cycle: 50,
+                committed_insts: 20,
+                ..Default::default()
+            }],
+            stall_rob_full: 7,
+            ..Default::default()
+        };
+        let mut end = start.clone();
+        end.cycles = 250;
+        end.committed_insts = 90;
+        end.level_cycles = vec![150, 100];
+        end.cpi_stack = vec![[22; CPI_BUCKETS], [3; CPI_BUCKETS]];
+        end.intervals.push(IntervalSample {
+            end_cycle: 150,
+            committed_insts: 33,
+            ..Default::default()
+        });
+        end.stall_rob_full = 11;
+        (start, end)
+    }
+
+    #[test]
+    fn delta_between_and_apply_round_trip() {
+        let (start, end) = boundary_pair();
+        let delta = StatsDelta::between(&start, &end).unwrap();
+        assert_eq!(delta.cycles(), 150);
+        assert_eq!(delta.committed_insts(), 50);
+        assert_eq!(delta.as_stats().intervals.len(), 1);
+        assert_eq!(delta.as_stats().stall_rob_full, 4);
+        let mut total = start.clone();
+        delta.apply_to(&mut total).unwrap();
+        assert_eq!(total, end);
+    }
+
+    #[test]
+    fn delta_refuses_reversed_boundaries() {
+        let (start, end) = boundary_pair();
+        let err = StatsDelta::between(&end, &start).unwrap_err();
+        assert!(matches!(err, DeltaError::SeriesMismatch));
+        // Strip the series so the scalar check is what fires.
+        let (mut start, mut end) = boundary_pair();
+        start.intervals.clear();
+        end.intervals.clear();
+        let err = StatsDelta::between(&end, &start).unwrap_err();
+        assert!(matches!(err, DeltaError::Underflow { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn delta_refuses_mismatched_shapes_and_series() {
+        let (start, mut end) = boundary_pair();
+        end.level_cycles.push(0);
+        assert!(matches!(
+            StatsDelta::between(&start, &end),
+            Err(DeltaError::ShapeMismatch { .. })
+        ));
+        let (start, mut end) = boundary_pair();
+        end.intervals[0].committed_insts += 1; // prefix no longer bit-identical
+        assert_eq!(
+            StatsDelta::between(&start, &end),
+            Err(DeltaError::SeriesMismatch)
+        );
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Interval-delimited execution and checked stats deltas: the `ooo`
+//! half of the interval-parallel split contract. A measurement run is
+//! paused at snapshot-cadence boundaries with `Core::run_to_cycle`, the
+//! per-interval `StatsDelta`s are peeled off with checked subtraction,
+//! and their sum onto the interval-0 base must rebuild the serial
+//! totals bit-for-bit. The regression half pins down the failure mode
+//! the checked subtraction exists for: a requested boundary that falls
+//! *inside* a fast-forward skip region is jumped over by an unpinned
+//! run, and naive wrapping subtraction of the mismatched boundary
+//! states would fabricate ~2^64-cycle deltas.
+
+use mlpwin_ooo::{
+    Core, CoreConfig, CoreStats, DeltaError, FixedLevelPolicy, StatsDelta, WindowPolicy,
+};
+use mlpwin_workloads::{profiles, ProfileWorkload};
+
+fn fixed0() -> Box<dyn WindowPolicy> {
+    Box::new(FixedLevelPolicy::new(0))
+}
+
+fn build(name: &str, cfg: CoreConfig) -> Core<ProfileWorkload> {
+    let w = profiles::by_name(name, 7).expect("profile exists");
+    Core::new(cfg, w, fixed0())
+}
+
+/// Pauses one armed run at every multiple of `cadence`, collecting the
+/// boundary stats, until the commit target lands. Returns the boundary
+/// series (including the final state) and the final stats.
+fn boundary_series(core: &mut Core<ProfileWorkload>, cadence: u64) -> Vec<CoreStats> {
+    let mut series = vec![core.stats().clone()];
+    let mut bound = cadence;
+    loop {
+        let done = core.run_to_cycle(bound).expect("healthy profile");
+        let stats = core.stats().clone();
+        if !done {
+            assert_eq!(
+                stats.cycles, bound,
+                "pinned run must pause exactly on the cadence point"
+            );
+        }
+        series.push(stats);
+        if done {
+            return series;
+        }
+        bound += cadence;
+    }
+}
+
+#[test]
+fn interval_deltas_stitch_back_to_the_serial_totals() {
+    const CADENCE: u64 = 700;
+    for name in ["mcf", "gcc", "libquantum"] {
+        let cfg = CoreConfig {
+            snapshot_cycles: Some(CADENCE),
+            interval_cycles: Some(500),
+            ..CoreConfig::default()
+        };
+        // Serial reference: the plain one-call path.
+        let mut serial = build(name, cfg.clone());
+        serial.run_warmup(2_000).unwrap();
+        let reference = serial.run(3_000).unwrap();
+
+        // Paused execution of the same run, delta per interval.
+        let mut paused = build(name, cfg);
+        paused.run_warmup(2_000).unwrap();
+        paused.arm_run(3_000);
+        let series = boundary_series(&mut paused, CADENCE);
+        assert!(series.len() > 3, "{name}: want several intervals");
+
+        let mut total = series[0].clone();
+        for pair in series.windows(2) {
+            let delta = StatsDelta::between(&pair[0], &pair[1]).expect("monotone boundaries");
+            // Conservation holds interval-locally: the delta's CPI
+            // stack covers exactly the delta's cycles.
+            assert_eq!(delta.as_stats().cpi_stack_cycles(), delta.cycles());
+            delta.apply_to(&mut total).unwrap();
+        }
+        let mut stitched_end = paused.stats().clone();
+        assert_eq!(
+            total, stitched_end,
+            "{name}: deltas must sum to the end state"
+        );
+        // And the paused run's end state is the serial run's, so the
+        // stitched totals equal the reference bit-for-bit.
+        paused.mem_mut().finalize();
+        stitched_end = paused.stats().clone();
+        assert_eq!(stitched_end, reference, "{name}: stitched == serial");
+    }
+}
+
+#[test]
+fn overshot_boundary_is_a_typed_error_not_a_wrap() {
+    // mcf at a fixed small window stalls for long L2-miss latencies, so
+    // an *unpinned* fast-forwarding run skips entire stall regions in
+    // one jump. Walk the run with misaligned pause targets until one
+    // lands inside a skip region: `run_to_cycle` then overshoots, which
+    // is exactly the "interval starts and ends inside the same
+    // fast-forward skip region" hazard.
+    let unpinned = CoreConfig {
+        fast_forward: true,
+        snapshot_cycles: None,
+        interval_cycles: None,
+        ..CoreConfig::default()
+    };
+    let mut w = build("mcf", unpinned.clone());
+    w.run_warmup(2_000).unwrap();
+    w.arm_run(6_000);
+    let mut witness = None;
+    let mut bound = 0u64;
+    loop {
+        bound += 97; // deliberately misaligned with any cadence
+        let done = w.run_to_cycle(bound).expect("healthy profile");
+        if done {
+            break;
+        }
+        if w.stats().cycles > bound {
+            witness = Some(bound);
+            break;
+        }
+    }
+    let bound = witness.expect("mcf never skipped across a misaligned bound");
+    let overshot = w.stats().clone();
+    assert!(overshot.cycles > bound);
+
+    // The true boundary state: a run whose cadence pins `bound`, so the
+    // fast-forward executes the boundary cycle as a real step. Pinning
+    // never perturbs the trajectory, so this *is* the same execution
+    // observed at the cycle the sweep would have snapshotted.
+    let pinned = CoreConfig {
+        snapshot_cycles: Some(bound),
+        ..unpinned
+    };
+    let mut r = build("mcf", pinned);
+    r.run_warmup(2_000).unwrap();
+    r.arm_run(6_000);
+    assert!(!r.run_to_cycle(bound).unwrap());
+    let at_boundary = r.stats().clone();
+    assert_eq!(at_boundary.cycles, bound);
+
+    // A stitcher validating "worker end == sweep boundary" by naive
+    // subtraction would wrap: the overshot state is *ahead* of the
+    // boundary. The checked delta refuses with a typed error instead.
+    let err = StatsDelta::between(&overshot, &at_boundary).unwrap_err();
+    assert!(
+        matches!(err, DeltaError::Underflow { .. }),
+        "expected an underflow error, got {err:?}"
+    );
+    // The correctly-oriented difference is well-formed and covers
+    // exactly the overshoot — both states lie on one trajectory.
+    let d = StatsDelta::between(&at_boundary, &overshot).unwrap();
+    assert_eq!(d.cycles(), overshot.cycles - bound);
+    assert_eq!(d.as_stats().cpi_stack_cycles(), d.cycles());
+}

@@ -68,6 +68,15 @@ pub enum SimError {
         /// What went wrong.
         detail: String,
     },
+    /// The interval-parallel split runner hit an unstitchable state: a
+    /// worker paused off its boundary, a delta underflowed, or the
+    /// stitched totals failed their equality check against the final
+    /// cumulative state. Deterministic — wiping the split store and
+    /// re-running the sweep is the recovery path.
+    Split {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -94,6 +103,7 @@ impl SimError {
             SimError::Locked { .. } => "locked",
             SimError::HashCollision { .. } => "hash-collision",
             SimError::Campaign { .. } => "campaign",
+            SimError::Split { .. } => "split",
         }
     }
 }
@@ -118,6 +128,7 @@ impl fmt::Display for SimError {
                 write!(f, "spec-hash collision on {hash:016x}: {detail}")
             }
             SimError::Campaign { detail } => write!(f, "campaign: {detail}"),
+            SimError::Split { detail } => write!(f, "interval split: {detail}"),
         }
     }
 }

@@ -188,7 +188,7 @@ impl Journal {
 
 // --------------------------------------------------------------- encoding
 
-fn obj(pairs: Vec<(&str, Json)>) -> Json {
+pub(crate) fn obj(pairs: Vec<(&str, Json)>) -> Json {
     Json::Obj(
         pairs
             .into_iter()
@@ -220,7 +220,7 @@ pub(crate) fn encode_spec(spec: &RunSpec) -> Json {
     ])
 }
 
-fn encode_stats(stats: &CoreStats) -> Json {
+pub(crate) fn encode_stats(stats: &CoreStats) -> Json {
     obj(vec![
         ("cycles", num(stats.cycles)),
         ("committed_insts", num(stats.committed_insts)),
@@ -290,7 +290,7 @@ fn encode_stats(stats: &CoreStats) -> Json {
     ])
 }
 
-fn encode_result(result: &RunResult) -> Json {
+pub(crate) fn encode_result(result: &RunResult) -> Json {
     let category = match result.category {
         Category::MemoryIntensive => "mem",
         Category::ComputeIntensive => "comp",
@@ -469,7 +469,7 @@ fn decode_intervals(v: &Json) -> Option<Vec<IntervalSample>> {
         .collect()
 }
 
-fn decode_stats(v: &Json) -> Option<CoreStats> {
+pub(crate) fn decode_stats(v: &Json) -> Option<CoreStats> {
     Some(CoreStats {
         cycles: get_u64(v, "cycles")?,
         committed_insts: get_u64(v, "committed_insts")?,
@@ -502,7 +502,7 @@ fn decode_stats(v: &Json) -> Option<CoreStats> {
     })
 }
 
-fn decode_result(v: &Json, spec: RunSpec) -> Option<RunResult> {
+pub(crate) fn decode_result(v: &Json, spec: RunSpec) -> Option<RunResult> {
     let p = v.get("predictor")?;
     let pr = v.get("provenance")?;
     Some(RunResult {

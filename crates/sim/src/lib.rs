@@ -99,6 +99,7 @@ pub mod runner;
 pub mod serve;
 pub mod signals;
 pub mod snapshot;
+pub mod split;
 pub mod supervisor;
 
 pub use cachestore::CacheStore;
@@ -112,4 +113,5 @@ pub use queue::{JobQueue, JobState, Lane, QueuePolicy};
 pub use runner::{FaultSpec, MatrixConfig, RunOutcome, RunResult, RunSpec};
 pub use serve::{run_campaign, CampaignConfig, CampaignOutcome, CampaignReport};
 pub use snapshot::{SnapshotPolicy, SnapshotStore, SNAPSHOT_SCHEMA};
+pub use split::{run_split, SamplingEstimate, SplitConfig, SplitOutcome};
 pub use supervisor::{SuperviseOutcome, Supervisor, WorkerEnd};

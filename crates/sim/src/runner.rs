@@ -338,7 +338,7 @@ pub fn run(spec: &RunSpec) -> Result<RunResult, SimError> {
 /// Applies the spec's per-run configuration overrides to a model-built
 /// config — shared by the plain and recoverable paths so both run the
 /// exact same machine.
-fn apply_spec_overrides(config: &mut CoreConfig, spec: &RunSpec) {
+pub(crate) fn apply_spec_overrides(config: &mut CoreConfig, spec: &RunSpec) {
     // Debugging aid: rerun any spec with the core's stall fast-forward
     // disabled. Results are bit-identical either way (the fastpath
     // equivalence suites assert it), so this only trades speed for a
@@ -396,7 +396,7 @@ fn execute<W: Workload>(
 
 /// The shared run epilogue: throughput metrics, memory-system
 /// finalization, and the [`RunResult`] assembly.
-fn collect_result<W: Workload>(
+pub(crate) fn collect_result<W: Workload>(
     spec: &RunSpec,
     category: Category,
     levels: Vec<LevelSpec>,

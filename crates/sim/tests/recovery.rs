@@ -413,3 +413,108 @@ fn supervisor_enforces_the_wall_clock_budget() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// --------------------------------------------------------- split chaos
+
+const SPLIT_WORKER: &str = env!("CARGO_BIN_EXE_mlpwin-split");
+
+/// The split-worker command line for `spec` over `interval`-cycle
+/// intervals, storing under `dir/store` and journaling the stitched
+/// result to `dir/journal.jsonl`.
+fn split_cmd(spec: &RunSpec, dir: &Path, interval: u64) -> Command {
+    let mut cmd = Command::new(SPLIT_WORKER);
+    cmd.args([
+        "--profile".to_string(),
+        spec.profile.clone(),
+        "--model".to_string(),
+        spec.model.tag(),
+        "--warmup".to_string(),
+        spec.warmup.to_string(),
+        "--insts".to_string(),
+        spec.insts.to_string(),
+        "--seed".to_string(),
+        spec.seed.to_string(),
+        "--interval-cycles".to_string(),
+        interval.to_string(),
+        "--workers".to_string(),
+        "1".to_string(),
+        "--dir".to_string(),
+        dir.join("store").display().to_string(),
+        "--journal".to_string(),
+        dir.join("journal.jsonl").display().to_string(),
+    ]);
+    cmd
+}
+
+/// Field extractor for the split worker's `key=value` done line.
+fn split_field(stdout: &str, key: &str) -> u64 {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("split "))
+        .unwrap_or_else(|| panic!("no split done line in {stdout:?}"));
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} is not a number in {line:?}"))
+}
+
+#[test]
+fn chaos_killed_split_worker_resumes_only_the_dead_interval() {
+    const INTERVAL: u64 = 1_024;
+    let spec = RunSpec::new("mcf", SimModel::Dynamic).with_budget(2_000, 6_000);
+
+    // Clean reference split: learn the interval structure and keep the
+    // stitched journal as the byte-identity baseline.
+    let clean_dir = scratch("split-chaos-clean");
+    let out = split_cmd(&spec, &clean_dir, INTERVAL)
+        .output()
+        .expect("spawn clean split worker");
+    assert!(out.status.success(), "clean split worker failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let n = split_field(&stdout, "intervals");
+    let cycles = split_field(&stdout, "cycles");
+    let last_start = (n - 1) * INTERVAL;
+    assert!(n >= 3, "want several intervals, got {n}");
+    assert!(cycles > last_start + 2, "tail interval too thin to kill in");
+
+    // Doomed run on a fresh store: serial phase 2 journals every
+    // interval before the last, then aborts midway through it.
+    let kill_at = last_start + (cycles - last_start) / 2;
+    let dir = scratch("split-chaos");
+    let mut doomed = split_cmd(&spec, &dir, INTERVAL);
+    doomed.arg("--chaos-kill-at").arg(kill_at.to_string());
+    let status = doomed.status().expect("spawn doomed split worker");
+    assert!(
+        !status.success(),
+        "the chaos-killed split worker must not exit cleanly"
+    );
+
+    // Resume with the identical command (chaos disarms itself once the
+    // store holds any interval results): the sweep is reused and only
+    // the interval that died is re-simulated.
+    let mut resume = split_cmd(&spec, &dir, INTERVAL);
+    resume.arg("--chaos-kill-at").arg(kill_at.to_string());
+    let out = resume.output().expect("spawn resumed split worker");
+    assert!(out.status.success(), "resumed split worker failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        stdout.contains("sweep_reused=true"),
+        "resume must not redo the sweep: {stdout:?}"
+    );
+    assert_eq!(
+        split_field(&stdout, "simulated"),
+        1,
+        "resume must re-simulate exactly the dead interval: {stdout:?}"
+    );
+    assert_eq!(split_field(&stdout, "cached"), n - 1, "{stdout:?}");
+
+    assert_eq!(
+        journal_bytes(&dir),
+        journal_bytes(&clean_dir),
+        "kill at cycle {kill_at} + resume must stitch a journal \
+         bit-identical to the uninterrupted split"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}
