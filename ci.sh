@@ -84,20 +84,62 @@ grep -q 'intervals=4 ' target/ci-artifacts/split/split.out
 diff target/ci-artifacts/split/serial.jsonl target/ci-artifacts/split/split.jsonl
 echo "    4-interval stitched journal is bit-identical to the serial run"
 
-echo "==> campaign smoke (kill a worker mid-campaign, then a cached rerun)"
+echo "==> campaign smoke (worker kills + live observability scrape + cached rerun)"
 # A three-spec campaign whose workers all chaos-abort once mid-run: the
 # control plane must charge the deaths, resume from snapshots, and
-# complete. Then resubmit the same jobs into a fresh campaign warmed
-# from the finished journal: every job must be a verified cache hit
-# with zero cycles simulated.
+# complete — while serving its observability plane. The controller runs
+# in the background with --listen on an ephemeral port; once it
+# publishes obs.addr, `mlpwin-serve --probe` (a self-contained client,
+# no curl needed) fetches every endpoint mid-campaign and validates the
+# Prometheus exposition and JSON payloads. Afterwards: the Chrome trace
+# and flight-recorder dumps must exist, an identical campaign run with
+# the listener off must finalize a bit-identical journal (the
+# zero-cost contract), and a cached rerun must simulate nothing.
 rm -rf target/ci-artifacts/campaign
 mkdir -p target/ci-artifacts/campaign
 controller="target/release/mlpwin-serve"
 jobs=(--job gcc,base,2000,4000,1 --job mcf,dynamic,2000,4000,1 --job milc,base,2000,4000,1)
 "$controller" --campaign target/ci-artifacts/campaign/first "${jobs[@]}" \
     --workers 2 --backoff-ms 30 --snapshot-cycles 400 --chaos-kill-at 1200 \
-    --worker-exe "$worker" | tee target/ci-artifacts/campaign/first.out
+    --listen 127.0.0.1:0 --trace-out target/ci-artifacts/campaign/trace.json \
+    --worker-exe "$worker" \
+    > target/ci-artifacts/campaign/first.out \
+    2> target/ci-artifacts/campaign/first.err &
+ctl_pid=$!
+for _ in $(seq 1 400); do
+    [ -s target/ci-artifacts/campaign/first/obs.addr ] && break
+    if ! kill -0 "$ctl_pid" 2>/dev/null; then
+        echo "FAIL: controller exited before publishing obs.addr"
+        cat target/ci-artifacts/campaign/first.err
+        exit 1
+    fi
+    sleep 0.05
+done
+obs_addr=$(cat target/ci-artifacts/campaign/first/obs.addr)
+probe_ok=0
+for _ in $(seq 1 20); do
+    if "$controller" --probe "$obs_addr" | tee -a target/ci-artifacts/campaign/probe.out; then
+        probe_ok=1
+        break
+    fi
+    kill -0 "$ctl_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if [ "$probe_ok" != 1 ]; then
+    echo "FAIL: observability probe never validated a live campaign"
+    exit 1
+fi
+wait "$ctl_pid"
 grep -q 'done=3' target/ci-artifacts/campaign/first.out
+grep -q '"ph":"X"' target/ci-artifacts/campaign/trace.json
+ls target/ci-artifacts/campaign/first/flightrec/*.json > /dev/null
+echo "    live probe passed; trace and flight records written"
+"$controller" --campaign target/ci-artifacts/campaign/silent "${jobs[@]}" \
+    --workers 2 --backoff-ms 30 --snapshot-cycles 400 --chaos-kill-at 1200 \
+    --worker-exe "$worker" > target/ci-artifacts/campaign/silent.out
+diff target/ci-artifacts/campaign/first/journal.jsonl \
+     target/ci-artifacts/campaign/silent/journal.jsonl
+echo "    journal is bit-identical with the listener on and off"
 "$controller" --campaign target/ci-artifacts/campaign/rerun "${jobs[@]}" \
     --workers 2 --cache target/ci-artifacts/campaign/first/journal.jsonl \
     --worker-exe "$worker" | tee target/ci-artifacts/campaign/rerun.out

@@ -12,17 +12,31 @@
 //!              [--workers N] [--lease-ms N] [--max-kills N] [--backoff-ms N]
 //!              [--snapshot-cycles N] [--keep N] [--time-budget-ms N]
 //!              [--cache PATH] [--worker-exe PATH] [--chaos-kill-at N]
+//!              [--listen ADDR] [--trace-out PATH] [--progress]
+//! mlpwin-serve --probe ADDR
 //! ```
+//!
+//! `--listen ADDR` embeds the read-only observability HTTP server
+//! (`/metrics`, `/status`, `/jobs`, `/jobs/<id>`, `/healthz`); the
+//! bound address (useful with port 0) is written to `DIR/obs.addr`.
+//! `--trace-out PATH` writes a Chrome trace of the campaign (one track
+//! per worker, one span per job phase) when the campaign ends.
+//! `--probe ADDR` is a standalone mode: fetch every endpoint from a
+//! running controller, validate the Prometheus and JSON payloads, print
+//! a one-line summary, and exit (0 healthy / 1 not) — a self-contained
+//! smoke client for CI, no curl required.
 //!
 //! Exit codes: 0 — every job done; 1 — finished but some jobs failed or
 //! were quarantined (or a fatal control-plane error); 75 — gracefully
 //! drained on SIGINT/SIGTERM with work remaining (re-run the same
 //! command to resume); 2 — CLI error.
 
+use mlpwin_sim::json::Json;
 use mlpwin_sim::queue::Lane;
 use mlpwin_sim::runner::RunSpec;
 use mlpwin_sim::serve::{run_campaign, CampaignConfig, CampaignOutcome};
-use mlpwin_sim::{signals, SimModel};
+use mlpwin_sim::{httpserve, metrics, signals, SimModel};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -45,6 +59,9 @@ fn parse_args() -> Result<Args, String> {
     let mut time_budget = None;
     let mut cache = None;
     let mut chaos_kill_at = None;
+    let mut listen = None;
+    let mut trace_out = None;
+    let mut progress = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |what: &str| it.next().ok_or_else(|| format!("{flag} needs a {what}"));
@@ -63,13 +80,17 @@ fn parse_args() -> Result<Args, String> {
             "--cache" => cache = Some(PathBuf::from(value("path")?)),
             "--worker-exe" => worker_exe = Some(PathBuf::from(value("path")?)),
             "--chaos-kill-at" => chaos_kill_at = Some(parse_u64(&value("cycle")?)?),
+            "--listen" => listen = Some(value("address")?),
+            "--trace-out" => trace_out = Some(PathBuf::from(value("path")?)),
+            "--progress" => progress = true,
             "--help" | "-h" => {
                 println!(
                     "usage: mlpwin-serve --campaign DIR \
                      --job PROFILE,MODEL[,WARMUP,INSTS,SEED[,LANE]] ... \
                      [--workers N] [--lease-ms N] [--max-kills N] [--backoff-ms N] \
                      [--snapshot-cycles N] [--keep N] [--time-budget-ms N] \
-                     [--cache PATH] [--worker-exe PATH] [--chaos-kill-at N]"
+                     [--cache PATH] [--worker-exe PATH] [--chaos-kill-at N] \
+                     [--listen ADDR] [--trace-out PATH] [--progress] | --probe ADDR"
                 );
                 std::process::exit(0);
             }
@@ -97,6 +118,9 @@ fn parse_args() -> Result<Args, String> {
     cfg.job_time_budget = time_budget;
     cfg.cache = cache;
     cfg.chaos_kill_at = chaos_kill_at;
+    cfg.listen = listen;
+    cfg.trace_out = trace_out;
+    cfg.progress = progress;
     Ok(Args { jobs, cfg })
 }
 
@@ -129,7 +153,65 @@ fn parse_u64(s: &str) -> Result<u64, String> {
     s.parse().map_err(|_| format!("`{s}` is not a number"))
 }
 
+/// Fetches and validates every observability endpoint of a running
+/// controller. Exit 0 when all payloads are healthy.
+fn probe(addr_text: &str) -> Result<String, String> {
+    let addr: SocketAddr = addr_text
+        .trim()
+        .parse()
+        .map_err(|e| format!("`{addr_text}` is not an address: {e}"))?;
+    let get = |path: &str| -> Result<String, String> {
+        let (code, body) =
+            httpserve::http_get(&addr, path).map_err(|e| format!("GET {path}: {e}"))?;
+        if code != 200 {
+            return Err(format!("GET {path}: HTTP {code}"));
+        }
+        Ok(body)
+    };
+    let health = get("/healthz")?;
+    if health.trim() != "ok" {
+        return Err(format!("/healthz said `{}`", health.trim()));
+    }
+    let metrics_text = get("/metrics")?;
+    metrics::validate_prometheus(&metrics_text)
+        .map_err(|e| format!("/metrics is not valid Prometheus text: {e}"))?;
+    let status =
+        Json::parse(&get("/status")?).map_err(|e| format!("/status is not valid JSON: {e}"))?;
+    let jobs = Json::parse(&get("/jobs")?).map_err(|e| format!("/jobs is not valid JSON: {e}"))?;
+    let n_jobs = jobs.as_arr().map(<[Json]>::len).unwrap_or(0);
+    if n_jobs > 0 {
+        let detail =
+            Json::parse(&get("/jobs/0")?).map_err(|e| format!("/jobs/0 is not valid JSON: {e}"))?;
+        if detail.get("events").and_then(Json::as_arr).is_none() {
+            return Err("/jobs/0 carries no events array".to_string());
+        }
+    }
+    Ok(format!(
+        "probe {addr}: healthy ({} metric lines, {} jobs, {} done)",
+        metrics_text.lines().count(),
+        n_jobs,
+        status.get("done").and_then(Json::as_u64).unwrap_or(0),
+    ))
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--probe") {
+        let Some(addr) = argv.get(1) else {
+            eprintln!("mlpwin-serve: --probe needs an address");
+            return ExitCode::from(2);
+        };
+        return match probe(addr) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mlpwin-serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {
@@ -138,6 +220,12 @@ fn main() -> ExitCode {
         }
     };
     signals::install();
+    if args.cfg.listen.is_some() {
+        // The observability plane lives in the controller process only;
+        // worker children keep their own (default-off) telemetry knob,
+        // so the simulation hot path is untouched.
+        metrics::set_telemetry(true);
+    }
     match run_campaign(&args.jobs, &args.cfg) {
         Ok(CampaignOutcome::Complete(report)) => {
             println!("{}", report.render());

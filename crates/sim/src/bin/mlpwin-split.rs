@@ -13,20 +13,27 @@
 //! mlpwin-split --profile mcf --model dynamic --interval-cycles N
 //!              [--warmup N] [--insts N] [--seed N] [--workers N]
 //!              [--sample-every K] [--bleed N] [--dir DIR]
-//!              [--journal PATH] [--chaos-kill-at N]
+//!              [--journal PATH] [--chaos-kill-at N] [--listen ADDR]
 //! ```
+//!
+//! `--listen ADDR` serves read-only `/metrics` and `/healthz` while the
+//! split runs (job-queue views are campaign-only and render empty
+//! here); the bound address prints to stderr.
 
+use mlpwin_sim::httpserve::{HttpServer, MetricsOnly};
 use mlpwin_sim::runner::RunSpec;
 use mlpwin_sim::split::{run_split, SplitConfig};
 use mlpwin_sim::{Journal, SimModel};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     spec: RunSpec,
     cfg: SplitConfig,
     dir: PathBuf,
     journal: Option<PathBuf>,
+    listen: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
     let mut cfg = SplitConfig::new(0);
     let mut dir = PathBuf::from("splits");
     let mut journal = None;
+    let mut listen = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |what: &str| it.next().ok_or_else(|| format!("{flag} needs a {what}"));
@@ -59,12 +67,13 @@ fn parse_args() -> Result<Args, String> {
             "--dir" => dir = PathBuf::from(value("directory")?),
             "--journal" => journal = Some(PathBuf::from(value("path")?)),
             "--chaos-kill-at" => cfg.chaos_kill_at = Some(parse_u64(&value("cycle")?)?),
+            "--listen" => listen = Some(value("address")?),
             "--help" | "-h" => {
                 println!(
                     "usage: mlpwin-split --profile NAME --model TAG --interval-cycles N \
                      [--warmup N] [--insts N] [--seed N] [--intervals N] [--workers N] \
                      [--sample-every K] [--bleed N] [--dir DIR] [--journal PATH] \
-                     [--chaos-kill-at N]"
+                     [--chaos-kill-at N] [--listen ADDR]"
                 );
                 std::process::exit(0);
             }
@@ -82,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         cfg,
         dir,
         journal,
+        listen,
     })
 }
 
@@ -98,8 +108,27 @@ fn main() -> ExitCode {
         }
     };
 
+    let server = match &args.listen {
+        Some(addr) => {
+            mlpwin_sim::metrics::set_telemetry(true);
+            match HttpServer::start(addr, Arc::new(MetricsOnly { mode: "split" })) {
+                Ok(server) => {
+                    eprintln!("observability: listening on http://{}", server.addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("mlpwin-split: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let outcome = run_split(&args.spec, &args.cfg, &args.dir);
     mlpwin_sim::metrics::flush();
+    if let Some(server) = server {
+        server.shutdown();
+    }
     let outcome = match outcome {
         Ok(o) => o,
         Err(e) => {

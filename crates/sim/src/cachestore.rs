@@ -23,6 +23,8 @@ pub const METRIC_CACHE_HITS: &str = "mlpwin_cache_hits_total";
 pub const METRIC_CACHE_MISSES: &str = "mlpwin_cache_misses_total";
 /// Counter of spec-hash collisions detected on lookup.
 pub const METRIC_CACHE_COLLISIONS: &str = "mlpwin_cache_collisions_total";
+/// Gauge: entries currently held by the cache.
+pub const METRIC_CACHE_ENTRIES: &str = "mlpwin_cache_entries";
 
 /// An in-memory view over one or more results journals, keyed by spec
 /// hash with full-spec verification on every hit.
@@ -112,6 +114,12 @@ impl CacheStore {
     /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
         self.by_hash.is_empty()
+    }
+
+    /// Publishes the entry-count gauge into the metrics shard (no-op
+    /// with telemetry off).
+    pub fn publish_metrics(&self) {
+        metrics::gauge_set(METRIC_CACHE_ENTRIES, self.by_hash.len() as f64);
     }
 }
 

@@ -13,6 +13,7 @@
 //! module, so the export stays dependency-free and structurally
 //! verifiable by [`Json::parse`].
 
+use crate::campaign_events::JobSpan;
 use crate::json::{num, s, Json};
 use crate::runner::RunResult;
 use mlpwin_ooo::{CoreStats, TraceEvent, TraceEventKind};
@@ -138,6 +139,65 @@ pub fn write_trace(result: &RunResult, events: &[TraceEvent]) -> String {
     trace_document(result, events).encode()
 }
 
+/// Builds a Chrome trace for a whole campaign from the derived job
+/// spans: one `tid` track per span track (the `"queue"` track plus one
+/// per worker), a `ph: "M"` `thread_name` metadata event naming each,
+/// and one `ph: "X"` complete event per span. Campaign-clock
+/// milliseconds map to trace microseconds, so the viewer's axis reads
+/// in wall-clock ms.
+pub fn campaign_trace_document(spans: &[JobSpan], jobs: usize) -> Json {
+    // Stable track order: "queue" first, then workers sorted by name.
+    let mut tracks: Vec<&str> = Vec::new();
+    for sp in spans {
+        if !tracks.contains(&sp.track.as_str()) {
+            tracks.push(&sp.track);
+        }
+    }
+    tracks.sort_by_key(|t| (*t != "queue", t.to_string()));
+    let tid_of = |track: &str| -> u64 {
+        tracks
+            .iter()
+            .position(|t| *t == track)
+            .expect("span track registered") as u64
+    };
+    let mut events = Vec::new();
+    for (tid, track) in tracks.iter().enumerate() {
+        events.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", num(1)),
+            ("tid", num(tid as u64)),
+            ("args", obj(vec![("name", s(*track))])),
+        ]));
+    }
+    for sp in spans {
+        let args = Json::Obj(
+            sp.args
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .chain(std::iter::once(("job".to_string(), num(sp.job))))
+                .collect::<BTreeMap<_, _>>(),
+        );
+        events.push(obj(vec![
+            ("name", s(&sp.name)),
+            ("ph", s("X")),
+            ("ts", num(sp.start_ms * 1000)),
+            ("dur", num((sp.end_ms - sp.start_ms) * 1000)),
+            ("pid", num(1)),
+            ("tid", num(tid_of(&sp.track))),
+            ("args", args),
+        ]));
+    }
+    obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![("mode", s("campaign")), ("jobs", num(jobs as u64))]),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +283,70 @@ mod tests {
                 .and_then(Json::as_str),
             Some(adversarial)
         );
+    }
+
+    #[test]
+    fn campaign_trace_has_one_track_per_worker_and_span_per_phase() {
+        let spans = vec![
+            JobSpan {
+                track: "queue".to_string(),
+                name: "job 0 queued".to_string(),
+                job: 0,
+                start_ms: 0,
+                end_ms: 5,
+                args: Vec::new(),
+            },
+            JobSpan {
+                track: "w1".to_string(),
+                name: "job 0 attempt 1".to_string(),
+                job: 0,
+                start_ms: 5,
+                end_ms: 40,
+                args: vec![("outcome".to_string(), s("done"))],
+            },
+            JobSpan {
+                track: "w0".to_string(),
+                name: "job 1 attempt 1".to_string(),
+                job: 1,
+                start_ms: 7,
+                end_ms: 30,
+                args: Vec::new(),
+            },
+        ];
+        let doc = campaign_trace_document(&spans, 2);
+        let text = doc.encode();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        let meta: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        let complete: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(meta.len(), 3, "queue + two workers named");
+        assert_eq!(complete.len(), spans.len(), "one X event per span");
+        // "queue" is tid 0; the two worker spans land on distinct tids.
+        assert_eq!(
+            meta[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("queue")
+        );
+        let tids: Vec<u64> = complete
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(tids.len(), 3);
+        assert_ne!(tids[1], tids[2], "workers get their own tracks");
+        // ms -> µs mapping.
+        assert_eq!(complete[1].get("ts").and_then(Json::as_u64), Some(5000));
+        assert_eq!(complete[1].get("dur").and_then(Json::as_u64), Some(35000));
     }
 
     #[test]

@@ -53,6 +53,14 @@ impl Json {
         }
     }
 
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -135,6 +143,16 @@ pub fn num(n: u64) -> Json {
 /// Convenience: a `Json::Str` from anything string-like.
 pub fn s(text: impl Into<String>) -> Json {
     Json::Str(text.into())
+}
+
+/// Convenience: a `Json::Obj` from `(key, value)` pairs.
+pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
 }
 
 fn write_escaped(text: &str, out: &mut String) {

@@ -68,7 +68,13 @@
 //! fail fast with [`SimError::Locked`]. The `mlpwin-serve` binary is
 //! the CLI; the chaos suite in `tests/campaign.rs` proves the final
 //! journal is bit-identical to a serial run under random worker and
-//! controller kills.
+//! controller kills. A running campaign is observable end to end: the
+//! controller can embed [`httpserve`]'s read-only HTTP plane
+//! (`/metrics`, `/status`, `/jobs`, `/healthz`), every job transition
+//! lands in [`campaign_events`]' bounded lifecycle ring (which also
+//! renders Chrome-trace spans per job phase), and a crash flight
+//! recorder dumps events, metrics, and queue state on worker deaths,
+//! quarantines, and fatal errors — all off the simulation hot path.
 //!
 //! ## Example
 //!
@@ -85,8 +91,10 @@
 //! ```
 
 pub mod cachestore;
+pub mod campaign_events;
 pub mod chrome_trace;
 pub mod error;
+pub mod httpserve;
 pub mod journal;
 pub mod json;
 pub mod lock;
@@ -103,7 +111,9 @@ pub mod split;
 pub mod supervisor;
 
 pub use cachestore::CacheStore;
+pub use campaign_events::{CampaignEvent, CampaignLog, EventKind, JobSpan};
 pub use error::SimError;
+pub use httpserve::{HttpServer, ObsProvider};
 pub use journal::{spec_hash, Journal};
 pub use lock::LockedFile;
 pub use metrics::{LocalMetrics, MetricsRegistry, ScopedTimer};

@@ -214,29 +214,50 @@ impl MetricsRegistry {
     /// Renders the Prometheus text exposition format: a `# TYPE` line
     /// per metric family, one sample line per counter/gauge, and
     /// cumulative `_bucket{le="..."}`/`_sum`/`_count` lines per
-    /// histogram. Counter and gauge names may carry a `{label="..."}`
-    /// suffix; histogram names must be bare.
+    /// histogram — conformant series a real Prometheus scraper ingests
+    /// directly. Counter, gauge and histogram names may carry a
+    /// `{label="..."}` suffix (build one with [`labeled`]); invalid
+    /// metric-name characters are sanitized to `_` and label values are
+    /// escaped per the text-format spec, so no recorded name — however
+    /// adversarial — can corrupt the exposition.
     pub fn render_prometheus(&self) -> String {
         let m = self.merged.lock().expect("metrics poisoned");
         let mut out = String::new();
         let mut last_family = String::new();
-        let mut type_line = |out: &mut String, name: &str, kind: &str| {
-            let family = name.split('{').next().unwrap_or(name);
+        let mut type_line = |out: &mut String, family: &str, kind: &str| {
             if family != last_family {
                 out.push_str(&format!("# TYPE {family} {kind}\n"));
                 last_family = family.to_string();
             }
         };
+        let render_labels = |labels: &[(String, String)]| -> String {
+            if labels.is_empty() {
+                return String::new();
+            }
+            let inner: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_key(k), escape_label_value(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        };
         for (name, value) in &m.counters {
-            type_line(&mut out, name, "counter");
-            out.push_str(&format!("{name} {value}\n"));
+            let (family, labels) = split_labels(name);
+            type_line(&mut out, &family, "counter");
+            out.push_str(&format!("{family}{} {value}\n", render_labels(&labels)));
         }
         for (name, value) in &m.gauges {
-            type_line(&mut out, name, "gauge");
-            out.push_str(&format!("{name} {value}\n"));
+            let (family, labels) = split_labels(name);
+            type_line(&mut out, &family, "gauge");
+            out.push_str(&format!("{family}{} {value}\n", render_labels(&labels)));
         }
         for (name, hist) in &m.histograms {
-            type_line(&mut out, name, "histogram");
+            let (family, labels) = split_labels(name);
+            type_line(&mut out, &family, "histogram");
+            // Cumulative buckets, as the spec demands: every emitted
+            // `le` bound carries the count of observations <= it, and
+            // the `+Inf` bucket equals `_count`.
+            let mut with_le = labels.clone();
+            with_le.push((String::new(), String::new())); // placeholder slot
             let mut cumulative = 0u64;
             for (i, &count) in hist.buckets.iter().enumerate() {
                 if count == 0 {
@@ -244,11 +265,28 @@ impl MetricsRegistry {
                 }
                 cumulative += count;
                 let le = Histogram::bucket_upper_bound(i);
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                *with_le.last_mut().expect("slot") = ("le".to_string(), le.to_string());
+                out.push_str(&format!(
+                    "{family}_bucket{} {cumulative}\n",
+                    render_labels(&with_le)
+                ));
             }
-            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
-            out.push_str(&format!("{name}_sum {}\n", hist.sum));
-            out.push_str(&format!("{name}_count {}\n", hist.count));
+            *with_le.last_mut().expect("slot") = ("le".to_string(), "+Inf".to_string());
+            out.push_str(&format!(
+                "{family}_bucket{} {}\n",
+                render_labels(&with_le),
+                hist.count
+            ));
+            out.push_str(&format!(
+                "{family}_sum{} {}\n",
+                render_labels(&labels),
+                hist.sum
+            ));
+            out.push_str(&format!(
+                "{family}_count{} {}\n",
+                render_labels(&labels),
+                hist.count
+            ));
         }
         out
     }
@@ -293,6 +331,241 @@ impl MetricsRegistry {
         root.insert("histograms".to_string(), Json::Obj(histograms));
         Json::Obj(root)
     }
+}
+
+// ------------------------------------------------- exposition hygiene
+
+/// Builds a labeled metric name — `family{key="value",...}` — with the
+/// label values escaped per the Prometheus text-format spec (backslash,
+/// double-quote and newline). Use this instead of `format!` so an
+/// adversarial value (a worker name, a profile string) cannot break the
+/// exposition; [`MetricsRegistry::render_prometheus`] re-parses and
+/// re-escapes the suffix on output either way.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{family}{{{}}}", inner.join(","))
+}
+
+/// Escapes a label value per the text-format spec: `\` → `\\`,
+/// `"` → `\"`, newline → `\n` (other control characters are dropped —
+/// they have no legal rendering inside a label value).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if c.is_control() => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maps a metric family name onto the legal charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: illegal characters become `_`, and a
+/// leading digit gains a `_` prefix. Distinct illegal names may
+/// collapse to one sanitized family — acceptable for an exposition
+/// whose names are all chosen in this codebase.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_digit() {
+            if i == 0 {
+                out.push('_');
+            }
+            out.push(c);
+        } else if c.is_ascii_alphabetic() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Label keys allow `[a-zA-Z_][a-zA-Z0-9_]*` (no colon).
+fn sanitize_label_key(key: &str) -> String {
+    let sanitized: String = sanitize_metric_name(key)
+        .chars()
+        .map(|c| if c == ':' { '_' } else { c })
+        .collect();
+    sanitized
+}
+
+/// Splits a recorded metric name into its family and parsed label
+/// pairs. A name with no suffix, or with a suffix that does not parse
+/// as `{key="value",...}`, sanitizes wholesale into a bare family.
+fn split_labels(name: &str) -> (String, Vec<(String, String)>) {
+    if let Some(at) = name.find('{') {
+        if let Some(pairs) = parse_label_suffix(&name[at..]) {
+            return (sanitize_metric_name(&name[..at]), pairs);
+        }
+    }
+    (sanitize_metric_name(name), Vec::new())
+}
+
+/// Parses `{key="value",...}` (values may contain `\\`, `\"`, `\n`
+/// escapes); `None` unless the whole string is exactly one such block.
+fn parse_label_suffix(text: &str) -> Option<Vec<(String, String)>> {
+    let bytes = text.as_bytes();
+    if bytes.first() != Some(&b'{') || bytes.last() != Some(&b'}') {
+        return None;
+    }
+    let inner = &text[1..text.len() - 1];
+    let mut pairs = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"")?;
+        let key = rest[..eq].to_string();
+        let mut value = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next()?.1 {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    _ => return None,
+                },
+                '"' => {
+                    consumed = Some(eq + 2 + i + 1);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = consumed?;
+        pairs.push((key, value));
+        rest = &rest[end..];
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail;
+            if rest.is_empty() {
+                return None; // trailing comma
+            }
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    if pairs.is_empty() {
+        return None;
+    }
+    Some(pairs)
+}
+
+/// Structurally validates a Prometheus text exposition: every line is a
+/// comment or `name[{labels}] value`, names are legal, label blocks
+/// parse, values are floats, and cumulative histogram buckets are
+/// monotone with `le="+Inf"` matching `_count`. Used by the
+/// `mlpwin-serve --probe` scrape check and the test suite.
+///
+/// # Errors
+///
+/// A rendering of the first violation found.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let legal_name = |name: &str| -> bool {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    };
+    // Per-series cumulative bucket state: series key (family + non-le
+    // labels) -> last cumulative count seen.
+    let mut last_bucket: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut inf_bucket: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let at = |msg: &str| format!("line {}: {msg}: {line}", n + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            match words.next() {
+                Some("TYPE") => {
+                    let name = words.next().ok_or_else(|| at("TYPE without a name"))?;
+                    if !legal_name(name) {
+                        return Err(at("illegal family name in TYPE"));
+                    }
+                    match words.next() {
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                        _ => return Err(at("unknown kind in TYPE")),
+                    }
+                }
+                Some("HELP" | "EOF") => {}
+                _ => return Err(at("unknown comment form")),
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at("no value on sample line"))?;
+        if !(value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN")) {
+            return Err(at("unparsable sample value"));
+        }
+        let (name, labels) = match series.find('{') {
+            None => (series, Vec::new()),
+            Some(i) => {
+                let labels =
+                    parse_label_suffix(&series[i..]).ok_or_else(|| at("malformed label block"))?;
+                (&series[..i], labels)
+            }
+        };
+        if !legal_name(name) {
+            return Err(at("illegal metric name"));
+        }
+        if let Some(family) = name.strip_suffix("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| at("_bucket without an le label"))?;
+            let others: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let key = format!("{family}|{}", others.join(","));
+            let cumulative: u64 = value.parse().map_err(|_| at("non-integer bucket count"))?;
+            if le != "+Inf" && le.parse::<f64>().is_err() {
+                return Err(at("unparsable le bound"));
+            }
+            let prior = last_bucket.entry(key.clone()).or_insert(0);
+            if cumulative < *prior {
+                return Err(at("non-monotone cumulative bucket"));
+            }
+            *prior = cumulative;
+            if le == "+Inf" {
+                inf_bucket.insert(key, cumulative);
+            }
+        } else if let Some(family) = name.strip_suffix("_count") {
+            if let Ok(total) = value.parse::<u64>() {
+                let others: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                counts.insert(format!("{family}|{}", others.join(",")), total);
+            }
+        }
+    }
+    for (key, total) in &counts {
+        if let Some(inf) = inf_bucket.get(key) {
+            if inf != total {
+                return Err(format!(
+                    "histogram {key}: le=\"+Inf\" bucket {inf} != _count {total}"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The process-wide registry the runner's instrumentation flushes into.
@@ -513,6 +786,83 @@ mod tests {
             assert!(count >= last, "non-monotone cumulative bucket: {line}");
             last = count;
         }
+    }
+
+    #[test]
+    fn prometheus_rendering_passes_its_own_validator() {
+        let reg = MetricsRegistry::new();
+        let mut m = LocalMetrics::default();
+        m.counter_add("mlpwin_specs_completed_total", 7);
+        m.counter_add(labeled("mlpwin_worker_mips", &[("worker", "0")]), 1);
+        m.gauge_set("mlpwin_run_kcps", 1234.5);
+        m.observe("mlpwin_phase_measure_us", 900);
+        m.observe("mlpwin_phase_measure_us", 40_000);
+        m.observe(labeled("mlpwin_wait_ms", &[("lane", "high")]), 3);
+        reg.merge(&m);
+        let text = reg.render_prometheus();
+        validate_prometheus(&text).expect("conformant exposition");
+        assert!(text.contains("mlpwin_wait_ms_bucket{lane=\"high\",le=\"+Inf\"} 1"));
+        assert!(text.contains("mlpwin_wait_ms_sum{lane=\"high\"} 3"));
+        assert!(text.contains("mlpwin_wait_ms_count{lane=\"high\"} 1"));
+    }
+
+    #[test]
+    fn adversarial_names_and_label_values_render_safely() {
+        let reg = MetricsRegistry::new();
+        let mut m = LocalMetrics::default();
+        // Illegal metric-name characters, an embedded newline, a label
+        // value with every escape-worthy character, and a suffix that
+        // is not a parsable label block.
+        m.counter_add("bad name\nwith{newline", 1);
+        m.counter_add("9starts_with_digit", 2);
+        m.counter_add(labeled("mlpwin_evil", &[("who", "a\\b\"c\nd")]), 3);
+        m.gauge_set("mlpwin_ok{not a label block", 4.0);
+        reg.merge(&m);
+        let text = reg.render_prometheus();
+        validate_prometheus(&text).expect("sanitized exposition must validate");
+        // No raw newline survives inside any sample line, and the
+        // escaped label value round-trips the spec's escapes.
+        assert!(text.contains("who=\"a\\\\b\\\"c\\nd\""), "{text}");
+        assert!(text.contains("_9starts_with_digit 2"), "{text}");
+        for line in text.lines() {
+            assert!(
+                validate_prometheus(line).is_ok() || line.is_empty(),
+                "invalid line survived: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate_prometheus("no_value_here\n").is_err());
+        assert!(validate_prometheus("bad name 1\n").is_err());
+        assert!(validate_prometheus("m{unterminated=\"x 1\n").is_err());
+        assert!(validate_prometheus("# TYPE m wibble\n").is_err());
+        // Non-monotone cumulative buckets.
+        let text = "m_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\n";
+        assert!(validate_prometheus(text).is_err());
+        // +Inf bucket disagreeing with _count.
+        let text = "m_bucket{le=\"+Inf\"} 4\nm_count 5\n";
+        assert!(validate_prometheus(text).is_err());
+        assert!(validate_prometheus("m_bucket{le=\"+Inf\"} 5\nm_count 5\n").is_ok());
+    }
+
+    #[test]
+    fn labeled_names_split_and_rejoin() {
+        let name = labeled("fam", &[("a", "x"), ("b", "y\"z")]);
+        let (family, labels) = split_labels(&name);
+        assert_eq!(family, "fam");
+        assert_eq!(
+            labels,
+            vec![
+                ("a".to_string(), "x".to_string()),
+                ("b".to_string(), "y\"z".to_string())
+            ]
+        );
+        // Unparsable suffixes sanitize wholesale.
+        let (family, labels) = split_labels("fam{oops");
+        assert_eq!(family, "fam_oops");
+        assert!(labels.is_empty());
     }
 
     #[test]

@@ -13,6 +13,18 @@ use std::collections::VecDeque;
 /// How many recent completion timestamps the ETA extrapolates from.
 const ETA_WINDOW: usize = 8;
 
+/// Live queue-shape numbers a campaign controller splices into the
+/// progress line next to the MIPS/ETA fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignSnapshot {
+    /// Jobs waiting in the queue (pending, possibly in backoff).
+    pub queue_depth: usize,
+    /// Jobs currently leased to workers.
+    pub active_leases: usize,
+    /// Fraction of finished jobs served from the dedup cache, 0..=1.
+    pub cache_hit_ratio: f64,
+}
+
 /// Progress state for one matrix campaign.
 #[derive(Debug, Clone)]
 pub struct Progress {
@@ -24,6 +36,7 @@ pub struct Progress {
     sim_cycles: u64,
     epoch: usize,
     window: VecDeque<f64>,
+    campaign: Option<CampaignSnapshot>,
 }
 
 impl Progress {
@@ -45,7 +58,16 @@ impl Progress {
             sim_cycles: 0,
             epoch: epoch.max(1),
             window: VecDeque::with_capacity(ETA_WINDOW),
+            campaign: None,
         }
+    }
+
+    /// Sets (or refreshes) the campaign queue-shape segment. Once set,
+    /// every rendered line carries queue depth, active leases, and the
+    /// cache-hit percentage; plain matrix runs never call this and keep
+    /// the historical line format.
+    pub fn set_campaign(&mut self, snapshot: CampaignSnapshot) {
+        self.campaign = Some(snapshot);
     }
 
     /// Records one finished spec at `now` seconds since the campaign
@@ -115,13 +137,25 @@ impl Progress {
         Some((remaining as f64 / rate - since_last).max(0.0))
     }
 
-    fn line(&self, now: f64) -> String {
+    /// Renders the status line for `now` (normally returned by
+    /// [`record`](Progress::record) on epoch boundaries; campaign
+    /// controllers also render on queue events).
+    pub fn line(&self, now: f64) -> String {
         let eta = match self.eta_secs(now) {
             Some(secs) => format!("ETA {secs:.0}s"),
             None => "ETA --".to_string(),
         };
+        let campaign = match &self.campaign {
+            Some(c) => format!(
+                " | q={} leased={} cache {:.0}%",
+                c.queue_depth,
+                c.active_leases,
+                c.cache_hit_ratio * 100.0
+            ),
+            None => String::new(),
+        };
         format!(
-            "[mlpwin] {}/{} specs ({} failed, {} retried) | {:.1} kcyc/s | {:.3} MIPS | {eta}",
+            "[mlpwin] {}/{} specs ({} failed, {} retried) | {:.1} kcyc/s | {:.3} MIPS | {eta}{campaign}",
             self.completed,
             self.total,
             self.failed,
@@ -218,6 +252,20 @@ mod tests {
         assert!((p.aggregate_mips(2.0) - 2.0).abs() < 1e-9);
         assert!((p.aggregate_kcps(2.0) - 4000.0).abs() < 1e-9);
         assert_eq!(p.aggregate_mips(0.0), 0.0, "degenerate clock");
+    }
+
+    #[test]
+    fn campaign_segment_appears_only_when_set() {
+        let mut p = Progress::with_epoch(2, 1);
+        let line = p.record(1.0, true, 1, 0, 0).expect("epoch 1");
+        assert!(!line.contains("q="), "plain matrix line unchanged: {line}");
+        p.set_campaign(CampaignSnapshot {
+            queue_depth: 4,
+            active_leases: 2,
+            cache_hit_ratio: 0.5,
+        });
+        let line = p.record(2.0, true, 1, 0, 0).expect("epoch 2");
+        assert!(line.contains("q=4 leased=2 cache 50%"), "{line}");
     }
 
     #[test]

@@ -66,6 +66,18 @@ pub const METRIC_LEASES_EXPIRED: &str = "mlpwin_leases_expired_total";
 pub const METRIC_JOBS_RETRIED: &str = "mlpwin_jobs_retried_total";
 /// Counter of jobs quarantined as poison.
 pub const METRIC_JOBS_QUARANTINED: &str = "mlpwin_jobs_quarantined_total";
+/// Counter of orphaned leases released during WAL replay (jobs whose
+/// workers died with a previous controller).
+pub const METRIC_WAL_REPLAY_RELEASES: &str = "mlpwin_wal_replay_releases_total";
+/// Histogram: ms a job waited in pending before each lease grant
+/// (enqueue→lease, and re-queue→re-lease after a death or drain).
+pub const METRIC_JOB_QUEUE_WAIT_MS: &str = "mlpwin_job_queue_wait_ms";
+/// Histogram: ms from a job's last lease grant to its terminal state.
+pub const METRIC_JOB_RUN_MS: &str = "mlpwin_job_run_ms";
+/// Histogram: ms between successive heartbeat renewals of one lease.
+pub const METRIC_HEARTBEAT_GAP_MS: &str = "mlpwin_heartbeat_gap_ms";
+/// Gauge family: pending jobs per lane (label `lane`).
+pub const METRIC_QUEUE_DEPTH_LANE: &str = "mlpwin_queue_depth_lane";
 
 /// Queue identity of one job.
 pub type JobId = u64;
@@ -188,6 +200,27 @@ impl Default for QueuePolicy {
             backoff_base_ms: 100,
         }
     }
+}
+
+/// In-memory lifecycle timings of one job, all in campaign-clock ms.
+/// Deliberately *not* persisted in the WAL: the campaign clock restarts
+/// with the controller, so replayed jobs start timing afresh — the
+/// observability plane reports what this controller actually saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobTiming {
+    /// When the job entered pending most recently (submit, release,
+    /// or retry backoff start).
+    pub pending_since_ms: u64,
+    /// First lease grant, if any.
+    pub first_leased_ms: Option<u64>,
+    /// Most recent lease grant, if any.
+    pub last_leased_ms: Option<u64>,
+    /// Most recent heartbeat renewal (set at lease grant too).
+    pub last_heartbeat_ms: Option<u64>,
+    /// When the job reached a terminal state, if it has.
+    pub terminal_ms: Option<u64>,
+    /// Lease grants so far (first attempts and retries alike).
+    pub attempts: u32,
 }
 
 /// What [`JobQueue::worker_died`] decided.
@@ -424,6 +457,7 @@ impl Wal {
 pub struct JobQueue {
     policy: QueuePolicy,
     jobs: Vec<Job>,
+    timings: Vec<JobTiming>,
     by_spec: HashMap<RunSpec, JobId>,
     wal: Option<Wal>,
 }
@@ -435,6 +469,7 @@ impl JobQueue {
         JobQueue {
             policy,
             jobs: Vec::new(),
+            timings: Vec::new(),
             by_spec: HashMap::new(),
             wal: None,
         }
@@ -500,6 +535,7 @@ impl JobQueue {
                     kill: false,
                 },
             )?;
+            metrics::counter_add(METRIC_WAL_REPLAY_RELEASES, 1);
         }
         Ok(queue)
     }
@@ -523,6 +559,7 @@ impl JobQueue {
                     kills: 0,
                     state: JobState::Pending { not_before_ms: 0 },
                 });
+                self.timings.push(JobTiming::default());
                 Ok(())
             }
             WalRecord::Lease { job, worker } => self.replay_transition(*job, |j| {
@@ -609,6 +646,7 @@ impl JobQueue {
             kills: 0,
             state: JobState::Pending { not_before_ms: 0 },
         });
+        self.timings.push(JobTiming::default());
         Ok(id)
     }
 
@@ -642,6 +680,15 @@ impl JobQueue {
                 worker: worker.to_string(),
             },
         )?;
+        let timing = &mut self.timings[id as usize];
+        metrics::observe(
+            METRIC_JOB_QUEUE_WAIT_MS,
+            now_ms.saturating_sub(timing.pending_since_ms),
+        );
+        timing.first_leased_ms.get_or_insert(now_ms);
+        timing.last_leased_ms = Some(now_ms);
+        timing.last_heartbeat_ms = Some(now_ms);
+        timing.attempts += 1;
         metrics::counter_add(METRIC_LEASES_GRANTED, 1);
         Ok(Some(self.jobs[id as usize].clone()))
     }
@@ -653,6 +700,11 @@ impl JobQueue {
         if let Some(job) = self.jobs.get_mut(id as usize) {
             if let JobState::Leased { expires_ms, .. } = &mut job.state {
                 *expires_ms = now_ms + self.policy.lease_ms;
+                let timing = &mut self.timings[id as usize];
+                if let Some(prev) = timing.last_heartbeat_ms {
+                    metrics::observe(METRIC_HEARTBEAT_GAP_MS, now_ms.saturating_sub(prev));
+                }
+                timing.last_heartbeat_ms = Some(now_ms);
             }
         }
     }
@@ -710,6 +762,7 @@ impl JobQueue {
                     detail: detail.to_string(),
                 },
             )?;
+            self.settle_timing(id, now_ms);
             metrics::counter_add(METRIC_JOBS_QUARANTINED, 1);
             return Ok(DeathVerdict::Quarantined);
         }
@@ -727,8 +780,19 @@ impl JobQueue {
                 kill: true,
             },
         )?;
+        self.timings[id as usize].pending_since_ms = now_ms;
         metrics::counter_add(METRIC_JOBS_RETRIED, 1);
         Ok(DeathVerdict::Requeued { not_before_ms })
+    }
+
+    /// Stamps a terminal transition into the timing table and observes
+    /// the lease→terminal run latency.
+    fn settle_timing(&mut self, id: JobId, now_ms: u64) {
+        let timing = &mut self.timings[id as usize];
+        timing.terminal_ms = Some(now_ms);
+        if let Some(leased) = timing.last_leased_ms {
+            metrics::observe(METRIC_JOB_RUN_MS, now_ms.saturating_sub(leased));
+        }
     }
 
     /// Returns a leased job to pending without charging a kill — the
@@ -737,7 +801,7 @@ impl JobQueue {
     /// # Errors
     ///
     /// WAL append failures.
-    pub fn release(&mut self, id: JobId, reason: &str) -> Result<(), SimError> {
+    pub fn release(&mut self, id: JobId, reason: &str, now_ms: u64) -> Result<(), SimError> {
         self.transition(
             id,
             JobState::Pending { not_before_ms: 0 },
@@ -746,7 +810,9 @@ impl JobQueue {
                 reason: reason.to_string(),
                 kill: false,
             },
-        )
+        )?;
+        self.timings[id as usize].pending_since_ms = now_ms;
+        Ok(())
     }
 
     /// Marks a job done (result journaled). `cached` records whether the
@@ -755,12 +821,14 @@ impl JobQueue {
     /// # Errors
     ///
     /// WAL append failures.
-    pub fn complete(&mut self, id: JobId, cached: bool) -> Result<(), SimError> {
+    pub fn complete(&mut self, id: JobId, cached: bool, now_ms: u64) -> Result<(), SimError> {
         self.transition(
             id,
             JobState::Done { cached },
             &WalRecord::Done { job: id, cached },
-        )
+        )?;
+        self.settle_timing(id, now_ms);
+        Ok(())
     }
 
     /// Marks a job failed with a deterministic, typed error.
@@ -768,7 +836,7 @@ impl JobQueue {
     /// # Errors
     ///
     /// WAL append failures.
-    pub fn fail(&mut self, id: JobId, detail: &str) -> Result<(), SimError> {
+    pub fn fail(&mut self, id: JobId, detail: &str, now_ms: u64) -> Result<(), SimError> {
         self.transition(
             id,
             JobState::Failed {
@@ -778,7 +846,14 @@ impl JobQueue {
                 job: id,
                 detail: detail.to_string(),
             },
-        )
+        )?;
+        self.settle_timing(id, now_ms);
+        Ok(())
+    }
+
+    /// One job's in-memory lifecycle timings.
+    pub fn timing(&self, id: JobId) -> &JobTiming {
+        &self.timings[id as usize]
     }
 
     /// The job table, in submission order.
@@ -833,6 +908,17 @@ impl JobQueue {
             .count();
         metrics::gauge_set(METRIC_QUEUE_DEPTH, pending as f64);
         metrics::gauge_set(METRIC_QUEUE_LEASED, leased as f64);
+        for lane in Lane::ALL {
+            let depth = self
+                .jobs
+                .iter()
+                .filter(|j| j.lane == lane && matches!(j.state, JobState::Pending { .. }))
+                .count();
+            metrics::gauge_set(
+                metrics::labeled(METRIC_QUEUE_DEPTH_LANE, &[("lane", lane.tag())]),
+                depth as f64,
+            );
+        }
     }
 
     /// A collision probe used by the serve layer: the job holding
@@ -892,7 +978,7 @@ mod tests {
         let n2 = q.submit(&spec("gcc", 4), Lane::Normal).expect("submit");
         let order: Vec<JobId> = std::iter::from_fn(|| {
             q.lease("w", 0).expect("lease").map(|j| {
-                q.complete(j.id, false).expect("complete");
+                q.complete(j.id, false, 0).expect("complete");
                 j.id
             })
         })
@@ -973,7 +1059,7 @@ mod tests {
             q.submit(&spec("mcf", 2), Lane::High).expect("submit");
             q.submit(&spec("milc", 3), Lane::Low).expect("submit");
             let j = q.lease("w0", 0).expect("lease").expect("granted");
-            q.complete(j.id, false).expect("complete");
+            q.complete(j.id, false, 1).expect("complete");
             let j = q.lease("w0", 1).expect("lease").expect("granted");
             q.worker_died(j.id, "killed", 2).expect("death");
             let j = q.lease("w1", 10_000).expect("lease").expect("granted");
@@ -1059,6 +1145,29 @@ mod tests {
             decode_wal_line(&bad).is_none(),
             "hash/spec disagreement must not replay: {bad}"
         );
+    }
+
+    #[test]
+    fn timings_track_the_lifecycle() {
+        let mut q = JobQueue::in_memory(QueuePolicy::default());
+        let id = q.submit(&spec("gcc", 1), Lane::Normal).expect("submit");
+        assert_eq!(*q.timing(id), JobTiming::default());
+        q.lease("w0", 40).expect("lease").expect("granted");
+        let t = q.timing(id);
+        assert_eq!(t.first_leased_ms, Some(40));
+        assert_eq!(t.last_heartbeat_ms, Some(40));
+        assert_eq!(t.attempts, 1);
+        q.renew(id, 70);
+        assert_eq!(q.timing(id).last_heartbeat_ms, Some(70));
+        q.worker_died(id, "boom", 90).expect("death");
+        assert_eq!(q.timing(id).pending_since_ms, 90, "wait restarts at death");
+        q.lease("w1", 10_000).expect("lease").expect("granted");
+        q.complete(id, false, 10_500).expect("complete");
+        let t = q.timing(id);
+        assert_eq!(t.attempts, 2);
+        assert_eq!(t.first_leased_ms, Some(40), "first lease is sticky");
+        assert_eq!(t.last_leased_ms, Some(10_000));
+        assert_eq!(t.terminal_ms, Some(10_500));
     }
 
     #[test]

@@ -737,7 +737,10 @@ pub fn run_matrix_with(
                         let elapsed = worker_started.elapsed().as_secs_f64();
                         if elapsed > 0.0 {
                             metrics::gauge_set(
-                                format!("mlpwin_worker_mips{{worker=\"{worker}\"}}"),
+                                metrics::labeled(
+                                    "mlpwin_worker_mips",
+                                    &[("worker", &worker.to_string())],
+                                ),
                                 worker_insts as f64 / 1e6 / elapsed,
                             );
                         }

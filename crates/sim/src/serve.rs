@@ -28,18 +28,42 @@
 //! reports [`CampaignOutcome::Interrupted`]; the binary exits
 //! [`EXIT_INTERRUPTED`](crate::signals::EXIT_INTERRUPTED) (75) and
 //! rerunning the same command resumes the campaign.
+//!
+//! # Observability plane
+//!
+//! With `--listen ADDR` ([`CampaignConfig::listen`]) the controller
+//! embeds the read-only [`httpserve`](crate::httpserve) server:
+//! `/metrics` (Prometheus), `/status` (campaign snapshot), `/jobs` +
+//! `/jobs/<id>` (per-job lifecycle), `/healthz`. The bound address is
+//! written to `obs.addr` in the campaign directory so scripts can
+//! discover an ephemeral port. Every control-plane transition also
+//! lands in a [`CampaignLog`] ring, which feeds three consumers: the
+//! `/jobs/<id>` event views, the `--trace-out` Chrome trace (one track
+//! per worker, one span per job phase), and the crash flight recorder
+//! (`flightrec/` dumps on worker death, quarantine, graceful-drain
+//! signal, fatal error, or a worker-thread panic). All of it runs in
+//! the controller process, off the simulation hot path: worker children
+//! are untouched, and the finalized journal is bit-identical with the
+//! listener on or off (`tests/observability_http.rs` asserts that).
 
 use crate::cachestore::CacheStore;
+use crate::campaign_events::{derive_spans, write_flight_record, CampaignLog, EventKind};
+use crate::chrome_trace;
 use crate::error::SimError;
-use crate::journal::{encode_line, Journal};
+use crate::httpserve::{HttpServer, ObsProvider};
+use crate::journal::{canonical_spec, encode_line, Journal};
+use crate::json::{num, obj, s, Json};
 use crate::lock::LockedFile;
-use crate::queue::{JobId, JobQueue, JobState, Lane, QueuePolicy};
+use crate::metrics;
+use crate::progress::{CampaignSnapshot, Progress};
+use crate::queue::{DeathVerdict, JobId, JobQueue, JobState, Lane, QueuePolicy};
 use crate::runner::{RunResult, RunSpec};
 use crate::signals;
 use crate::snapshot::SnapshotPolicy;
 use crate::supervisor::{HeartbeatHook, Supervisor, WorkerEnd};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -75,12 +99,22 @@ pub struct CampaignConfig {
     /// Test-only chaos: workers abort at the first snapshot at or past
     /// this cycle on fresh (non-resumed) starts.
     pub chaos_kill_at: Option<u64>,
+    /// Bind the observability HTTP server here (e.g. `127.0.0.1:0`);
+    /// `None` (the default) runs no server at all.
+    pub listen: Option<String>,
+    /// Write the campaign Chrome trace (one track per worker, one span
+    /// per job phase) here when the campaign ends.
+    pub trace_out: Option<PathBuf>,
+    /// Mirror live progress lines (with queue depth, active leases and
+    /// cache-hit percentage) to stderr.
+    pub progress: bool,
 }
 
 impl CampaignConfig {
     /// A campaign in `dir` running `worker_exe`, with defaults sized
     /// for the bundled profiles: 2 workers, 5 s leases, 3 kills to
-    /// quarantine, 100 ms backoff, 25k-cycle snapshots.
+    /// quarantine, 100 ms backoff, 25k-cycle snapshots, no
+    /// observability listener.
     pub fn new(dir: impl Into<PathBuf>, worker_exe: impl Into<PathBuf>) -> CampaignConfig {
         CampaignConfig {
             dir: dir.into(),
@@ -94,6 +128,9 @@ impl CampaignConfig {
             job_time_budget: None,
             cache: None,
             chaos_kill_at: None,
+            listen: None,
+            trace_out: None,
+            progress: false,
         }
     }
 
@@ -115,6 +152,17 @@ impl CampaignConfig {
     /// The controller lock file.
     pub fn lock_path(&self) -> PathBuf {
         self.dir.join("LOCK")
+    }
+
+    /// Where the bound observability address is published (`--listen`
+    /// with port 0 picks an ephemeral port; scripts read it from here).
+    pub fn obs_addr_path(&self) -> PathBuf {
+        self.dir.join("obs.addr")
+    }
+
+    /// The crash flight-recorder directory.
+    pub fn flightrec_dir(&self) -> PathBuf {
+        self.dir.join("flightrec")
     }
 }
 
@@ -180,7 +228,21 @@ pub enum CampaignOutcome {
     Interrupted(CampaignReport),
 }
 
+/// One controller-side worker slot's live view, for `/status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WorkerSlot {
+    name: String,
+    /// The job the slot is driving and when it took it, or `None` while
+    /// idle.
+    job: Option<(JobId, u64)>,
+}
+
 /// The shared mutable state one campaign's worker threads drive.
+///
+/// Lock ordering: `queue` may be held while taking `cache`, `workers`,
+/// `progress`, or the event log's internal mutex — never the reverse.
+/// The HTTP snapshot builders take locks one at a time and release
+/// before the next, so they can never participate in a cycle.
 struct Campaign {
     queue: Mutex<JobQueue>,
     cache: Mutex<CacheStore>,
@@ -188,6 +250,19 @@ struct Campaign {
     /// failure); stops the campaign.
     fatal: Mutex<Option<SimError>>,
     started: Instant,
+    /// The campaign event ring: `/jobs/<id>` views, Chrome trace spans,
+    /// flight-recorder dumps.
+    log: CampaignLog,
+    /// Live worker-slot states for `/status`.
+    workers: Mutex<Vec<WorkerSlot>>,
+    /// Aggregate MIPS/ETA, shared with the progress line and `/status`.
+    progress: Mutex<Progress>,
+    /// Mirror progress lines to stderr.
+    show_progress: bool,
+    /// Flight-record sequence within this controller process.
+    flight_seq: AtomicU64,
+    /// Where flight records land.
+    flight_dir: PathBuf,
 }
 
 impl Campaign {
@@ -197,11 +272,308 @@ impl Campaign {
     }
 
     fn abort(&self, err: SimError) {
-        let mut slot = self.fatal.lock().expect("fatal slot poisoned");
-        if slot.is_none() {
-            *slot = Some(err);
+        let recorded = {
+            let mut slot = self.fatal.lock().expect("fatal slot poisoned");
+            if slot.is_none() {
+                *slot = Some(err);
+                true
+            } else {
+                false
+            }
+        };
+        if recorded {
+            let detail = self
+                .fatal
+                .lock()
+                .expect("fatal slot poisoned")
+                .as_ref()
+                .map(|e| e.to_string())
+                .unwrap_or_default();
+            self.log
+                .record(self.now_ms(), None, EventKind::Fatal { detail });
+            self.dump_flight("fatal control-plane error");
         }
         signals::request_interrupt();
+    }
+
+    /// Marks slot `me` as running `job` (or idle with `None`).
+    fn set_worker(&self, me: &str, job: Option<(JobId, u64)>) {
+        let mut slots = self.workers.lock().expect("worker slots poisoned");
+        if let Some(slot) = slots.iter_mut().find(|w| w.name == me) {
+            slot.job = job;
+        }
+    }
+
+    /// Records one terminal job into the shared progress state and
+    /// mirrors the line to stderr when enabled.
+    fn record_progress(&self, ok: bool, attempts: u32, insts: u64, cycles: u64) {
+        let snapshot = {
+            let queue = self.queue.lock().expect("queue poisoned");
+            let report = CampaignReport::tally(&queue);
+            let leased = queue
+                .jobs()
+                .iter()
+                .filter(|j| matches!(j.state, JobState::Leased { .. }))
+                .count();
+            CampaignSnapshot {
+                queue_depth: report.jobs
+                    - report.done
+                    - report.failed
+                    - report.quarantined
+                    - leased,
+                active_leases: leased,
+                cache_hit_ratio: if report.done == 0 {
+                    0.0
+                } else {
+                    report.cache_hits as f64 / report.done as f64
+                },
+            }
+        };
+        let now = self.started.elapsed().as_secs_f64();
+        let mut progress = self.progress.lock().expect("progress poisoned");
+        progress.set_campaign(snapshot);
+        if let Some(line) = progress.record(now, ok, attempts, insts, cycles) {
+            if self.show_progress {
+                eprintln!("{line}");
+            }
+        }
+    }
+
+    /// Dumps a flight record (events + metrics snapshot + queue state).
+    /// Best-effort by contract: a failed dump warns and the campaign
+    /// continues. Never call with the queue lock held.
+    fn dump_flight(&self, reason: &str) {
+        let seq = self.flight_seq.fetch_add(1, Ordering::SeqCst);
+        let queue_json = {
+            let queue = self.queue.lock().expect("queue poisoned");
+            jobs_json(&queue, self.now_ms())
+        };
+        metrics::flush();
+        if let Err(e) = write_flight_record(
+            &self.flight_dir,
+            seq,
+            reason,
+            self.now_ms(),
+            &self.log,
+            metrics::global().to_json(),
+            queue_json,
+        ) {
+            eprintln!("warning: flight record for `{reason}` not written: {e}");
+        }
+    }
+
+    /// The `/status` document. Takes each lock briefly, one at a time.
+    fn status_json(&self) -> Json {
+        let now = self.now_ms();
+        let (report, lanes, leases) = {
+            let queue = self.queue.lock().expect("queue poisoned");
+            let report = CampaignReport::tally(&queue);
+            let lane_depth = |lane: Lane| {
+                queue
+                    .jobs()
+                    .iter()
+                    .filter(|j| j.lane == lane && matches!(j.state, JobState::Pending { .. }))
+                    .count() as u64
+            };
+            let lanes = obj(vec![
+                ("high", num(lane_depth(Lane::High))),
+                ("normal", num(lane_depth(Lane::Normal))),
+                ("low", num(lane_depth(Lane::Low))),
+            ]);
+            let leases: Vec<Json> = queue
+                .jobs()
+                .iter()
+                .filter_map(|j| match &j.state {
+                    JobState::Leased { worker, expires_ms } => {
+                        let timing = queue.timing(j.id);
+                        Some(obj(vec![
+                            ("job", num(j.id)),
+                            ("worker", s(worker.clone())),
+                            (
+                                "age_ms",
+                                num(timing.last_leased_ms.map_or(0, |at| now.saturating_sub(at))),
+                            ),
+                            ("expires_in_ms", num(expires_ms.saturating_sub(now))),
+                            (
+                                "heartbeat_age_ms",
+                                num(timing
+                                    .last_heartbeat_ms
+                                    .map_or(0, |at| now.saturating_sub(at))),
+                            ),
+                        ]))
+                    }
+                    _ => None,
+                })
+                .collect();
+            (report, lanes, leases)
+        };
+        let cache_entries = self.cache.lock().expect("cache poisoned").len();
+        let workers: Vec<Json> = self
+            .workers
+            .lock()
+            .expect("worker slots poisoned")
+            .iter()
+            .map(|slot| {
+                let (state, job, since) = match slot.job {
+                    Some((id, since_ms)) => ("running", num(id), num(since_ms)),
+                    None => ("idle", Json::Null, Json::Null),
+                };
+                obj(vec![
+                    ("name", s(slot.name.clone())),
+                    ("state", s(state)),
+                    ("job", job),
+                    ("since_ms", since),
+                ])
+            })
+            .collect();
+        let (mips, kcps, eta) = {
+            let secs = self.started.elapsed().as_secs_f64();
+            let progress = self.progress.lock().expect("progress poisoned");
+            (
+                progress.aggregate_mips(secs),
+                progress.aggregate_kcps(secs),
+                progress.eta_secs(secs),
+            )
+        };
+        let open = report.jobs - report.done - report.failed - report.quarantined;
+        obj(vec![
+            ("mode", s("campaign")),
+            ("uptime_ms", num(now)),
+            ("jobs", num(report.jobs as u64)),
+            ("done", num(report.done as u64)),
+            ("failed", num(report.failed as u64)),
+            ("quarantined", num(report.quarantined as u64)),
+            (
+                "queue",
+                obj(vec![
+                    ("depth", num((open - leases.len().min(open)) as u64)),
+                    ("leased", num(leases.len() as u64)),
+                    ("lanes", lanes),
+                ]),
+            ),
+            ("leases", Json::Arr(leases)),
+            ("workers", Json::Arr(workers)),
+            (
+                "cache",
+                obj(vec![
+                    ("hits", num(report.cache_hits as u64)),
+                    ("simulated", num(report.simulated as u64)),
+                    ("entries", num(cache_entries as u64)),
+                ]),
+            ),
+            (
+                "throughput",
+                obj(vec![
+                    ("mips", Json::Num(mips)),
+                    ("kcyc_per_sec", Json::Num(kcps)),
+                    ("eta_secs", eta.map_or(Json::Null, Json::Num)),
+                ]),
+            ),
+            ("interrupted", Json::Bool(signals::interrupted())),
+            ("dropped_events", num(self.log.dropped())),
+        ])
+    }
+
+    /// The `/jobs` document.
+    fn jobs_json(&self) -> Json {
+        let queue = self.queue.lock().expect("queue poisoned");
+        jobs_json(&queue, self.now_ms())
+    }
+
+    /// The `/jobs/<id>` document, with the job's retained events.
+    fn job_json(&self, id: JobId) -> Option<Json> {
+        let view = {
+            let queue = self.queue.lock().expect("queue poisoned");
+            if (id as usize) >= queue.jobs().len() {
+                return None;
+            }
+            job_view(&queue, id, self.now_ms())
+        };
+        let events: Vec<Json> = self
+            .log
+            .events_for(id)
+            .iter()
+            .map(|e| e.to_json())
+            .collect();
+        let Json::Obj(mut pairs) = view else {
+            return Some(view);
+        };
+        pairs.insert("events".to_string(), Json::Arr(events));
+        Some(Json::Obj(pairs))
+    }
+}
+
+/// The `/jobs` array for a queue snapshot.
+fn jobs_json(queue: &JobQueue, now_ms: u64) -> Json {
+    Json::Arr(
+        queue
+            .jobs()
+            .iter()
+            .map(|j| job_view(queue, j.id, now_ms))
+            .collect(),
+    )
+}
+
+/// One job's lifecycle view (shared by `/jobs`, `/jobs/<id>` and the
+/// flight recorder).
+fn job_view(queue: &JobQueue, id: JobId, now_ms: u64) -> Json {
+    let job = queue.job(id);
+    let timing = queue.timing(id);
+    let opt = |v: Option<u64>| v.map_or(Json::Null, num);
+    let (state, state_detail) = match &job.state {
+        JobState::Pending { not_before_ms } => {
+            ("pending", obj(vec![("not_before_ms", num(*not_before_ms))]))
+        }
+        JobState::Leased { worker, expires_ms } => (
+            "leased",
+            obj(vec![
+                ("worker", s(worker.clone())),
+                ("expires_ms", num(*expires_ms)),
+                ("expires_in_ms", num(expires_ms.saturating_sub(now_ms))),
+            ]),
+        ),
+        JobState::Done { cached } => ("done", obj(vec![("cached", Json::Bool(*cached))])),
+        JobState::Failed { detail } => ("failed", obj(vec![("detail", s(detail.clone()))])),
+        JobState::Quarantined { detail } => {
+            ("quarantined", obj(vec![("detail", s(detail.clone()))]))
+        }
+    };
+    obj(vec![
+        ("id", num(job.id)),
+        ("spec", s(canonical_spec(&job.spec))),
+        ("hash", s(format!("{:016x}", job.hash))),
+        ("lane", s(job.lane.tag())),
+        ("kills", num(job.kills as u64)),
+        ("attempts", num(timing.attempts as u64)),
+        ("state", s(state)),
+        ("state_detail", state_detail),
+        (
+            "timing",
+            obj(vec![
+                ("pending_since_ms", num(timing.pending_since_ms)),
+                ("first_leased_ms", opt(timing.first_leased_ms)),
+                ("last_leased_ms", opt(timing.last_leased_ms)),
+                ("last_heartbeat_ms", opt(timing.last_heartbeat_ms)),
+                ("terminal_ms", opt(timing.terminal_ms)),
+            ]),
+        ),
+    ])
+}
+
+/// [`ObsProvider`] over a live campaign.
+struct CampaignObs(Arc<Campaign>);
+
+impl ObsProvider for CampaignObs {
+    fn status(&self) -> Json {
+        self.0.status_json()
+    }
+
+    fn jobs(&self) -> Json {
+        self.0.jobs_json()
+    }
+
+    fn job(&self, id: u64) -> Option<Json> {
+        self.0.job_json(id)
     }
 }
 
@@ -239,12 +611,15 @@ pub fn run_campaign(
         cache.absorb_file(external)?;
     }
 
-    // Submit everything; verified cache hits complete immediately.
+    // Submit everything; verified cache hits complete immediately. All
+    // of this happens at campaign-clock zero.
+    let log = CampaignLog::new();
     for (spec, lane) in jobs {
         let id = queue.submit(spec, *lane)?;
         if queue.job(id).state.is_terminal() {
             continue; // replayed from the WAL
         }
+        log.record(0, Some(id), EventKind::Submitted { lane: lane.tag() });
         match cache.lookup(spec) {
             Ok(Some(result)) => {
                 // The finalize step (and any restarted controller)
@@ -254,7 +629,16 @@ pub fn run_campaign(
                     Journal::new(cfg.done_path()).append(spec, result)?;
                     in_done_journal.push(spec.clone());
                 }
-                queue.complete(id, true)?;
+                queue.complete(id, true, 0)?;
+                log.record(0, Some(id), EventKind::CacheHit);
+                log.record(
+                    0,
+                    Some(id),
+                    EventKind::Done {
+                        worker: String::new(),
+                        cached: true,
+                    },
+                );
             }
             Ok(None) => {}
             Err(SimError::HashCollision { hash, detail }) => {
@@ -268,14 +652,64 @@ pub fn run_campaign(
             Err(other) => return Err(other),
         }
     }
+    log.record(
+        0,
+        None,
+        EventKind::ControllerStart {
+            jobs: queue.jobs().len(),
+        },
+    );
+
+    // Pre-count jobs that are already terminal (WAL replay, cache hits)
+    // so the progress denominator and cache-hit ratio start truthful.
+    let mut progress = Progress::new(queue.jobs().len());
+    for job in queue.jobs() {
+        if job.state.is_terminal() {
+            let ok = matches!(job.state, JobState::Done { .. });
+            let _ = progress.record(0.0, ok, 1, 0, 0);
+        }
+    }
+    queue.publish_metrics();
+    cache.publish_metrics();
+    metrics::flush();
 
     let campaign = Campaign {
         queue: Mutex::new(queue),
         cache: Mutex::new(cache),
         fatal: Mutex::new(None),
         started: Instant::now(),
+        log,
+        workers: Mutex::new(
+            (0..cfg.workers.max(1))
+                .map(|i| WorkerSlot {
+                    name: format!("w{i}"),
+                    job: None,
+                })
+                .collect(),
+        ),
+        progress: Mutex::new(progress),
+        show_progress: cfg.progress,
+        flight_seq: AtomicU64::new(1),
+        flight_dir: cfg.flightrec_dir(),
     };
     let campaign = Arc::new(campaign);
+
+    // The observability server, when asked for. Its bound address goes
+    // to obs.addr so callers can resolve `--listen 127.0.0.1:0`.
+    let server = match &cfg.listen {
+        Some(addr) => {
+            let server = HttpServer::start(addr, Arc::new(CampaignObs(Arc::clone(&campaign))))?;
+            let bound = server.addr();
+            std::fs::write(cfg.obs_addr_path(), format!("{bound}\n")).map_err(|e| {
+                SimError::Campaign {
+                    detail: format!("write {}: {e}", cfg.obs_addr_path().display()),
+                }
+            })?;
+            eprintln!("observability: listening on http://{bound}");
+            Some(server)
+        }
+        None => None,
+    };
 
     let handles: Vec<_> = (0..cfg.workers.max(1))
         .map(|i| {
@@ -283,7 +717,23 @@ pub fn run_campaign(
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name(format!("campaign-w{i}"))
-                .spawn(move || worker_loop(&format!("w{i}"), &campaign, &cfg))
+                .spawn(move || {
+                    let me = format!("w{i}");
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker_loop(&me, &campaign, &cfg)
+                    }));
+                    if let Err(payload) = caught {
+                        // A controller-side bug must not strand the
+                        // campaign silently: flight-record it, then
+                        // stop everything with a typed error.
+                        let message = crate::error::panic_message(payload);
+                        campaign.dump_flight(&format!("worker thread panic: {message}"));
+                        campaign.abort(SimError::Panic {
+                            message: format!("campaign worker {me} panicked: {message}"),
+                        });
+                    }
+                    metrics::flush();
+                })
                 .expect("spawn campaign worker")
         })
         .collect();
@@ -291,17 +741,52 @@ pub fn run_campaign(
         handle.join().expect("campaign worker panicked");
     }
 
-    if let Some(err) = campaign.fatal.lock().expect("fatal slot poisoned").take() {
-        return Err(err);
+    let result = (|| {
+        if let Some(err) = campaign.fatal.lock().expect("fatal slot poisoned").take() {
+            // abort() already flight-recorded this.
+            return Err(err);
+        }
+        let report = {
+            let queue = campaign.queue.lock().expect("queue poisoned");
+            queue.publish_metrics();
+            CampaignReport::tally(&queue)
+        };
+        metrics::flush();
+        let interrupted = {
+            let queue = campaign.queue.lock().expect("queue poisoned");
+            signals::interrupted() && !queue.all_terminal()
+        };
+        if interrupted {
+            campaign
+                .log
+                .record(campaign.now_ms(), None, EventKind::Interrupted);
+            campaign.dump_flight("graceful drain (signal)");
+        }
+        if let Some(path) = &cfg.trace_out {
+            write_campaign_trace(path, &campaign)?;
+        }
+        if interrupted {
+            return Ok(CampaignOutcome::Interrupted(report));
+        }
+        let queue = campaign.queue.lock().expect("queue poisoned");
+        let cache = campaign.cache.lock().expect("cache poisoned");
+        finalize(&queue, &cache, cfg)?;
+        Ok(CampaignOutcome::Complete(report))
+    })();
+    if let Some(server) = server {
+        server.shutdown();
     }
-    let queue = campaign.queue.lock().expect("queue poisoned");
-    let cache = campaign.cache.lock().expect("cache poisoned");
-    let report = CampaignReport::tally(&queue);
-    if signals::interrupted() && !queue.all_terminal() {
-        return Ok(CampaignOutcome::Interrupted(report));
-    }
-    finalize(&queue, &cache, cfg)?;
-    Ok(CampaignOutcome::Complete(report))
+    result
+}
+
+/// Renders the campaign event log as a Chrome trace at `path`.
+fn write_campaign_trace(path: &Path, campaign: &Campaign) -> Result<(), SimError> {
+    let spans = derive_spans(&campaign.log.snapshot());
+    let jobs = campaign.queue.lock().expect("queue poisoned").jobs().len();
+    let doc = chrome_trace::campaign_trace_document(&spans, jobs);
+    std::fs::write(path, doc.encode()).map_err(|e| SimError::Campaign {
+        detail: format!("write trace {}: {e}", path.display()),
+    })
 }
 
 /// One worker slot: lease → supervise → record, until the queue drains
@@ -314,15 +799,36 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
         let leased = {
             let mut queue = campaign.queue.lock().expect("queue poisoned");
             let now = campaign.now_ms();
-            if let Err(e) = queue.expire_stale(now) {
-                drop(queue);
-                campaign.abort(e);
-                return;
+            match queue.expire_stale(now) {
+                Ok(expired) => {
+                    for id in expired {
+                        campaign.log.record(
+                            now,
+                            Some(id),
+                            match &queue.job(id).state {
+                                JobState::Quarantined { detail } => EventKind::Quarantined {
+                                    worker: String::new(),
+                                    detail: detail.clone(),
+                                },
+                                _ => EventKind::Released {
+                                    worker: String::new(),
+                                    reason: "lease expired (heartbeat lost)".to_string(),
+                                    kill: true,
+                                },
+                            },
+                        );
+                    }
+                }
+                Err(e) => {
+                    drop(queue);
+                    campaign.abort(e);
+                    return;
+                }
             }
             match queue.lease(me, now) {
                 Ok(job) => {
                     queue.publish_metrics();
-                    job
+                    job.map(|job| (job, now))
                 }
                 Err(e) => {
                     drop(queue);
@@ -331,7 +837,8 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
                 }
             }
         };
-        let Some(job) = leased else {
+        metrics::flush();
+        let Some((job, leased_at)) = leased else {
             let done = campaign
                 .queue
                 .lock()
@@ -345,6 +852,14 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
             std::thread::sleep(Duration::from_millis(10));
             continue;
         };
+        campaign.log.record(
+            leased_at,
+            Some(job.id),
+            EventKind::Leased {
+                worker: me.to_string(),
+            },
+        );
+        campaign.set_worker(me, Some((job.id, leased_at)));
 
         // A re-leased job whose earlier worker journaled before its
         // lease expired: serve the verified cached result, run nothing.
@@ -353,80 +868,222 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
             cache.lookup(&job.spec).ok().flatten().cloned()
         };
         if cached.is_some() {
-            let mut queue = campaign.queue.lock().expect("queue poisoned");
-            if let Err(e) = complete_if_mine(&mut queue, job.id, me, true) {
-                drop(queue);
-                campaign.abort(e);
-                return;
+            let settled = {
+                let mut queue = campaign.queue.lock().expect("queue poisoned");
+                complete_if_mine(&mut queue, job.id, me, true, campaign.now_ms())
+            };
+            campaign.set_worker(me, None);
+            match settled {
+                Ok(true) => {
+                    campaign.log.record(
+                        campaign.now_ms(),
+                        Some(job.id),
+                        EventKind::Done {
+                            worker: me.to_string(),
+                            cached: true,
+                        },
+                    );
+                    campaign.record_progress(true, attempts_of(campaign, job.id), 0, 0);
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    campaign.abort(e);
+                    return;
+                }
             }
             continue;
         }
 
         let end = supervisor_for(campaign, cfg, job.id).supervise_once(&job.spec);
-        let mut queue = campaign.queue.lock().expect("queue poisoned");
-        let settled: Result<(), SimError> = match end {
-            WorkerEnd::Clean => {
-                // The worker's contract: exit 0 only after appending
-                // (spec, result) to done.jsonl.
-                match find_journaled(&cfg.done_path(), &job.spec) {
-                    Ok(Some(result)) => {
-                        campaign
-                            .cache
-                            .lock()
-                            .expect("cache poisoned")
-                            .insert(&job.spec, &result);
-                        complete_if_mine(&mut queue, job.id, me, false)
+        metrics::flush();
+        // Settle under the queue lock, remembering what to report (the
+        // event log may be taken while holding the queue; flight dumps
+        // and progress lines wait until the guard drops).
+        let mut dump_reason: Option<String> = None;
+        let mut progress_note: Option<(bool, u64, u64)> = None;
+        let settled: Result<(), SimError> = {
+            let mut queue = campaign.queue.lock().expect("queue poisoned");
+            let now = campaign.now_ms();
+            match end {
+                WorkerEnd::Clean => {
+                    // The worker's contract: exit 0 only after appending
+                    // (spec, result) to done.jsonl.
+                    match find_journaled(&cfg.done_path(), &job.spec) {
+                        Ok(Some(result)) => {
+                            campaign
+                                .cache
+                                .lock()
+                                .expect("cache poisoned")
+                                .insert(&job.spec, &result);
+                            match complete_if_mine(&mut queue, job.id, me, false, now) {
+                                Ok(true) => {
+                                    campaign.log.record(
+                                        now,
+                                        Some(job.id),
+                                        EventKind::Done {
+                                            worker: me.to_string(),
+                                            cached: false,
+                                        },
+                                    );
+                                    progress_note = Some((
+                                        true,
+                                        result.stats.committed_insts,
+                                        result.stats.cycles,
+                                    ));
+                                    Ok(())
+                                }
+                                Ok(false) => Ok(()),
+                                Err(e) => Err(e),
+                            }
+                        }
+                        Ok(None) => settle_death(
+                            campaign,
+                            &mut queue,
+                            job.id,
+                            me,
+                            "worker exited clean but journaled no result",
+                            now,
+                            &mut dump_reason,
+                            &mut progress_note,
+                        ),
+                        Err(e) => Err(e),
                     }
-                    Ok(None) => record_death_if_mine(
-                        &mut queue,
-                        job.id,
-                        me,
-                        "worker exited clean but journaled no result",
-                        campaign.now_ms(),
-                    ),
-                    Err(e) => Err(e),
                 }
-            }
-            WorkerEnd::Interrupted => {
-                let r = if owns(&queue, job.id, me) {
-                    queue.release(job.id, "graceful drain")
-                } else {
-                    Ok(())
-                };
-                drop(queue);
-                if let Err(e) = r {
-                    campaign.abort(e);
+                WorkerEnd::Interrupted => {
+                    let r = if owns(&queue, job.id, me) {
+                        let released = queue.release(job.id, "graceful drain", now);
+                        campaign.log.record(
+                            now,
+                            Some(job.id),
+                            EventKind::Released {
+                                worker: me.to_string(),
+                                reason: "graceful drain".to_string(),
+                                kill: false,
+                            },
+                        );
+                        released
+                    } else {
+                        Ok(())
+                    };
+                    drop(queue);
+                    campaign.set_worker(me, None);
+                    if let Err(e) = r {
+                        campaign.abort(e);
+                    }
+                    return;
                 }
-                return;
-            }
-            WorkerEnd::TypedFailure { code, stderr_tail } => {
-                let detail = with_tail(&format!("worker exit code {code}"), &stderr_tail);
-                if owns(&queue, job.id, me) {
-                    queue.fail(job.id, &detail)
-                } else {
-                    Ok(())
+                WorkerEnd::TypedFailure { code, stderr_tail } => {
+                    let detail = with_tail(&format!("worker exit code {code}"), &stderr_tail);
+                    if owns(&queue, job.id, me) {
+                        let failed = queue.fail(job.id, &detail, now);
+                        campaign.log.record(
+                            now,
+                            Some(job.id),
+                            EventKind::Failed {
+                                worker: me.to_string(),
+                                detail,
+                            },
+                        );
+                        progress_note = Some((false, 0, 0));
+                        failed
+                    } else {
+                        Ok(())
+                    }
                 }
-            }
-            WorkerEnd::Death {
-                detail,
-                stderr_tail,
-            } => record_death_if_mine(
-                &mut queue,
-                job.id,
-                me,
-                &with_tail(&detail, &stderr_tail),
-                campaign.now_ms(),
-            ),
-            WorkerEnd::LaunchFailed { detail } => {
-                record_death_if_mine(&mut queue, job.id, me, &detail, campaign.now_ms())
+                WorkerEnd::Death {
+                    detail,
+                    stderr_tail,
+                } => settle_death(
+                    campaign,
+                    &mut queue,
+                    job.id,
+                    me,
+                    &with_tail(&detail, &stderr_tail),
+                    now,
+                    &mut dump_reason,
+                    &mut progress_note,
+                ),
+                WorkerEnd::LaunchFailed { detail } => settle_death(
+                    campaign,
+                    &mut queue,
+                    job.id,
+                    me,
+                    &detail,
+                    now,
+                    &mut dump_reason,
+                    &mut progress_note,
+                ),
             }
         };
+        campaign.set_worker(me, None);
         if let Err(e) = settled {
-            drop(queue);
             campaign.abort(e);
             return;
         }
+        if let Some(reason) = dump_reason {
+            campaign.dump_flight(&reason);
+        }
+        if let Some((ok, insts, cycles)) = progress_note {
+            campaign.record_progress(ok, attempts_of(campaign, job.id), insts, cycles);
+        }
+        metrics::flush();
     }
+}
+
+/// The lease attempts charged to `id` so far.
+fn attempts_of(campaign: &Campaign, id: JobId) -> u32 {
+    campaign
+        .queue
+        .lock()
+        .expect("queue poisoned")
+        .timing(id)
+        .attempts
+}
+
+/// Records a worker death against `id` when `me` still owns it, logs
+/// the matching event, and flags a flight dump. Factored out of the
+/// three death-shaped [`WorkerEnd`] arms.
+#[allow(clippy::too_many_arguments)]
+fn settle_death(
+    campaign: &Campaign,
+    queue: &mut JobQueue,
+    id: JobId,
+    me: &str,
+    detail: &str,
+    now_ms: u64,
+    dump_reason: &mut Option<String>,
+    progress_note: &mut Option<(bool, u64, u64)>,
+) -> Result<(), SimError> {
+    if !owns(queue, id, me) {
+        return Ok(());
+    }
+    match queue.worker_died(id, detail, now_ms)? {
+        DeathVerdict::Requeued { .. } => {
+            campaign.log.record(
+                now_ms,
+                Some(id),
+                EventKind::Released {
+                    worker: me.to_string(),
+                    reason: detail.to_string(),
+                    kill: true,
+                },
+            );
+            *dump_reason = Some(format!("worker death: {detail}"));
+        }
+        DeathVerdict::Quarantined => {
+            campaign.log.record(
+                now_ms,
+                Some(id),
+                EventKind::Quarantined {
+                    worker: me.to_string(),
+                    detail: detail.to_string(),
+                },
+            );
+            *dump_reason = Some(format!("job {id} quarantined: {detail}"));
+            *progress_note = Some((false, 0, 0));
+        }
+    }
+    Ok(())
 }
 
 /// Whether `me` still holds `id`'s lease. False once `expire_stale`
@@ -436,29 +1093,19 @@ fn owns(queue: &JobQueue, id: JobId, me: &str) -> bool {
     matches!(&queue.job(id).state, JobState::Leased { worker, .. } if worker == me)
 }
 
+/// Completes `id` when `me` still owns it; `Ok(true)` when it did.
 fn complete_if_mine(
     queue: &mut JobQueue,
     id: JobId,
     me: &str,
     cached: bool,
-) -> Result<(), SimError> {
-    if owns(queue, id, me) {
-        queue.complete(id, cached)?;
-    }
-    Ok(())
-}
-
-fn record_death_if_mine(
-    queue: &mut JobQueue,
-    id: JobId,
-    me: &str,
-    detail: &str,
     now_ms: u64,
-) -> Result<(), SimError> {
+) -> Result<bool, SimError> {
     if owns(queue, id, me) {
-        queue.worker_died(id, detail, now_ms)?;
+        queue.complete(id, cached, now_ms)?;
+        return Ok(true);
     }
-    Ok(())
+    Ok(false)
 }
 
 fn with_tail(detail: &str, stderr_tail: &str) -> String {
@@ -545,23 +1192,24 @@ fn finalize(queue: &JobQueue, cache: &CacheStore, cfg: &CampaignConfig) -> Resul
 mod tests {
     use super::*;
 
+    fn spec_n(n: u64) -> RunSpec {
+        let mut s = RunSpec::new("gcc", crate::SimModel::Base).with_budget(100, 100);
+        s.seed = n;
+        s
+    }
+
     #[test]
     fn report_tallies_every_terminal_state() {
         let mut queue = JobQueue::in_memory(QueuePolicy::default());
-        let spec_n = |n: u64| {
-            let mut s = RunSpec::new("gcc", crate::SimModel::Base).with_budget(100, 100);
-            s.seed = n;
-            s
-        };
         for n in 0..5 {
             queue.submit(&spec_n(n), Lane::Normal).expect("submit");
         }
         queue.lease("w", 0).expect("lease").expect("granted");
-        queue.complete(0, true).expect("complete");
+        queue.complete(0, true, 1).expect("complete");
         queue.lease("w", 0).expect("lease").expect("granted");
-        queue.complete(1, false).expect("complete");
+        queue.complete(1, false, 2).expect("complete");
         queue.lease("w", 0).expect("lease").expect("granted");
-        queue.fail(2, "typo").expect("fail");
+        queue.fail(2, "typo", 3).expect("fail");
         let report = CampaignReport::tally(&queue);
         assert_eq!(report.jobs, 5);
         assert_eq!(report.done, 2);
@@ -570,5 +1218,107 @@ mod tests {
         assert_eq!(report.failed, 1);
         assert_eq!(report.quarantined, 0);
         assert!(report.render().contains("done=2"), "{}", report.render());
+    }
+
+    /// Golden structural coverage for the `/status` and `/jobs` JSON
+    /// schema, against a hand-driven in-memory campaign.
+    #[test]
+    fn status_and_jobs_json_schema() {
+        let mut queue = JobQueue::in_memory(QueuePolicy::default());
+        for n in 0..3 {
+            queue.submit(&spec_n(n), Lane::Normal).expect("submit");
+        }
+        queue.lease("w0", 10).expect("lease").expect("granted");
+        queue.complete(0, false, 50).expect("complete");
+        queue.lease("w0", 60).expect("lease").expect("granted");
+        let campaign = Campaign {
+            queue: Mutex::new(queue),
+            cache: Mutex::new(CacheStore::new()),
+            fatal: Mutex::new(None),
+            started: Instant::now(),
+            log: CampaignLog::new(),
+            workers: Mutex::new(vec![
+                WorkerSlot {
+                    name: "w0".to_string(),
+                    job: Some((1, 60)),
+                },
+                WorkerSlot {
+                    name: "w1".to_string(),
+                    job: None,
+                },
+            ]),
+            progress: Mutex::new(Progress::new(3)),
+            show_progress: false,
+            flight_seq: AtomicU64::new(1),
+            flight_dir: std::env::temp_dir().join("mlpwin-never-used"),
+        };
+        campaign.log.record(
+            60,
+            Some(1),
+            EventKind::Leased {
+                worker: "w0".to_string(),
+            },
+        );
+
+        let status = campaign.status_json();
+        let text = status.encode();
+        let parsed = Json::parse(&text).expect("status is valid JSON");
+        assert_eq!(parsed.get("mode").and_then(Json::as_str), Some("campaign"));
+        assert_eq!(parsed.get("jobs").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("done").and_then(Json::as_u64), Some(1));
+        let queue_view = parsed.get("queue").expect("queue block");
+        assert_eq!(queue_view.get("depth").and_then(Json::as_u64), Some(1));
+        assert_eq!(queue_view.get("leased").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            queue_view
+                .get("lanes")
+                .and_then(|l| l.get("normal"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let leases = parsed
+            .get("leases")
+            .and_then(Json::as_arr)
+            .expect("leases array");
+        assert_eq!(leases.len(), 1, "exactly the one live lease, no phantoms");
+        assert_eq!(leases[0].get("job").and_then(Json::as_u64), Some(1));
+        assert_eq!(leases[0].get("worker").and_then(Json::as_str), Some("w0"));
+        let workers = parsed
+            .get("workers")
+            .and_then(Json::as_arr)
+            .expect("workers array");
+        assert_eq!(workers.len(), 2);
+        assert_eq!(
+            workers[0].get("state").and_then(Json::as_str),
+            Some("running")
+        );
+        assert_eq!(workers[1].get("state").and_then(Json::as_str), Some("idle"));
+        assert!(parsed.get("throughput").is_some());
+
+        let jobs = campaign.jobs_json();
+        let arr = Json::parse(&jobs.encode())
+            .expect("jobs is valid JSON")
+            .as_arr()
+            .map(<[Json]>::len);
+        assert_eq!(arr, Some(3));
+
+        let job1 = campaign.job_json(1).expect("job 1 exists");
+        assert_eq!(job1.get("state").and_then(Json::as_str), Some("leased"));
+        assert_eq!(job1.get("attempts").and_then(Json::as_u64), Some(1));
+        let events = job1
+            .get("events")
+            .and_then(Json::as_arr)
+            .expect("events attached");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("kind").and_then(Json::as_str), Some("leased"));
+        let job0 = campaign.job_json(0).expect("job 0 exists");
+        assert_eq!(job0.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(
+            job0.get("timing")
+                .and_then(|t| t.get("terminal_ms"))
+                .and_then(Json::as_u64),
+            Some(50)
+        );
+        assert!(campaign.job_json(99).is_none(), "unknown id is None");
     }
 }

@@ -13,6 +13,7 @@
 //! exactly that).
 
 use crate::journal::spec_hash;
+use crate::metrics;
 use crate::runner::{FaultSpec, RunSpec};
 use crate::signals::EXIT_INTERRUPTED;
 use crate::snapshot::SnapshotPolicy;
@@ -20,6 +21,14 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Counter of worker child processes launched.
+pub const METRIC_WORKER_LAUNCHES: &str = "mlpwin_worker_launches_total";
+/// Counter of workers killed for a blown budget (heartbeat staleness,
+/// resident set, or wall clock).
+pub const METRIC_WORKER_BUDGET_KILLS: &str = "mlpwin_worker_budget_kills_total";
+/// Counter of worker heartbeat lines observed.
+pub const METRIC_WORKER_HEARTBEATS: &str = "mlpwin_worker_heartbeats_total";
 
 /// A callback invoked with the cycle count of every `hb <cycle>` line a
 /// worker prints. The campaign control plane uses it to renew the
@@ -219,6 +228,7 @@ impl Supervisor {
                 }
             }
         };
+        metrics::counter_add(METRIC_WORKER_LAUNCHES, 1);
         let last_beat = Arc::new(Mutex::new(Instant::now()));
         let reader = child.stdout.take().map(|stdout| {
             let last_beat = Arc::clone(&last_beat);
@@ -229,11 +239,15 @@ impl Supervisor {
                     let Ok(line) = line else { break };
                     if let Some(rest) = line.strip_prefix("hb ") {
                         *last_beat.lock().expect("heartbeat clock poisoned") = Instant::now();
+                        metrics::counter_add(METRIC_WORKER_HEARTBEATS, 1);
                         if let (Some(hook), Ok(cycle)) = (&hook, rest.trim().parse::<u64>()) {
                             (hook.0)(cycle);
                         }
                     }
                 }
+                // The reader thread owns its own metrics shard: merge
+                // it before the thread vanishes.
+                metrics::flush();
             })
         });
         let stderr_reader = child.stderr.take().map(|stderr| {
@@ -343,6 +357,7 @@ impl Supervisor {
             if let Some(reason) = kill_reason {
                 child.kill().ok();
                 child.wait().ok();
+                metrics::counter_add(METRIC_WORKER_BUDGET_KILLS, 1);
                 return Verdict::Killed(reason);
             }
             std::thread::sleep(Duration::from_millis(20));

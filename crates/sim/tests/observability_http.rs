@@ -1,0 +1,375 @@
+//! Observability-plane integration suite.
+//!
+//! Drives the real `mlpwin-serve` controller with `--listen` and
+//! scrapes the embedded HTTP server while workers are being
+//! chaos-killed: every endpoint must serve valid payloads mid-campaign,
+//! the `/status`/`/jobs` views must stay consistent (no phantom leases,
+//! terminal jobs never regress — including across a controller SIGKILL
+//! and WAL-replay restart), the crash flight recorder must dump on
+//! worker kills, the Chrome trace must carry one span per job phase,
+//! and — the zero-cost contract — the finalized journal must be
+//! bit-identical to a run with no listener at all.
+
+use mlpwin_sim::httpserve::http_get;
+use mlpwin_sim::json::Json;
+use mlpwin_sim::metrics::validate_prometheus;
+use mlpwin_sim::runner::RunSpec;
+use mlpwin_sim::{Journal, SimModel};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+const WORKER: &str = env!("CARGO_BIN_EXE_mlpwin-sim");
+const CONTROLLER: &str = env!("CARGO_BIN_EXE_mlpwin-serve");
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlpwin-obs-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn specs() -> Vec<RunSpec> {
+    vec![
+        RunSpec::new("gcc", SimModel::Base).with_budget(2_000, 4_000),
+        RunSpec::new("mcf", SimModel::Dynamic).with_budget(2_000, 4_000),
+        RunSpec::new("milc", SimModel::Base).with_budget(2_000, 4_000),
+    ]
+}
+
+fn job_arg(spec: &RunSpec) -> String {
+    format!(
+        "{},{},{},{},{}",
+        spec.profile,
+        spec.model.tag(),
+        spec.warmup,
+        spec.insts,
+        spec.seed
+    )
+}
+
+/// The chaos controller command: 2 workers, every job's first worker
+/// aborts at cycle 1200, so the campaign stays alive long enough to
+/// scrape and every run exercises the flight recorder.
+fn controller_cmd(specs: &[RunSpec], dir: &Path) -> Command {
+    let mut cmd = Command::new(CONTROLLER);
+    cmd.arg("--campaign").arg(dir);
+    for spec in specs {
+        cmd.arg("--job").arg(job_arg(spec));
+    }
+    cmd.args([
+        "--workers",
+        "2",
+        "--backoff-ms",
+        "30",
+        "--snapshot-cycles",
+        "400",
+        "--chaos-kill-at",
+        "1200",
+    ]);
+    cmd.arg("--worker-exe").arg(WORKER);
+    cmd
+}
+
+/// Waits for the controller to publish its bound address.
+fn obs_addr(dir: &Path, controller: &mut Child) -> SocketAddr {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("obs.addr")) {
+            if let Ok(addr) = text.trim().parse() {
+                return addr;
+            }
+        }
+        if let Some(status) = controller.try_wait().expect("try_wait") {
+            panic!("controller exited before publishing obs.addr: {status}");
+        }
+        assert!(Instant::now() < deadline, "obs.addr never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn get_json(addr: &SocketAddr, path: &str) -> Option<Json> {
+    let (code, body) = http_get(addr, path).ok()?;
+    assert_eq!(code, 200, "GET {path} returned {code}");
+    Some(Json::parse(&body).unwrap_or_else(|e| panic!("GET {path}: invalid JSON ({e}): {body}")))
+}
+
+/// Asserts the structural invariants one `/status` + `/jobs` scrape
+/// must satisfy, and folds this scrape's terminal states into `seen`
+/// (a terminal job must never change state in a later scrape).
+fn check_scrape(status: &Json, jobs: &Json, seen: &mut HashMap<u64, String>) {
+    assert_eq!(status.get("mode").and_then(Json::as_str), Some("campaign"));
+    let total = status.get("jobs").and_then(Json::as_u64).expect("jobs");
+    let jobs = jobs.as_arr().expect("/jobs is an array");
+    assert_eq!(jobs.len() as u64, total, "/jobs and /status agree on size");
+
+    // Leases in /status must mirror exactly the jobs /jobs reports as
+    // leased — same set, same worker — or a lease is phantom.
+    let leased_per_jobs: HashMap<u64, String> = jobs
+        .iter()
+        .filter(|j| j.get("state").and_then(Json::as_str) == Some("leased"))
+        .map(|j| {
+            (
+                j.get("id").and_then(Json::as_u64).expect("id"),
+                j.get("state_detail")
+                    .and_then(|d| d.get("worker"))
+                    .and_then(Json::as_str)
+                    .expect("leased worker")
+                    .to_string(),
+            )
+        })
+        .collect();
+    let leases = status
+        .get("leases")
+        .and_then(Json::as_arr)
+        .expect("leases array");
+    assert_eq!(
+        leases.len(),
+        leased_per_jobs.len(),
+        "every /status lease maps to a leased job (no phantoms)"
+    );
+    for lease in leases {
+        let id = lease.get("job").and_then(Json::as_u64).expect("lease job");
+        let worker = lease
+            .get("worker")
+            .and_then(Json::as_str)
+            .expect("lease worker");
+        assert_eq!(
+            leased_per_jobs.get(&id).map(String::as_str),
+            Some(worker),
+            "phantom lease on job {id}"
+        );
+    }
+
+    for job in jobs {
+        let id = job.get("id").and_then(Json::as_u64).expect("id");
+        let state = job
+            .get("state")
+            .and_then(Json::as_str)
+            .expect("state")
+            .to_string();
+        if let Some(terminal) = seen.get(&id) {
+            assert_eq!(
+                &state, terminal,
+                "job {id} regressed from terminal state `{terminal}` to `{state}`"
+            );
+        } else if matches!(state.as_str(), "done" | "failed" | "quarantined") {
+            seen.insert(id, state);
+        }
+    }
+}
+
+#[test]
+fn live_endpoints_serve_valid_payloads_and_journal_is_listener_invariant() {
+    let dir = scratch("live");
+    let trace_path = dir.join("trace.json");
+    let specs = specs();
+
+    let mut cmd = controller_cmd(&specs, &dir);
+    cmd.args(["--listen", "127.0.0.1:0", "--progress"]);
+    cmd.arg("--trace-out").arg(&trace_path);
+    cmd.stderr(std::process::Stdio::null());
+    let mut controller = cmd.spawn().expect("spawn controller");
+    let addr = obs_addr(&dir, &mut controller);
+
+    // Scrape every endpoint while the campaign runs; keep scraping
+    // until the controller exits so at least some scrapes land
+    // mid-flight (chaos kills guarantee the campaign isn't instant).
+    let (code, body) = http_get(&addr, "/healthz").expect("healthz");
+    assert_eq!((code, body.trim()), (200, "ok"));
+    let mut seen = HashMap::new();
+    let mut scrapes = 0u32;
+    let mut metrics_seen = String::new();
+    loop {
+        let status = get_json(&addr, "/status");
+        let jobs = get_json(&addr, "/jobs");
+        if let (Some(status), Some(jobs)) = (status, jobs) {
+            check_scrape(&status, &jobs, &mut seen);
+            scrapes += 1;
+        }
+        if let Ok((200, text)) = http_get(&addr, "/metrics") {
+            validate_prometheus(&text).expect("mid-campaign /metrics is conformant");
+            metrics_seen = text;
+        }
+        if let Some(detail) = get_json(&addr, "/jobs/0") {
+            let events = detail
+                .get("events")
+                .and_then(Json::as_arr)
+                .expect("per-job events");
+            assert!(!events.is_empty(), "job 0 has at least its submit event");
+        }
+        // Unknown routes and ids are 404s, not hangs or 500s.
+        if let Ok((code, _)) = http_get(&addr, "/jobs/999") {
+            assert_eq!(code, 404);
+        }
+        if controller.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(scrapes > 0, "never scraped a live campaign");
+    assert!(
+        metrics_seen.contains("mlpwin_queue_depth"),
+        "campaign metrics exported: {metrics_seen}"
+    );
+
+    let status = controller.wait().expect("wait controller");
+    assert!(status.success(), "campaign failed");
+
+    // One span per job phase in the Chrome trace: with chaos kills each
+    // job has a queued span plus at least two attempt spans, and the
+    // trace declares one named track per worker plus the queue track.
+    let trace = Json::parse(&std::fs::read_to_string(&trace_path).expect("trace written"))
+        .expect("trace is valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    let complete = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .count();
+    let tracks = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .count();
+    assert!(
+        complete >= specs.len() * 3,
+        "expected >= {} spans (queued + 2 attempts per job), got {complete}",
+        specs.len() * 3
+    );
+    assert!(tracks >= 2, "queue track plus at least one worker track");
+
+    // The flight recorder dumped on the chaos worker kills, and every
+    // dump is a valid schema-1 record.
+    let dumps: Vec<PathBuf> = std::fs::read_dir(dir.join("flightrec"))
+        .expect("flightrec dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert!(!dumps.is_empty(), "worker kills must leave flight records");
+    for dump in &dumps {
+        let doc = Json::parse(&std::fs::read_to_string(dump).expect("read dump"))
+            .expect("flight record is valid JSON");
+        assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(1));
+        assert!(doc.get("events").and_then(Json::as_arr).is_some());
+        assert!(doc.get("queue").is_some() && doc.get("metrics").is_some());
+    }
+
+    // The observability plane is provably free: the identical campaign
+    // with no listener finalizes a bit-identical journal.
+    let silent = scratch("silent");
+    let out = controller_cmd(&specs, &silent)
+        .output()
+        .expect("silent controller");
+    assert!(out.status.success(), "silent campaign failed");
+    assert_eq!(
+        std::fs::read(dir.join("journal.jsonl")).expect("observed journal"),
+        std::fs::read(silent.join("journal.jsonl")).expect("silent journal"),
+        "--listen must not change the finalized journal by a single byte"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&silent).ok();
+}
+
+#[test]
+fn terminal_jobs_never_regress_across_controller_sigkill_and_restart() {
+    let dir = scratch("restart");
+    let specs = specs();
+
+    let mut cmd = controller_cmd(&specs, &dir);
+    cmd.args(["--listen", "127.0.0.1:0"]);
+    cmd.stderr(std::process::Stdio::null());
+    let mut controller = cmd.spawn().expect("spawn controller");
+    let addr = obs_addr(&dir, &mut controller);
+
+    // Scrape until at least one job lands terminal, then SIGKILL the
+    // controller mid-campaign.
+    let mut seen = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while seen.is_empty() {
+        if let (Some(status), Some(jobs)) = (get_json(&addr, "/status"), get_json(&addr, "/jobs")) {
+            check_scrape(&status, &jobs, &mut seen);
+        }
+        if let Some(status) = controller.try_wait().expect("try_wait") {
+            // The campaign beat us to the finish line: every job is
+            // terminal, which still proves the no-regression contract
+            // vacuously. Re-run below covers the restart half.
+            assert!(status.success());
+            break;
+        }
+        assert!(Instant::now() < deadline, "no job ever finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if controller.try_wait().expect("try_wait").is_none() {
+        let rc = unsafe { kill(controller.id() as i32, 9) };
+        assert_eq!(rc, 0, "kill(SIGKILL) failed");
+        controller.wait().expect("wait controller");
+    }
+
+    // Restart with a listener: the WAL replays, and the first scrapes
+    // must show every previously-terminal job unchanged.
+    let mut cmd = controller_cmd(&specs, &dir);
+    cmd.args(["--listen", "127.0.0.1:0"]);
+    cmd.stderr(std::process::Stdio::null());
+    std::fs::remove_file(dir.join("obs.addr")).ok();
+    let mut controller = cmd.spawn().expect("respawn controller");
+    let addr = obs_addr(&dir, &mut controller);
+    loop {
+        if let (Some(status), Some(jobs)) = (get_json(&addr, "/status"), get_json(&addr, "/jobs")) {
+            check_scrape(&status, &jobs, &mut seen);
+        }
+        if controller.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        controller.wait().expect("wait").success(),
+        "resumed campaign failed"
+    );
+    // All jobs finished and nothing regressed along the way (every
+    // regression would have tripped check_scrape above).
+    let journal = Journal::new(dir.join("journal.jsonl"))
+        .load()
+        .expect("finalized journal");
+    assert_eq!(journal.len(), specs.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn probe_mode_validates_a_live_controller_end_to_end() {
+    let dir = scratch("probe");
+    let specs = specs();
+    let mut cmd = controller_cmd(&specs, &dir);
+    cmd.args(["--listen", "127.0.0.1:0"]);
+    cmd.stderr(std::process::Stdio::null());
+    let mut controller = cmd.spawn().expect("spawn controller");
+    let addr = obs_addr(&dir, &mut controller);
+
+    let out = Command::new(CONTROLLER)
+        .args(["--probe", &addr.to_string()])
+        .output()
+        .expect("probe");
+    // The probe may race campaign completion (connection refused after
+    // shutdown); only a probe that reached the server must pass.
+    if controller.try_wait().expect("try_wait").is_none() {
+        assert!(
+            out.status.success(),
+            "probe failed against a live controller: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("healthy"),
+            "probe summary printed"
+        );
+    }
+    assert!(controller.wait().expect("wait").success());
+    std::fs::remove_dir_all(&dir).ok();
+}

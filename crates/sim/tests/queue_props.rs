@@ -226,10 +226,10 @@ fn drive(seed: u64, tag: &str) {
                 }
                 let id = leased[rng.below(leased.len() as u64) as usize];
                 if rng.below(5) == 0 {
-                    queue.fail(id, "typed failure").expect("fail");
+                    queue.fail(id, "typed failure", now_ms).expect("fail");
                     model.states.insert(id, ModelState::Failed);
                 } else {
-                    queue.complete(id, false).expect("complete");
+                    queue.complete(id, false, now_ms).expect("complete");
                     model.states.insert(id, ModelState::Done);
                     let n = model.completions.entry(id).or_insert(0);
                     *n += 1;
@@ -331,7 +331,7 @@ fn drive(seed: u64, tag: &str) {
         now_ms += 1_000_000;
         queue.expire_stale(now_ms).expect("expire");
         while let Some(job) = queue.lease("drain", now_ms).expect("lease") {
-            queue.complete(job.id, false).expect("complete");
+            queue.complete(job.id, false, now_ms).expect("complete");
             let n = model.completions.entry(job.id).or_insert(0);
             *n += 1;
             assert_eq!(*n, 1, "job {} completed more than once", job.id);
