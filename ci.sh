@@ -84,6 +84,29 @@ grep -q 'intervals=4 ' target/ci-artifacts/split/split.out
 diff target/ci-artifacts/split/serial.jsonl target/ci-artifacts/split/split.jsonl
 echo "    4-interval stitched journal is bit-identical to the serial run"
 
+echo "==> event-driven equivalence (journal byte-diff vs stepped, both fast-forward settings)"
+# The event engine is a host-performance knob: the same spec run under
+# MLPWIN_EVENT_DRIVEN must journal byte-identically to the stepped loop
+# on a serial pointer chase (mcf) and a software-MLP batch kernel
+# (chase-batch), with the stall fast-forward both enabled and disabled.
+rm -rf target/ci-artifacts/eventdrive
+mkdir -p target/ci-artifacts/eventdrive
+for prof in mcf chase-batch; do
+    for noff in ff noff; do
+        pre=(env -u MLPWIN_NO_FAST_FORWARD -u MLPWIN_EVENT_DRIVEN)
+        [ "$noff" = noff ] && pre+=(MLPWIN_NO_FAST_FORWARD=1)
+        "${pre[@]}" "$worker" --profile "$prof" --model dynamic \
+            --warmup 2000 --insts 4000 \
+            --journal "target/ci-artifacts/eventdrive/$prof-$noff-stepped.jsonl"
+        "${pre[@]}" env MLPWIN_EVENT_DRIVEN=1 "$worker" --profile "$prof" --model dynamic \
+            --warmup 2000 --insts 4000 \
+            --journal "target/ci-artifacts/eventdrive/$prof-$noff-event.jsonl"
+        diff "target/ci-artifacts/eventdrive/$prof-$noff-stepped.jsonl" \
+             "target/ci-artifacts/eventdrive/$prof-$noff-event.jsonl"
+    done
+done
+echo "    event-driven journals are bit-identical to stepped on both profiles"
+
 echo "==> campaign smoke (worker kills + live observability scrape + cached rerun)"
 # A three-spec campaign whose workers all chaos-abort once mid-run: the
 # control plane must charge the deaths, resume from snapshots, and

@@ -38,6 +38,24 @@ pub struct BenchEntry {
     pub sim_insts: u64,
     /// The interval-parallel leg (`mlpwin-bench --split N`), when run.
     pub split: Option<BenchSplit>,
+    /// The event-driven scheduling leg, when run.
+    pub event: Option<BenchEvent>,
+}
+
+/// The event-engine rider on a suite entry: the same spec re-run with
+/// `MLPWIN_EVENT_DRIVEN` set (results asserted bit-identical before the
+/// rider is recorded). `speedup` is the stepped row's wall clock over
+/// the event-driven wall clock — above 1 the fold into the wake plan
+/// paid for itself, below 1 it cost host time for the generality of
+/// memory-side wakeups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEvent {
+    /// Wall-clock seconds of the event-driven run.
+    pub wall_secs: f64,
+    /// Fraction of all cycles (warm-up included) advanced in bulk.
+    pub skip_fraction: f64,
+    /// Stepped `wall_secs` over event-driven `wall_secs`.
+    pub speedup: f64,
 }
 
 /// The `--split N` rider on a suite entry: the same spec re-analyzed
@@ -147,6 +165,13 @@ impl BenchReport {
                     sm.insert("speedup".to_string(), Json::Num(sp.speedup));
                     m.insert("split".to_string(), Json::Obj(sm));
                 }
+                if let Some(ev) = &e.event {
+                    let mut em = BTreeMap::new();
+                    em.insert("wall_secs".to_string(), Json::Num(ev.wall_secs));
+                    em.insert("skip_fraction".to_string(), Json::Num(ev.skip_fraction));
+                    em.insert("speedup".to_string(), Json::Num(ev.speedup));
+                    m.insert("event".to_string(), Json::Obj(em));
+                }
                 Json::Obj(m)
             })
             .collect();
@@ -229,6 +254,22 @@ impl BenchReport {
                     })
                 }
             };
+            let event = match e.get("event") {
+                None | Some(Json::Null) => None,
+                Some(ev) => {
+                    let ev_f64 = |k: &str| {
+                        ev.get(k)
+                            .and_then(Json::as_f64)
+                            .filter(|v| v.is_finite() && *v >= 0.0)
+                            .ok_or_else(|| format!("entry {i}: bad event field `{k}`"))
+                    };
+                    Some(BenchEvent {
+                        wall_secs: ev_f64("wall_secs")?,
+                        skip_fraction: ev_f64("skip_fraction")?,
+                        speedup: ev_f64("speedup")?,
+                    })
+                }
+            };
             entries.push(BenchEntry {
                 profile: e
                     .get("profile")
@@ -246,6 +287,7 @@ impl BenchReport {
                 sim_cycles: field_u64("sim_cycles")?,
                 sim_insts: field_u64("sim_insts")?,
                 split,
+                event,
             });
         }
         if entries.is_empty() {
@@ -268,6 +310,44 @@ pub fn throughput_drop(baseline: &BenchReport, current: &BenchReport) -> Option<
         return None;
     }
     Some(1.0 - current.total_kcps() / base)
+}
+
+/// Aggregate kcycles/s over the entries `select` accepts.
+fn selected_kcps(report: &BenchReport, select: impl Fn(&BenchEntry) -> bool) -> f64 {
+    let picked: Vec<&BenchEntry> = report.entries.iter().filter(|e| select(e)).collect();
+    let wall: f64 = picked.iter().map(|e| e.wall_secs).sum();
+    if wall <= 0.0 {
+        return 0.0;
+    }
+    picked.iter().map(|e| e.sim_cycles).sum::<u64>() as f64 / 1e3 / wall
+}
+
+/// Like [`throughput_drop`], restricted to the entries `select` accepts
+/// *and* whose `(profile, model)` row exists in both reports — so a
+/// suite that grows (or shrinks) rows still gates like-for-like, with
+/// fresh rows neither inflating nor masking the comparison. `None` when
+/// the matched baseline rows are degenerate or there is no overlap.
+pub fn matched_drop(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    select: impl Fn(&BenchEntry) -> bool,
+) -> Option<f64> {
+    let keys = |r: &BenchReport| -> Vec<(String, String)> {
+        r.entries
+            .iter()
+            .map(|e| (e.profile.clone(), e.model.clone()))
+            .collect()
+    };
+    let (bk, ck) = (keys(baseline), keys(current));
+    let in_both = |e: &BenchEntry| {
+        let key = (e.profile.clone(), e.model.clone());
+        bk.contains(&key) && ck.contains(&key)
+    };
+    let base = selected_kcps(baseline, |e| select(e) && in_both(e));
+    if base <= 0.0 {
+        return None;
+    }
+    Some(1.0 - selected_kcps(current, |e| select(e) && in_both(e)) / base)
 }
 
 /// Peak resident set size of this process in kB, from
@@ -304,6 +384,11 @@ mod tests {
                         phase2_secs: 0.1,
                         speedup: 5.0,
                     }),
+                    event: Some(BenchEvent {
+                        wall_secs: 0.45,
+                        skip_fraction: 0.85,
+                        speedup: 0.5 / 0.45,
+                    }),
                 },
                 BenchEntry {
                     profile: "gcc".to_string(),
@@ -314,6 +399,7 @@ mod tests {
                     sim_cycles: 6_000,
                     sim_insts: 2_100,
                     split: None,
+                    event: None,
                 },
             ],
         }
@@ -389,6 +475,45 @@ mod tests {
         assert!(BenchReport::parse(&bad_split)
             .expect_err("bad split stride")
             .contains("split"));
+        // So is a malformed event rider.
+        let bad_event = sample()
+            .encode()
+            .replace("\"skip_fraction\":0.85,", "\"skip_fraction\":\"x\",");
+        assert!(BenchReport::parse(&bad_event)
+            .expect_err("bad event skip fraction")
+            .contains("event"));
+    }
+
+    #[test]
+    fn matched_drop_gates_like_for_like_when_the_suite_grows() {
+        let baseline = sample();
+        let mut grown = sample();
+        // A fresh, very fast row joins the suite: it must not inflate
+        // (or be gated by) the matched comparison.
+        grown.entries.push(BenchEntry {
+            profile: "chase-batch".to_string(),
+            model: "base".to_string(),
+            warmup: 2_000,
+            insts: 2_000,
+            wall_secs: 0.01,
+            sim_cycles: 1_000_000,
+            sim_insts: 2_000,
+            split: None,
+            event: None,
+        });
+        let all = |_: &BenchEntry| true;
+        let drop = matched_drop(&baseline, &grown, all).expect("healthy overlap");
+        assert!(drop.abs() < 1e-12, "unchanged matched rows: drop = {drop}");
+        // The unmatched total, by contrast, explodes upward.
+        assert!(throughput_drop(&baseline, &grown).expect("healthy") < -1.0);
+        // A real regression on a matched row is still caught.
+        let mut slower = grown.clone();
+        slower.entries[1].wall_secs *= 10.0;
+        let gcc_only = |e: &BenchEntry| e.profile == "gcc";
+        let drop = matched_drop(&baseline, &slower, gcc_only).expect("healthy");
+        assert!((drop - 0.9).abs() < 1e-9, "drop = {drop}");
+        // No overlap (or a dead baseline) cannot gate.
+        assert!(matched_drop(&baseline, &grown, |e| e.profile == "chase-batch").is_none());
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! **mlpwin-bench** — the host-performance regression gate.
 //!
-//! Runs a pinned suite (the first three memory-intensive and first three
-//! compute-intensive selected programs, each under the baseline and the
+//! Runs a pinned suite (the first three memory-intensive selected
+//! programs, the software-MLP kernels, and the first three
+//! compute-intensive programs, each under the baseline and the
 //! dynamic-resizing model, at a fixed budget), times every run, and
 //! writes a schema-versioned `BENCH.json` with per-run wall-clock,
-//! simulated throughput and process peak RSS. When a previous file
-//! exists it is the baseline: an aggregate-throughput drop beyond
+//! simulated throughput and process peak RSS. Every row also carries an
+//! `event` rider: the identical spec re-run under `MLPWIN_EVENT_DRIVEN`
+//! (results asserted bit-identical) with its skip fraction and wall
+//! speedup. When a previous file exists it is the baseline: a matched
+//! per-category throughput drop beyond
 //! [`REGRESSION_THRESHOLD`](mlpwin_bench::benchfile::REGRESSION_THRESHOLD)
 //! exits nonzero, so CI catches a PR that slows the hot loop.
 //!
@@ -35,11 +39,11 @@
 //! partial report over the baseline trajectory.
 
 use mlpwin_bench::benchfile::{
-    peak_rss_kb, throughput_drop, BenchEntry, BenchReport, BenchSplit, BENCH_SCHEMA,
-    REGRESSION_THRESHOLD,
+    matched_drop, peak_rss_kb, throughput_drop, BenchEntry, BenchEvent, BenchReport, BenchSplit,
+    BENCH_SCHEMA, REGRESSION_THRESHOLD,
 };
 use mlpwin_sim::report::TextTable;
-use mlpwin_sim::runner::{run, run_recoverable, RunSpec};
+use mlpwin_sim::runner::{run, run_recoverable, RunResult, RunSpec};
 use mlpwin_sim::snapshot::SnapshotPolicy;
 use mlpwin_sim::split::{run_split, SplitConfig};
 use mlpwin_sim::{signals, SimModel};
@@ -125,12 +129,15 @@ impl BenchArgs {
     }
 }
 
-/// The pinned suite: 3 memory-bound + 3 compute-bound profiles, each
-/// under the base and the dynamic-resizing model.
+/// The pinned suite: 3 memory-bound profiles, the software-MLP kernels
+/// (sparse-event regime), and 3 compute-bound profiles, each under the
+/// base and the dynamic-resizing model.
 fn suite(warmup: u64, insts: u64) -> Vec<RunSpec> {
     let programs = profiles::SELECTED_MEM[..3]
         .iter()
-        .chain(profiles::SELECTED_COMP[..3].iter());
+        .copied()
+        .chain(profiles::software_mlp_names())
+        .chain(profiles::SELECTED_COMP[..3].iter().copied());
     let mut specs = Vec::new();
     for p in programs {
         for model in [SimModel::Base, SimModel::Dynamic] {
@@ -138,6 +145,40 @@ fn suite(warmup: u64, insts: u64) -> Vec<RunSpec> {
         }
     }
     specs
+}
+
+/// Whether a report row names a memory-intensive profile (unknown
+/// profiles — none are expected — fall on the compute side).
+fn is_memory_row(e: &BenchEntry) -> bool {
+    profiles::params_by_name(&e.profile)
+        .map(|p| p.category == mlpwin_workloads::params::Category::MemoryIntensive)
+        .unwrap_or(false)
+}
+
+/// Times the event-driven rider for one spec: the identical run with
+/// the event engine folded into the wake plan. Results must be
+/// bit-identical — the bench doubles as an end-to-end equivalence
+/// check on every row it reports — so a divergence aborts the suite
+/// rather than publishing a rider for a different simulation.
+fn event_leg(spec: &RunSpec, stepped: &RunResult, stepped_wall: f64) -> BenchEvent {
+    std::env::set_var("MLPWIN_EVENT_DRIVEN", "1");
+    let started = Instant::now();
+    let attempt = run(spec);
+    let wall_secs = started.elapsed().as_secs_f64();
+    std::env::remove_var("MLPWIN_EVENT_DRIVEN");
+    let result = mlpwin_bench::expect_run(attempt);
+    assert_eq!(
+        &result,
+        stepped,
+        "{} [{}]: event-driven result diverged from the stepped run",
+        spec.profile,
+        spec.model.tag()
+    );
+    BenchEvent {
+        wall_secs,
+        skip_fraction: result.engine.skip_fraction(),
+        speedup: stepped_wall / wall_secs.max(1e-9),
+    }
 }
 
 /// Times the `--split N` rider for one spec: a sampled (stride `n`,
@@ -260,6 +301,7 @@ fn main() {
             sim_cycles: result.stats.cycles,
             sim_insts: result.stats.committed_insts,
             split: None,
+            event: None,
         };
         if let Some(n) = args.split {
             entry.split = Some(split_leg(
@@ -270,6 +312,7 @@ fn main() {
                 &split_dir,
             ));
         }
+        entry.event = Some(event_leg(spec, &result, wall_secs));
         entries.push(entry);
     }
     let report = BenchReport {
@@ -278,14 +321,27 @@ fn main() {
         entries,
     };
 
-    let mut t = TextTable::new(vec!["program", "model", "wall ms", "kcyc/s", "MIPS"]);
+    let mut t = TextTable::new(vec![
+        "program", "model", "wall ms", "kcyc/s", "MIPS", "skip", "event x",
+    ]);
     for e in &report.entries {
+        let (skip, speedup) = e.event.as_ref().map_or_else(
+            || ("-".to_string(), "-".to_string()),
+            |ev| {
+                (
+                    format!("{:.0}%", ev.skip_fraction * 100.0),
+                    format!("{:.2}", ev.speedup),
+                )
+            },
+        );
         t.row(vec![
             e.profile.clone(),
             e.model.clone(),
             format!("{:.1}", e.wall_secs * 1e3),
             format!("{:.0}", e.kcps()),
             format!("{:.3}", e.mips()),
+            skip,
+            speedup,
         ]);
     }
     println!("{}", t.render());
@@ -354,14 +410,38 @@ fn main() {
                 let threshold = args
                     .max_drop
                     .map_or(REGRESSION_THRESHOLD, |pct| pct / 100.0);
+                // The gate runs per category over rows present in both
+                // reports: freshly added suite rows must neither mask a
+                // regression on old rows nor be gated against nothing.
+                let legs = [
+                    (
+                        "memory-bound",
+                        matched_drop(baseline, &report, is_memory_row),
+                    ),
+                    (
+                        "compute-bound",
+                        matched_drop(baseline, &report, |e| !is_memory_row(e)),
+                    ),
+                ];
+                let mut failed = false;
+                for (name, drop) in legs {
+                    let Some(drop) = drop else {
+                        println!("{name} rows: no matched baseline; leg skipped");
+                        continue;
+                    };
+                    println!("{name} rows (matched): {:+.1}% throughput", -drop * 100.0);
+                    if drop > threshold {
+                        eprintln!(
+                            "FAIL: {name} throughput regressed {:.1}% (> {:.0}% threshold)",
+                            drop * 100.0,
+                            threshold * 100.0
+                        );
+                        failed = true;
+                    }
+                }
                 if args.smoke {
                     println!("smoke mode: threshold gate skipped");
-                } else if drop > threshold {
-                    eprintln!(
-                        "FAIL: throughput regressed {:.1}% (> {:.0}% threshold)",
-                        drop * 100.0,
-                        threshold * 100.0
-                    );
+                } else if failed {
                     std::process::exit(1);
                 }
             }

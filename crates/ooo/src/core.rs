@@ -21,6 +21,7 @@
 
 use crate::config::{ConfigError, CoreConfig};
 use crate::error::{PipelineError, StallSnapshot};
+use crate::events::{EngineCounters, EventWheel, WakeSource};
 use crate::frontend::{FetchedInst, FrontEnd};
 use crate::fu::FuPool;
 use crate::lsq::{LoadCheck, Lsq};
@@ -37,8 +38,7 @@ use mlpwin_isa::snap::{SnapError, SnapReader, SnapWriter};
 use mlpwin_isa::{Addr, Cycle, OpClass, SeqNum};
 use mlpwin_memsys::{AccessKind, MemSystem, PathKind};
 use mlpwin_workloads::Workload;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Why dispatch allocated nothing this cycle — the raw observation the
 /// CPI-stack accounting pass refines into a [`CpiBucket`]. The dispatch
@@ -124,16 +124,19 @@ pub struct Core<W> {
     rename: RenameMap,
     fu: FuPool,
 
-    /// (ready_time, seq) of instructions whose operands will be ready.
-    pending_ready: BinaryHeap<Reverse<(Cycle, DynSeq)>>,
+    /// (ready_time, seq) of instructions whose operands will be ready —
+    /// a calendar queue whose head doubles as the fast-forward's
+    /// operand-wakeup bound.
+    pending_ready: EventWheel,
     /// Instructions ready to issue now; the select loop walks the ring
     /// in place, oldest first.
     ready: ReadyRing,
     /// Loads waiting behind an un-issued overlapping store, kept sorted
     /// by age (oldest at the front).
     blocked_loads: VecDeque<DynSeq>,
-    /// (complete_at, seq) execution-completion events.
-    completions: BinaryHeap<Reverse<(Cycle, DynSeq)>>,
+    /// (complete_at, seq) execution-completion events — the writeback
+    /// stage's calendar queue, and the fast-forward's completion bound.
+    completions: EventWheel,
 
     alloc_stall_until: Cycle,
     shrink_wait: bool,
@@ -182,6 +185,14 @@ pub struct Core<W> {
     /// diagnostic, deliberately kept outside [`CoreStats`] so A/B runs
     /// with the fast-forward on and off stay bit-identical.
     ff_cycles: u64,
+    /// Cycles executed as real pipeline steps — counted directly rather
+    /// than derived from `now` because [`restore`](Core::restore)
+    /// rewinds the clock while this host-side counter (like
+    /// `ff_cycles`) keeps measuring what *this* core object executed.
+    stepped_cycles: u64,
+    /// Coasts ended per [`WakeSource`] — host-side telemetry with the
+    /// same outside-the-stats contract as `ff_cycles`.
+    wake_hist: [u64; WakeSource::COUNT],
     /// Committed-instruction count at the last interval boundary.
     interval_last_insts: u64,
     #[cfg(feature = "trace")]
@@ -252,8 +263,8 @@ impl<W: Workload> Core<W> {
         #[cfg(feature = "trace")]
         let tracer = config.trace.map(Tracer::new);
         // Size every hot-path container to the largest level up front:
-        // the ROB ring and the event heaps then never reallocate, even
-        // across enlarges.
+        // the ROB ring then never reallocates, even across enlarges (the
+        // event wheels allocate their slot table eagerly on their own).
         let max_rob = config.max_level_spec().rob;
         Ok(Core {
             fu: FuPool::new(config.fu_counts),
@@ -269,10 +280,10 @@ impl<W: Workload> Core<W> {
             iq_occ: 0,
             lsq: Lsq::new(),
             rename: RenameMap::new(),
-            pending_ready: BinaryHeap::with_capacity(max_rob),
+            pending_ready: EventWheel::new(),
             ready: ReadyRing::with_capacity(max_rob),
             blocked_loads: VecDeque::new(),
-            completions: BinaryHeap::with_capacity(max_rob),
+            completions: EventWheel::new(),
             alloc_stall_until: 0,
             shrink_wait: false,
             l2_miss_events: 0,
@@ -290,6 +301,8 @@ impl<W: Workload> Core<W> {
             last_target: 0,
             level_changed: false,
             ff_cycles: 0,
+            stepped_cycles: 0,
+            wake_hist: [0; WakeSource::COUNT],
             interval_last_insts: 0,
             #[cfg(feature = "trace")]
             tracer,
@@ -513,6 +526,7 @@ impl<W: Workload> Core<W> {
     /// Simulates one clock cycle.
     pub fn step(&mut self) {
         self.now += 1;
+        self.stepped_cycles += 1;
         let now = self.now;
         self.fu.begin_cycle(now);
         if self.episode.is_some_and(|e| now >= e.end_at) {
@@ -573,13 +587,14 @@ impl<W: Workload> Core<W> {
     /// skipped cycles are charged in bulk to the same counters single
     /// stepping would have charged.
     ///
-    /// The next-event bound is the `min` of every way the state can next
-    /// change or an observer could next look: pending-operand and
-    /// completion heap heads, the runahead episode end, the allocation
-    /// stall's expiry, fetch's own resume time, the policy's quiet
-    /// horizon, the interval-series epoch boundary, and the watchdog /
-    /// deadline trip points (so errors fire on the identical cycle).
-    /// The event cycle itself is always executed as a real step.
+    /// The next-event bound comes from [`next_wake`](Core::next_wake) —
+    /// the typed plan over every wake-up source: the two calendar
+    /// queues' heads, the runahead episode end, the allocation stall's
+    /// expiry, fetch's own resume time, the policy's quiet horizon, the
+    /// interval/snapshot epoch boundaries, the watchdog / deadline trip
+    /// points (so errors fire on the identical cycle), and — in
+    /// event-driven mode — the memory system's own event horizon. The
+    /// event cycle itself is always executed as a real step.
     fn stall_fast_forward(&mut self) {
         if !self.cfg.fast_forward
             || self.cycle_dispatched > 0
@@ -620,62 +635,27 @@ impl<W: Workload> Core<W> {
             return; // policy did not opt in (or changes next cycle)
         }
 
-        let mut next = front_quiet
-            .min(policy_quiet)
-            .min(self.last_commit_cycle + self.cfg.watchdog_cycles)
-            .min(self.deadline_at);
-        if let Some(&Reverse((t, _))) = self.pending_ready.peek() {
-            next = next.min(t);
-        }
-        if let Some(&Reverse((t, _))) = self.completions.peek() {
-            next = next.min(t);
-        }
-        if let Some(ep) = &self.episode {
-            next = next.min(ep.end_at);
-        }
-        if self.alloc_stall_until > now {
-            // The block kind flips from Transition to whatever is behind
-            // it when the stall expires: re-evaluate there.
-            next = next.min(self.alloc_stall_until);
-        }
-        if block == DispatchBlock::FetchEmpty {
-            // A queued-but-undecoded head becoming ready, or recovery
-            // ending (which re-buckets FetchEmpty cycles), ends the
-            // replay.
-            if let Some(t) = self.front.head_ready_at() {
-                next = next.min(t);
-            }
-            let recovery = self.front.recovery_until();
-            if recovery > now {
-                next = next.min(recovery);
-            }
-        }
-        if let Some(epoch) = self.cfg.interval_cycles {
-            // Interval samples must be taken by a real step at the
-            // boundary (stats.cycles and now advance in lockstep).
-            next = next.min(now + (epoch - self.stats.cycles % epoch));
-        }
         if let Some(cadence) = self.cfg.snapshot_cycles {
-            // Snapshot points must land on step boundaries. Keyed on the
+            // Snapshot points must land on step boundaries, keyed on the
             // config alone — not on whether a sink is installed — so a
             // snapshotting run and a plain run of the same spec take
-            // identical steps.
+            // identical steps. If this very step landed on a cadence
+            // point, its snapshot is still pending in `maybe_snapshot`
+            // (which runs after the step returns): coasting onward now
+            // would leave the boundary unobservable, losing the snapshot
+            // and breaking interval-paused execution (`run_to_cycle`).
+            // Results are unaffected either way — skips never change
+            // what the machine computes — so declining costs only the
+            // one coast opportunity.
             if self.stats.cycles.is_multiple_of(cadence) {
-                // This very step landed on a cadence point whose
-                // snapshot is still pending in `maybe_snapshot` (which
-                // runs after the step returns): coasting onward now
-                // would leave the boundary unobservable, losing the
-                // snapshot and breaking interval-paused execution
-                // (`run_to_cycle`). Results are unaffected either way —
-                // skips never change what the machine computes — so
-                // declining costs only the one coast opportunity.
                 return;
             }
-            next = next.min(now + (cadence - self.stats.cycles % cadence));
         }
+        let (next, source) = self.next_wake(now, block, front_quiet, policy_quiet);
         if next <= now + 1 {
             return;
         }
+        self.wake_hist[source.index()] += 1;
 
         let skipped = next - now - 1;
         self.now += skipped;
@@ -696,10 +676,117 @@ impl<W: Workload> Core<W> {
         }
     }
 
+    /// The unified wake plan: the earliest future cycle at which any
+    /// wake-up source could change the machine's course (or an observer
+    /// could next look), typed by which source binds. Both scheduling
+    /// modes compute their skip bound here — the stepped fast-forward
+    /// and the event-driven loop share one source of truth instead of
+    /// each re-scanning the state ad hoc.
+    ///
+    /// The per-instruction sources are the two calendar queues' heads;
+    /// the rest are scalar horizons folded in directly (posting them as
+    /// queue entries would mean cancel/reschedule churn every time one
+    /// moves, for no gain — the fold *is* the pop). In event-driven mode
+    /// the memory system's [`next_event_at`](MemSystem::next_event_at)
+    /// contract joins the plan, so in-flight fills the core holds no
+    /// completion event for (prefetches, wrong-path orphans) wake the
+    /// machine instead of being polled; that bound can only shorten a
+    /// skip, which the fast-forward's stats-neutrality makes invisible
+    /// in results.
+    fn next_wake(
+        &self,
+        now: Cycle,
+        block: DispatchBlock,
+        front_quiet: Cycle,
+        policy_quiet: Cycle,
+    ) -> (Cycle, WakeSource) {
+        let mut next = front_quiet;
+        let mut source = WakeSource::FrontEnd;
+        let mut fold = |t: Cycle, s: WakeSource| {
+            if t < next {
+                next = t;
+                source = s;
+            }
+        };
+        fold(policy_quiet, WakeSource::PolicyQuiet);
+        fold(
+            self.last_commit_cycle + self.cfg.watchdog_cycles,
+            WakeSource::Watchdog,
+        );
+        fold(self.deadline_at, WakeSource::Deadline);
+        if let Some(t) = self.pending_ready.next_time() {
+            fold(t, WakeSource::OperandReady);
+        }
+        if let Some(t) = self.completions.next_time() {
+            fold(t, WakeSource::Completion);
+        }
+        if self.cfg.event_driven {
+            if let Some(t) = self.mem.next_event_at(now) {
+                fold(t, WakeSource::MemSystem);
+            }
+        }
+        if let Some(ep) = &self.episode {
+            fold(ep.end_at, WakeSource::EpisodeEnd);
+        }
+        if self.alloc_stall_until > now {
+            // The block kind flips from Transition to whatever is behind
+            // it when the stall expires: re-evaluate there.
+            fold(self.alloc_stall_until, WakeSource::AllocStall);
+        }
+        if block == DispatchBlock::FetchEmpty {
+            // A queued-but-undecoded head becoming ready, or recovery
+            // ending (which re-buckets FetchEmpty cycles), ends the
+            // replay.
+            if let Some(t) = self.front.head_ready_at() {
+                fold(t, WakeSource::FrontEnd);
+            }
+            let recovery = self.front.recovery_until();
+            if recovery > now {
+                fold(recovery, WakeSource::FrontEnd);
+            }
+        }
+        if let Some(epoch) = self.cfg.interval_cycles {
+            // Interval samples must be taken by a real step at the
+            // boundary (stats.cycles and now advance in lockstep).
+            fold(
+                now + (epoch - self.stats.cycles % epoch),
+                WakeSource::IntervalEpoch,
+            );
+        }
+        if let Some(cadence) = self.cfg.snapshot_cycles {
+            fold(
+                now + (cadence - self.stats.cycles % cadence),
+                WakeSource::SnapshotCadence,
+            );
+        }
+        (next, source)
+    }
+
     /// Cycles elided by the stall fast-forward (0 when disabled) — a
     /// host-performance diagnostic, not part of [`CoreStats`].
     pub fn fast_forwarded_cycles(&self) -> u64 {
         self.ff_cycles
+    }
+
+    /// Event-engine telemetry: calendar-queue traffic and the
+    /// skipped-versus-stepped cycle split over the core's lifetime
+    /// (warm-up included). Host-side diagnostics, deliberately outside
+    /// [`CoreStats`] and the snapshot image — like `ff_cycles` — so A/B
+    /// runs across scheduling modes stay bit-identical in results.
+    pub fn engine_counters(&self) -> EngineCounters {
+        EngineCounters {
+            events_posted: self.pending_ready.posted() + self.completions.posted(),
+            events_popped: self.pending_ready.popped() + self.completions.popped(),
+            skipped_cycles: self.ff_cycles,
+            stepped_cycles: self.stepped_cycles,
+        }
+    }
+
+    /// How many coasts each wake-up source ended (indexed by
+    /// [`WakeSource::index`]) — host-side telemetry like
+    /// [`engine_counters`](Core::engine_counters).
+    pub fn wake_histogram(&self) -> &[u64; WakeSource::COUNT] {
+        &self.wake_hist
     }
 
     // ------------------------------------------------------ observability
@@ -852,7 +939,7 @@ impl<W: Workload> Core<W> {
     /// microarchitectural — into a flat byte image.
     ///
     /// Captured: the cycle clock, ROB/IQ/LSQ contents, rename map, FU
-    /// pools, scheduler event heaps, runahead episode and tables, the
+    /// pools, scheduler event wheels, runahead episode and tables, the
     /// front end (including the workload generator's RNG and phase
     /// cursor), branch predictor, memory hierarchy (caches, MSHRs, DRAM
     /// queues), window-policy state, every statistics accumulator, and
@@ -893,20 +980,17 @@ impl<W: Workload> Core<W> {
         self.lsq.save_state(w);
         self.rename.save_state(w);
         self.fu.save_state(w);
-        // Heaps travel as sorted (time, seq) pairs: heap iteration order
-        // is arbitrary, and the image must be deterministic.
-        let mut pending: Vec<(Cycle, DynSeq)> =
-            self.pending_ready.iter().map(|Reverse(p)| *p).collect();
-        pending.sort_unstable();
+        // The event wheels travel as sorted (time, seq) pairs — the
+        // representation-free form the heap-based scheduler also wrote,
+        // so images are interchangeable across scheduler generations.
+        let pending = self.pending_ready.sorted_events();
         w.put_seq(pending.iter(), |w, &(t, s)| {
             w.put_u64(t);
             w.put_u64(s);
         });
         self.ready.save_state(w);
         w.put_seq(self.blocked_loads.iter(), |w, &s| w.put_u64(s));
-        let mut completions: Vec<(Cycle, DynSeq)> =
-            self.completions.iter().map(|Reverse(p)| *p).collect();
-        completions.sort_unstable();
+        let completions = self.completions.sorted_events();
         w.put_seq(completions.iter(), |w, &(t, s)| {
             w.put_u64(t);
             w.put_u64(s);
@@ -971,17 +1055,26 @@ impl<W: Workload> Core<W> {
         self.lsq.load_state(r)?;
         self.rename.load_state(r)?;
         self.fu.load_state(r)?;
+        // Snapshots are taken at step boundaries, where every queued
+        // event is strictly in the future — so the restored wheels'
+        // windows start at the cycle after the restored clock. An event
+        // at or below the clock means a corrupt image.
         let pending = r.get_seq(|r| Ok((r.get_u64()?, r.get_u64()?)))?;
-        self.pending_ready.clear();
-        self.pending_ready.extend(pending.into_iter().map(Reverse));
+        if !self.pending_ready.restore(self.now + 1, &pending) {
+            return Err(SnapError::Mismatch {
+                what: "pending-ready event versus clock",
+            });
+        }
         self.ready.load_state(r)?;
         let blocked = r.get_u64_vec()?;
         self.blocked_loads.clear();
         self.blocked_loads.extend(blocked);
         let completions = r.get_seq(|r| Ok((r.get_u64()?, r.get_u64()?)))?;
-        self.completions.clear();
-        self.completions
-            .extend(completions.into_iter().map(Reverse));
+        if !self.completions.restore(self.now + 1, &completions) {
+            return Err(SnapError::Mismatch {
+                what: "completion event versus clock",
+            });
+        }
         self.alloc_stall_until = r.get_u64()?;
         self.shrink_wait = r.get_bool()?;
         self.l2_miss_events = r.get_u32()?;
@@ -1094,7 +1187,7 @@ impl<W: Workload> Core<W> {
             if changed && d.unresolved_srcs == 0 {
                 let rt = d.src_ready[0].max(d.src_ready[1]).max(d.fetched_at + 1);
                 d.ready_time = rt;
-                self.pending_ready.push(Reverse((rt, w)));
+                self.pending_ready.post(rt, w);
             }
         }
         self.rob[p_idx].waiters = waiters;
@@ -1103,11 +1196,7 @@ impl<W: Workload> Core<W> {
     // ---------------------------------------------------------- writeback
 
     fn writeback(&mut self, now: Cycle) {
-        while let Some(&Reverse((t, seq))) = self.completions.peek() {
-            if t > now {
-                break;
-            }
-            self.completions.pop();
+        while let Some((t, seq)) = self.completions.pop_due(now) {
             let Some(i) = self.rob_idx(seq) else { continue };
             let d = &mut self.rob[i];
             if d.completed || d.complete_at != t {
@@ -1475,11 +1564,7 @@ impl<W: Workload> Core<W> {
         self.issue_quiesced = true;
 
         // Promote instructions whose operands have arrived.
-        while let Some(&Reverse((t, seq))) = self.pending_ready.peek() {
-            if t > now {
-                break;
-            }
-            self.pending_ready.pop();
+        while let Some((t, seq)) = self.pending_ready.pop_due(now) {
             if let Some(i) = self.rob_idx(seq) {
                 let d = &self.rob[i];
                 if !d.issued && d.unresolved_srcs == 0 && d.ready_time == t {
@@ -1549,8 +1634,7 @@ impl<W: Workload> Core<W> {
                         d.mem_state = MemState::Issued;
                         d.value_ready_at = now + depth.max(2) as Cycle;
                         d.complete_at = d.value_ready_at;
-                        self.completions
-                            .push(Reverse((now + depth.max(2) as Cycle, seq)));
+                        self.completions.post(now + depth.max(2) as Cycle, seq);
                         self.notify_waiters(seq);
                         issued += 1;
                         continue;
@@ -1594,7 +1678,7 @@ impl<W: Workload> Core<W> {
                     d.inv = d.src_inv[0] || d.src_inv[1];
                     d.mem_state = MemState::Issued;
                     d.complete_at = now + 1;
-                    self.completions.push(Reverse((now + 1, seq)));
+                    self.completions.post(now + 1, seq);
                     issued += 1;
                 }
                 _ => {
@@ -1610,8 +1694,7 @@ impl<W: Workload> Core<W> {
                     d.inv = d.src_inv[0] || d.src_inv[1];
                     d.value_ready_at = now + latency.max(depth) as Cycle;
                     d.complete_at = now + latency as Cycle;
-                    self.completions
-                        .push(Reverse((now + latency as Cycle, seq)));
+                    self.completions.post(now + latency as Cycle, seq);
                     self.notify_waiters(seq);
                     issued += 1;
                 }
@@ -1691,7 +1774,7 @@ impl<W: Workload> Core<W> {
         d.value_ready_at = value_ready.max(now + depth);
         d.complete_at = d.value_ready_at;
         let complete_at = d.complete_at;
-        self.completions.push(Reverse((complete_at, seq)));
+        self.completions.post(complete_at, seq);
         self.notify_waiters(seq);
     }
 
@@ -1854,7 +1937,7 @@ impl<W: Workload> Core<W> {
         if d.unresolved_srcs == 0 {
             let rt = d.src_ready[0].max(d.src_ready[1]).max(now + 1);
             d.ready_time = rt;
-            self.pending_ready.push(Reverse((rt, seq)));
+            self.pending_ready.post(rt, seq);
         }
         self.rob.push_back(d);
     }

@@ -83,6 +83,7 @@ pub mod config;
 #[allow(clippy::module_inception)]
 pub mod core;
 pub mod error;
+pub mod events;
 pub mod frontend;
 pub mod fu;
 pub mod lsq;
@@ -99,6 +100,7 @@ pub use config::{
 };
 pub use core::Core;
 pub use error::{PipelineError, StallSnapshot};
+pub use events::{EngineCounters, EventWheel, WakeSource};
 pub use policy::{FixedLevelPolicy, WindowPolicy};
 pub use ready::ReadyRing;
 pub use stats::{CoreStats, CpiBucket, DeltaError, IntervalSample, StatsDelta, CPI_BUCKETS};

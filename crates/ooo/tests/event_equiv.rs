@@ -1,0 +1,239 @@
+//! Event-driven scheduling equivalence: folding the memory system's
+//! `next_event_at` bound into the core's wake plan is a pure
+//! performance optimisation, so every observable statistic must be
+//! bit-identical with `event_driven` on and off — on every registered
+//! profile (the Table 3 roster and the software-MLP extensions), at
+//! every window shape, with runahead enabled, and across the
+//! snapshot/resume boundary. Snapshot *bytes* are part of the contract:
+//! a paused run must serialize identically under both engines, and an
+//! image taken under one engine must resume bit-identically under the
+//! other, so interval-split and campaign paths may mix engines freely.
+
+use mlpwin_isa::Cycle;
+use mlpwin_ooo::{Core, CoreConfig, CoreStats, FixedLevelPolicy, WakeSource, WindowPolicy};
+use mlpwin_workloads::profiles;
+
+/// Every profile the registry resolves: Table 3 roster plus the
+/// software-MLP extensions.
+fn all_names() -> Vec<&'static str> {
+    let mut names = profiles::names();
+    names.extend(profiles::software_mlp_names());
+    names
+}
+
+/// Runs one profile to completion twice — event-driven on and off —
+/// and returns both final stats.
+fn run_pair(
+    name: &str,
+    cfg: &CoreConfig,
+    make_policy: &dyn Fn() -> Box<dyn WindowPolicy>,
+    warmup: u64,
+    insts: u64,
+) -> (CoreStats, CoreStats) {
+    let run_one = |event_driven: bool| {
+        let cfg = CoreConfig {
+            event_driven,
+            ..cfg.clone()
+        };
+        let w = profiles::by_name(name, 7).expect("profile exists");
+        let mut core = Core::new(cfg, w, make_policy());
+        core.run_warmup(warmup).expect("warm-up must not stall");
+        core.run(insts).expect("healthy profile must not stall")
+    };
+    (run_one(true), run_one(false))
+}
+
+/// Field-by-field bit-identity, so a mismatch names the first field
+/// that diverged instead of dumping two whole structs.
+fn assert_identical(name: &str, event: &CoreStats, stepped: &CoreStats) {
+    assert_eq!(event.cycles, stepped.cycles, "{name}: cycles");
+    assert_eq!(
+        event.committed_insts, stepped.committed_insts,
+        "{name}: committed_insts"
+    );
+    assert_eq!(
+        event.level_cycles, stepped.level_cycles,
+        "{name}: level_cycles"
+    );
+    assert_eq!(event.cpi_stack, stepped.cpi_stack, "{name}: cpi_stack");
+    for (i, (e, s)) in event.intervals.iter().zip(&stepped.intervals).enumerate() {
+        assert_eq!(e, s, "{name}: interval sample {i}");
+    }
+    assert_eq!(event, stepped, "{name}: full CoreStats");
+}
+
+fn fixed(level: usize) -> Box<dyn Fn() -> Box<dyn WindowPolicy>> {
+    Box::new(move || Box::new(FixedLevelPolicy::new(level)))
+}
+
+#[test]
+fn every_profile_is_bit_identical_at_level_1() {
+    let cfg = CoreConfig {
+        interval_cycles: Some(512),
+        ..CoreConfig::default()
+    };
+    for name in all_names() {
+        let (event, stepped) = run_pair(name, &cfg, &fixed(0), 3_000, 4_000);
+        assert_identical(name, &event, &stepped);
+    }
+}
+
+#[test]
+fn every_profile_is_bit_identical_at_table2_level_3() {
+    let cfg = CoreConfig {
+        interval_cycles: Some(777),
+        ..CoreConfig::with_table2_levels()
+    };
+    for name in all_names() {
+        let (event, stepped) = run_pair(name, &cfg, &fixed(2), 2_000, 3_000);
+        assert_identical(name, &event, &stepped);
+    }
+}
+
+#[test]
+fn runahead_runs_are_bit_identical() {
+    let cfg = CoreConfig {
+        runahead: Some(mlpwin_ooo::RunaheadOpts::default()),
+        interval_cycles: Some(600),
+        ..CoreConfig::default()
+    };
+    for name in ["libquantum", "mcf", "milc", "chase-batch"] {
+        let (event, stepped) = run_pair(name, &cfg, &fixed(0), 5_000, 8_000);
+        assert_identical(name, &event, &stepped);
+        assert!(
+            event.runahead_episodes > 0,
+            "{name}: runahead must actually trigger"
+        );
+    }
+}
+
+/// A policy that alternates between the top level and level 0 on a
+/// fixed period, thrashing the transition machinery, while exposing the
+/// next flip as its quiet horizon.
+struct OscillatingPolicy {
+    period: Cycle,
+}
+
+impl WindowPolicy for OscillatingPolicy {
+    fn target_level(
+        &mut self,
+        now: Cycle,
+        _l2_demand_misses: u32,
+        _current_level: usize,
+        max_level: usize,
+    ) -> usize {
+        if (now / self.period).is_multiple_of(2) {
+            max_level
+        } else {
+            0
+        }
+    }
+
+    fn quiet_until(&self, now: Cycle, _current_level: usize) -> Cycle {
+        (now / self.period + 1) * self.period
+    }
+}
+
+#[test]
+fn oscillating_policy_is_bit_identical_through_transitions() {
+    let cfg = CoreConfig {
+        interval_cycles: Some(400),
+        ..CoreConfig::with_table2_levels()
+    };
+    let make =
+        |period: Cycle| move || Box::new(OscillatingPolicy { period }) as Box<dyn WindowPolicy>;
+    for (name, period) in [("libquantum", 200), ("hash-probe", 331), ("gcc", 250)] {
+        let (event, stepped) = run_pair(name, &cfg, &make(period), 4_000, 12_000);
+        assert_identical(name, &event, &stepped);
+        assert!(
+            event.transitions_up > 0 && event.transitions_down > 0,
+            "{name}: oscillation must exercise the transition machinery"
+        );
+    }
+}
+
+#[test]
+fn snapshot_bytes_match_and_resume_crosses_engines() {
+    // A run paused at the same cadence boundary must serialize to the
+    // same bytes under both engines, and an image taken under one
+    // engine must resume bit-identically under the other — the property
+    // the interval-split sweep and campaign resume paths rely on.
+    // `snapshot_cycles` pins pauses to exact boundaries (the coast at
+    // the tail of a boundary step is declined), exactly how the split
+    // runner's `build_core` configures interval-paused execution.
+    let cfg = |event_driven: bool| CoreConfig {
+        interval_cycles: Some(512),
+        snapshot_cycles: Some(512),
+        event_driven,
+        ..CoreConfig::default()
+    };
+    for name in ["mcf", "chase-batch"] {
+        let policy = || Box::new(FixedLevelPolicy::new(0)) as Box<dyn WindowPolicy>;
+        let reference = {
+            let w = profiles::by_name(name, 7).expect("profile exists");
+            let mut core = Core::new(cfg(false), w, policy());
+            core.run_warmup(3_000).expect("warm-up");
+            core.run(6_000).expect("healthy run")
+        };
+        let paused = |event_driven: bool| {
+            let w = profiles::by_name(name, 7).expect("profile exists");
+            let mut core = Core::new(cfg(event_driven), w, policy());
+            core.run_warmup(3_000).expect("warm-up");
+            core.arm_run(6_000);
+            let done = core.run_to_cycle(1_024).expect("drive to boundary");
+            assert!(!done, "{name}: must pause before the commit target");
+            assert_eq!(core.stats().cycles, 1_024, "{name}: paused off-boundary");
+            core.snapshot()
+        };
+        let stepped_image = paused(false);
+        let event_image = paused(true);
+        assert_eq!(
+            stepped_image, event_image,
+            "{name}: snapshot bytes must not depend on the engine"
+        );
+        for (resume_event, image) in [(true, &stepped_image), (false, &event_image)] {
+            let w = profiles::by_name(name, 7).expect("profile exists");
+            let mut core = Core::new(cfg(resume_event), w, policy());
+            core.restore(image).expect("image restores");
+            let done = core.run_to_cycle(Cycle::MAX).expect("drive to completion");
+            assert!(done, "{name}: resumed run reaches its commit target");
+            assert_identical(name, core.stats(), &reference);
+        }
+    }
+}
+
+#[test]
+fn software_mlp_profiles_live_in_the_sparse_event_regime() {
+    // The Cimple-style kernels exist to exercise long quiet stretches
+    // punctuated by bursts of independent fills: the event engine must
+    // advance most of their cycles in bulk, and the wake histogram must
+    // attribute the coasts to real sources.
+    for name in profiles::software_mlp_names() {
+        let cfg = CoreConfig {
+            event_driven: true,
+            ..CoreConfig::default()
+        };
+        let w = profiles::by_name(name, 7).expect("profile exists");
+        let mut core = Core::new(cfg, w, Box::new(FixedLevelPolicy::new(0)));
+        core.run_warmup(5_000).expect("warm-up");
+        let stats = core.run(8_000).expect("healthy run");
+        let engine = core.engine_counters();
+        assert!(
+            engine.skip_fraction() > 0.5,
+            "{name}: only {:.0}% of cycles were bulk-advanced",
+            engine.skip_fraction() * 100.0
+        );
+        assert!(
+            engine.events_posted > 0 && engine.events_popped > 0,
+            "{name}"
+        );
+        let woken: u64 = core.wake_histogram().iter().sum();
+        assert!(woken > 0, "{name}: no coasts attributed to a wake source");
+        assert!(
+            stats.cycles > stats.committed_insts / 4,
+            "{name}: not memory-bound enough to exercise the regime"
+        );
+        // The histogram is indexable by source for diagnostics.
+        let _ = core.wake_histogram()[WakeSource::MemSystem.index()];
+    }
+}

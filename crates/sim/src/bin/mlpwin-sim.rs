@@ -129,6 +129,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            // Engine telemetry for the supervisor's stdout reader — must
+            // precede `done`, which stays the final line of a clean run.
+            println!(
+                "eng posted={} popped={} skipped={} stepped={}",
+                result.engine.events_posted,
+                result.engine.events_popped,
+                result.engine.skipped_cycles,
+                result.engine.stepped_cycles
+            );
             println!(
                 "done profile={} model={} cycles={} insts={} ipc={:.4}",
                 args.spec.profile,

@@ -34,6 +34,7 @@ pub struct Progress {
     retried: usize,
     sim_insts: u64,
     sim_cycles: u64,
+    skipped_cycles: u64,
     epoch: usize,
     window: VecDeque<f64>,
     campaign: Option<CampaignSnapshot>,
@@ -56,6 +57,7 @@ impl Progress {
             retried: 0,
             sim_insts: 0,
             sim_cycles: 0,
+            skipped_cycles: 0,
             epoch: epoch.max(1),
             window: VecDeque::with_capacity(ETA_WINDOW),
             campaign: None,
@@ -99,6 +101,22 @@ impl Progress {
         self.window.push_back(now);
         let due = self.completed.is_multiple_of(self.epoch) || self.completed == self.total;
         due.then(|| self.line(now))
+    }
+
+    /// Adds cycles the scheduler's wake plan advanced in bulk (from a
+    /// finished spec's engine counters). Once any have landed, rendered
+    /// lines carry a `skip NN%` segment; campaigns whose engines report
+    /// nothing keep the historical line format.
+    pub fn add_skipped(&mut self, skipped: u64) {
+        self.skipped_cycles += skipped;
+    }
+
+    /// Fraction of aggregate simulated cycles advanced in bulk, 0..=1.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.sim_cycles == 0 {
+            return 0.0;
+        }
+        self.skipped_cycles as f64 / self.sim_cycles as f64
     }
 
     /// Aggregate simulated throughput so far, in million instructions
@@ -154,8 +172,13 @@ impl Progress {
             ),
             None => String::new(),
         };
+        let skip = if self.skipped_cycles > 0 {
+            format!(" | skip {:.0}%", self.skip_fraction() * 100.0)
+        } else {
+            String::new()
+        };
         format!(
-            "[mlpwin] {}/{} specs ({} failed, {} retried) | {:.1} kcyc/s | {:.3} MIPS | {eta}{campaign}",
+            "[mlpwin] {}/{} specs ({} failed, {} retried) | {:.1} kcyc/s | {:.3} MIPS | {eta}{skip}{campaign}",
             self.completed,
             self.total,
             self.failed,
@@ -266,6 +289,19 @@ mod tests {
         });
         let line = p.record(2.0, true, 1, 0, 0).expect("epoch 2");
         assert!(line.contains("q=4 leased=2 cache 50%"), "{line}");
+    }
+
+    #[test]
+    fn skip_segment_appears_only_when_cycles_were_skipped() {
+        let mut p = Progress::with_epoch(2, 1);
+        let line = p.record(1.0, true, 1, 1_000, 10_000).expect("epoch 1");
+        assert!(!line.contains("skip"), "no skips recorded yet: {line}");
+        assert_eq!(p.skip_fraction(), 0.0);
+        // 17k of the 20k aggregate cycles were bulk-skipped: 85%.
+        p.add_skipped(17_000);
+        let line = p.record(2.0, true, 1, 1_000, 10_000).expect("epoch 2");
+        assert!(line.contains("| skip 85%"), "{line}");
+        assert!((p.skip_fraction() - 0.85).abs() < 1e-9);
     }
 
     #[test]

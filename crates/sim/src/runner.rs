@@ -21,7 +21,7 @@ use mlpwin_branch::PredictorStats;
 use mlpwin_energy::RunCounters;
 use mlpwin_isa::Cycle;
 use mlpwin_memsys::ProvenanceStats;
-use mlpwin_ooo::{Core, CoreConfig, CoreStats, LevelSpec, WindowPolicy};
+use mlpwin_ooo::{Core, CoreConfig, CoreStats, EngineCounters, LevelSpec, WindowPolicy};
 use mlpwin_workloads::{profiles, Category, FaultyWorkload, Workload};
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -57,6 +57,16 @@ pub const METRIC_RUN_KCPS: &str = "mlpwin_run_kcps";
 /// Gauge: the latest run's measured phase in million simulated
 /// instructions per wall-clock second.
 pub const METRIC_RUN_MIPS: &str = "mlpwin_run_mips";
+/// Counter of wake events posted into the core's scheduler wheels.
+pub const METRIC_EVENTS_POSTED: &str = "mlpwin_events_posted_total";
+/// Counter of wake events popped from the core's scheduler wheels.
+pub const METRIC_EVENTS_POPPED: &str = "mlpwin_events_popped_total";
+/// Counter of cycles the wake plan advanced in bulk instead of stepping.
+pub const METRIC_CYCLES_SKIPPED: &str = "mlpwin_cycles_skipped_total";
+/// Counter of cycles executed as real pipeline steps.
+pub const METRIC_CYCLES_STEPPED: &str = "mlpwin_cycles_stepped_total";
+/// Gauge: the latest run's fraction of cycles advanced in bulk, 0..=1.
+pub const METRIC_SKIP_FRACTION: &str = "mlpwin_skip_fraction";
 
 /// A deliberately injected failure, for testing the harness's own
 /// recovery paths (see `DESIGN.md` §"Error handling").
@@ -163,7 +173,14 @@ impl RunSpec {
 }
 
 /// Everything a finished run reports.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality covers every *result* field but not [`engine`]
+/// (RunResult::engine): that is host-side scheduler telemetry, and two
+/// runs of one spec are "the same result" exactly when every simulated
+/// statistic matches — however their skip schedules differed. This is
+/// what lets journal round-trips, the split stitcher, and A/B
+/// comparisons across scheduling modes assert full-struct identity.
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// The spec that produced this result.
     pub spec: RunSpec,
@@ -187,6 +204,30 @@ pub struct RunResult {
     pub avg_load_latency: f64,
     /// The level ladder the model ran with (for energy weighting).
     pub levels: Vec<LevelSpec>,
+    /// Scheduler event-engine telemetry (posts, pops, skipped versus
+    /// stepped cycles). Host-side only: deliberately excluded from the
+    /// journal codec, because the skip schedule legitimately differs
+    /// between the stepped and event-driven executions of the same spec
+    /// while every journaled field stays bit-identical. Zero for results
+    /// decoded from a journal.
+    pub engine: EngineCounters,
+}
+
+impl PartialEq for RunResult {
+    fn eq(&self, other: &RunResult) -> bool {
+        // `engine` deliberately omitted — see the struct doc.
+        self.spec == other.spec
+            && self.category == other.category
+            && self.stats == other.stats
+            && self.predictor == other.predictor
+            && self.provenance == other.provenance
+            && self.l2_miss_cycles == other.l2_miss_cycles
+            && self.l1_accesses == other.l1_accesses
+            && self.l2_accesses == other.l2_accesses
+            && self.dram_lines == other.dram_lines
+            && self.avg_load_latency.to_bits() == other.avg_load_latency.to_bits()
+            && self.levels == other.levels
+    }
 }
 
 impl RunResult {
@@ -347,6 +388,14 @@ pub(crate) fn apply_spec_overrides(config: &mut CoreConfig, spec: &RunSpec) {
     if std::env::var_os("MLPWIN_NO_FAST_FORWARD").is_some() {
         config.fast_forward = false;
     }
+    // Event-driven scheduling: fold the memory system's next_event_at
+    // bound into the core's wake plan. Same bit-identical contract as
+    // the fast-forward switch (the event-equivalence suites assert it),
+    // and env-only for the same reason: journal lines and spec hashes
+    // must not depend on which engine executed the spec.
+    if std::env::var_os("MLPWIN_EVENT_DRIVEN").is_some() {
+        config.event_driven = true;
+    }
     if let Some(cycles) = spec.watchdog_cycles {
         config.watchdog_cycles = cycles;
     }
@@ -410,6 +459,12 @@ pub(crate) fn collect_result<W: Workload>(
         metrics::gauge_set(METRIC_RUN_KCPS, stats.cycles as f64 / 1e3 / secs);
         metrics::gauge_set(METRIC_RUN_MIPS, stats.committed_insts as f64 / 1e6 / secs);
     }
+    let engine = core.engine_counters();
+    metrics::counter_add(METRIC_EVENTS_POSTED, engine.events_posted);
+    metrics::counter_add(METRIC_EVENTS_POPPED, engine.events_popped);
+    metrics::counter_add(METRIC_CYCLES_SKIPPED, engine.skipped_cycles);
+    metrics::counter_add(METRIC_CYCLES_STEPPED, engine.stepped_cycles);
+    metrics::gauge_set(METRIC_SKIP_FRACTION, engine.skip_fraction());
     core.mem_mut().finalize();
     // Publish this run's shard; with telemetry off the shard is empty
     // and this is a single thread-local branch.
@@ -430,6 +485,7 @@ pub(crate) fn collect_result<W: Workload>(
         avg_load_latency: stats.avg_load_latency(),
         levels,
         stats,
+        engine,
     }
 }
 
@@ -722,9 +778,13 @@ pub fn run_matrix_with(
                     let Some(&i) = remaining.get(k) else { break };
                     let (outcome, attempts) =
                         run_with_retries(&specs[i], config.max_attempts, config.snapshots.as_ref());
-                    let (insts, cycles) = outcome
-                        .result()
-                        .map_or((0, 0), |r| (r.stats.committed_insts, r.stats.cycles));
+                    let (insts, cycles, skipped) = outcome.result().map_or((0, 0, 0), |r| {
+                        (
+                            r.stats.committed_insts,
+                            r.stats.cycles,
+                            r.engine.skipped_cycles,
+                        )
+                    });
                     match &outcome {
                         RunOutcome::Ok(_) => metrics::counter_add(METRIC_SPECS_COMPLETED, 1),
                         RunOutcome::Failed { .. } => metrics::counter_add(METRIC_SPECS_FAILED, 1),
@@ -758,7 +818,9 @@ pub fn run_matrix_with(
                     }
                     metrics::flush();
                     if let Some(progress) = progress {
-                        let line = progress.lock().expect("progress poisoned").record(
+                        let mut progress = progress.lock().expect("progress poisoned");
+                        progress.add_skipped(skipped);
+                        let line = progress.record(
                             started.elapsed().as_secs_f64(),
                             outcome.is_ok(),
                             attempts,

@@ -306,7 +306,7 @@ impl Campaign {
 
     /// Records one terminal job into the shared progress state and
     /// mirrors the line to stderr when enabled.
-    fn record_progress(&self, ok: bool, attempts: u32, insts: u64, cycles: u64) {
+    fn record_progress(&self, ok: bool, attempts: u32, insts: u64, cycles: u64, skipped: u64) {
         let snapshot = {
             let queue = self.queue.lock().expect("queue poisoned");
             let report = CampaignReport::tally(&queue);
@@ -332,6 +332,7 @@ impl Campaign {
         let now = self.started.elapsed().as_secs_f64();
         let mut progress = self.progress.lock().expect("progress poisoned");
         progress.set_campaign(snapshot);
+        progress.add_skipped(skipped);
         if let Some(line) = progress.record(now, ok, attempts, insts, cycles) {
             if self.show_progress {
                 eprintln!("{line}");
@@ -883,7 +884,7 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
                             cached: true,
                         },
                     );
-                    campaign.record_progress(true, attempts_of(campaign, job.id), 0, 0);
+                    campaign.record_progress(true, attempts_of(campaign, job.id), 0, 0, 0);
                 }
                 Ok(false) => {}
                 Err(e) => {
@@ -894,13 +895,17 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
             continue;
         }
 
-        let end = supervisor_for(campaign, cfg, job.id).supervise_once(&job.spec);
+        let supervisor = supervisor_for(campaign, cfg, job.id);
+        let end = supervisor.supervise_once(&job.spec);
+        // Engine telemetry the worker reported on its way out (zero when
+        // it died before printing the `eng` line).
+        let engine_skipped = supervisor.last_engine().map_or(0, |e| e.skipped_cycles);
         metrics::flush();
         // Settle under the queue lock, remembering what to report (the
         // event log may be taken while holding the queue; flight dumps
         // and progress lines wait until the guard drops).
         let mut dump_reason: Option<String> = None;
-        let mut progress_note: Option<(bool, u64, u64)> = None;
+        let mut progress_note: Option<(bool, u64, u64, u64)> = None;
         let settled: Result<(), SimError> = {
             let mut queue = campaign.queue.lock().expect("queue poisoned");
             let now = campaign.now_ms();
@@ -929,6 +934,7 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
                                         true,
                                         result.stats.committed_insts,
                                         result.stats.cycles,
+                                        engine_skipped,
                                     ));
                                     Ok(())
                                 }
@@ -984,7 +990,7 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
                                 detail,
                             },
                         );
-                        progress_note = Some((false, 0, 0));
+                        progress_note = Some((false, 0, 0, 0));
                         failed
                     } else {
                         Ok(())
@@ -1023,8 +1029,8 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
         if let Some(reason) = dump_reason {
             campaign.dump_flight(&reason);
         }
-        if let Some((ok, insts, cycles)) = progress_note {
-            campaign.record_progress(ok, attempts_of(campaign, job.id), insts, cycles);
+        if let Some((ok, insts, cycles, skipped)) = progress_note {
+            campaign.record_progress(ok, attempts_of(campaign, job.id), insts, cycles, skipped);
         }
         metrics::flush();
     }
@@ -1052,7 +1058,7 @@ fn settle_death(
     detail: &str,
     now_ms: u64,
     dump_reason: &mut Option<String>,
-    progress_note: &mut Option<(bool, u64, u64)>,
+    progress_note: &mut Option<(bool, u64, u64, u64)>,
 ) -> Result<(), SimError> {
     if !owns(queue, id, me) {
         return Ok(());
@@ -1080,7 +1086,7 @@ fn settle_death(
                 },
             );
             *dump_reason = Some(format!("job {id} quarantined: {detail}"));
-            *progress_note = Some((false, 0, 0));
+            *progress_note = Some((false, 0, 0, 0));
         }
     }
     Ok(())

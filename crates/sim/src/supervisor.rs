@@ -14,9 +14,13 @@
 
 use crate::journal::spec_hash;
 use crate::metrics;
-use crate::runner::{FaultSpec, RunSpec};
+use crate::runner::{
+    FaultSpec, RunSpec, METRIC_CYCLES_SKIPPED, METRIC_CYCLES_STEPPED, METRIC_EVENTS_POPPED,
+    METRIC_EVENTS_POSTED,
+};
 use crate::signals::EXIT_INTERRUPTED;
 use crate::snapshot::SnapshotPolicy;
+use mlpwin_ooo::EngineCounters;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
@@ -99,6 +103,27 @@ pub enum SuperviseOutcome {
     },
 }
 
+/// Parses the body of a worker's `eng` stdout line —
+/// `posted=N popped=N skipped=N stepped=N`, any order, unknown keys
+/// ignored so the protocol can grow. `None` when any of the four is
+/// missing or malformed.
+fn parse_engine_line(rest: &str) -> Option<EngineCounters> {
+    let mut engine = EngineCounters::default();
+    let mut seen = 0u8;
+    for field in rest.split_whitespace() {
+        let (key, value) = field.split_once('=')?;
+        let value: u64 = value.parse().ok()?;
+        match key {
+            "posted" => (engine.events_posted, seen) = (value, seen | 1),
+            "popped" => (engine.events_popped, seen) = (value, seen | 2),
+            "skipped" => (engine.skipped_cycles, seen) = (value, seen | 4),
+            "stepped" => (engine.stepped_cycles, seen) = (value, seen | 8),
+            _ => {}
+        }
+    }
+    (seen == 0b1111).then_some(engine)
+}
+
 /// Runs specs in supervised child processes.
 #[derive(Debug, Clone)]
 pub struct Supervisor {
@@ -132,6 +157,10 @@ pub struct Supervisor {
     /// diagnostics (StallSnapshot, panic message). Off by default:
     /// inherited stderr streams to the operator live.
     pub capture_stderr: bool,
+    /// The engine-telemetry summary (`eng ...` line) of the most recent
+    /// worker that printed one; workers predating the protocol simply
+    /// never fill it.
+    last_engine: Arc<Mutex<Option<EngineCounters>>>,
 }
 
 impl Supervisor {
@@ -150,7 +179,14 @@ impl Supervisor {
             chaos_kill_at: None,
             heartbeat_hook: None,
             capture_stderr: false,
+            last_engine: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// The event-engine counters the most recent supervised worker
+    /// reported on exit, if it spoke the `eng` protocol line.
+    pub fn last_engine(&self) -> Option<EngineCounters> {
+        *self.last_engine.lock().expect("engine slot poisoned")
     }
 
     /// The worker command line for `spec` — the exact inverse of the
@@ -233,6 +269,7 @@ impl Supervisor {
         let reader = child.stdout.take().map(|stdout| {
             let last_beat = Arc::clone(&last_beat);
             let hook = self.heartbeat_hook.clone();
+            let engine_slot = Arc::clone(&self.last_engine);
             std::thread::spawn(move || {
                 use std::io::BufRead as _;
                 for line in std::io::BufReader::new(stdout).lines() {
@@ -242,6 +279,18 @@ impl Supervisor {
                         metrics::counter_add(METRIC_WORKER_HEARTBEATS, 1);
                         if let (Some(hook), Ok(cycle)) = (&hook, rest.trim().parse::<u64>()) {
                             (hook.0)(cycle);
+                        }
+                    } else if let Some(rest) = line.strip_prefix("eng ") {
+                        // Worker engine telemetry: fold into this
+                        // process's registry so the controller's
+                        // /metrics sees the fleet's event traffic, and
+                        // stash it for the campaign progress line.
+                        if let Some(engine) = parse_engine_line(rest) {
+                            metrics::counter_add(METRIC_EVENTS_POSTED, engine.events_posted);
+                            metrics::counter_add(METRIC_EVENTS_POPPED, engine.events_popped);
+                            metrics::counter_add(METRIC_CYCLES_SKIPPED, engine.skipped_cycles);
+                            metrics::counter_add(METRIC_CYCLES_STEPPED, engine.stepped_cycles);
+                            *engine_slot.lock().expect("engine slot poisoned") = Some(engine);
                         }
                     }
                 }
@@ -427,6 +476,23 @@ fn parse_vmrss_kb(status: &str) -> Option<u64> {
 mod tests {
     use super::*;
     use crate::SimModel;
+
+    #[test]
+    fn engine_line_parses_and_rejects() {
+        let engine =
+            parse_engine_line("posted=10 popped=9 skipped=8000 stepped=2000").expect("well-formed");
+        assert_eq!(engine.events_posted, 10);
+        assert_eq!(engine.events_popped, 9);
+        assert_eq!(engine.skipped_cycles, 8000);
+        assert_eq!(engine.stepped_cycles, 2000);
+        assert!((engine.skip_fraction() - 0.8).abs() < 1e-9);
+        // Order-free, unknown keys tolerated.
+        assert!(parse_engine_line("stepped=1 skipped=2 popped=3 posted=4 future=5").is_some());
+        // Missing or malformed fields reject the line.
+        assert!(parse_engine_line("posted=10 popped=9 skipped=8000").is_none());
+        assert!(parse_engine_line("posted=x popped=9 skipped=8 stepped=2").is_none());
+        assert!(parse_engine_line("").is_none());
+    }
 
     #[test]
     fn spec_args_round_trip_every_field() {

@@ -1,0 +1,101 @@
+//! Journal-level event-driven scheduling equivalence.
+//!
+//! `MLPWIN_EVENT_DRIVEN` folds the memory system's event horizon into
+//! the core's wake plan — a host-performance knob that must be
+//! invisible at every layer an experiment can observe. The same
+//! `RunSpec` run under the stepped loop and the event-driven loop must
+//! produce the same `RunResult`, encode to the same journal line, key
+//! to the same spec hash, and stitch identically through the
+//! interval-parallel runner — under *both* settings of the other
+//! scheduling knob, `MLPWIN_NO_FAST_FORWARD`. The whole matrix lives in
+//! one test binary because both switches are process-global.
+
+use mlpwin_sim::journal::encode_line;
+use mlpwin_sim::runner::{run, RunSpec};
+use mlpwin_sim::split::{run_split, SplitConfig};
+use mlpwin_sim::{spec_hash, SimModel};
+
+fn set(var: &str, on: bool) {
+    if on {
+        std::env::set_var(var, "1");
+    } else {
+        std::env::remove_var(var);
+    }
+}
+
+#[test]
+fn journal_lines_are_bit_identical_with_event_driven_scheduling() {
+    // One pointer-chasing memory-bound profile, one software-MLP
+    // extension, one compute-bound control, across the models.
+    let specs = [
+        RunSpec::new("mcf", SimModel::Dynamic)
+            .with_budget(15_000, 8_000)
+            .with_intervals(1_000),
+        RunSpec::new("chase-batch", SimModel::Runahead).with_budget(15_000, 8_000),
+        RunSpec::new("hash-probe", SimModel::Fixed(2))
+            .with_budget(10_000, 6_000)
+            .with_intervals(777),
+        RunSpec::new("sjeng", SimModel::Base).with_budget(10_000, 6_000),
+    ];
+
+    for no_ff in [false, true] {
+        set("MLPWIN_NO_FAST_FORWARD", no_ff);
+        let stepped: Vec<_> = specs
+            .iter()
+            .map(|s| run(s).expect("stepped run succeeds"))
+            .collect();
+        set("MLPWIN_EVENT_DRIVEN", true);
+        let event: Vec<_> = specs
+            .iter()
+            .map(|s| run(s).expect("event-driven run succeeds"))
+            .collect();
+        set("MLPWIN_EVENT_DRIVEN", false);
+
+        for ((spec, a), b) in specs.iter().zip(&stepped).zip(&event) {
+            let tag = format!("{} no_ff={no_ff}", spec.profile);
+            assert_eq!(a.stats, b.stats, "{tag}: CoreStats must be bit-identical");
+            assert_eq!(a, b, "{tag}: full RunResult must be bit-identical");
+            assert_eq!(
+                encode_line(spec, a),
+                encode_line(spec, b),
+                "{tag}: journal lines must match"
+            );
+            assert_eq!(
+                spec_hash(&a.spec),
+                spec_hash(&b.spec),
+                "{tag}: journal keys must match"
+            );
+            assert_eq!(a.stats.cpi_stack_cycles(), a.stats.cycles, "{tag}");
+        }
+    }
+    set("MLPWIN_NO_FAST_FORWARD", false);
+}
+
+#[test]
+fn split_runner_stitches_bit_identical_under_the_event_engine() {
+    // The interval-parallel runner sweeps, re-simulates, and stitches
+    // through snapshot images; the event engine must be an identity
+    // transform on that whole path too.
+    let dir = std::env::temp_dir().join(format!("mlpwin-event-split-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut spec = RunSpec::new("mcf", SimModel::Dynamic);
+    spec.warmup = 2_000;
+    spec.insts = 3_000;
+    spec.interval_cycles = Some(512);
+
+    let serial = run(&spec).expect("serial stepped run");
+    set("MLPWIN_EVENT_DRIVEN", true);
+    let cfg = SplitConfig::new(512).with_workers(2);
+    let outcome = run_split(&spec, &cfg, &dir).expect("event-driven split run");
+    set("MLPWIN_EVENT_DRIVEN", false);
+
+    let stitched = outcome.result.as_ref().expect("exact mode yields a result");
+    assert!(outcome.n_intervals >= 2, "run must actually split");
+    assert_eq!(stitched, &serial, "stitched(event) != serial(stepped)");
+    assert_eq!(
+        encode_line(&spec, stitched),
+        encode_line(&spec, &serial),
+        "journal lines differ across engines"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

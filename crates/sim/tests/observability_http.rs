@@ -100,6 +100,41 @@ fn get_json(addr: &SocketAddr, path: &str) -> Option<Json> {
     Some(Json::parse(&body).unwrap_or_else(|e| panic!("GET {path}: invalid JSON ({e}): {body}")))
 }
 
+/// The `(job, worker)` lease set a `/status` payload reports.
+fn lease_set(status: &Json) -> Vec<(u64, String)> {
+    status
+        .get("leases")
+        .and_then(Json::as_arr)
+        .map(|leases| {
+            leases
+                .iter()
+                .map(|l| {
+                    (
+                        l.get("job").and_then(Json::as_u64).expect("lease job"),
+                        l.get("worker")
+                            .and_then(Json::as_str)
+                            .expect("lease worker")
+                            .to_string(),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// One `/status` + `/jobs` scrape pair describing a single quiescent
+/// instant. The two endpoints are separate GETs, so a job can finish
+/// (or get leased) between them — a drained lease mid-scrape is not a
+/// phantom. Bracketing `/jobs` between two `/status` reads with the
+/// same lease set proves nothing moved; a scrape that raced returns
+/// `None` and the caller just tries again.
+fn consistent_scrape(addr: &SocketAddr) -> Option<(Json, Json)> {
+    let status = get_json(addr, "/status")?;
+    let jobs = get_json(addr, "/jobs")?;
+    let confirm = get_json(addr, "/status")?;
+    (lease_set(&status) == lease_set(&confirm)).then_some((status, jobs))
+}
+
 /// Asserts the structural invariants one `/status` + `/jobs` scrape
 /// must satisfy, and folds this scrape's terminal states into `seen`
 /// (a terminal job must never change state in a later scrape).
@@ -187,9 +222,7 @@ fn live_endpoints_serve_valid_payloads_and_journal_is_listener_invariant() {
     let mut scrapes = 0u32;
     let mut metrics_seen = String::new();
     loop {
-        let status = get_json(&addr, "/status");
-        let jobs = get_json(&addr, "/jobs");
-        if let (Some(status), Some(jobs)) = (status, jobs) {
+        if let Some((status, jobs)) = consistent_scrape(&addr) {
             check_scrape(&status, &jobs, &mut seen);
             scrapes += 1;
         }
@@ -294,7 +327,7 @@ fn terminal_jobs_never_regress_across_controller_sigkill_and_restart() {
     let mut seen = HashMap::new();
     let deadline = Instant::now() + Duration::from_secs(120);
     while seen.is_empty() {
-        if let (Some(status), Some(jobs)) = (get_json(&addr, "/status"), get_json(&addr, "/jobs")) {
+        if let Some((status, jobs)) = consistent_scrape(&addr) {
             check_scrape(&status, &jobs, &mut seen);
         }
         if let Some(status) = controller.try_wait().expect("try_wait") {
@@ -322,7 +355,7 @@ fn terminal_jobs_never_regress_across_controller_sigkill_and_restart() {
     let mut controller = cmd.spawn().expect("respawn controller");
     let addr = obs_addr(&dir, &mut controller);
     loop {
-        if let (Some(status), Some(jobs)) = (get_json(&addr, "/status"), get_json(&addr, "/jobs")) {
+        if let Some((status, jobs)) = consistent_scrape(&addr) {
             check_scrape(&status, &jobs, &mut seen);
         }
         if controller.try_wait().expect("try_wait").is_some() {
