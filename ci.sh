@@ -171,6 +171,79 @@ diff target/ci-artifacts/campaign/first/journal.jsonl \
      target/ci-artifacts/campaign/rerun/journal.jsonl
 echo "    campaign survived worker kills; cached rerun simulated nothing"
 
+echo "==> fleet netchaos (faulted TCP workers + SIGKILL vs serial reference)"
+# The same three specs, sharded over loopback TCP across two
+# mlpwin-worker processes whose send paths run seeded
+# drop/duplicate/delay/partition schedules, with one worker SIGKILLed
+# the moment the WAL shows it owning a job. The finalized journal must
+# still byte-match a serial reference, and a fleet listener nobody
+# connects to must degrade to the local threads and complete.
+rm -rf target/ci-artifacts/fleet
+mkdir -p target/ci-artifacts/fleet
+fleetworker="target/release/mlpwin-worker"
+for j in gcc,base mcf,dynamic milc,base; do
+    "$worker" --profile "${j%%,*}" --model "${j##*,}" \
+        --warmup 2000 --insts 4000 --seed 1 \
+        --journal target/ci-artifacts/fleet/reference.jsonl > /dev/null
+done
+"$controller" --campaign target/ci-artifacts/fleet/run "${jobs[@]}" \
+    --workers 1 --backoff-ms 30 --snapshot-cycles 400 --lease-ms 2000 \
+    --fleet-listen 127.0.0.1:0 --worker-exe "$worker" \
+    > target/ci-artifacts/fleet/run.out \
+    2> target/ci-artifacts/fleet/run.err &
+fleet_ctl=$!
+for _ in $(seq 1 400); do
+    [ -s target/ci-artifacts/fleet/run/fleet.addr ] && break
+    if ! kill -0 "$fleet_ctl" 2>/dev/null; then
+        echo "FAIL: controller exited before publishing fleet.addr"
+        cat target/ci-artifacts/fleet/run.err
+        exit 1
+    fi
+    sleep 0.05
+done
+fleet_addr=$(cat target/ci-artifacts/fleet/run/fleet.addr)
+"$fleetworker" --connect "$fleet_addr" --name beta \
+    --snapshot-dir target/ci-artifacts/fleet/snap-beta --snapshot-cycles 400 \
+    --backoff-ms 50 --netfault seed=9,drop=25,dup=15,delay=1,partition=60 \
+    > /dev/null 2>&1 &
+beta_pid=$!
+beta_killed=0
+for _ in $(seq 1 400); do
+    if grep -q 'beta#' target/ci-artifacts/fleet/run/campaign.wal 2>/dev/null; then
+        kill -9 "$beta_pid" 2>/dev/null && beta_killed=1
+        break
+    fi
+    kill -0 "$fleet_ctl" 2>/dev/null || break
+    sleep 0.05
+done
+[ "$beta_killed" = 1 ] || echo "    (campaign outran beta; SIGKILL skipped)"
+"$fleetworker" --connect "$fleet_addr" --name alpha \
+    --snapshot-dir target/ci-artifacts/fleet/snap-alpha --snapshot-cycles 400 \
+    --backoff-ms 50 --netfault seed=3,drop=30,dup=20,delay=1 \
+    > /dev/null 2>&1 &
+alpha_pid=$!
+wait "$fleet_ctl"
+kill -9 "$beta_pid" "$alpha_pid" 2>/dev/null || true
+wait "$beta_pid" "$alpha_pid" 2>/dev/null || true
+grep -q 'done=3' target/ci-artifacts/fleet/run.out
+diff target/ci-artifacts/fleet/reference.jsonl \
+     target/ci-artifacts/fleet/run/journal.jsonl
+if [ -e target/ci-artifacts/fleet/run/fleet.addr ]; then
+    echo "FAIL: fleet.addr not removed at campaign end"
+    exit 1
+fi
+echo "    faulted fleet + SIGKILL finalized the bit-identical journal"
+"$controller" --campaign target/ci-artifacts/fleet/degraded "${jobs[@]}" \
+    --workers 2 --backoff-ms 30 --snapshot-cycles 400 \
+    --fleet-listen 127.0.0.1:0 --progress --worker-exe "$worker" \
+    > target/ci-artifacts/fleet/degraded.out \
+    2> target/ci-artifacts/fleet/degraded.err
+grep -q 'done=3' target/ci-artifacts/fleet/degraded.out
+grep -q 'fleet=0 (degraded)' target/ci-artifacts/fleet/degraded.err
+diff target/ci-artifacts/fleet/reference.jsonl \
+     target/ci-artifacts/fleet/degraded/journal.jsonl
+echo "    workerless fleet degraded to local threads and completed"
+
 echo "==> mlpwin-bench snapshot-overhead gate (default cadence, >5% fails)"
 # The full suite twice more: once snapshot-free for a reference, then
 # through the recoverable runner at the default snapshot cadence. Each

@@ -12,19 +12,28 @@
 //!              [--workers N] [--lease-ms N] [--max-kills N] [--backoff-ms N]
 //!              [--snapshot-cycles N] [--keep N] [--time-budget-ms N]
 //!              [--cache PATH] [--worker-exe PATH] [--chaos-kill-at N]
-//!              [--listen ADDR] [--trace-out PATH] [--progress]
-//! mlpwin-serve --probe ADDR
+//!              [--listen ADDR] [--fleet-listen ADDR] [--trace-out PATH]
+//!              [--progress]
+//! mlpwin-serve --probe ADDR_OR_DIR
 //! ```
 //!
 //! `--listen ADDR` embeds the read-only observability HTTP server
 //! (`/metrics`, `/status`, `/jobs`, `/jobs/<id>`, `/healthz`); the
-//! bound address (useful with port 0) is written to `DIR/obs.addr`.
+//! bound address (useful with port 0) is written atomically to
+//! `DIR/obs.addr` and removed when the campaign ends.
+//! `--fleet-listen ADDR` additionally accepts remote `mlpwin-worker`
+//! processes over the TCP wire protocol (bound address published to
+//! `DIR/fleet.addr`); the campaign then shards across the fleet and the
+//! local worker threads together, degrading to local-only when every
+//! remote worker vanishes.
 //! `--trace-out PATH` writes a Chrome trace of the campaign (one track
 //! per worker, one span per job phase) when the campaign ends.
-//! `--probe ADDR` is a standalone mode: fetch every endpoint from a
-//! running controller, validate the Prometheus and JSON payloads, print
-//! a one-line summary, and exit (0 healthy / 1 not) — a self-contained
-//! smoke client for CI, no curl required.
+//! `--probe ADDR_OR_DIR` is a standalone mode: fetch every endpoint from
+//! a running controller, validate the Prometheus and JSON payloads,
+//! print a one-line summary, and exit (0 healthy / 1 not) — a
+//! self-contained smoke client for CI, no curl required. Passing a
+//! campaign directory resolves the controller through `DIR/obs.addr`
+//! and reports a stale address file (controller gone) distinctly.
 //!
 //! Exit codes: 0 — every job done; 1 — finished but some jobs failed or
 //! were quarantined (or a fatal control-plane error); 75 — gracefully
@@ -60,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
     let mut cache = None;
     let mut chaos_kill_at = None;
     let mut listen = None;
+    let mut fleet_listen = None;
     let mut trace_out = None;
     let mut progress = false;
     let mut it = std::env::args().skip(1);
@@ -81,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
             "--worker-exe" => worker_exe = Some(PathBuf::from(value("path")?)),
             "--chaos-kill-at" => chaos_kill_at = Some(parse_u64(&value("cycle")?)?),
             "--listen" => listen = Some(value("address")?),
+            "--fleet-listen" => fleet_listen = Some(value("address")?),
             "--trace-out" => trace_out = Some(PathBuf::from(value("path")?)),
             "--progress" => progress = true,
             "--help" | "-h" => {
@@ -90,7 +101,8 @@ fn parse_args() -> Result<Args, String> {
                      [--workers N] [--lease-ms N] [--max-kills N] [--backoff-ms N] \
                      [--snapshot-cycles N] [--keep N] [--time-budget-ms N] \
                      [--cache PATH] [--worker-exe PATH] [--chaos-kill-at N] \
-                     [--listen ADDR] [--trace-out PATH] [--progress] | --probe ADDR"
+                     [--listen ADDR] [--fleet-listen ADDR] [--trace-out PATH] \
+                     [--progress] | --probe ADDR_OR_DIR"
                 );
                 std::process::exit(0);
             }
@@ -119,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
     cfg.cache = cache;
     cfg.chaos_kill_at = chaos_kill_at;
     cfg.listen = listen;
+    cfg.fleet_listen = fleet_listen;
     cfg.trace_out = trace_out;
     cfg.progress = progress;
     Ok(Args { jobs, cfg })
@@ -153,13 +166,43 @@ fn parse_u64(s: &str) -> Result<u64, String> {
     s.parse().map_err(|_| format!("`{s}` is not a number"))
 }
 
+/// Resolves a `--probe` operand: a literal `host:port`, or a campaign
+/// directory whose `obs.addr` file names the controller. The second
+/// form distinguishes "no address published" from "address published
+/// but stale" so operators see which half of the handoff broke.
+fn resolve_probe_target(text: &str) -> Result<SocketAddr, String> {
+    let text = text.trim();
+    if let Ok(addr) = text.parse::<SocketAddr>() {
+        return Ok(addr);
+    }
+    let dir = PathBuf::from(text);
+    if !dir.is_dir() {
+        return Err(format!(
+            "`{text}` is neither a host:port address nor a campaign directory"
+        ));
+    }
+    let addr_file = dir.join("obs.addr");
+    let published = std::fs::read_to_string(&addr_file).map_err(|_| {
+        format!(
+            "{} does not exist — the controller is not running with \
+             --listen (or already drained and removed it)",
+            addr_file.display()
+        )
+    })?;
+    published.trim().parse::<SocketAddr>().map_err(|e| {
+        format!(
+            "{} holds `{}`, which is not an address: {e}",
+            addr_file.display(),
+            published.trim()
+        )
+    })
+}
+
 /// Fetches and validates every observability endpoint of a running
 /// controller. Exit 0 when all payloads are healthy.
-fn probe(addr_text: &str) -> Result<String, String> {
-    let addr: SocketAddr = addr_text
-        .trim()
-        .parse()
-        .map_err(|e| format!("`{addr_text}` is not an address: {e}"))?;
+fn probe(target: &str) -> Result<String, String> {
+    let from_dir = target.trim().parse::<SocketAddr>().is_err();
+    let addr = resolve_probe_target(target)?;
     let get = |path: &str| -> Result<String, String> {
         let (code, body) =
             httpserve::http_get(&addr, path).map_err(|e| format!("GET {path}: {e}"))?;
@@ -168,7 +211,19 @@ fn probe(addr_text: &str) -> Result<String, String> {
         }
         Ok(body)
     };
-    let health = get("/healthz")?;
+    // Liveness first: an address resolved through obs.addr may be stale
+    // (controller SIGKILLed before it could remove the file) — turn the
+    // connect failure into a diagnosis instead of a bare I/O error.
+    let health = get("/healthz").map_err(|e| {
+        if from_dir {
+            format!(
+                "{e} — {target}/obs.addr points at {addr} but nothing \
+                 answers there; the address file is stale (controller gone)"
+            )
+        } else {
+            e
+        }
+    })?;
     if health.trim() != "ok" {
         return Err(format!("/healthz said `{}`", health.trim()));
     }
@@ -198,7 +253,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("--probe") {
         let Some(addr) = argv.get(1) else {
-            eprintln!("mlpwin-serve: --probe needs an address");
+            eprintln!("mlpwin-serve: --probe needs an address or campaign directory");
             return ExitCode::from(2);
         };
         return match probe(addr) {

@@ -76,6 +76,20 @@
 //! recorder dumps events, metrics, and queue state on worker deaths,
 //! quarantines, and fatal errors — all off the simulation hot path.
 //!
+//! ## Multi-machine fleets
+//!
+//! [`wire`] extends the control plane across machines: `mlpwin-serve
+//! --fleet-listen` accepts `mlpwin-worker` processes over a std-only,
+//! length-prefixed, CRC-guarded TCP protocol with a schema-versioned
+//! handshake. Remote workers lease jobs, stream heartbeats at snapshot
+//! cadence, and return hash-guarded journal lines that settle
+//! idempotently through the same WAL queue and cache — so a hostile
+//! network (drops, duplicates, truncations, partitions, worker
+//! SIGKILLs) can slow a campaign but never corrupt it, and the
+//! controller degrades to local threads when the fleet vanishes. The
+//! deterministic [`wire::NetFault`] injector lets the chaos suites
+//! replay exact fault schedules and assert byte-identical journals.
+//!
 //! ## Example
 //!
 //! ```
@@ -109,6 +123,7 @@ pub mod signals;
 pub mod snapshot;
 pub mod split;
 pub mod supervisor;
+pub mod wire;
 
 pub use cachestore::CacheStore;
 pub use campaign_events::{CampaignEvent, CampaignLog, EventKind, JobSpan};
@@ -125,3 +140,4 @@ pub use serve::{run_campaign, CampaignConfig, CampaignOutcome, CampaignReport};
 pub use snapshot::{SnapshotPolicy, SnapshotStore, SNAPSHOT_SCHEMA};
 pub use split::{run_split, SamplingEstimate, SplitConfig, SplitOutcome};
 pub use supervisor::{SuperviseOutcome, Supervisor, WorkerEnd};
+pub use wire::{Conn, Msg, NetFault, WireError, WIRE_SCHEMA};

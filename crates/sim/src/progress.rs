@@ -23,6 +23,11 @@ pub struct CampaignSnapshot {
     pub active_leases: usize,
     /// Fraction of finished jobs served from the dedup cache, 0..=1.
     pub cache_hit_ratio: f64,
+    /// Remote fleet size: `Some(n)` when a fleet listener is up with
+    /// `n` workers connected (`Some(0)` renders as degraded mode —
+    /// local threads only); `None` for fleet-less campaigns, which
+    /// keep the historical line format.
+    pub fleet: Option<usize>,
 }
 
 /// Progress state for one matrix campaign.
@@ -164,12 +169,19 @@ impl Progress {
             None => "ETA --".to_string(),
         };
         let campaign = match &self.campaign {
-            Some(c) => format!(
-                " | q={} leased={} cache {:.0}%",
-                c.queue_depth,
-                c.active_leases,
-                c.cache_hit_ratio * 100.0
-            ),
+            Some(c) => {
+                let fleet = match c.fleet {
+                    Some(0) => " | fleet=0 (degraded)".to_string(),
+                    Some(n) => format!(" | fleet={n}"),
+                    None => String::new(),
+                };
+                format!(
+                    " | q={} leased={} cache {:.0}%{fleet}",
+                    c.queue_depth,
+                    c.active_leases,
+                    c.cache_hit_ratio * 100.0
+                )
+            }
             None => String::new(),
         };
         let skip = if self.skipped_cycles > 0 {
@@ -286,9 +298,35 @@ mod tests {
             queue_depth: 4,
             active_leases: 2,
             cache_hit_ratio: 0.5,
+            fleet: None,
         });
         let line = p.record(2.0, true, 1, 0, 0).expect("epoch 2");
         assert!(line.contains("q=4 leased=2 cache 50%"), "{line}");
+        assert!(
+            !line.contains("fleet"),
+            "no fleet segment without a fleet: {line}"
+        );
+    }
+
+    #[test]
+    fn fleet_segment_shows_size_and_degraded_mode() {
+        let mut p = Progress::with_epoch(3, 1);
+        p.set_campaign(CampaignSnapshot {
+            queue_depth: 1,
+            active_leases: 1,
+            cache_hit_ratio: 0.0,
+            fleet: Some(2),
+        });
+        let line = p.record(1.0, true, 1, 0, 0).expect("epoch 1");
+        assert!(line.contains("| fleet=2"), "{line}");
+        p.set_campaign(CampaignSnapshot {
+            queue_depth: 1,
+            active_leases: 1,
+            cache_hit_ratio: 0.0,
+            fleet: Some(0),
+        });
+        let line = p.record(2.0, true, 1, 0, 0).expect("epoch 2");
+        assert!(line.contains("| fleet=0 (degraded)"), "{line}");
     }
 
     #[test]

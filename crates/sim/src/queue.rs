@@ -426,6 +426,21 @@ pub fn decode_wal_line(line: &str) -> Option<(u64, WalRecord)> {
     Some((seq, WalRecord::decode(body)?))
 }
 
+impl WalRecord {
+    /// Whether losing this record to a crash could lose or double-count
+    /// work. `Enqueue` defines the job set, and the terminal records
+    /// (`Done`/`Failed`/`Quarantine`) are the claims `finalize` and the
+    /// kill budget rest on — those must hit the platter before the
+    /// in-memory transition is believed. A torn-off `Lease` or
+    /// `Release` suffix merely forgets who held what: replay releases
+    /// orphaned leases anyway (without charging a kill), so skipping
+    /// their fsync trades nothing but a little lease accounting for an
+    /// append path off the fsync cliff.
+    fn durable(&self) -> bool {
+        !matches!(self, WalRecord::Lease { .. } | WalRecord::Release { .. })
+    }
+}
+
 /// The exclusively-locked append handle of a campaign WAL.
 #[derive(Debug)]
 struct Wal {
@@ -440,11 +455,31 @@ impl Wal {
         line.push('\n');
         let path = self.locked.path().to_path_buf();
         let file = self.locked.file_mut();
-        file.write_all(line.as_bytes())
-            .and_then(|()| file.sync_data())
-            .map_err(|e| SimError::Campaign {
-                detail: format!("WAL {} append failed: {e}", path.display()),
-            })
+        let written = file.write_all(line.as_bytes()).and_then(|()| {
+            if rec.durable() {
+                // A durable fsync also flushes any unsynced lease
+                // traffic written before it — writes are strictly
+                // ordered within one file.
+                file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        written.map_err(|e| SimError::Campaign {
+            detail: format!("WAL {} append failed: {e}", path.display()),
+        })
+    }
+}
+
+/// Fsyncs `path`'s parent directory so a freshly created WAL's
+/// directory entry survives a crash (a synced file in an unsynced
+/// directory can vanish wholesale on some filesystems). Best-effort:
+/// directories aren't openable for sync on every platform.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all().ok();
+        }
     }
 }
 
@@ -490,6 +525,11 @@ impl JobQueue {
         let text = std::fs::read_to_string(path).map_err(|e| SimError::Campaign {
             detail: format!("WAL {} read failed: {e}", path.display()),
         })?;
+        if text.is_empty() {
+            // Freshly created: persist the directory entry too, or a
+            // crash could lose the whole (synced) file.
+            sync_parent_dir(path);
+        }
         let mut queue = JobQueue::in_memory(policy);
         let mut seq = 0;
         for (n, line) in text.lines().enumerate() {

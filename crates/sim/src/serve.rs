@@ -51,7 +51,7 @@ use crate::campaign_events::{derive_spans, write_flight_record, CampaignLog, Eve
 use crate::chrome_trace;
 use crate::error::SimError;
 use crate::httpserve::{HttpServer, ObsProvider};
-use crate::journal::{canonical_spec, encode_line, Journal};
+use crate::journal::{canonical_spec, decode_line, encode_line, Journal};
 use crate::json::{num, obj, s, Json};
 use crate::lock::LockedFile;
 use crate::metrics;
@@ -61,11 +61,28 @@ use crate::runner::{RunResult, RunSpec};
 use crate::signals;
 use crate::snapshot::SnapshotPolicy;
 use crate::supervisor::{HeartbeatHook, Supervisor, WorkerEnd};
+use crate::wire::{Conn, Msg, WireError, WIRE_SCHEMA};
+use std::collections::HashSet;
 use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Counter: remote workers that reconnected under a base name the
+/// controller had already welcomed this campaign.
+pub const METRIC_FLEET_RECONNECTS: &str = "mlpwin_fleet_reconnects_total";
+/// Counter: handshakes refused (wire-schema mismatch, malformed hello).
+pub const METRIC_FLEET_HANDSHAKE_REJECTS: &str = "mlpwin_fleet_handshake_rejects_total";
+/// Counter: frames dropped as corrupt (CRC/decode failures, torn
+/// frames, results failing hash verification).
+pub const METRIC_FLEET_FRAMES_CORRUPT: &str = "mlpwin_fleet_frames_corrupt_total";
+/// Histogram (labeled by base worker name): worker-measured heartbeat
+/// round-trip times, µs.
+pub const METRIC_FLEET_RTT: &str = "mlpwin_fleet_rtt_us";
+/// Gauge: remote workers currently connected.
+pub const METRIC_FLEET_CONNECTED: &str = "mlpwin_fleet_workers_connected";
 
 /// Everything a campaign needs to run.
 #[derive(Debug, Clone)]
@@ -102,6 +119,11 @@ pub struct CampaignConfig {
     /// Bind the observability HTTP server here (e.g. `127.0.0.1:0`);
     /// `None` (the default) runs no server at all.
     pub listen: Option<String>,
+    /// Bind the fleet TCP listener here (e.g. `0.0.0.0:0`) to accept
+    /// remote `mlpwin-worker` connections; `None` (the default) keeps
+    /// the campaign local-only. The bound address is published to
+    /// `fleet.addr` in the campaign directory.
+    pub fleet_listen: Option<String>,
     /// Write the campaign Chrome trace (one track per worker, one span
     /// per job phase) here when the campaign ends.
     pub trace_out: Option<PathBuf>,
@@ -129,6 +151,7 @@ impl CampaignConfig {
             cache: None,
             chaos_kill_at: None,
             listen: None,
+            fleet_listen: None,
             trace_out: None,
             progress: false,
         }
@@ -158,6 +181,13 @@ impl CampaignConfig {
     /// with port 0 picks an ephemeral port; scripts read it from here).
     pub fn obs_addr_path(&self) -> PathBuf {
         self.dir.join("obs.addr")
+    }
+
+    /// Where the bound fleet-listener address is published
+    /// (`--fleet-listen` with port 0 picks an ephemeral port; workers
+    /// on other machines read it from here or get told out of band).
+    pub fn fleet_addr_path(&self) -> PathBuf {
+        self.dir.join("fleet.addr")
     }
 
     /// The crash flight-recorder directory.
@@ -237,6 +267,33 @@ struct WorkerSlot {
     job: Option<(JobId, u64)>,
 }
 
+/// Shared fleet-listener state: connection counts for `/status`, the
+/// progress line and the degraded-mode decision, plus the stop flag
+/// the accept loop, janitor, and per-connection threads all watch.
+struct FleetInfo {
+    /// Remote workers currently past the handshake.
+    connected: AtomicUsize,
+    /// Monotonic connection counter; makes every accepted connection's
+    /// assigned identity (`name#N`) unique across reconnects.
+    conn_seq: AtomicU64,
+    /// Base worker names welcomed at least once — a repeat is counted
+    /// as a reconnect.
+    seen: Mutex<HashSet<String>>,
+    /// Set at drain; every fleet thread exits at its next check.
+    stop: AtomicBool,
+}
+
+impl FleetInfo {
+    fn new() -> FleetInfo {
+        FleetInfo {
+            connected: AtomicUsize::new(0),
+            conn_seq: AtomicU64::new(0),
+            seen: Mutex::new(HashSet::new()),
+            stop: AtomicBool::new(false),
+        }
+    }
+}
+
 /// The shared mutable state one campaign's worker threads drive.
 ///
 /// Lock ordering: `queue` may be held while taking `cache`, `workers`,
@@ -263,6 +320,9 @@ struct Campaign {
     flight_seq: AtomicU64,
     /// Where flight records land.
     flight_dir: PathBuf,
+    /// Remote-fleet state when `--fleet-listen` is up; `None` keeps the
+    /// campaign local-only.
+    fleet: Option<Arc<FleetInfo>>,
 }
 
 impl Campaign {
@@ -327,6 +387,10 @@ impl Campaign {
                 } else {
                     report.cache_hits as f64 / report.done as f64
                 },
+                fleet: self
+                    .fleet
+                    .as_ref()
+                    .map(|f| f.connected.load(Ordering::SeqCst)),
             }
         };
         let now = self.started.elapsed().as_secs_f64();
@@ -469,6 +533,23 @@ impl Campaign {
                     ("kcyc_per_sec", Json::Num(kcps)),
                     ("eta_secs", eta.map_or(Json::Null, Json::Num)),
                 ]),
+            ),
+            (
+                "fleet",
+                match &self.fleet {
+                    Some(f) => {
+                        let connected = f.connected.load(Ordering::SeqCst);
+                        obj(vec![
+                            ("enabled", Json::Bool(true)),
+                            ("connected", num(connected as u64)),
+                            // Degraded: a fleet was asked for but no
+                            // remote worker is connected — local threads
+                            // are draining the queue alone.
+                            ("degraded", Json::Bool(connected == 0)),
+                        ])
+                    }
+                    None => obj(vec![("enabled", Json::Bool(false))]),
+                },
             ),
             ("interrupted", Json::Bool(signals::interrupted())),
             ("dropped_events", num(self.log.dropped())),
@@ -692,8 +773,19 @@ pub fn run_campaign(
         show_progress: cfg.progress,
         flight_seq: AtomicU64::new(1),
         flight_dir: cfg.flightrec_dir(),
+        fleet: cfg
+            .fleet_listen
+            .as_ref()
+            .map(|_| Arc::new(FleetInfo::new())),
     };
     let campaign = Arc::new(campaign);
+
+    // The remote-worker plane, when asked for. Its bound address goes
+    // to fleet.addr; `mlpwin-worker --connect` dials it.
+    let fleet = match &cfg.fleet_listen {
+        Some(bind) => Some(start_fleet(&campaign, cfg, bind)?),
+        None => None,
+    };
 
     // The observability server, when asked for. Its bound address goes
     // to obs.addr so callers can resolve `--listen 127.0.0.1:0`.
@@ -701,11 +793,7 @@ pub fn run_campaign(
         Some(addr) => {
             let server = HttpServer::start(addr, Arc::new(CampaignObs(Arc::clone(&campaign))))?;
             let bound = server.addr();
-            std::fs::write(cfg.obs_addr_path(), format!("{bound}\n")).map_err(|e| {
-                SimError::Campaign {
-                    detail: format!("write {}: {e}", cfg.obs_addr_path().display()),
-                }
-            })?;
+            write_addr_file(&cfg.obs_addr_path(), &bound)?;
             eprintln!("observability: listening on http://{bound}");
             Some(server)
         }
@@ -774,10 +862,35 @@ pub fn run_campaign(
         finalize(&queue, &cache, cfg)?;
         Ok(CampaignOutcome::Complete(report))
     })();
+    if let Some(fleet) = fleet {
+        fleet.shutdown();
+    }
     if let Some(server) = server {
         server.shutdown();
     }
+    // The published addresses die with the plane: left behind they
+    // would point `--probe` and late-dialing workers at a dead
+    // controller (and a crashed run's stale files get cleaned up by
+    // the next run's rewrite-then-remove cycle).
+    std::fs::remove_file(cfg.obs_addr_path()).ok();
+    std::fs::remove_file(cfg.fleet_addr_path()).ok();
     result
+}
+
+/// Publishes `addr` at `path` atomically (write-to-tmp + rename), so a
+/// script polling the file never reads a torn address.
+fn write_addr_file(path: &Path, addr: &std::net::SocketAddr) -> Result<(), SimError> {
+    let tmp = path.with_extension("addr.tmp");
+    let io = |detail: String| SimError::Campaign { detail };
+    std::fs::write(&tmp, format!("{addr}\n"))
+        .map_err(|e| io(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        io(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
 }
 
 /// Renders the campaign event log as a Chrome trace at `path`.
@@ -800,31 +913,10 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
         let leased = {
             let mut queue = campaign.queue.lock().expect("queue poisoned");
             let now = campaign.now_ms();
-            match queue.expire_stale(now) {
-                Ok(expired) => {
-                    for id in expired {
-                        campaign.log.record(
-                            now,
-                            Some(id),
-                            match &queue.job(id).state {
-                                JobState::Quarantined { detail } => EventKind::Quarantined {
-                                    worker: String::new(),
-                                    detail: detail.clone(),
-                                },
-                                _ => EventKind::Released {
-                                    worker: String::new(),
-                                    reason: "lease expired (heartbeat lost)".to_string(),
-                                    kill: true,
-                                },
-                            },
-                        );
-                    }
-                }
-                Err(e) => {
-                    drop(queue);
-                    campaign.abort(e);
-                    return;
-                }
+            if let Err(e) = expire_and_log(campaign, &mut queue, now) {
+                drop(queue);
+                campaign.abort(e);
+                return;
             }
             match queue.lease(me, now) {
                 Ok(job) => {
@@ -1036,6 +1128,30 @@ fn worker_loop(me: &str, campaign: &Arc<Campaign>, cfg: &CampaignConfig) {
     }
 }
 
+/// Expires stale leases and logs each reclaim/quarantine. Shared by
+/// the local worker loops, the fleet lease path, and the fleet
+/// janitor; call with the queue lock held.
+fn expire_and_log(campaign: &Campaign, queue: &mut JobQueue, now_ms: u64) -> Result<(), SimError> {
+    for id in queue.expire_stale(now_ms)? {
+        campaign.log.record(
+            now_ms,
+            Some(id),
+            match &queue.job(id).state {
+                JobState::Quarantined { detail } => EventKind::Quarantined {
+                    worker: String::new(),
+                    detail: detail.clone(),
+                },
+                _ => EventKind::Released {
+                    worker: String::new(),
+                    reason: "lease expired (heartbeat lost)".to_string(),
+                    kill: true,
+                },
+            },
+        );
+    }
+    Ok(())
+}
+
 /// The lease attempts charged to `id` so far.
 fn attempts_of(campaign: &Campaign, id: JobId) -> u32 {
     campaign
@@ -1121,6 +1237,518 @@ fn with_tail(detail: &str, stderr_tail: &str) -> String {
     } else {
         format!("{detail}; stderr tail: {tail}")
     }
+}
+
+// ------------------------------------------------------------ fleet plane
+
+/// How often the fleet janitor expires stale leases and refreshes the
+/// fleet gauge. Local worker threads do the same between their own
+/// leases, but they can be parked inside `supervise_once` for a whole
+/// job — the janitor keeps a SIGKILLed remote worker's lease from
+/// outliving its expiry by more than a tick.
+const JANITOR_TICK: Duration = Duration::from_millis(150);
+
+/// Controller-side read cadence on fleet connections: short enough to
+/// notice the stop flag promptly while a remote worker simulates in
+/// silence between heartbeats.
+const FLEET_IDLE_TICK: Duration = Duration::from_millis(250);
+
+/// The running fleet plane: the TCP accept loop plus the lease
+/// janitor. Per-connection threads are detached — each exits on its
+/// own when its stream dies or the stop flag flips, and every queue
+/// mutation they perform is guarded by current queue state, so a
+/// late frame after shutdown is a harmless no-op.
+struct FleetListener {
+    addr: std::net::SocketAddr,
+    info: Arc<FleetInfo>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    janitor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FleetListener {
+    /// Flips the stop flag, wakes the blocking accept with a loopback
+    /// poke, and joins the accept and janitor threads.
+    fn shutdown(mut self) {
+        self.info.stop.store(true, Ordering::SeqCst);
+        TcpStream::connect_timeout(&self.addr, Duration::from_secs(2)).ok();
+        if let Some(handle) = self.accept.take() {
+            handle.join().ok();
+        }
+        if let Some(handle) = self.janitor.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+/// Binds the fleet listener, publishes its address to `fleet.addr`,
+/// and starts the accept and janitor threads.
+fn start_fleet(
+    campaign: &Arc<Campaign>,
+    cfg: &CampaignConfig,
+    bind: &str,
+) -> Result<FleetListener, SimError> {
+    let info = Arc::clone(campaign.fleet.as_ref().expect("fleet state installed"));
+    let listener = TcpListener::bind(bind).map_err(|e| SimError::Campaign {
+        detail: format!("fleet listen on {bind}: {e}"),
+    })?;
+    let addr = listener.local_addr().map_err(|e| SimError::Campaign {
+        detail: format!("fleet local_addr: {e}"),
+    })?;
+    write_addr_file(&cfg.fleet_addr_path(), &addr)?;
+    eprintln!("fleet: listening on {addr}");
+    metrics::gauge_set(METRIC_FLEET_CONNECTED, 0.0);
+
+    let accept = {
+        let campaign = Arc::clone(campaign);
+        let cfg = cfg.clone();
+        let info = Arc::clone(&info);
+        std::thread::Builder::new()
+            .name("fleet-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if info.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let conn_id = info.conn_seq.fetch_add(1, Ordering::SeqCst);
+                    let campaign = Arc::clone(&campaign);
+                    let cfg = cfg.clone();
+                    let info = Arc::clone(&info);
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("fleet-conn-{conn_id}"))
+                        .spawn(move || {
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    serve_fleet_conn(stream, conn_id, &campaign, &cfg, &info)
+                                }));
+                            if let Err(payload) = caught {
+                                let message = crate::error::panic_message(payload);
+                                campaign.abort(SimError::Panic {
+                                    message: format!(
+                                        "fleet connection {conn_id} handler panicked: {message}"
+                                    ),
+                                });
+                            }
+                            metrics::flush();
+                        });
+                    if spawned.is_err() {
+                        // Thread exhaustion: drop the connection; the
+                        // worker reconnects with backoff.
+                        continue;
+                    }
+                }
+            })
+            .map_err(|e| SimError::Campaign {
+                detail: format!("fleet accept thread spawn: {e}"),
+            })?
+    };
+
+    let janitor = {
+        let campaign = Arc::clone(campaign);
+        let info = Arc::clone(&info);
+        std::thread::Builder::new()
+            .name("fleet-janitor".to_string())
+            .spawn(move || {
+                while !info.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(JANITOR_TICK);
+                    let expired = {
+                        let mut queue = campaign.queue.lock().expect("queue poisoned");
+                        expire_and_log(&campaign, &mut queue, campaign.now_ms())
+                    };
+                    if let Err(e) = expired {
+                        campaign.abort(e);
+                        return;
+                    }
+                    metrics::gauge_set(
+                        METRIC_FLEET_CONNECTED,
+                        info.connected.load(Ordering::SeqCst) as f64,
+                    );
+                    metrics::flush();
+                }
+            })
+            .map_err(|e| SimError::Campaign {
+                detail: format!("fleet janitor thread spawn: {e}"),
+            })?
+    };
+
+    Ok(FleetListener {
+        addr,
+        info,
+        accept: Some(accept),
+        janitor: Some(janitor),
+    })
+}
+
+/// Decrements the connected gauge when a connection handler exits by
+/// any path.
+struct ConnectedGuard<'a>(&'a FleetInfo);
+
+impl Drop for ConnectedGuard<'_> {
+    fn drop(&mut self) {
+        let left = self.0.connected.fetch_sub(1, Ordering::SeqCst) - 1;
+        metrics::gauge_set(METRIC_FLEET_CONNECTED, left as f64);
+    }
+}
+
+/// Drives one remote worker connection: handshake, then a strict
+/// request/response loop until the stream dies, a corrupt frame
+/// arrives, or the plane stops. The worker may vanish at any byte;
+/// everything it owned is reclaimed by lease expiry.
+fn serve_fleet_conn(
+    stream: TcpStream,
+    conn_id: u64,
+    campaign: &Arc<Campaign>,
+    cfg: &CampaignConfig,
+    info: &FleetInfo,
+) {
+    let Ok(mut conn) = Conn::from_stream(stream) else {
+        return;
+    };
+    conn.set_idle_tick(FLEET_IDLE_TICK);
+
+    // Handshake: the first frame must be a compatible hello. A few
+    // idle ticks of grace cover an injected delay on the worker side;
+    // a shutdown poke (connect + drop) reads as Closed immediately.
+    let hello = {
+        let mut ticks = 0;
+        loop {
+            match conn.recv_or_idle() {
+                Ok(Some(msg)) => break msg,
+                Ok(None) => {
+                    ticks += 1;
+                    if ticks >= 20 || info.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(WireError::Corrupt { .. }) => {
+                    metrics::counter_add(METRIC_FLEET_FRAMES_CORRUPT, 1);
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    };
+    let (base, identity) = match hello {
+        Msg::Hello { schema, worker } if schema == WIRE_SCHEMA => {
+            // `#` separates the base name from the connection number in
+            // assigned identities; strip it from untrusted input so no
+            // two connections can collide on one identity.
+            let base = worker.replace('#', "-");
+            let identity = format!("{base}#{conn_id}");
+            (base, identity)
+        }
+        Msg::Hello { schema, .. } => {
+            metrics::counter_add(METRIC_FLEET_HANDSHAKE_REJECTS, 1);
+            eprintln!("fleet: rejected worker speaking wire schema {schema} (ours: {WIRE_SCHEMA})");
+            conn.send(&Msg::Reject {
+                reason: format!("wire schema {schema} (ours: {WIRE_SCHEMA})"),
+            })
+            .ok();
+            return;
+        }
+        _ => {
+            metrics::counter_add(METRIC_FLEET_HANDSHAKE_REJECTS, 1);
+            conn.send(&Msg::Reject {
+                reason: "expected hello".to_string(),
+            })
+            .ok();
+            return;
+        }
+    };
+    {
+        let mut seen = info.seen.lock().expect("fleet names poisoned");
+        if !seen.insert(base.clone()) {
+            metrics::counter_add(METRIC_FLEET_RECONNECTS, 1);
+        }
+    }
+    if conn
+        .send(&Msg::Welcome {
+            worker: identity.clone(),
+        })
+        .is_err()
+    {
+        return;
+    }
+    let connected = info.connected.fetch_add(1, Ordering::SeqCst) + 1;
+    metrics::gauge_set(METRIC_FLEET_CONNECTED, connected as f64);
+    metrics::flush();
+    let _guard = ConnectedGuard(info);
+    eprintln!("fleet: {identity} connected from {}", conn.peer());
+
+    loop {
+        if info.stop.load(Ordering::SeqCst) {
+            conn.send(&Msg::Drain).ok();
+            return;
+        }
+        match conn.recv_or_idle() {
+            Ok(None) => continue, // idle tick: re-check the stop flag
+            Ok(Some(msg)) => match handle_fleet_msg(campaign, cfg, &identity, &base, msg) {
+                Some(reply) => {
+                    if conn.send(&reply).is_err() {
+                        return;
+                    }
+                }
+                None => return,
+            },
+            Err(WireError::Corrupt { detail }) => {
+                metrics::counter_add(METRIC_FLEET_FRAMES_CORRUPT, 1);
+                metrics::flush();
+                eprintln!("fleet: {identity}: corrupt frame ({detail}); closing");
+                return;
+            }
+            Err(_) => return, // clean close or transport death
+        }
+    }
+}
+
+/// Handles one inbound fleet frame. Returns the reply to send, or
+/// `None` to close the connection (desync, corrupt result, fatal
+/// control-plane error).
+fn handle_fleet_msg(
+    campaign: &Arc<Campaign>,
+    cfg: &CampaignConfig,
+    identity: &str,
+    base: &str,
+    msg: Msg,
+) -> Option<Msg> {
+    match msg {
+        Msg::LeaseRequest => Some(fleet_lease(campaign, identity)),
+        Msg::Heartbeat { job, rtt_us, .. } => {
+            let now = campaign.now_ms();
+            {
+                let mut queue = campaign.queue.lock().expect("queue poisoned");
+                // Renew only a lease this worker still holds: a
+                // heartbeat arriving after expiry is stale noise and
+                // must not resurrect the lease.
+                if valid_job(&queue, job) && owns(&queue, job, identity) {
+                    queue.renew(job, now);
+                }
+            }
+            if rtt_us > 0 {
+                metrics::observe(
+                    metrics::labeled(METRIC_FLEET_RTT, &[("worker", base)]),
+                    rtt_us,
+                );
+            }
+            Some(Msg::Ack)
+        }
+        Msg::Result { job, line } => fleet_settle(campaign, cfg, identity, job, &line),
+        Msg::Failed { job, detail } => {
+            let now = campaign.now_ms();
+            let mut queue = campaign.queue.lock().expect("queue poisoned");
+            if !valid_job(&queue, job) || !owns(&queue, job, identity) {
+                return Some(Msg::Ack); // stale report: absorbed
+            }
+            let failed = queue.fail(job, &detail, now);
+            drop(queue);
+            match failed {
+                Ok(()) => {
+                    campaign.log.record(
+                        now,
+                        Some(job),
+                        EventKind::Failed {
+                            worker: identity.to_string(),
+                            detail,
+                        },
+                    );
+                    campaign.record_progress(false, attempts_of(campaign, job), 0, 0, 0);
+                    Some(Msg::Ack)
+                }
+                Err(e) => {
+                    campaign.abort(e);
+                    None
+                }
+            }
+        }
+        // Any controller-to-worker message type (or a second hello)
+        // arriving here means the peer is desynced — close and let it
+        // reconnect cleanly.
+        _ => None,
+    }
+}
+
+/// Answers a lease request: expires stale leases first, serves banked
+/// (cache-verified) results without a grant, then hands out the next
+/// runnable job — or Idle with a backoff hint, or Drain once every job
+/// is terminal (or the campaign is draining).
+fn fleet_lease(campaign: &Arc<Campaign>, identity: &str) -> Msg {
+    if signals::interrupted() {
+        return Msg::Drain;
+    }
+    // Cache-served completions performed under the lock are reported
+    // to the progress line after it drops (record_progress re-locks).
+    let mut completions: Vec<u32> = Vec::new();
+    let reply = {
+        let mut queue = campaign.queue.lock().expect("queue poisoned");
+        let now = campaign.now_ms();
+        if let Err(e) = expire_and_log(campaign, &mut queue, now) {
+            drop(queue);
+            campaign.abort(e);
+            return Msg::Drain;
+        }
+        loop {
+            match queue.lease(identity, now) {
+                Err(e) => {
+                    drop(queue);
+                    campaign.abort(e);
+                    break Msg::Drain;
+                }
+                Ok(None) => {
+                    break if queue.all_terminal() {
+                        Msg::Drain
+                    } else {
+                        // Backoff windows and other workers' leases
+                        // drain on their own clock; hint when to re-ask.
+                        let wait = queue
+                            .next_ready_ms()
+                            .map_or(50, |at| at.saturating_sub(now))
+                            .clamp(20, 500);
+                        Msg::Idle { backoff_ms: wait }
+                    };
+                }
+                Ok(Some(job)) => {
+                    // A result banked while the job was unowned (late
+                    // duplicate, expired lease): complete from cache,
+                    // grant nothing, look for real work.
+                    let banked = {
+                        let cache = campaign.cache.lock().expect("cache poisoned");
+                        cache.lookup(&job.spec).ok().flatten().is_some()
+                    };
+                    if banked {
+                        match complete_if_mine(&mut queue, job.id, identity, true, now) {
+                            Ok(true) => {
+                                campaign.log.record(
+                                    now,
+                                    Some(job.id),
+                                    EventKind::Done {
+                                        worker: identity.to_string(),
+                                        cached: true,
+                                    },
+                                );
+                                completions.push(queue.timing(job.id).attempts);
+                            }
+                            Ok(false) => {}
+                            Err(e) => {
+                                drop(queue);
+                                campaign.abort(e);
+                                break Msg::Drain;
+                            }
+                        }
+                        continue;
+                    }
+                    queue.publish_metrics();
+                    campaign.log.record(
+                        now,
+                        Some(job.id),
+                        EventKind::Leased {
+                            worker: identity.to_string(),
+                        },
+                    );
+                    break Msg::LeaseGrant {
+                        job: job.id,
+                        spec: job.spec,
+                    };
+                }
+            }
+        }
+    };
+    metrics::flush();
+    for attempts in completions {
+        campaign.record_progress(true, attempts, 0, 0, 0);
+    }
+    reply
+}
+
+/// Settles a returned result idempotently. The journal line is
+/// re-verified (embedded spec hash) before anything is trusted; the
+/// verified result is banked in done.jsonl + cache *before* the WAL
+/// flips to Done (matching the local worker ordering), and the Done
+/// transition itself happens only while the sender still owns the
+/// lease — a duplicate or late result is absorbed without mutation.
+fn fleet_settle(
+    campaign: &Arc<Campaign>,
+    cfg: &CampaignConfig,
+    identity: &str,
+    job: JobId,
+    line: &str,
+) -> Option<Msg> {
+    let Some((spec, result)) = decode_line(line) else {
+        metrics::counter_add(METRIC_FLEET_FRAMES_CORRUPT, 1);
+        metrics::flush();
+        eprintln!("fleet: {identity}: result line failed hash verification; closing");
+        return None;
+    };
+    let now = campaign.now_ms();
+    let mut progress: Option<(u32, u64, u64, u64)> = None;
+    let reply = {
+        let mut queue = campaign.queue.lock().expect("queue poisoned");
+        if !valid_job(&queue, job) || queue.job(job).spec != spec {
+            // The claimed job id does not carry this spec: desynced
+            // (or adversarial) peer.
+            drop(queue);
+            metrics::counter_add(METRIC_FLEET_FRAMES_CORRUPT, 1);
+            metrics::flush();
+            return None;
+        }
+        if queue.job(job).state.is_terminal() {
+            // Already settled (by this worker's earlier duplicate, a
+            // local worker, or another connection): absorb silently.
+            Msg::Settled { owned: false }
+        } else {
+            {
+                let mut cache = campaign.cache.lock().expect("cache poisoned");
+                if cache.lookup(&spec).ok().flatten().is_none() {
+                    if let Err(e) = Journal::new(cfg.done_path()).append(&spec, &result) {
+                        drop(cache);
+                        drop(queue);
+                        campaign.abort(e);
+                        return None;
+                    }
+                    cache.insert(&spec, &result);
+                }
+            }
+            match complete_if_mine(&mut queue, job, identity, false, now) {
+                Ok(owned) => {
+                    if owned {
+                        queue.publish_metrics();
+                        campaign.log.record(
+                            now,
+                            Some(job),
+                            EventKind::Done {
+                                worker: identity.to_string(),
+                                cached: false,
+                            },
+                        );
+                        progress = Some((
+                            queue.timing(job).attempts,
+                            result.stats.committed_insts,
+                            result.stats.cycles,
+                            result.engine.skipped_cycles,
+                        ));
+                    }
+                    // !owned: the lease expired mid-flight. The result
+                    // is banked; whoever leases the job next completes
+                    // it from cache without re-running.
+                    Msg::Settled { owned }
+                }
+                Err(e) => {
+                    drop(queue);
+                    campaign.abort(e);
+                    return None;
+                }
+            }
+        }
+    };
+    metrics::flush();
+    if let Some((attempts, insts, cycles, skipped)) = progress {
+        campaign.record_progress(true, attempts, insts, cycles, skipped);
+    }
+    Some(reply)
+}
+
+/// Remote job ids are untrusted input: bounds-check before indexing.
+fn valid_job(queue: &JobQueue, id: JobId) -> bool {
+    (id as usize) < queue.jobs().len()
 }
 
 /// The per-job supervisor: single launch (the queue owns retry policy),
@@ -1257,6 +1885,7 @@ mod tests {
             show_progress: false,
             flight_seq: AtomicU64::new(1),
             flight_dir: std::env::temp_dir().join("mlpwin-never-used"),
+            fleet: None,
         };
         campaign.log.record(
             60,

@@ -343,14 +343,27 @@ pub fn decode_frame(
 /// all-off; library users never see them fire.
 pub mod hooks {
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// A shareable snapshot-cadence callback, fired with the cycle.
+    pub type HeartbeatFn = Arc<dyn Fn(u64) + Send + Sync>;
 
     static HEARTBEAT: AtomicBool = AtomicBool::new(false);
     static CHAOS_KILL_AT: AtomicU64 = AtomicU64::new(u64::MAX);
+    static HEARTBEAT_FN: Mutex<Option<HeartbeatFn>> = Mutex::new(None);
 
     /// Emit a `hb <cycle>` line on stdout at every snapshot (the
     /// supervisor's liveness signal).
     pub fn set_heartbeat(on: bool) {
         HEARTBEAT.store(on, Ordering::SeqCst);
+    }
+
+    /// Install (or clear) a callback fired with the simulated cycle at
+    /// every snapshot-cadence event — `mlpwin-worker` uses it to send
+    /// wire heartbeats that renew its lease while a run is in flight.
+    /// Runs on the simulating thread; keep it quick and non-panicking.
+    pub fn set_heartbeat_fn(f: Option<HeartbeatFn>) {
+        *HEARTBEAT_FN.lock().expect("heartbeat hook lock") = f;
     }
 
     /// Abort the process at the first snapshot at or past `cycle` — but
@@ -366,6 +379,10 @@ pub mod hooks {
             let mut out = std::io::stdout().lock();
             writeln!(out, "hb {cycle}").ok();
             out.flush().ok();
+        }
+        let hook = HEARTBEAT_FN.lock().expect("heartbeat hook lock").clone();
+        if let Some(f) = hook {
+            f(cycle);
         }
         if fresh_start && cycle >= CHAOS_KILL_AT.load(Ordering::SeqCst) {
             eprintln!("chaos: aborting at cycle {cycle} (injected crash)");

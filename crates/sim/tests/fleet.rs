@@ -1,0 +1,311 @@
+//! Multi-machine fleet chaos suite.
+//!
+//! Drives a real `mlpwin-serve --fleet-listen` controller and real
+//! `mlpwin-worker` processes over loopback TCP through the failures the
+//! wire protocol claims to survive — seeded drop/duplicate/partition
+//! fault schedules on every worker's send path, a mid-campaign worker
+//! SIGKILL, schema-mismatched handshakes — and asserts the finalized
+//! journal is **bit-identical** to a serial, uninterrupted in-process
+//! run, with no job lost and none double-counted. Also proves the
+//! degraded path: with a fleet listener up but no worker ever
+//! connecting, the local worker threads drain the campaign alone.
+
+use mlpwin_sim::runner::RunSpec;
+use mlpwin_sim::wire::{Conn, Msg, WIRE_SCHEMA};
+use mlpwin_sim::{Journal, SimModel};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const WORKER_EXE: &str = env!("CARGO_BIN_EXE_mlpwin-sim");
+const CONTROLLER: &str = env!("CARGO_BIN_EXE_mlpwin-serve");
+const FLEET_WORKER: &str = env!("CARGO_BIN_EXE_mlpwin-worker");
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlpwin-fleet-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn job_arg(spec: &RunSpec) -> String {
+    format!(
+        "{},{},{},{},{}",
+        spec.profile,
+        spec.model.tag(),
+        spec.warmup,
+        spec.insts,
+        spec.seed
+    )
+}
+
+/// The journal a serial, uninterrupted, in-process run would write for
+/// these specs, in submission order — the byte-level ground truth.
+fn serial_reference(specs: &[RunSpec], dir: &Path) -> Vec<u8> {
+    let path = dir.join("reference.jsonl");
+    let journal = Journal::new(&path);
+    for spec in specs {
+        let result = mlpwin_sim::runner::run(spec).expect("reference run");
+        journal.append(spec, &result).expect("reference append");
+    }
+    std::fs::read(&path).expect("reference bytes")
+}
+
+/// Polls `DIR/fleet.addr` until the controller publishes its bound
+/// listener address.
+fn wait_for_fleet_addr(dir: &Path, controller: &mut Child) -> SocketAddr {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("fleet.addr")) {
+            if let Ok(addr) = text.trim().parse() {
+                return addr;
+            }
+        }
+        if let Some(status) = controller.try_wait().expect("try_wait") {
+            panic!("controller exited before publishing fleet.addr: {status}");
+        }
+        assert!(Instant::now() < deadline, "fleet.addr never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn spawn_fleet_worker(addr: &SocketAddr, name: &str, netfault: &str, dir: &Path) -> Child {
+    let mut cmd = Command::new(FLEET_WORKER);
+    cmd.arg("--connect")
+        .arg(addr.to_string())
+        .arg("--name")
+        .arg(name)
+        .arg("--snapshot-dir")
+        .arg(dir.join(format!("snap-{name}")))
+        .args(["--snapshot-cycles", "400", "--backoff-ms", "50"]);
+    if !netfault.is_empty() {
+        cmd.arg("--netfault").arg(netfault);
+    }
+    cmd.stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn fleet worker")
+}
+
+#[test]
+fn fleet_campaign_under_netfaults_and_worker_sigkill_matches_serial_reference() {
+    let dir = scratch("chaos");
+    let ref_dir = scratch("chaos-ref");
+    let specs: Vec<RunSpec> = [
+        ("gcc", SimModel::Base),
+        ("mcf", SimModel::Dynamic),
+        ("milc", SimModel::Base),
+        ("libquantum", SimModel::Base),
+        ("soplex", SimModel::Dynamic),
+        ("lbm", SimModel::Base),
+    ]
+    .iter()
+    .map(|(p, m)| RunSpec::new(p, *m).with_budget(2_000, 4_000))
+    .collect();
+    let reference = serial_reference(&specs, &ref_dir);
+
+    // One local worker thread keeps the campaign draining no matter
+    // what the fleet does; a short lease reclaims the SIGKILLed
+    // worker's job quickly.
+    let mut cmd = Command::new(CONTROLLER);
+    cmd.arg("--campaign").arg(&dir);
+    for spec in &specs {
+        cmd.arg("--job").arg(job_arg(spec));
+    }
+    cmd.args([
+        "--workers",
+        "1",
+        "--backoff-ms",
+        "30",
+        "--snapshot-cycles",
+        "400",
+        "--lease-ms",
+        "2000",
+        "--fleet-listen",
+        "127.0.0.1:0",
+    ]);
+    cmd.arg("--worker-exe").arg(WORKER_EXE);
+    let mut controller = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn controller");
+    let addr = wait_for_fleet_addr(&dir, &mut controller);
+
+    // Beta first, under a drop/duplicate/partition schedule; SIGKILL it
+    // the moment the WAL shows it owning a job.
+    let mut beta = spawn_fleet_worker(
+        &addr,
+        "beta",
+        "seed=9,drop=25,dup=15,delay=1,partition=60",
+        &dir,
+    );
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut beta_leased = false;
+    loop {
+        if std::fs::read_to_string(dir.join("campaign.wal"))
+            .map(|wal| wal.contains("beta#"))
+            .unwrap_or(false)
+        {
+            beta_leased = true;
+            break;
+        }
+        if controller.try_wait().expect("try_wait").is_some() {
+            break; // campaign finished before beta ever leased
+        }
+        assert!(Instant::now() < deadline, "beta never leased a job");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if beta_leased {
+        let rc = unsafe { kill(beta.id() as i32, 9) };
+        assert_eq!(rc, 0, "kill(SIGKILL) failed");
+    }
+    beta.kill().ok();
+    beta.wait().expect("reap beta");
+
+    // Alpha joins under its own (different) fault schedule and helps
+    // the local thread finish the remainder.
+    let mut alpha = spawn_fleet_worker(&addr, "alpha", "seed=3,drop=30,dup=20,delay=1", &dir);
+
+    let out = controller.wait_with_output().expect("wait controller");
+    alpha.kill().ok();
+    alpha.wait().expect("reap alpha");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("jobs=6"),
+        "no job lost or invented: {stdout}"
+    );
+    assert!(stdout.contains("done=6"), "{stdout}");
+    assert_eq!(
+        std::fs::read(dir.join("journal.jsonl")).expect("finalized journal"),
+        reference,
+        "fleet + netfaults + worker SIGKILL must finalize the \
+         bit-identical journal"
+    );
+    // Published address files are removed on drain — a later probe must
+    // not find a stale address.
+    assert!(
+        !dir.join("fleet.addr").exists(),
+        "fleet.addr removed at campaign end"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
+fn controller_degrades_to_local_workers_when_no_fleet_worker_connects() {
+    let dir = scratch("degraded");
+    let ref_dir = scratch("degraded-ref");
+    let specs = vec![
+        RunSpec::new("gcc", SimModel::Base).with_budget(2_000, 4_000),
+        RunSpec::new("mcf", SimModel::Dynamic).with_budget(2_000, 4_000),
+    ];
+    let reference = serial_reference(&specs, &ref_dir);
+
+    let mut cmd = Command::new(CONTROLLER);
+    cmd.arg("--campaign").arg(&dir);
+    for spec in &specs {
+        cmd.arg("--job").arg(job_arg(spec));
+    }
+    cmd.args([
+        "--workers",
+        "2",
+        "--backoff-ms",
+        "30",
+        "--snapshot-cycles",
+        "400",
+        "--fleet-listen",
+        "127.0.0.1:0",
+        "--progress",
+    ]);
+    cmd.arg("--worker-exe").arg(WORKER_EXE);
+    let out = cmd.output().expect("run controller");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("done=2"), "{stdout}");
+    assert_eq!(
+        std::fs::read(dir.join("journal.jsonl")).expect("finalized journal"),
+        reference,
+        "a fleet listener with zero workers must not change the journal"
+    );
+    // The progress line surfaces the degraded mode: a fleet was asked
+    // for, nobody connected, the local threads carried the campaign.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fleet=0 (degraded)"),
+        "degraded mode visible in progress: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
+fn handshake_rejects_wrong_schema_and_non_hello_openers() {
+    let dir = scratch("schema");
+    let mut cmd = Command::new(CONTROLLER);
+    cmd.arg("--campaign").arg(&dir);
+    cmd.arg("--job").arg("gcc,base,2000,60000,1");
+    cmd.args([
+        "--workers",
+        "1",
+        "--snapshot-cycles",
+        "400",
+        "--fleet-listen",
+        "127.0.0.1:0",
+    ]);
+    cmd.arg("--worker-exe").arg(WORKER_EXE);
+    let mut controller = cmd
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn controller");
+    let addr = wait_for_fleet_addr(&dir, &mut controller);
+
+    // A future-schema worker is refused with a typed reason...
+    let mut conn = Conn::connect(&addr).expect("connect");
+    conn.send(&Msg::Hello {
+        schema: WIRE_SCHEMA + 1,
+        worker: "time-traveler".to_string(),
+    })
+    .expect("send hello");
+    match conn.recv().expect("reject frame") {
+        Msg::Reject { reason } => {
+            assert!(
+                reason.contains(&format!("{}", WIRE_SCHEMA + 1)),
+                "reject names the offered schema: {reason}"
+            );
+            assert!(
+                reason.contains(&format!("{WIRE_SCHEMA}")),
+                "reject names the controller's schema: {reason}"
+            );
+        }
+        other => panic!("want Reject, got {}", other.tag()),
+    }
+
+    // ...and so is a peer that opens with anything but a hello.
+    let mut rude = Conn::connect(&addr).expect("connect");
+    rude.send(&Msg::LeaseRequest).expect("send");
+    match rude.recv().expect("reject frame") {
+        Msg::Reject { reason } => assert!(reason.contains("hello"), "{reason}"),
+        other => panic!("want Reject, got {}", other.tag()),
+    }
+
+    // The campaign itself is unharmed by the rejected couple.
+    let status = controller.wait().expect("wait controller");
+    assert!(status.success(), "campaign completes after rejects");
+    std::fs::remove_dir_all(&dir).ok();
+}

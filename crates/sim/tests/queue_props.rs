@@ -19,7 +19,9 @@
 //!   reproduces every terminal state and kill count exactly, with
 //!   in-flight leases released back to pending.
 
-use mlpwin_sim::queue::{DeathVerdict, JobId, JobQueue, JobState, Lane, QueuePolicy};
+use mlpwin_sim::queue::{
+    decode_wal_line, DeathVerdict, JobId, JobQueue, JobState, Lane, QueuePolicy, WalRecord,
+};
 use mlpwin_sim::runner::RunSpec;
 use mlpwin_sim::SimModel;
 use std::collections::HashMap;
@@ -353,6 +355,189 @@ fn drive(seed: u64, tag: &str) {
         &final_jobs[..],
         "terminal states replay exactly"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Replays the intact prefix of a (possibly torn) WAL into the state
+/// each job must land in after `JobQueue::open`: the last record wins,
+/// and any lease still open at the end is released back to `Pending`
+/// (orphaned with the dead controller) without charging a kill.
+fn expected_after_replay(text: &str) -> HashMap<JobId, (ModelState, u32)> {
+    let mut jobs: HashMap<JobId, (ModelState, u32)> = HashMap::new();
+    for line in text.lines() {
+        let Some((_seq, rec)) = decode_wal_line(line.trim()) else {
+            continue; // torn or corrupt line: vanishes
+        };
+        match rec {
+            WalRecord::Enqueue { job, .. } => {
+                jobs.insert(job, (ModelState::Pending { not_before_ms: 0 }, 0));
+            }
+            WalRecord::Lease { job, worker } => {
+                if let Some(slot) = jobs.get_mut(&job) {
+                    slot.0 = ModelState::Leased { worker };
+                }
+            }
+            WalRecord::Release { job, kill, .. } => {
+                if let Some(slot) = jobs.get_mut(&job) {
+                    slot.0 = ModelState::Pending { not_before_ms: 0 };
+                    if kill {
+                        slot.1 += 1;
+                    }
+                }
+            }
+            WalRecord::Done { job, .. } => {
+                if let Some(slot) = jobs.get_mut(&job) {
+                    slot.0 = ModelState::Done;
+                }
+            }
+            WalRecord::Failed { job, .. } => {
+                if let Some(slot) = jobs.get_mut(&job) {
+                    slot.0 = ModelState::Failed;
+                }
+            }
+            WalRecord::Quarantine { job, .. } => {
+                if let Some(slot) = jobs.get_mut(&job) {
+                    slot.0 = ModelState::Quarantined;
+                    slot.1 += 1;
+                }
+            }
+        }
+    }
+    for slot in jobs.values_mut() {
+        if matches!(slot.0, ModelState::Leased { .. }) {
+            slot.0 = ModelState::Pending { not_before_ms: 0 };
+        }
+    }
+    jobs
+}
+
+/// SIGKILL can tear the WAL's tail at ANY byte: the fsync policy only
+/// promises that terminal records (done/failed/quarantine) it returned
+/// success for are on the platter, while trailing lease/release traffic
+/// may be lost wholesale or mid-line. This test cuts a real campaign's
+/// WAL at every line boundary (±1 byte) plus a seeded spray of random
+/// offsets and proves every cut replays to exactly the state the intact
+/// record prefix dictates — a terminal state whose record survived the
+/// cut is never regressed, a torn line merely vanishes, and `open`
+/// never errors on the wreckage.
+#[test]
+fn torn_wal_tail_after_kill_never_regresses_terminal_states() {
+    let policy = QueuePolicy {
+        lease_ms: 40,
+        max_kills: 2,
+        backoff_base_ms: 7,
+    };
+    let dir = scratch("torn");
+    let wal = dir.join("campaign.wal");
+    {
+        // A scripted campaign mixing every record type, ending with
+        // fresh lease traffic after the last durable record so the
+        // tear-prone suffix is exactly the non-fsynced class.
+        let mut q = JobQueue::open(&wal, policy).expect("open");
+        for n in 0..6 {
+            q.submit(&spec_for(n), Lane::Normal).expect("submit");
+        }
+        q.lease("w0", 0).expect("lease").expect("granted"); // job 0
+        q.complete(0, false, 5).expect("complete");
+        q.lease("w1", 10).expect("lease").expect("granted"); // job 1
+        q.worker_died(1, "chaos", 15).expect("death"); // kill 1: requeue
+        q.expire_stale(1_000).expect("expire");
+        q.lease("w1", 1_000).expect("lease").expect("granted"); // job 1
+        q.worker_died(1, "chaos", 1_005).expect("death"); // kill 2: quarantine
+        q.lease("w2", 1_010).expect("lease").expect("granted"); // job 2
+        q.fail(2, "typed failure", 1_015).expect("fail");
+        q.lease("w0", 1_020).expect("lease").expect("granted"); // job 3
+        q.complete(3, true, 1_025).expect("complete");
+        q.lease("w3", 1_030).expect("lease").expect("granted"); // job 4
+        q.renew(4, 1_035);
+        // job 5 stays pending; job 4's lease is open at the "kill".
+    }
+    let bytes = std::fs::read(&wal).expect("read WAL");
+    let full = String::from_utf8(bytes.clone()).expect("WAL is ASCII JSON lines");
+
+    // Every line boundary ±1, plus 64 seeded random offsets, plus the
+    // degenerate cuts (empty file, full file).
+    let mut cuts: Vec<usize> = vec![0, bytes.len()];
+    let mut offset = 0;
+    for line in full.split_inclusive('\n') {
+        offset += line.len();
+        cuts.push(offset);
+        cuts.push(offset.saturating_sub(1));
+        cuts.push((offset + 1).min(bytes.len()));
+    }
+    let mut rng = Lcg(0x7A11_5EED_0F5C_A1E5);
+    for _ in 0..64 {
+        cuts.push(rng.below(bytes.len() as u64 + 1) as usize);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut prior_terminal: HashMap<JobId, ModelState> = HashMap::new();
+    for cut in cuts {
+        let torn_dir = dir.join(format!("cut-{cut}"));
+        std::fs::create_dir_all(&torn_dir).expect("cut dir");
+        let torn = torn_dir.join("campaign.wal");
+        std::fs::write(&torn, &bytes[..cut]).expect("write torn WAL");
+
+        let expected = expected_after_replay(&String::from_utf8_lossy(&bytes[..cut]));
+        let replayed = JobQueue::open(&torn, policy)
+            .unwrap_or_else(|e| panic!("replay of {cut}-byte torn WAL must not error: {e}"));
+        assert_eq!(
+            replayed.jobs().len(),
+            expected.len(),
+            "cut at byte {cut}: job count"
+        );
+        for job in replayed.jobs() {
+            let (want, kills) = expected
+                .get(&job.id)
+                .unwrap_or_else(|| panic!("cut {cut}: job {} not expected", job.id));
+            assert_eq!(
+                job.kills, *kills,
+                "cut {cut}: kill count for job {}",
+                job.id
+            );
+            let agrees = matches!(
+                (&job.state, want),
+                (JobState::Done { .. }, ModelState::Done)
+                    | (JobState::Failed { .. }, ModelState::Failed)
+                    | (JobState::Quarantined { .. }, ModelState::Quarantined)
+                    | (
+                        JobState::Pending { not_before_ms: 0 },
+                        ModelState::Pending { .. }
+                    )
+            );
+            assert!(
+                agrees,
+                "cut {cut}: job {} replayed to {:?}, records dictate {want:?}",
+                job.id, job.state
+            );
+            // Monotone durability: once a cut shows a job terminal, every
+            // longer cut must agree — terminal states never regress as
+            // more of the tail survives.
+            if let Some(earlier) = prior_terminal.get(&job.id) {
+                assert!(
+                    matches!(
+                        (earlier, &job.state),
+                        (ModelState::Done, JobState::Done { .. })
+                            | (ModelState::Failed, JobState::Failed { .. })
+                            | (ModelState::Quarantined, JobState::Quarantined { .. })
+                    ),
+                    "cut {cut}: job {} regressed from terminal {earlier:?} to {:?}",
+                    job.id,
+                    job.state
+                );
+            }
+        }
+        for (id, (state, _)) in &expected {
+            if matches!(
+                state,
+                ModelState::Done | ModelState::Failed | ModelState::Quarantined
+            ) {
+                prior_terminal.insert(*id, state.clone());
+            }
+        }
+        std::fs::remove_dir_all(&torn_dir).ok();
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
